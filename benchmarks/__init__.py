@@ -1,0 +1,1 @@
+"""Benchmark suite: one bench per table/figure of the paper."""

@@ -1,0 +1,77 @@
+"""Benchmark fixtures.
+
+One downscaled 20-day experiment is generated per session (the
+``experiment`` fixture); every bench reproduces one table or figure of
+the paper from its SQLite databases, times the analysis step via
+pytest-benchmark, prints the regenerated rows, and writes them to
+``benchmarks/_output/`` (the source for EXPERIMENTS.md).
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` -- login-volume scale factor (default 0.002,
+  i.e. 1/500 of the paper's 18.2M login attempts),
+* ``REPRO_BENCH_SEED`` -- master seed (default 2024).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.loading import load_ip_profiles
+from repro.core.reports import cluster_dbms
+from repro.deployment import ExperimentConfig, run_experiment
+
+OUTPUT_DIR = Path(__file__).parent / "_output"
+
+#: Clustering cut threshold used throughout the benches.
+CLUSTER_THRESHOLD = 0.1
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
+
+
+@pytest.fixture(scope="session")
+def experiment(tmp_path_factory):
+    """The shared experiment run."""
+    output = tmp_path_factory.mktemp("bench-experiment")
+    config = ExperimentConfig(
+        seed=int(os.environ.get("REPRO_BENCH_SEED", "2024")),
+        volume_scale=bench_scale(),
+        output_dir=output)
+    return run_experiment(config)
+
+
+@pytest.fixture(scope="session")
+def low_profiles(experiment):
+    return load_ip_profiles(experiment.low_db)
+
+
+@pytest.fixture(scope="session")
+def mid_profiles(experiment):
+    return load_ip_profiles(experiment.midhigh_db)
+
+
+@pytest.fixture(scope="session")
+def mid_cluster_labels(experiment, mid_profiles):
+    labels: dict[tuple[str, str], int] = {}
+    for dbms in ("elasticsearch", "mongodb", "postgresql", "redis"):
+        labels.update(cluster_dbms(mid_profiles, dbms,
+                                   distance_threshold=CLUSTER_THRESHOLD))
+    return labels
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Persist + print a regenerated table."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n",
+                                                encoding="utf-8")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _emit

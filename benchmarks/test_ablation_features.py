@@ -1,0 +1,54 @@
+"""Ablation: TF features vs binary (set-of-actions) features.
+
+The paper's TF featurization counts duplicate actions; this bench
+checks what is lost with binary features: behaviors that differ only in
+action *frequency* (e.g. one login vs a hundred of the same login)
+collapse together.
+"""
+
+from repro.core.clustering import AgglomerativeClustering
+from repro.core.metrics import adjusted_rand_index
+from repro.core.loading import action_sequences
+from repro.core.reports import format_table
+from repro.core.tf import TfVectorizer
+from .conftest import CLUSTER_THRESHOLD
+
+
+def test_ablation_features(benchmark, mid_profiles, emit):
+    rows = []
+
+    def run():
+        results = {}
+        for dbms in ("redis", "postgresql"):
+            sequences = action_sequences(mid_profiles, dbms=dbms)
+            ips = sorted(sequences)
+            documents = [sequences[ip] for ip in ips]
+            vectorizer = TfVectorizer().fit(documents)
+            tf_matrix = vectorizer.transform(documents)
+            binary_matrix = vectorizer.binary_transform(documents)
+            tf_labels = AgglomerativeClustering(
+                distance_threshold=CLUSTER_THRESHOLD).fit_predict(
+                tf_matrix)
+            binary_labels = AgglomerativeClustering(
+                distance_threshold=CLUSTER_THRESHOLD).fit_predict(
+                binary_matrix)
+            agreement = adjusted_rand_index(tf_labels, binary_labels)
+            results[dbms] = (len(ips), int(tf_labels.max()) + 1,
+                             int(binary_labels.max()) + 1, agreement)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for dbms, (n, tf_clusters, binary_clusters, ari) in results.items():
+        rows.append([dbms, n, tf_clusters, binary_clusters,
+                     f"{ari:.3f}"])
+    emit("ablation_features", format_table(
+        ["DBMS", "#IPs", "#Clusters (TF)", "#Clusters (binary)",
+         "ARI(TF, binary)"], rows))
+
+    for dbms, (_n, tf_clusters, binary_clusters, ari) in results.items():
+        # Frequency information can only split clusters further.
+        assert tf_clusters >= binary_clusters * 0.5
+        assert binary_clusters >= 5
+        # The two featurizations largely agree on the partition.
+        assert ari > 0.5

@@ -1,0 +1,51 @@
+"""Ablation: clustering linkage method.
+
+The paper chose Ward linkage; this bench compares the cluster structure
+under single, complete, average, and Ward linkage at the same cut
+threshold.  Single linkage chains distinct bot toolkits together
+(fewer, sloppier clusters); Ward keeps same-toolkit groups tight.
+"""
+
+from repro.core.clustering import AgglomerativeClustering
+from repro.core.metrics import silhouette_score
+from repro.core.loading import action_sequences
+from repro.core.reports import format_table
+from repro.core.tf import TfVectorizer
+from .conftest import CLUSTER_THRESHOLD
+
+
+def test_ablation_linkage(benchmark, mid_profiles, emit):
+    sequences = action_sequences(mid_profiles, dbms="postgresql")
+    ips = sorted(sequences)
+    matrix = TfVectorizer().fit_transform([sequences[ip] for ip in ips])
+
+    def cluster_all():
+        results = {}
+        for method in ("ward", "single", "complete", "average"):
+            model = AgglomerativeClustering(
+                distance_threshold=CLUSTER_THRESHOLD, method=method)
+            labels = model.fit_predict(matrix)
+            quality = (silhouette_score(matrix, labels)
+                       if model.n_clusters_ >= 2 else float("nan"))
+            results[method] = (model.n_clusters_, quality)
+        return results
+
+    results = benchmark.pedantic(cluster_all, rounds=1, iterations=1)
+
+    emit("ablation_linkage", format_table(
+        ["Linkage", "#Clusters (PostgreSQL)", "Silhouette"],
+        [[method, count, f"{quality:.3f}"]
+         for method, (count, quality) in results.items()])
+        + f"\n(n = {len(ips)} interactive IPs, cut at "
+          f"t = {CLUSTER_THRESHOLD})")
+
+    counts = {method: count for method, (count, _q) in results.items()}
+    # All linkages agree on zero-distance groups, so every method finds
+    # at least the identical-toolkit partition...
+    assert min(counts.values()) >= 10
+    # ...and single linkage never yields more clusters than complete
+    # (chaining can only merge more).
+    assert counts["single"] <= counts["complete"]
+    assert counts["ward"] >= counts["single"]
+    # The paper's Ward choice yields tight, well-separated clusters.
+    assert results["ward"][1] > 0.7

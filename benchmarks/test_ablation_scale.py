@@ -1,0 +1,49 @@
+"""Ablation: volume-scale invariance of the table shapes.
+
+The reproduction scales the paper's 18.2M login attempts by
+``volume_scale``; the headline *shapes* (who wins, by what proportion)
+must not depend on the chosen scale.  Two small runs at a 4x scale
+difference are compared.
+"""
+
+from repro.core.bruteforce import credential_stats, logins_by_country
+from repro.core.reports import format_table
+from repro.deployment import ExperimentConfig, run_experiment
+
+
+def test_ablation_scale(benchmark, tmp_path_factory, emit):
+    def run(scale: float):
+        output = tmp_path_factory.mktemp(f"scale-{scale}")
+        result = run_experiment(ExperimentConfig(
+            seed=31337, volume_scale=scale, output_dir=output))
+        rows = logins_by_country(result.low_db, top=3)
+        mssql = credential_stats(result.low_db, "mssql")
+        total = sum(credential_stats(result.low_db, d).total_attempts
+                    for d in ("mssql", "mysql", "postgresql"))
+        return {
+            "top_countries": [row.country for row in rows],
+            "mssql_share": mssql.total_attempts / total,
+            "russia_share": rows[0].logins / max(
+                1, sum(row.logins for row in rows)),
+            "top_user": mssql.top_usernames[0][0],
+        }
+
+    def run_both():
+        return run(0.0002), run(0.0008)
+
+    small, large = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    emit("ablation_scale", format_table(
+        ["Metric", "scale=0.0002", "scale=0.0008"],
+        [["top-3 countries", ", ".join(small["top_countries"]),
+          ", ".join(large["top_countries"])],
+         ["MSSQL login share", f"{small['mssql_share']:.3f}",
+          f"{large['mssql_share']:.3f}"],
+         ["Russia share of top-3", f"{small['russia_share']:.3f}",
+          f"{large['russia_share']:.3f}"],
+         ["top username", small["top_user"], large["top_user"]]]))
+
+    assert small["top_countries"][0] == large["top_countries"][0] == \
+        "Russia"
+    assert abs(small["mssql_share"] - large["mssql_share"]) < 0.05
+    assert small["top_user"] == large["top_user"] == "sa"

@@ -1,0 +1,37 @@
+"""Figure 3: CDF of client retention per DBMS (low tier).
+
+Paper shape: 43% of all clients appear on a single day; the CDFs of the
+four services are broadly similar.
+"""
+
+from repro.core.plotting import cdf_chart
+from repro.core.reports import format_table
+from repro.core.retention import (retention_by_dbms, retention_overall,
+                                  single_day_fraction)
+
+
+def test_fig3_lowint_retention_cdf(benchmark, low_profiles, emit):
+    cdfs = benchmark(lambda: retention_by_dbms(low_profiles))
+    overall = retention_overall(low_profiles)
+
+    rows = []
+    for dbms, cdf in cdfs.items():
+        rows.append([dbms, cdf.population, f"{cdf.at(1):.2f}",
+                     f"{cdf.at(5):.2f}", f"{cdf.at(10):.2f}",
+                     f"{cdf.mean_days():.2f}"])
+    rows.append(["(all, unique)", overall.population,
+                 f"{overall.at(1):.2f}", f"{overall.at(5):.2f}",
+                 f"{overall.at(10):.2f}", f"{overall.mean_days():.2f}"])
+    charts = "\n\n".join(
+        f"{dbms}:\n" + cdf_chart([(float(d), f) for d, f in cdf.points],
+                                  height=8, label="days active")
+        for dbms, cdf in cdfs.items())
+    emit("fig3_lowint_retention_cdf", format_table(
+        ["DBMS", "#IP", "P(<=1d)", "P(<=5d)", "P(<=10d)", "mean days"],
+        rows) + "\n\n" + charts)
+
+    fraction = single_day_fraction(overall)
+    assert 0.35 <= fraction <= 0.50, fraction
+    for cdf in cdfs.values():
+        assert cdf.at(20) == 1.0
+        assert cdf.at(1) >= 0.2

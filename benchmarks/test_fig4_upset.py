@@ -1,0 +1,32 @@
+"""Figure 4: intersections of IPs across the medium/high honeypots.
+
+Paper shape: PostgreSQL sees the most unique IPs (1,955), MongoDB and
+Elasticsearch beat Redis despite fewer instances, most IPs touch a
+single honeypot family, and an RDP-scanning cohort spans Redis and
+PostgreSQL.
+"""
+
+from repro.core.intersections import upset_intersections
+from repro.core.reports import format_table
+
+
+def test_fig4_upset(benchmark, mid_profiles, emit):
+    upset = benchmark(lambda: upset_intersections(mid_profiles))
+
+    totals = upset.per_family_totals()
+    emit("fig4_upset", format_table(
+        ["Combination", "#IPs"], [list(row) for row in upset.rows()])
+        + "\nper-family totals: " + ", ".join(
+            f"{family}={count}" for family, count in sorted(
+                totals.items()))
+        + f"\ntotal unique: {upset.total_unique()}"
+        + f"\nsingle-family fraction: "
+          f"{upset.single_family_fraction():.2f}")
+
+    assert totals == {"elasticsearch": 1237, "mongodb": 1233,
+                      "postgresql": 1955, "redis": 980}
+    assert totals["postgresql"] == max(totals.values())
+    assert totals["redis"] == min(totals.values())
+    assert upset.single_family_fraction() > 0.7
+    assert upset.count("postgresql", "redis") >= 10  # RDP cohort
+    assert 3400 <= upset.total_unique() <= 4000  # paper: 3,665

@@ -1,0 +1,39 @@
+"""Figure 5: client retention CDF per behavior class (medium/high).
+
+Paper shape: scanners are short-lived, scouts show more sustained
+engagement, and exploiting IPs are by far the most persistent --
+justifying the paper's advice that blocking exploiting IPs pays off
+most.
+"""
+
+from repro.core.classification import BehaviorClass, classify_ips
+from repro.core.plotting import cdf_chart
+from repro.core.reports import format_table
+from repro.core.retention import retention_by_class
+
+
+def test_fig5_midhigh_retention_cdf(benchmark, mid_profiles, emit):
+    classifications = classify_ips(mid_profiles)
+    cdfs = benchmark(lambda: retention_by_class(mid_profiles,
+                                                classifications))
+
+    charts = "\n\n".join(
+        f"{cls.value}:\n"
+        + cdf_chart([(float(d), f) for d, f in cdf.points], height=8,
+                    label="days active")
+        for cls, cdf in cdfs.items() if cdf.points)
+    emit("fig5_midhigh_retention_cdf", format_table(
+        ["Class", "#IP", "P(<=1d)", "P(<=3d)", "P(<=7d)", "mean days"],
+        [[cls.value, cdf.population, f"{cdf.at(1):.2f}",
+          f"{cdf.at(3):.2f}", f"{cdf.at(7):.2f}",
+          f"{cdf.mean_days():.2f}"]
+         for cls, cdf in cdfs.items()]) + "\n\n" + charts)
+
+    scan = cdfs[BehaviorClass.SCANNING]
+    scout = cdfs[BehaviorClass.SCOUTING]
+    exploit = cdfs[BehaviorClass.EXPLOITING]
+    assert exploit.mean_days() > scout.mean_days() > scan.mean_days()
+    # Exploiters keep returning: almost none are single-day actors.
+    assert exploit.at(1) < 0.15
+    assert scan.at(1) > 0.5
+    assert exploit.population == 324

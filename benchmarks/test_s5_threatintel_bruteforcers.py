@@ -1,0 +1,27 @@
+"""Section 5: threat-intelligence coverage of the brute-forcers.
+
+Paper shape: 126/599 (21%) flagged malicious by Greynoise, 391 (65%)
+recently reported on AbuseIPDB, 289 (48%) suspicious per Team Cymru,
+zero FEODO C2 overlap.
+"""
+
+from repro.core.bruteforce import brute_force_ips
+from repro.core.reports import format_table
+from repro.threatintel import crossref
+
+
+def test_s5_threatintel_bruteforcers(benchmark, experiment, emit):
+    ips = brute_force_ips(experiment.low_db)
+    report = benchmark(lambda: crossref(ips, experiment.world.intel))
+
+    emit("s5_threatintel_bruteforcers", format_table(
+        ["Platform", "Flagged", "Fraction"],
+        [[name, count, f"{fraction:.0%}"]
+         for name, count, fraction in report.rows()])
+        + f"\npopulation: {report.population} brute-forcing IPs")
+
+    assert report.population == 599
+    assert 0.12 <= report.rate(report.greynoise_malicious) <= 0.32
+    assert 0.50 <= report.rate(report.abuseipdb_reported) <= 0.80
+    assert 0.35 <= report.rate(report.cymru_suspicious) <= 0.60
+    assert report.feodo_c2 == 0

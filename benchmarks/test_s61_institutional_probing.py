@@ -1,0 +1,36 @@
+"""Section 6.1: institutional scanners learn about database content.
+
+Paper shape: most medium/high scanners are institutional (456/608 on
+Elasticsearch, 415/706 on MongoDB, 909/1140 on PostgreSQL, 379/676 on
+Redis), and a notable share of institutional actors goes beyond
+liveness checks -- listDatabases/listCollections on MongoDB, content
+URLs on Elasticsearch -- the privacy concern the paper raises.
+"""
+
+from repro.core.reports import format_table, institutional_probing
+
+
+def test_s61_institutional_probing(benchmark, mid_profiles, emit):
+    rows = benchmark(lambda: institutional_probing(mid_profiles))
+
+    emit("s61_institutional_probing", format_table(
+        ["DBMS", "Scanners", "inst. scanners", "inst. scouting",
+         "deep-probing inst. IPs", "top deep actions"],
+        [[row.dbms, row.scanners, row.institutional_scanners,
+          row.institutional_scouting, row.deep_probing_ips,
+          ", ".join(f"{action} x{count}" for action, count in sorted(
+              row.deep_actions.items(), key=lambda i: -i[1])[:3])]
+         for row in rows]))
+
+    by_dbms = {row.dbms: row for row in rows}
+    # Institutional fractions among scanners (paper: 75/59/80/56%).
+    assert by_dbms["elasticsearch"].institutional_scanners == 456
+    assert by_dbms["mongodb"].institutional_scanners == 415
+    assert by_dbms["postgresql"].institutional_scanners == 909
+    assert by_dbms["redis"].institutional_scanners == 379
+    # Institutional scouting exists and includes content-revealing
+    # probing on MongoDB and Elasticsearch.
+    assert by_dbms["mongodb"].deep_probing_ips > 50
+    assert "listDatabases" in by_dbms["mongodb"].deep_actions
+    assert "listCollections" in by_dbms["mongodb"].deep_actions
+    assert by_dbms["elasticsearch"].deep_probing_ips > 20

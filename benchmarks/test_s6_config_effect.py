@@ -1,0 +1,31 @@
+"""Section 6: honeypot-configuration effects.
+
+Paper shape: the login-disabled Sticky Elephant attracts ~2x the login
+attempts of the open one (29,217 vs 14,084); only the fake-data Redis
+sees the KEYS-then-TYPE-every-entry probing pattern.
+"""
+
+from repro.core.reports import config_effect, format_table
+
+
+def test_s6_config_effect(benchmark, experiment, emit):
+    effect = benchmark(lambda: config_effect(experiment.midhigh_db))
+
+    ratio = (effect.psql_restricted_logins
+             / max(1, effect.psql_open_logins))
+    emit("s6_config_effect", format_table(
+        ["Configuration", "Metric", "Count"],
+        [["PostgreSQL default (open)", "login attempts",
+          effect.psql_open_logins],
+         ["PostgreSQL login-disabled", "login attempts",
+          effect.psql_restricted_logins],
+         ["Redis default", "TYPE commands",
+          effect.redis_default_type_cmds],
+         ["Redis fake-data", "TYPE commands",
+          effect.redis_fake_data_type_cmds]])
+        + f"\nrestricted/open login ratio: {ratio:.2f} (paper: 2.07)")
+
+    assert 1.3 <= ratio <= 3.5
+    assert effect.redis_fake_data_type_cmds > 100
+    assert effect.redis_default_type_cmds < \
+        effect.redis_fake_data_type_cmds / 10

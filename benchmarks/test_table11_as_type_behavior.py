@@ -1,0 +1,32 @@
+"""Table 11: AS types against behavior classes (medium/high tier).
+
+Paper shape: Hosting dominates every class (and especially exploiting,
+264 of 324); Telecom contributes a large scanning share; Security
+companies scout but never exploit.
+"""
+
+from repro.core.classification import BehaviorClass
+from repro.core.reports import as_type_behavior, format_table
+
+
+def test_table11_as_type_behavior(benchmark, mid_profiles, emit):
+    table = benchmark(lambda: as_type_behavior(mid_profiles))
+
+    emit("table11_as_type_behavior", format_table(
+        ["AS type", "Scanning", "Scouting", "Exploiting"],
+        [[as_type, row[BehaviorClass.SCANNING],
+          row[BehaviorClass.SCOUTING], row[BehaviorClass.EXPLOITING]]
+         for as_type, row in sorted(table.items())]))
+
+    hosting = table["Hosting"]
+    assert hosting[BehaviorClass.EXPLOITING] == max(
+        row[BehaviorClass.EXPLOITING] for row in table.values())
+    # Security companies do not exploit (the paper's positive finding).
+    assert table.get("Security", {}).get(BehaviorClass.EXPLOITING,
+                                         0) == 0
+    # Telecom carries a substantial scanning share.
+    assert table["Telecom"][BehaviorClass.SCANNING] > 100
+    total_exploiting = sum(row[BehaviorClass.EXPLOITING]
+                           for row in table.values())
+    assert total_exploiting == 324
+    assert hosting[BehaviorClass.EXPLOITING] / total_exploiting > 0.5

@@ -1,0 +1,34 @@
+"""Table 12: top-10 MSSQL usernames and passwords.
+
+Paper shape: 'sa' (the undeletable administrator account) dominates;
+'sa/123' is the single most-tried pair; the corpus contains far more
+unique passwords than usernames (227k vs 14.5k, before scaling).
+"""
+
+from repro.core.bruteforce import credential_stats
+from repro.core.reports import extrapolate, format_table
+
+
+def test_table12_mssql_credentials(benchmark, experiment, emit):
+    stats = benchmark(lambda: credential_stats(experiment.low_db,
+                                               "mssql"))
+    scale = experiment.config.volume_scale
+
+    pair_rows = [[user, password or '""', count]
+                 for (user, password), count in stats.top_pairs]
+    emit("table12_mssql_credentials", format_table(
+        ["Username", "Password", "#Attempts"], pair_rows)
+        + f"\ntotal attempts:      {stats.total_attempts}"
+        + f" (extrapolated {extrapolate(stats.total_attempts, scale):,})"
+        + f"\nunique usernames:    {stats.unique_usernames}"
+        + f"\nunique passwords:    {stats.unique_passwords}"
+        + f"\nunique combinations: {stats.unique_combinations}")
+
+    assert stats.top_usernames[0][0] == "sa"
+    assert stats.top_pairs[0][0] == ("sa", "123")
+    top_pairs = {pair for pair, _count in stats.top_pairs}
+    assert ("admin", "123456") in top_pairs
+    assert ("hbv7", "") in top_pairs
+    assert stats.unique_passwords > 3 * stats.unique_usernames
+    extrapolated = extrapolate(stats.total_attempts, scale)
+    assert 0.6 * 18_076_729 <= extrapolated <= 1.4 * 18_076_729

@@ -1,0 +1,21 @@
+"""Table 3: honeypot families, interaction levels and capture classes."""
+
+from repro.core.reports import format_table
+from repro.honeypots.catalog import CATALOG
+
+
+def test_table3_honeypot_catalog(benchmark, emit):
+    def build():
+        return format_table(
+            ["Honeypot", "Level", "Simulates", "Captures"],
+            [[e.honeypot, e.level, ", ".join(e.simulates),
+              ", ".join(e.captures)] for e in CATALOG])
+
+    emit("table3_honeypot_catalog", benchmark(build))
+
+    levels = {e.honeypot: e.level for e in CATALOG}
+    assert levels["qeeqbox"] == "Low"
+    assert levels["mongodb-honeypot"] == "High"
+    # Only the medium/high tiers capture exploitation.
+    for entry in CATALOG:
+        assert ("E" in entry.captures) == (entry.level != "Low")

@@ -1,0 +1,28 @@
+"""Table 4: the 278-instance deployment plan."""
+
+from repro.core.reports import format_table
+from repro.deployment.plan import build_plan
+
+
+def test_table4_deployment(benchmark, emit):
+    plan = benchmark(build_plan)
+
+    rows = []
+    for interaction in ("low", "medium", "high"):
+        targets = plan.select(interaction=interaction)
+        by_group: dict[tuple[str, str], int] = {}
+        for target in targets:
+            key = (target.dbms, target.config)
+            by_group[key] = by_group.get(key, 0) + 1
+        for (dbms, config), count in sorted(by_group.items()):
+            port = plan.select(interaction=interaction,
+                               dbms=dbms)[0].honeypot.info.port
+            rows.append([interaction, dbms, port, count, config])
+    emit("table4_deployment", format_table(
+        ["Interaction", "DBMS", "Port", "Instances", "Configuration"],
+        rows))
+
+    assert len(plan) == 278
+    assert len(plan.select(interaction="low")) == 220
+    assert len(plan.select(interaction="medium")) == 50
+    assert len(plan.select(interaction="high")) == 8

@@ -1,0 +1,37 @@
+"""Table 5: top-10 countries by login attempts.
+
+Paper shape: Russia dominates (16.6M of 18.2M attempts, driven by four
+IPs), MSSQL receives >99.5% of all login attempts, PostgreSQL sees only
+the 13 misconfigured US clients, Redis none.
+"""
+
+from repro.core.bruteforce import credential_stats, logins_by_country
+from repro.core.reports import extrapolate, format_table
+
+
+def test_table5_login_countries(benchmark, experiment, emit):
+    rows = benchmark(lambda: logins_by_country(experiment.low_db,
+                                               top=10))
+    scale = experiment.config.volume_scale
+    emit("table5_login_countries", format_table(
+        ["Country", "#Logins", "extrapolated", "#IP/Total", "MySQL",
+         "PSQL", "MSSQL"],
+        [[row.country, row.logins, extrapolate(row.logins, scale),
+          f"{row.login_ips}/{row.total_ips}",
+          row.by_dbms.get("mysql", 0), row.by_dbms.get("postgresql", 0),
+          row.by_dbms.get("mssql", 0)] for row in rows]))
+
+    assert rows[0].country == "Russia"
+    total = sum(row.logins for row in rows)
+    assert rows[0].logins / total > 0.85
+    # MSSQL dominance across the whole dataset.
+    mssql = credential_stats(experiment.low_db, "mssql").total_attempts
+    mysql = credential_stats(experiment.low_db, "mysql").total_attempts
+    psql = credential_stats(experiment.low_db,
+                            "postgresql").total_attempts
+    redis = credential_stats(experiment.low_db, "redis").total_attempts
+    assert mssql / (mssql + mysql + psql + 1) > 0.95
+    assert redis == 0
+    # Extrapolated Russian volume lands near the paper's 16.6M.
+    russia = extrapolate(rows[0].logins, scale)
+    assert 0.5 * 16_629_581 <= russia <= 1.5 * 16_629_581

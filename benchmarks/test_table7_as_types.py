@@ -1,0 +1,24 @@
+"""Table 7: AS types of the sources attempting logins.
+
+Paper shape: Hosting providers lead (286 IPs, 59.2% of logins), Telecom
+second (103), with a sizable Unknown group (148).
+"""
+
+from repro.core.reports import as_type_logins, format_table
+
+
+def test_table7_as_types(benchmark, experiment, emit):
+    counts = benchmark(lambda: as_type_logins(experiment.low_db))
+
+    emit("table7_as_types", format_table(
+        ["AS type", "#IPs attempting logins"],
+        [[as_type, count] for as_type, count in counts.items()]))
+
+    assert max(counts, key=counts.get) == "Hosting"
+    assert counts["Hosting"] > counts.get("Telecom", 0)
+    assert counts.get("Telecom", 0) > 0
+    assert counts.get("Unknown", 0) > 0
+    # Security companies barely brute-force (Constantine's odd 202
+    # logins give Security a small non-zero presence).
+    assert counts.get("Security", 0) <= 10
+    assert sum(counts.values()) == 599

@@ -1,0 +1,36 @@
+"""Table 8: per-DBMS behavior classes and cluster counts.
+
+Paper: Elastic 608/627/2 (60 clusters), MongoDB 706/465/62 (30),
+PostgreSQL 1140/593/222 (79), Redis 676/266/38 (26).  Class counts are
+reproduced exactly; cluster counts land in the same range.
+"""
+
+from repro.core.reports import classification_table, format_table
+from .conftest import CLUSTER_THRESHOLD
+
+
+def test_table8_classification(benchmark, mid_profiles, emit):
+    rows = benchmark(lambda: classification_table(
+        mid_profiles, distance_threshold=CLUSTER_THRESHOLD))
+
+    emit("table8_classification", format_table(
+        ["DBMS", "#IP", "Scanning", "Scouting", "Exploiting", "#Cls"],
+        [[r.dbms, r.total_ips, r.scanning, r.scouting, r.exploiting,
+          r.clusters] for r in rows]))
+
+    by_dbms = {r.dbms: r for r in rows}
+    assert (by_dbms["elasticsearch"].scanning,
+            by_dbms["elasticsearch"].scouting,
+            by_dbms["elasticsearch"].exploiting) == (608, 627, 2)
+    assert (by_dbms["mongodb"].scanning, by_dbms["mongodb"].scouting,
+            by_dbms["mongodb"].exploiting) == (706, 465, 62)
+    assert (by_dbms["postgresql"].scanning,
+            by_dbms["postgresql"].scouting,
+            by_dbms["postgresql"].exploiting) == (1140, 593, 222)
+    assert (by_dbms["redis"].scanning, by_dbms["redis"].scouting,
+            by_dbms["redis"].exploiting) == (676, 266, 38)
+    # Cluster counts in the paper's range (paper: 26-79 per DBMS).
+    for row in rows:
+        assert 15 <= row.clusters <= 110, row
+    # Total exploiters across services: 324.
+    assert sum(r.exploiting for r in rows) == 324

@@ -1,0 +1,41 @@
+"""Table 9: honeypot attacks by type, with IP and cluster counts.
+
+Every campaign of the paper is reproduced with its exact IP count:
+RDP (164 PSQL / 14 Redis), JDWP (2), CraftCMS (2), VMware (15), brute
+force (84 PSQL / 5 Redis), privilege manipulation (~25), MongoDB ransom
+(62), P2PInfect (35), ABCbot (1), Kinsing (196), Lucifer (2),
+CVE-2022-0543 (1).
+"""
+
+from repro.core.campaigns import campaign_summary
+from repro.core.reports import format_table
+
+
+def test_table9_attack_summary(benchmark, mid_profiles,
+                               mid_cluster_labels, emit):
+    rows = benchmark(lambda: campaign_summary(mid_profiles,
+                                              mid_cluster_labels))
+
+    emit("table9_attack_summary", format_table(
+        ["Category", "DBMS", "Attack", "#IP", "#Clusters"],
+        [[r.category, r.dbms, r.tag, r.ip_count, r.cluster_count]
+         for r in rows]))
+
+    counts = {(r.dbms, r.tag): (r.ip_count, r.cluster_count)
+              for r in rows}
+    assert counts[("redis", "P2P infect (Worm)")][0] == 35
+    assert counts[("redis", "ABCbot (Botnet)")][0] == 1
+    assert counts[("redis", "CVE-2022-0543")][0] == 1
+    assert counts[("postgresql", "Kinsing malware")] == (196, 4)
+    assert counts[("mongodb", "Data theft and ransom")] == (62, 2)
+    assert counts[("elasticsearch", "Lucifer botnet")][0] == 2
+    assert counts[("postgresql", "RDP scanning")] == (164, 3)
+    assert counts[("redis", "RDP scanning")][0] == 14
+    assert counts[("redis", "JDWP scanning")][0] == 2
+    assert counts[("elasticsearch", "CVE-2021-22005 (VMware)")] == (15, 2)
+    assert counts[("elasticsearch", "CVE-2023-41892 (CraftCMS)")][0] == 2
+    assert counts[("postgresql", "Brute-force attacks")][0] == 84
+    # Paper: 15 brute-force clusters.
+    assert 10 <= counts[("postgresql", "Brute-force attacks")][1] <= 16
+    assert counts[("redis", "Brute-force attacks")][0] == 5
+    assert counts[("postgresql", "Privilege manipulation")][0] in (25, 26)

@@ -1,0 +1,71 @@
+"""Threat-intelligence workflow over an exported dataset.
+
+Runs a small deployment, exports the anonymized Appendix-B dataset,
+then analyzes it the way a downstream consumer would: reload the raw
+JSONL records, pivot attack campaigns on shared loader infrastructure
+(IOC extraction, including base64-decoded payload stages), and print
+the indicators a defender would block.
+
+Run:  python examples/analyze_dataset.py
+"""
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from repro.core.iocs import extract_iocs
+from repro.core.reports import format_table
+from repro.deployment import ExperimentConfig, run_experiment
+from repro.pipeline.dataset import load_dataset
+
+
+def main() -> None:
+    output = Path(tempfile.mkdtemp(prefix="decoy-dataset-"))
+    print("[*] running a small deployment and exporting the dataset...")
+    result = run_experiment(ExperimentConfig(
+        seed=7, volume_scale=0.0002, output_dir=output,
+        export_dataset=True))
+    print(f"[*] dataset: {result.dataset_dir}")
+
+    records = load_dataset(result.dataset_dir)
+    print(f"[*] {len(records)} public records across "
+          f"{len({r['dest_ip'] for r in records})} anonymized honeypots")
+
+    by_type = Counter(record["event_type"] for record in records)
+    print("    event mix:", dict(by_type.most_common()))
+
+    # IOC pivot: group attacker IPs by the loader infrastructure their
+    # payloads reference.
+    raws_by_ip: dict[str, list[str]] = {}
+    for record in records:
+        if record.get("raw"):
+            raws_by_ip.setdefault(record["src_ip"], []).append(
+                record["raw"])
+    endpoints: dict[str, set[str]] = {}
+    note_indicators = set()
+    for src_ip, raws in raws_by_ip.items():
+        iocs = extract_iocs(raws)
+        for endpoint in iocs.loader_endpoints:
+            endpoints.setdefault(endpoint, set()).add(src_ip)
+        note_indicators |= iocs.btc_addresses
+
+    shared = {endpoint: ips for endpoint, ips in endpoints.items()
+              if len(ips) >= 2}
+    print("\n-- campaign infrastructure (loader endpoints shared by "
+          ">=2 attacker IPs)")
+    print(format_table(
+        ["Loader endpoint", "#Attacker IPs"],
+        [[endpoint, len(ips)]
+         for endpoint, ips in sorted(shared.items(),
+                                     key=lambda item: -len(item[1]))]))
+
+    print("\n-- ransom payment indicators")
+    for address in sorted(note_indicators):
+        print(f"      BTC {address}")
+    print("\n[*] blocklist candidates: "
+          f"{sum(len(ips) for ips in shared.values())} IPs via "
+          f"{len(shared)} shared endpoints")
+
+
+if __name__ == "__main__":
+    main()

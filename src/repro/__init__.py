@@ -1,0 +1,22 @@
+"""Decoy Databases: a full reproduction of the IMC 2025 paper.
+
+Reproduces "Decoy Databases: Analyzing Attacks on Public Facing
+Databases" (Song, Smaragdakis, Griffioen) end to end: the five honeypot
+families and their wire protocols, the Figure-1 data pipeline, the
+scanning/scouting/exploiting analysis with TF + Ward clustering, and a
+calibrated synthetic actor population standing in for the live
+Internet.
+
+Typical entry points:
+
+>>> from repro.deployment import ExperimentConfig, run_experiment
+>>> from repro.core.loading import load_ip_profiles
+>>> from repro.core.reports import classification_table
+
+See README.md for the tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,12 @@
+"""The synthetic Internet actor population.
+
+This package is the reproduction's substitute for the live Internet (see
+DESIGN.md): a deterministic, seeded cast of scanners, scouts,
+brute-forcers and exploit campaigns, calibrated to the counts the paper
+reports.  Every actor speaks the real wire protocols through
+:mod:`repro.clients`; the analysis layer never imports from here.
+"""
+
+from repro.agents.base import Actor, Behavior, Visit, VisitContext
+
+__all__ = ["Actor", "Behavior", "Visit", "VisitContext"]

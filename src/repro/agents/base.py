@@ -1,0 +1,137 @@
+"""Actor model.
+
+An :class:`Actor` is one source IP with a :class:`Behavior`.  Behaviors
+compile into a list of :class:`Visit` objects -- (time, target, session
+script) -- which the experiment driver executes in timestamp order.
+Session scripts receive a :class:`VisitContext` that can open wires to
+honeypots, so a single visit may span several connections (brute-force
+sessions reconnect after every failed login, as the real protocols
+require).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.clients.wire import Wire, WireError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.deployment.plan import DeploymentPlan
+
+#: Seconds in one experiment day.
+DAY = 86400.0
+
+
+class WireOpener(Protocol):
+    """Opens a client wire to a deployment target (driver-provided)."""
+
+    def __call__(self, target_key: str) -> Wire: ...
+
+
+@dataclass
+class VisitContext:
+    """Runtime context handed to a session script."""
+
+    opener: WireOpener
+    target_key: str
+    rng: random.Random
+
+    def open(self, target_key: str | None = None) -> Wire:
+        """Open a new connection to ``target_key`` (default: the visit
+        target)."""
+        return self.opener(target_key or self.target_key)
+
+
+#: A session script: everything one actor does during one visit.
+SessionScript = Callable[[VisitContext], None]
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One scheduled interaction of an actor with one target."""
+
+    time_offset: float
+    target_key: str
+    script: SessionScript
+
+
+class Behavior(abc.ABC):
+    """Compiles an actor's activity into visits."""
+
+    @abc.abstractmethod
+    def visits(self, plan: "DeploymentPlan",
+               rng: random.Random) -> list[Visit]:
+        """Produce the actor's visits over the experiment window."""
+
+
+@dataclass
+class CompositeBehavior:
+    """Concatenates the visits of several behaviors (e.g. a brute-forcer
+    that also scans)."""
+
+    parts: list[Behavior]
+
+    def visits(self, plan: "DeploymentPlan",
+               rng: random.Random) -> list[Visit]:
+        visits: list[Visit] = []
+        for part in self.parts:
+            visits.extend(part.visits(plan, rng))
+        visits.sort(key=lambda visit: visit.time_offset)
+        return visits
+
+
+Behavior.register(CompositeBehavior)
+
+
+@dataclass
+class Actor:
+    """One source IP and its behavior program."""
+
+    ip: str
+    behavior: Behavior
+    #: Ground-truth cohort label -- used only for scenario debugging and
+    #: threat-intel snapshot construction, never read by the analysis.
+    label: str = ""
+
+    def compile(self, plan: "DeploymentPlan", seed: int) -> list[Visit]:
+        """Deterministically expand the behavior into visits."""
+        rng = random.Random(f"{seed}:{self.ip}")
+        return self.behavior.visits(plan, rng)
+
+
+def pick_active_days(rng: random.Random, total_days: int,
+                     active_days: int) -> list[int]:
+    """Choose which experiment days an actor is active on."""
+    active_days = max(1, min(active_days, total_days))
+    return sorted(rng.sample(range(total_days), active_days))
+
+
+def day_time(rng: random.Random, day: int) -> float:
+    """A uniformly random time offset within ``day``."""
+    return day * DAY + rng.uniform(0, DAY - 1)
+
+
+def connect_probe(ctx: VisitContext, target_key: str | None = None) -> None:
+    """The canonical scanning interaction: connect, read, leave."""
+    try:
+        wire = ctx.open(target_key)
+        wire.connect()
+        wire.close()
+    except WireError:
+        pass
+
+
+def run_quietly(action: Callable[[], object]) -> None:
+    """Execute one client step, swallowing transport errors.
+
+    Attack scripts in the wild ignore most failures and push on; ours do
+    the same so one unexpected reply doesn't strand a whole campaign.
+    """
+    try:
+        action()
+    except WireError:
+        pass

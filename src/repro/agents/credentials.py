@@ -1,0 +1,110 @@
+"""Credential corpora used by brute-force actors.
+
+The head of the distribution matches Table 12 of the paper (the top-10
+MSSQL username/password pairs, led by the undeletable ``sa``
+administrator account); the long tail is generated deterministically to
+mirror the paper's finding of 240k+ unique combinations, 14.5k unique
+usernames and 227k unique passwords -- i.e. far more passwords than
+usernames, with most volume concentrated on a few accounts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Table 12: top-10 MSSQL usernames/passwords observed by the paper.
+TOP_MSSQL_CREDENTIALS: tuple[tuple[str, str], ...] = (
+    ("sa", "123"),
+    ("admin", "123456"),
+    ("hbv7", ""),
+    ("test", "1"),
+    ("root", "aaaaaa"),
+    ("user", "0"),
+    ("administrator", "1234"),
+    ("sa1", "P@ssw0rd"),
+    ("petroleum", "12345"),
+    ("sa2", "password"),
+)
+
+#: Common usernames tried against MySQL honeypots.
+TOP_MYSQL_USERNAMES = ("root", "admin", "mysql", "test", "user", "web")
+
+#: Common usernames tried against PostgreSQL honeypots.
+TOP_POSTGRES_USERNAMES = ("postgres", "admin", "pgsql", "test")
+
+_PASSWORD_STEMS = (
+    "123456", "password", "admin", "qwerty", "letmein", "abc123",
+    "welcome", "dragon", "master", "login", "passw0rd", "secret",
+    "root", "toor", "sql2019", "server",
+)
+
+
+@dataclass
+class CredentialSampler:
+    """Weighted sampler over a head list plus a generated tail.
+
+    Parameters
+    ----------
+    head:
+        High-frequency pairs, sampled with probability ``head_weight``.
+    head_weight:
+        Probability mass of the head list.
+    username_pool:
+        Size of the generated username tail.
+    tail_salt:
+        Per-campaign salt so different actors generate different tails.
+    """
+
+    head: tuple[tuple[str, str], ...] = TOP_MSSQL_CREDENTIALS
+    head_weight: float = 0.6
+    username_pool: int = 400
+    tail_salt: str = ""
+
+    def sample(self, rng: random.Random) -> tuple[str, str]:
+        """Draw one (username, password) pair."""
+        if rng.random() < self.head_weight:
+            # Zipf-flavored head: earlier entries dominate.
+            rank = min(int(rng.expovariate(0.7)), len(self.head) - 1)
+            return self.head[rank]
+        return self._tail_username(rng), self._tail_password(rng)
+
+    def sample_many(self, rng: random.Random,
+                    count: int) -> list[tuple[str, str]]:
+        """Draw ``count`` pairs."""
+        return [self.sample(rng) for _ in range(count)]
+
+    def _tail_username(self, rng: random.Random) -> str:
+        if rng.random() < 0.7:
+            # The bulk of tail attempts still target the admin account.
+            return self.head[0][0]
+        return f"user{self.tail_salt}{rng.randrange(self.username_pool)}"
+
+    def _tail_password(self, rng: random.Random) -> str:
+        stem = rng.choice(_PASSWORD_STEMS)
+        style = rng.random()
+        if style < 0.4:
+            return f"{stem}{rng.randrange(10000)}"
+        if style < 0.7:
+            return f"{stem}{self.tail_salt}{rng.randrange(100000)}"
+        return f"{stem.capitalize()}@{rng.randrange(1000)}"
+
+
+def mssql_sampler(salt: str = "") -> CredentialSampler:
+    """Sampler matching the observed MSSQL brute-force mix."""
+    return CredentialSampler(head=TOP_MSSQL_CREDENTIALS, head_weight=0.55,
+                             tail_salt=salt)
+
+
+def mysql_sampler(salt: str = "") -> CredentialSampler:
+    """Sampler for MySQL brute-forcers (root-heavy)."""
+    head = tuple((user, pw) for user in TOP_MYSQL_USERNAMES[:3]
+                 for pw in ("123456", "root", "password"))
+    return CredentialSampler(head=head, head_weight=0.5, tail_salt=salt)
+
+
+def postgres_sampler(salt: str = "") -> CredentialSampler:
+    """Sampler for PostgreSQL login attempts (postgres-heavy)."""
+    head = tuple((user, pw) for user in TOP_POSTGRES_USERNAMES[:2]
+                 for pw in ("postgres", "123456", "password"))
+    return CredentialSampler(head=head, head_weight=0.7, tail_salt=salt)

@@ -1,0 +1,233 @@
+"""Low-interaction-tier behaviors: port scanning and login brute force.
+
+These actors generate the traffic analyzed in Section 5 of the paper:
+scanners that only connect and leave, and brute-forcers that hammer the
+login of one DBMS -- overwhelmingly MSSQL -- reconnecting after every
+failed attempt as the real protocols require.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.agents.base import (Behavior, Visit, VisitContext, connect_probe,
+                               day_time, pick_active_days)
+from repro.agents.credentials import CredentialSampler
+from repro.clients import (MSSQLClient, MySQLClient, PostgresClient,
+                           WireError)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.deployment.plan import DeploymentPlan
+from repro.netsim.clock import EXPERIMENT_DAYS
+
+
+def _low_targets(plan: "DeploymentPlan", dbms: str,
+                 scope: str) -> list[str]:
+    """Keys of low-interaction targets for ``dbms`` within ``scope``.
+
+    ``scope`` is ``multi``, ``single``, or ``both``.
+    """
+    targets = []
+    if scope in ("multi", "both"):
+        targets += [t.key for t in plan.select(interaction="low",
+                                               dbms=dbms, config="multi")]
+    if scope in ("single", "both"):
+        targets += [t.key for t in plan.select(interaction="low",
+                                               dbms=dbms, config="single")]
+    if not targets:
+        raise ValueError(f"no low-interaction targets for {dbms}/{scope}")
+    return targets
+
+
+@dataclass
+class LowScanBehavior:
+    """Connect-and-leave scanning over the low-interaction tier.
+
+    Parameters
+    ----------
+    active_days:
+        How many experiment days the source shows up on.
+    probes_per_day:
+        How many honeypots it touches per active day.
+    dbms:
+        Restrict probing to one service, or ``None`` for all four.
+    scope:
+        Which host groups to probe (``multi``/``single``/``both``).
+    """
+
+    active_days: int = 1
+    probes_per_day: int = 4
+    dbms: str | None = None
+    scope: str = "both"
+
+    def visits(self, plan: "DeploymentPlan",
+               rng: random.Random) -> list[Visit]:
+        services = [self.dbms] if self.dbms else ["mysql", "postgresql",
+                                                  "redis", "mssql"]
+        pool = [key for service in services
+                for key in _low_targets(plan, service, self.scope)]
+        single_pool = []
+        if self.scope == "both":
+            # Range scanners sweep whole prefixes, so a source probing
+            # both host groups reliably touches the (much smaller)
+            # single-service group too -- guarantee one hit per day.
+            single_pool = [key for service in services
+                           for key in _low_targets(plan, service,
+                                                   "single")]
+        visits = []
+        for day in pick_active_days(rng, EXPERIMENT_DAYS, self.active_days):
+            count = min(self.probes_per_day, len(pool))
+            keys = rng.sample(pool, count)
+            if single_pool and not any(key in single_pool
+                                       for key in keys):
+                if len(keys) > 1:
+                    keys[rng.randrange(len(keys))] = rng.choice(
+                        single_pool)
+                else:
+                    # Keep the (likely multi-service) probe and add the
+                    # single-service one, so one-probe days still cover
+                    # both host groups.
+                    keys.append(rng.choice(single_pool))
+            for key in keys:
+                visits.append(Visit(day_time(rng, day), key,
+                                    connect_probe))
+        return visits
+
+
+Behavior.register(LowScanBehavior)
+
+
+def _attempt_mssql(ctx: VisitContext, target_key: str, username: str,
+                   password: str) -> None:
+    client = MSSQLClient(ctx.open(target_key))
+    try:
+        client.connect()
+        client.login(username, password)
+    except WireError:
+        pass
+    finally:
+        client.close()
+
+
+def _attempt_mysql(ctx: VisitContext, target_key: str, username: str,
+                   password: str) -> None:
+    client = MySQLClient(ctx.open(target_key))
+    try:
+        client.connect()
+        client.login(username, password)
+    except WireError:
+        pass
+    finally:
+        client.close()
+
+
+def _attempt_postgres(ctx: VisitContext, target_key: str, username: str,
+                      password: str) -> None:
+    client = PostgresClient(ctx.open(target_key))
+    try:
+        client.connect()
+        client.login(username, password)
+    except WireError:
+        pass
+    finally:
+        client.close()
+
+
+_ATTEMPT = {
+    "mssql": _attempt_mssql,
+    "mysql": _attempt_mysql,
+    "postgresql": _attempt_postgres,
+}
+
+
+@dataclass
+class BruteForceBehavior:
+    """Credential brute force against one DBMS.
+
+    ``total_attempts`` login attempts are spread evenly over
+    ``active_days`` days, in a handful of bursts per day.  Every attempt
+    is one full protocol exchange over a fresh connection.
+    """
+
+    dbms: str = "mssql"
+    total_attempts: int = 100
+    active_days: int = 3
+    scope: str = "both"
+    sampler: CredentialSampler = field(default_factory=CredentialSampler)
+    fixed_credential: tuple[str, str] | None = None
+
+    def visits(self, plan: "DeploymentPlan",
+               rng: random.Random) -> list[Visit]:
+        if self.dbms not in _ATTEMPT:
+            raise ValueError(f"cannot brute-force {self.dbms!r}")
+        pool = _low_targets(plan, self.dbms, self.scope)
+        days = pick_active_days(rng, EXPERIMENT_DAYS, self.active_days)
+        per_day = max(1, self.total_attempts // len(days))
+        targets = [rng.choice(pool) for _ in days]
+        effective = min(len(days), self.total_attempts)
+        if self.scope == "both" and effective >= 2:
+            # A both-group brute-forcer with a multi-day campaign
+            # attacks hosts from each group at least once; one-shot
+            # sources keep their natural (host-proportional) choice.
+            single = _low_targets(plan, self.dbms, "single")
+            multi = _low_targets(plan, self.dbms, "multi")
+            if not any(target in single for target in targets[:effective]):
+                targets[0] = rng.choice(single)
+            if not any(target in multi for target in targets[:effective]):
+                targets[effective - 1] = rng.choice(multi)
+        visits = []
+        remaining = self.total_attempts
+        for day, target in zip(days, targets):
+            attempts = min(per_day, remaining)
+            if attempts <= 0:
+                break
+            remaining -= attempts
+            visits.append(Visit(day_time(rng, day), target,
+                                self._burst(target, attempts)))
+        return visits
+
+    def _burst(self, target_key: str, attempts: int):
+        attempt = _ATTEMPT[self.dbms]
+
+        def script(ctx: VisitContext) -> None:
+            for _ in range(attempts):
+                if self.fixed_credential is not None:
+                    username, password = self.fixed_credential
+                else:
+                    username, password = self.sampler.sample(ctx.rng)
+                attempt(ctx, target_key, username, password)
+
+        return script
+
+
+Behavior.register(BruteForceBehavior)
+
+
+@dataclass
+class MisconfiguredClientBehavior:
+    """A client that retries one credential pair, unchanged.
+
+    The paper observes these on PostgreSQL: no real brute forcing, just
+    the same combination once or repeatedly -- most likely services with
+    stale connection strings rather than attackers.
+    """
+
+    dbms: str = "postgresql"
+    credential: tuple[str, str] = ("postgres", "postgres")
+    retries_per_day: int = 4
+    active_days: int = 2
+    scope: str = "both"
+
+    def visits(self, plan: "DeploymentPlan",
+               rng: random.Random) -> list[Visit]:
+        behavior = BruteForceBehavior(
+            dbms=self.dbms,
+            total_attempts=self.retries_per_day * self.active_days,
+            active_days=self.active_days, scope=self.scope,
+            fixed_credential=self.credential)
+        return behavior.visits(plan, rng)
+
+
+Behavior.register(MisconfiguredClientBehavior)

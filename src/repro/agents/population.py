@@ -1,0 +1,544 @@
+"""Builds the full synthetic actor population ("the world").
+
+:func:`build_world` turns the calibration tables of
+:mod:`repro.agents.scenario` into a concrete cast of actors with
+allocated IP addresses, an address space + GeoIP snapshot, the
+institutional scanner list, and threat-intelligence platform snapshots
+whose coverage matches the paper's findings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.agents import scenario
+from repro.agents.base import Actor, CompositeBehavior
+from repro.agents.credentials import (mssql_sampler, mysql_sampler,
+                                      postgres_sampler)
+from repro.agents.base import connect_probe
+from repro.agents.exploits import (CampaignBehavior,
+                                   MultiServiceProbeBehavior)
+from repro.agents.exploits import (elastic_attacks, mongo_attacks,
+                                   postgres_attacks, redis_attacks)
+from repro.agents.lowint import (BruteForceBehavior, LowScanBehavior,
+                                 MisconfiguredClientBehavior)
+from repro.agents.scouts import (RestrictedPsqlBruteBehavior,
+                                 ScoutBehavior)
+from repro.agents import toolkits
+from repro.netsim.address_space import AddressSpace
+from repro.netsim.asdb import ASType
+from repro.netsim.clock import EXPERIMENT_DAYS
+from repro.netsim.geoip import GeoIPDatabase
+from repro.pipeline.institutional import InstitutionalScannerList
+from repro.threatintel.platforms import (AbuseReport, CymruRecord,
+                                         GreynoiseRecord,
+                                         ThreatIntelWorld)
+
+
+@dataclass
+class World:
+    """Everything outside the honeypots: actors, address space, OSINT."""
+
+    space: AddressSpace
+    geoip: GeoIPDatabase
+    scanners: InstitutionalScannerList
+    intel: ThreatIntelWorld
+    actors: list[Actor]
+    #: Ground-truth cohort membership (label -> IPs); used to build the
+    #: intel snapshots and by tests, never by the analysis pipeline.
+    groups: dict[str, list[str]] = field(default_factory=dict)
+
+    def ips(self, label: str) -> list[str]:
+        """IPs of one ground-truth group."""
+        return list(self.groups.get(label, []))
+
+
+class _GenericASFactory:
+    """Creates per-(country, type) filler ASes on demand."""
+
+    _NAMES = {
+        ASType.HOSTING: "HOSTCO",
+        ASType.TELECOM: "TELECOM",
+        ASType.SECURITY: "SECSCAN",
+        ASType.ICT: "ICTSERV",
+        ASType.IP_SERVICE: "IPBROKER",
+        ASType.BUSINESS: "BIZCORP",
+        ASType.UNIVERSITY: "UNIV",
+        ASType.VPN: "VPNNET",
+        ASType.UNKNOWN: "UNREG",
+    }
+
+    def __init__(self, space: AddressSpace):
+        self._space = space
+        self._next_asn = 210000
+        self._asns: dict[tuple[str, ASType], int] = {}
+
+    def get(self, country: str, as_type: ASType) -> int:
+        key = (country, as_type)
+        asn = self._asns.get(key)
+        if asn is None:
+            asn = self._next_asn
+            self._next_asn += 1
+            code = country.replace(" ", "").upper()[:8]
+            self._space.register_as(
+                asn, f"{self._NAMES[as_type]}-{code}", country, as_type)
+            self._asns[key] = asn
+        return asn
+
+
+@dataclass
+class _Builder:
+    seed: int
+    volume_scale: float
+    space: AddressSpace = field(default_factory=AddressSpace)
+    scanners: InstitutionalScannerList = field(
+        default_factory=InstitutionalScannerList)
+    actors: list[Actor] = field(default_factory=list)
+    groups: dict[str, list[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(self.seed)
+        self.generic = _GenericASFactory(self.space)
+        for named in scenario.NAMED_ASES:
+            self.space.register_as(named.asn, named.name, named.country,
+                                   named.as_type)
+        # Low-tier scope assignment counters (single/multi/both hosts).
+        # Brute-forcers always scan both host groups, so they consume
+        # part of the "both" budget up front.
+        scanner_both = scenario.BOTH_IPS - scenario.BRUTE_TOTAL_IPS
+        self._scope_pool = (["single"] * scenario.SINGLE_ONLY_IPS
+                            + ["multi"] * scenario.MULTI_ONLY_IPS
+                            + ["both"] * scanner_both)
+        self.rng.shuffle(self._scope_pool)
+        # Brute scope designations pop from the end: the heavy,
+        # multi-day cohorts (built first) take "both" and attack both
+        # host groups, while the one-shot tail splits into the
+        # single-only / multi-only populations of Section 5.
+        both_brute = (scenario.BRUTE_TOTAL_IPS
+                      - scenario.BRUTE_SINGLE_ONLY
+                      - scenario.BRUTE_MULTI_ONLY)
+        self._brute_scope_pool = (
+            ["multi"] * scenario.BRUTE_MULTI_ONLY
+            + ["single"] * scenario.BRUTE_SINGLE_ONLY
+            + ["both"] * both_brute)
+
+    # -- helpers ------------------------------------------------------------
+
+    def allocate(self, asn: int, country: str, label: str,
+                 *, institutional: bool = False) -> str:
+        ip = str(self.space.allocate(asn, country))
+        self.groups.setdefault(label, []).append(ip)
+        if institutional:
+            self.scanners.add_ip(ip)
+            self.groups.setdefault("institutional", []).append(ip)
+        return ip
+
+    def add_actor(self, ip: str, behavior, label: str) -> None:
+        self.actors.append(Actor(ip=ip, behavior=behavior, label=label))
+
+    def scale(self, volume: int) -> int:
+        return max(1, round(volume * self.volume_scale))
+
+    def low_active_days(self) -> int:
+        """Sample a low-tier retention matching the Fig. 3 CDF shape."""
+        if self.rng.random() < scenario.SINGLE_DAY_SCANNER_FRACTION:
+            return 1
+        days = 1 + round(self.rng.expovariate(1 / 3.0))
+        return min(max(days, 2), EXPERIMENT_DAYS)
+
+    def next_scope(self) -> str:
+        if self._scope_pool:
+            return self._scope_pool.pop()
+        return "both"
+
+    def next_brute_scope(self) -> str:
+        if self._brute_scope_pool:
+            return self._brute_scope_pool.pop()
+        return "both"
+
+    def class_asn(self, behavior_class: str, country: str) -> int:
+        """Sample an AS for a medium/high actor per the Table 11 mix."""
+        mix = scenario.AS_TYPE_MIX[behavior_class]
+        types = list(mix)
+        weights = [mix[t] for t in types]
+        as_type = self.rng.choices(types, weights=weights)[0]
+        return self.generic.get(country, as_type)
+
+    def mid_country(self) -> str:
+        """Background country mix for medium/high scanners/scouts."""
+        return self.rng.choices(
+            ["United States", "China", "Germany", "Netherlands", "France",
+             "United Kingdom", "Russia", "Singapore", "Brazil", "India",
+             "Japan", "Bulgaria", "Vietnam", "Canada"],
+            weights=[30, 14, 8, 7, 6, 6, 5, 4, 4, 4, 3, 3, 3, 3])[0]
+
+    # -- low tier ------------------------------------------------------------
+
+    def build_low_tier(self) -> None:
+        pinned_brute: dict[int, int] = {}
+        for cohort in scenario.BRUTE_COHORTS:
+            if cohort.asn is not None:
+                pinned_brute[cohort.asn] = (pinned_brute.get(cohort.asn, 0)
+                                            + cohort.ip_count)
+        # Scanner-only sources inside the named ASes.
+        for named in scenario.NAMED_ASES:
+            scanner_count = named.low_ip_count - pinned_brute.get(
+                named.asn, 0)
+            for index in range(max(0, scanner_count)):
+                institutional = index < named.institutional_ips
+                ip = self.allocate(named.asn, named.country, "low_scanner",
+                                   institutional=institutional)
+                self.add_actor(ip, self._low_scan_behavior(),
+                               "low_scanner")
+        # Scanner-only sources in generic ASes.
+        for country, count in scenario.LOW_GENERIC_COUNTRY_IPS.items():
+            for _ in range(count):
+                as_type = self.rng.choices(
+                    [ASType.TELECOM, ASType.HOSTING, ASType.UNKNOWN],
+                    weights=[5, 3, 2])[0]
+                asn = self.generic.get(country, as_type)
+                ip = self.allocate(asn, country, "low_scanner")
+                self.add_actor(ip, self._low_scan_behavior(),
+                               "low_scanner")
+        # Brute-force cohorts.
+        for cohort in scenario.BRUTE_COHORTS:
+            self._build_brute_cohort(cohort)
+
+    def _low_scan_behavior(self) -> LowScanBehavior:
+        return LowScanBehavior(
+            active_days=self.low_active_days(),
+            probes_per_day=self.rng.randint(1, 6),
+            scope=self.next_scope())
+
+    def _build_brute_cohort(self, cohort: scenario.BruteCohort) -> None:
+        samplers = {"mssql": mssql_sampler, "mysql": mysql_sampler,
+                    "postgresql": postgres_sampler}
+        for index in range(cohort.ip_count):
+            if cohort.asn is not None:
+                asn = cohort.asn
+            else:
+                as_type = self.rng.choices(
+                    [ASType.HOSTING, ASType.TELECOM, ASType.UNKNOWN],
+                    weights=[6, 2, 2])[0]
+                asn = self.generic.get(cohort.country, as_type)
+            label = ("low_brute_heavy"
+                     if sum(cohort.logins.values()) > 1_000_000
+                     else "low_brute")
+            ip = self.allocate(asn, cohort.country, label)
+            active = self.rng.randint(*cohort.active_days)
+            scope = self.next_brute_scope()
+            parts = [LowScanBehavior(active_days=min(active, 3),
+                                     probes_per_day=2, scope="both")]
+            dominant = max(cohort.logins, key=cohort.logins.get)
+            for dbms, volume in cohort.logins.items():
+                scaled = self.scale(volume)
+                attempts = scaled // cohort.ip_count
+                if index < scaled % cohort.ip_count:
+                    attempts += 1
+                if dbms == dominant:
+                    # Every brute-force source logs in at least once (on
+                    # its primary target service), so the #IP columns of
+                    # Table 5 survive aggressive downscaling.
+                    attempts = max(attempts, 1)
+                if attempts <= 0:
+                    continue
+                if cohort.fixed_credential is not None:
+                    parts.append(MisconfiguredClientBehavior(
+                        dbms=dbms, credential=cohort.fixed_credential,
+                        retries_per_day=max(1, attempts // max(1, active)),
+                        active_days=active, scope=scope))
+                else:
+                    salt = f"{ip.replace('.', '')[:6]}"
+                    parts.append(BruteForceBehavior(
+                        dbms=dbms, total_attempts=attempts,
+                        active_days=active, scope=scope,
+                        sampler=samplers[dbms](salt=salt)))
+            self.add_actor(ip, CompositeBehavior(parts), "low_brute")
+
+    # -- medium/high tier -----------------------------------------------------
+
+    def build_mid_tier(self) -> None:
+        self._build_mid_scanners()
+        self._build_scouts()
+        self._build_service_probes()
+        self._build_campaigns()
+
+    def _build_mid_scanners(self) -> None:
+        for cohort in scenario.MID_SCAN_COHORTS:
+            for _ in range(cohort.count):
+                country = self.mid_country()
+                if cohort.institutional:
+                    as_type = self.rng.choices(
+                        [ASType.SECURITY, ASType.HOSTING, ASType.TELECOM],
+                        weights=[2, 5, 3])[0]
+                    asn = self.generic.get(country, as_type)
+                else:
+                    asn = self.class_asn("scanning", country)
+                ip = self.allocate(asn, country, "mid_scanner",
+                                   institutional=cohort.institutional)
+                active_days = (1 if self.rng.random() < 0.75
+                               else self.rng.randint(2, 3))
+                # One behavior across all probed services, so a sweeper
+                # hits every service on the same days (its retention is
+                # a property of the source, not of each honeypot).
+                behavior = MultiServiceProbeBehavior(
+                    dbms_set=cohort.dbms_set, script=connect_probe,
+                    active_days=active_days,
+                    probes_per_day=self.rng.randint(1, 2))
+                self.add_actor(ip, behavior, "mid_scanner")
+
+    def _build_scouts(self) -> None:
+        for cohort in scenario.SCOUT_COHORTS:
+            for _ in range(cohort.count):
+                country = self.mid_country()
+                if cohort.institutional:
+                    asn = self.generic.get(country, self.rng.choices(
+                        [ASType.SECURITY, ASType.HOSTING],
+                        weights=[2, 3])[0])
+                else:
+                    asn = self.class_asn("scouting", country)
+                ip = self.allocate(asn, country, "mid_scout",
+                                   institutional=cohort.institutional)
+                behavior = ScoutBehavior(
+                    dbms=cohort.dbms, style=cohort.style,
+                    active_days=self.rng.randint(*cohort.active_days),
+                    config=cohort.config,
+                    script=self._scout_toolkit(cohort))
+                self.add_actor(ip, behavior, "mid_scout")
+        # Brute-force scouts against the restricted Sticky Elephant.
+        for index in range(scenario.PSQL_BRUTE_SCOUTS):
+            country = self.mid_country()
+            asn = self.class_asn("scouting", country)
+            ip = self.allocate(asn, country, "psql_brute_scout")
+            variant = toolkits.PSQL_BRUTE_CREDENTIAL_VARIANTS[
+                index % len(toolkits.PSQL_BRUTE_CREDENTIAL_VARIANTS)]
+            self.add_actor(ip, RestrictedPsqlBruteBehavior(
+                attempts_per_day=self.scale_mid_brute(),
+                active_days=self.rng.randint(1, 5),
+                credentials=variant), "psql_brute_scout")
+        # Redis AUTH brute-forcers.
+        for _ in range(scenario.REDIS_BRUTE_SCOUTS):
+            country = self.mid_country()
+            asn = self.class_asn("scouting", country)
+            ip = self.allocate(asn, country, "redis_brute_scout")
+            self.add_actor(ip, CampaignBehavior(
+                dbms="redis", script=redis_attacks.redis_bruteforce_script,
+                active_days=self.rng.randint(1, 3)), "redis_brute_scout")
+
+    def _scout_toolkit(self, cohort: scenario.ScoutCohort):
+        """Pick a tool-specific probe script for one scout actor.
+
+        Most scouts run one of the deterministic toolkits (which is what
+        produces the cluster diversity of Table 8); the rest keep the
+        cohort's default style script.
+        """
+        if cohort.style != "basic" or self.rng.random() < 0.15:
+            return None
+        if cohort.dbms == "elasticsearch":
+            endpoints = self.rng.choice(toolkits.ELASTIC_TOOLKITS)
+            return toolkits.elastic_toolkit_script(endpoints)
+        if cohort.dbms == "mongodb":
+            commands = self.rng.choice(toolkits.MONGO_TOOLKITS)
+            return toolkits.mongo_toolkit_script(commands)
+        if cohort.dbms == "redis":
+            probes = self.rng.choice(toolkits.REDIS_TOOLKITS)
+            return toolkits.redis_toolkit_script(probes)
+        if cohort.dbms == "postgresql":
+            queries = self.rng.choice(toolkits.PSQL_QUERY_TOOLKITS)
+            return toolkits.psql_toolkit_script(queries)
+        return None
+
+    def scale_mid_brute(self) -> int:
+        # Restricted-config PostgreSQL drew 29,217 logins over 84 sources
+        # and 20 days; keep the per-day volume proportionate.
+        per_day = 29_217 / scenario.PSQL_BRUTE_SCOUTS / 3
+        return max(2, round(per_day * max(self.volume_scale, 0.02) * 10))
+
+    def _build_service_probes(self) -> None:
+        # RDP scanners: most touch only PostgreSQL; a smaller group also
+        # probes Redis (the cross-DBMS pattern of Fig. 4).
+        for index in range(scenario.RDP_PSQL_IPS):
+            country = self.mid_country()
+            asn = self.class_asn("scouting", country)
+            ip = self.allocate(asn, country, "rdp_scanner")
+            dbms_set = (("postgresql", "redis")
+                        if index < scenario.RDP_REDIS_IPS
+                        else ("postgresql",))
+            script = redis_attacks.make_rdp_script(index % 3)
+            self.add_actor(ip, MultiServiceProbeBehavior(
+                dbms_set=dbms_set, script=script,
+                active_days=self.rng.randint(1, 3)), "rdp_scanner")
+        for _ in range(scenario.JDWP_REDIS_IPS):
+            country = self.mid_country()
+            asn = self.class_asn("scouting", country)
+            ip = self.allocate(asn, country, "jdwp_scanner")
+            self.add_actor(ip, MultiServiceProbeBehavior(
+                dbms_set=("redis",),
+                script=redis_attacks.jdwp_scan_script,
+                active_days=1), "jdwp_scanner")
+        for _ in range(scenario.CRAFTCMS_IPS):
+            country = self.mid_country()
+            asn = self.class_asn("scouting", country)
+            ip = self.allocate(asn, country, "craftcms_scanner")
+            self.add_actor(ip, CampaignBehavior(
+                dbms="elasticsearch",
+                script=elastic_attacks.craftcms_scan_script,
+                active_days=1), "craftcms_scanner")
+        for index in range(scenario.VMWARE_IPS):
+            country = self.mid_country()
+            asn = self.class_asn("scouting", country)
+            ip = self.allocate(asn, country, "vmware_scanner")
+            self.add_actor(ip, CampaignBehavior(
+                dbms="elasticsearch",
+                script=elastic_attacks.make_vmware_script(index % 2),
+                active_days=self.rng.randint(1, 2)), "vmware_scanner")
+
+    _CAMPAIGN_SCRIPTS = {
+        "p2pinfect": redis_attacks.p2pinfect_script,
+        "abcbot": redis_attacks.abcbot_script,
+        "redis_cve_2022_0543": redis_attacks.cve_2022_0543_script,
+        "redis_vandal": redis_attacks.redis_vandal_script,
+        "kinsing": postgres_attacks.kinsing_script,
+        "psql_privilege": postgres_attacks.privilege_manipulation_script,
+        "psql_lockout": postgres_attacks.lock_out_script,
+        "lucifer": elastic_attacks.lucifer_script,
+        "ransom_group1": mongo_attacks.ransom_group1_script,
+        "ransom_group2": mongo_attacks.ransom_group2_script,
+    }
+
+    def _build_campaigns(self) -> None:
+        for cohort in scenario.CAMPAIGN_COHORTS:
+            countries = self._expand_countries(cohort)
+            for index, country in enumerate(countries):
+                script = self._campaign_script(cohort.name, index)
+                asn = self.class_asn("exploiting", country)
+                ip = self.allocate(asn, country, cohort.name)
+                self.groups.setdefault("exploiter", []).append(ip)
+                self.add_actor(ip, CampaignBehavior(
+                    dbms=cohort.dbms, script=script,
+                    active_days=self.rng.randint(*cohort.active_days),
+                    config=cohort.config), cohort.name)
+
+    def _campaign_script(self, name: str, index: int):
+        """The session script for one campaign member; campaigns with
+        several bot revisions (Kinsing: 4, privilege: 3) split their
+        members across the variants."""
+        if name == "kinsing":
+            # Four builds, dominated by the base one (Table 9: 196 IPs,
+            # 4 clusters).
+            if index < 120:
+                return postgres_attacks.make_kinsing_script(0)
+            if index < 160:
+                return postgres_attacks.make_kinsing_script(1)
+            if index < 182:
+                return postgres_attacks.make_kinsing_script(2)
+            return postgres_attacks.make_kinsing_script(3)
+        if name == "psql_privilege":
+            return postgres_attacks.make_privilege_script(index % 3)
+        return self._CAMPAIGN_SCRIPTS[name]
+
+    def _expand_countries(self,
+                          cohort: scenario.CampaignCohort) -> list[str]:
+        countries = [country
+                     for country, count in cohort.countries
+                     for _ in range(count)]
+        filler = ["Vietnam", "Brazil", "India", "Thailand", "Turkey"]
+        while len(countries) < cohort.count:
+            countries.append(self.rng.choice(filler))
+        return countries[:cohort.count]
+
+    # -- threat intel ------------------------------------------------------------
+
+    def build_intel(self) -> ThreatIntelWorld:
+        intel = ThreatIntelWorld()
+        rng = random.Random(f"{self.seed}:intel")
+        brute_ips = (self.groups.get("low_brute", [])
+                     + self.groups.get("low_brute_heavy", []))
+        exploit_ips = self.groups.get("exploiter", [])
+        self._intel_for_brute(intel, rng, sorted(set(brute_ips)))
+        self._intel_for_exploiters(intel, rng, sorted(set(exploit_ips)))
+        # Institutional scanners are known to Greynoise as benign.
+        for ip in self.groups.get("institutional", []):
+            if intel.greynoise.lookup(ip) is None:
+                intel.greynoise.add(GreynoiseRecord(
+                    ip, "benign", tags=("acknowledged scanner",)))
+        # FEODO tracks a disjoint set of botnet C2s (the paper found no
+        # overlap with its loaders).
+        feodo_asn = self.generic.get("Moldova", ASType.HOSTING)
+        for _ in range(25):
+            intel.feodo.add(str(self.space.allocate(feodo_asn, "Moldova")))
+        return intel
+
+    def _intel_for_brute(self, intel: ThreatIntelWorld,
+                         rng: random.Random, ips: list[str]) -> None:
+        for ip in ips:
+            roll = rng.random()
+            if roll < scenario.INTEL_BRUTE_GREYNOISE:
+                intel.greynoise.add(GreynoiseRecord(
+                    ip, "malicious", tags=("MSSQL bruteforcer",)))
+            elif roll < 0.85:
+                intel.greynoise.add(GreynoiseRecord(
+                    ip, "unknown", tags=("scanner",)))
+            if rng.random() < scenario.INTEL_BRUTE_ABUSEIPDB:
+                intel.abuseipdb.add(AbuseReport(
+                    ip, rng.choice(["port scan", "brute-force"]),
+                    rng.randint(1, 179)))
+            if rng.random() < scenario.INTEL_BRUTE_CYMRU:
+                intel.teamcymru.add(CymruRecord(
+                    ip, "suspicious",
+                    tags=(rng.choice(["mssql scanner", "ssh scanner",
+                                      "telnet scanner", "vpn scanner"]),)))
+
+    def _intel_for_exploiters(self, intel: ThreatIntelWorld,
+                              rng: random.Random, ips: list[str]) -> None:
+        p2p_ips = set(self.groups.get("p2pinfect", []))
+        cymru_budget = scenario.INTEL_EXPLOIT_CYMRU_IPS
+        for ip in ips:
+            if rng.random() < scenario.INTEL_EXPLOIT_GREYNOISE:
+                # Flagged malicious, but for unrelated activity.
+                intel.greynoise.add(GreynoiseRecord(
+                    ip, "malicious",
+                    tags=(rng.choice(["SSH bruteforcer", "web crawler",
+                                      "SMB scanner"]),),
+                    cves=(rng.choice(["CVE-2017-0144", "CVE-2019-0708"]),)))
+            elif ip in p2p_ips and rng.random() < 0.9:
+                # Most P2PInfect machines are *known* to Greynoise but
+                # not flagged for P2P activity (Section 6.2).
+                intel.greynoise.add(GreynoiseRecord(
+                    ip, "unknown", tags=("generic scanner",)))
+            if rng.random() < scenario.INTEL_EXPLOIT_ABUSEIPDB:
+                intel.abuseipdb.add(AbuseReport(
+                    ip, rng.choice(["port scan", "sql injection",
+                                    "ssh brute-force"]),
+                    rng.randint(1, 179)))
+            if cymru_budget > 0 and rng.random() < 0.03:
+                cymru_budget -= 1
+                intel.teamcymru.add(CymruRecord(
+                    ip, "suspicious",
+                    tags=(rng.choice(["redis scanner", "ssh scanner",
+                                      "vpn scanner"]),)))
+
+
+def build_world(seed: int = 2024, volume_scale: float = 0.002) -> World:
+    """Construct the complete synthetic world.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; the same seed yields byte-identical traffic.
+    volume_scale:
+        Multiplier applied to per-actor login volumes (the paper's 18.2M
+        login attempts are impractical to replay event by event).  IP
+        counts are never scaled.
+    """
+    if not 0 < volume_scale <= 1:
+        raise ValueError("volume_scale must be in (0, 1]")
+    builder = _Builder(seed=seed, volume_scale=volume_scale)
+    builder.build_low_tier()
+    builder.build_mid_tier()
+    intel = builder.build_intel()
+    geoip = GeoIPDatabase.from_address_space(builder.space)
+    return World(space=builder.space, geoip=geoip,
+                 scanners=builder.scanners, intel=intel,
+                 actors=builder.actors, groups=builder.groups)

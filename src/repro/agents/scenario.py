@@ -1,0 +1,337 @@
+"""Declarative scenario calibration tables.
+
+Every constant here is lifted from the paper's reported numbers (Tables
+5-11 and the Section 5/6 text) and drives the population builder in
+:mod:`repro.agents.population`.  Login *volumes* are scaled by the
+experiment's ``volume_scale`` at build time; *IP counts* are not scaled,
+so population-level statistics (countries, ASes, retention) keep the
+paper's magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.asdb import ASType
+
+
+@dataclass(frozen=True)
+class NamedAS:
+    """One AS from Table 6 (plus AS208091 from the Section 5 text)."""
+
+    asn: int
+    name: str
+    country: str          # registration country
+    as_type: ASType
+    low_ip_count: int     # low-interaction sources observed in this AS
+    institutional_ips: int  # how many of them are institutional scanners
+
+
+#: Table 6 (top-10 ASN by IP count) plus the Russian brute-force hoster.
+NAMED_ASES: tuple[NamedAS, ...] = (
+    NamedAS(6939, "HURRICANE", "United States", ASType.TELECOM, 643, 643),
+    NamedAS(396982, "GOOGLE-CLOUD-PLATFORM", "United States",
+            ASType.HOSTING, 560, 300),
+    NamedAS(14061, "DIGITALOCEAN-ASN", "United States", ASType.HOSTING,
+            392, 80),
+    NamedAS(211298, "Constantine Cybersecurity Ltd.", "United Kingdom",
+            ASType.SECURITY, 252, 252),
+    NamedAS(14618, "AMAZON-AES", "United States", ASType.HOSTING, 154,
+            100),
+    NamedAS(135377, "UCLOUD INFORMATION TECHNOLOGY HK Ltd.", "Hong Kong",
+            ASType.HOSTING, 142, 0),
+    NamedAS(4134, "Chinanet", "China", ASType.TELECOM, 112, 0),
+    NamedAS(4837, "CHINA UNICOM China169 Backbone", "China",
+            ASType.TELECOM, 96, 0),
+    NamedAS(398324, "CENSYS-ARIN-01", "United States", ASType.SECURITY,
+            93, 93),
+    NamedAS(63949, "Akamai Connected Cloud", "United States",
+            ASType.HOSTING, 91, 0),
+    NamedAS(208091, "XHOST-INTERNET-SOLUTIONS", "United Kingdom",
+            ASType.HOSTING, 0, 0),
+)
+
+#: Institutional sources among the 3,340 low-interaction IPs (paper:
+#: 1,468, identified via the Griffioen et al. list).
+LOW_INSTITUTIONAL_TOTAL = 1468
+
+#: Scanner-only low-interaction sources outside the named ASes, by
+#: geolocation country.  Named-AS sources (2,535) plus these (303) plus
+#: the brute-forcers not pinned to a named AS (502) total 3,340 -- the
+#: paper's observed low-interaction population.
+LOW_GENERIC_COUNTRY_IPS: dict[str, int] = {
+    "China": 100,
+    "United Kingdom": 35,
+    "Germany": 25,
+    "India": 20,
+    "Netherlands": 15,
+    "Brazil": 15,
+    "France": 14,
+    "Russia": 6,
+    "Vietnam": 10,
+    "South Korea": 5,
+    "Indonesia": 5,
+    "Japan": 5,
+    "Singapore": 4,
+    "Canada": 4,
+    "Bulgaria": 4,
+    "Italy": 3,
+    "Spain": 3,
+    "Poland": 3,
+    "Turkey": 3,
+    "Romania": 3,
+    "Australia": 2,
+    "Sweden": 2,
+    "Taiwan": 2,
+    "Mexico": 2,
+    "Thailand": 2,
+    "Iran": 1,
+    "Egypt": 1,
+    "South Africa": 1,
+    "Pakistan": 1,
+    "Philippines": 1,
+    "Hong Kong": 1,
+    "Malaysia": 1,
+}
+
+
+@dataclass(frozen=True)
+class BruteCohort:
+    """One brute-force cohort (a Table 5 row, or part of one)."""
+
+    country: str
+    ip_count: int
+    logins: dict[str, int]       # dbms -> unscaled login attempts
+    asn: int | None = None       # pin the cohort to a specific AS
+    active_days: tuple[int, int] = (2, 6)   # min/max days active
+    fixed_credential: tuple[str, str] | None = None
+
+
+#: Table 5 decomposed into cohorts.  Volumes are the paper's unscaled
+#: login attempt counts; the builder multiplies by ``volume_scale``.
+BRUTE_COHORTS: tuple[BruteCohort, ...] = (
+    # Russia: four heavy hitters in AS208091 (UK-registered hoster),
+    # active 16-19 of the 20 days, ~4.15M attempts each.
+    BruteCohort("Russia", 4, {"mssql": 16_628_000}, asn=208091,
+                active_days=(16, 19)),
+    BruteCohort("Russia", 5, {"mssql": 1_473, "mysql": 108},
+                active_days=(1, 3)),
+    # China: Chinanet carries the bulk (Table 6: 517,380 logins).
+    BruteCohort("China", 30, {"mssql": 517_234, "mysql": 146}, asn=4134),
+    BruteCohort("China", 10, {"mysql": 376}, asn=4837,
+                active_days=(1, 3)),
+    BruteCohort("China", 20, {"mssql": 364_276, "mysql": 2_335}),
+    BruteCohort("Estonia", 2, {"mssql": 160_642, "mysql": 14},
+                active_days=(4, 9)),
+    BruteCohort("South Korea", 6, {"mssql": 76_005, "mysql": 21_522}),
+    BruteCohort("Ukraine", 1, {"mssql": 96_999}, active_days=(6, 12)),
+    BruteCohort("Iran", 1, {"mssql": 74_856}, active_days=(6, 12)),
+    # United States: volume split across the hosting ASes of Table 6.
+    BruteCohort("United States", 25, {"mysql": 5_101, "mssql": 182},
+                asn=396982),
+    BruteCohort("United States", 12, {"mysql": 1_028}, asn=14061,
+                active_days=(1, 3)),
+    BruteCohort("United States", 10, {"mysql": 1_270}, asn=63949,
+                active_days=(1, 3)),
+    BruteCohort("United States", 41, {"mssql": 54_361, "mysql": 5_224}),
+    # The 13 PostgreSQL "logins" in the US are misconfigured clients
+    # retrying one unchanged credential.
+    BruteCohort("United States", 13, {"postgresql": 13},
+                fixed_credential=("postgres", "postgres"),
+                active_days=(1, 2)),
+    BruteCohort("Georgia", 1, {"mssql": 62_850}, active_days=(6, 12)),
+    BruteCohort("Greece", 1, {"mssql": 13_040}, active_days=(3, 6)),
+    BruteCohort("India", 6, {"mssql": 12_472, "mysql": 19}),
+    # Hong Kong's UCloud (Table 6: 643 logins).
+    BruteCohort("Hong Kong", 2, {"mysql": 551, "mssql": 92},
+                asn=135377, active_days=(1, 3)),
+    # Constantine Cybersecurity's odd 202 MSSQL logins (Table 6).
+    BruteCohort("United Kingdom", 4, {"mssql": 202}, asn=211298,
+                active_days=(1, 2)),
+    # The long tail: ~63k logins over hundreds of sources.
+    BruteCohort("Vietnam", 80, {"mssql": 14_000}),
+    BruteCohort("Brazil", 70, {"mssql": 12_000}),
+    BruteCohort("Indonesia", 60, {"mssql": 10_000}),
+    BruteCohort("Turkey", 50, {"mssql": 8_000}),
+    BruteCohort("Thailand", 40, {"mssql": 7_000}),
+    BruteCohort("Mexico", 35, {"mssql": 6_000}),
+    BruteCohort("Pakistan", 30, {"mssql": 5_765, "mysql": 500}),
+    BruteCohort("Philippines", 40, {"mssql": 4_800}),
+)
+
+#: Total brute-forcing sources (the paper observed 599).
+BRUTE_TOTAL_IPS = sum(cohort.ip_count for cohort in BRUTE_COHORTS)
+
+#: Total low-interaction sources (the paper observed 3,340).
+LOW_TOTAL_IPS = 3340
+
+#: Single- vs multi-service host populations (Section 5): 1,720 unique
+#: IPs on single-service hosts, 3,163 on multi-service hosts, 1,543 on
+#: both; 41 IPs brute-forced only single-service hosts, 295 only
+#: multi-service hosts.
+SINGLE_ONLY_IPS = 177
+MULTI_ONLY_IPS = 1620
+BOTH_IPS = 1543
+BRUTE_SINGLE_ONLY = 41
+BRUTE_MULTI_ONLY = 295
+
+#: Single-day fraction among *scanner* actors, chosen so that the whole
+#: low-interaction population (brute-forcers are multi-day) lands at the
+#: paper's 43% single-day clients (Fig. 3).
+SINGLE_DAY_SCANNER_FRACTION = 0.52
+
+
+@dataclass(frozen=True)
+class MidScanCohort:
+    """Scanning-class actors on the medium/high tier."""
+
+    dbms_set: tuple[str, ...]
+    count: int
+    institutional: bool
+
+
+#: Calibrated to Table 8 scanning counts and the per-DBMS institutional
+#: fractions of Section 6.1 (75% / 59% / 80% / 56%).
+MID_SCAN_COHORTS: tuple[MidScanCohort, ...] = (
+    # Institutional sweepers probing several services at once -- the
+    # main source of cross-honeypot IP overlap in Figure 4.
+    MidScanCohort(("elasticsearch", "mongodb", "postgresql", "redis"),
+                  370, True),
+    MidScanCohort(("elasticsearch", "mongodb", "postgresql"), 45, True),
+    MidScanCohort(("elasticsearch", "mongodb", "postgresql", "redis"),
+                  145, False),
+    MidScanCohort(("elasticsearch",), 41, True),
+    MidScanCohort(("elasticsearch",), 7, False),
+    MidScanCohort(("mongodb",), 146, False),
+    MidScanCohort(("postgresql",), 494, True),
+    MidScanCohort(("postgresql",), 86, False),
+    MidScanCohort(("redis",), 9, True),
+    MidScanCohort(("redis",), 152, False),
+)
+
+
+@dataclass(frozen=True)
+class ScoutCohort:
+    """Scouting-class actors on one medium/high DBMS."""
+
+    dbms: str
+    style: str
+    count: int
+    institutional: bool = False
+    active_days: tuple[int, int] = (1, 4)
+    config: str | None = None
+
+
+#: Calibrated to Table 8 scouting counts; styles map to the scout
+#: scripts in :mod:`repro.agents.scouts`.
+SCOUT_COHORTS: tuple[ScoutCohort, ...] = (
+    # Elasticsearch: 627 scouts, incl. institutional cluster probing and
+    # the six-IP deep URL-list cluster.
+    ScoutCohort("elasticsearch", "basic", 400, institutional=True),
+    ScoutCohort("elasticsearch", "basic", 204),
+    ScoutCohort("elasticsearch", "url_list", 6),
+    # MongoDB: 465 scouts; institutional scanners issue listDatabases /
+    # listCollections (the privacy concern of Section 6.1).
+    ScoutCohort("mongodb", "deep", 180, institutional=True),
+    ScoutCohort("mongodb", "basic", 120, institutional=True),
+    ScoutCohort("mongodb", "basic", 140),
+    ScoutCohort("mongodb", "deep", 25),
+    # Redis: 266 scouts; a cohort is aware of the fake data (KEYS + TYPE
+    # per entry).
+    ScoutCohort("redis", "basic", 130, institutional=True),
+    ScoutCohort("redis", "basic", 70),
+    ScoutCohort("redis", "fake_data", 45, config="fake_data"),
+    # PostgreSQL: 345 single-login bots (the rest of the 593 scouts are
+    # the brute-force and RDP cohorts below).
+    ScoutCohort("postgresql", "basic", 245, config="default"),
+    ScoutCohort("postgresql", "basic", 100, institutional=True,
+                config="default"),
+)
+
+#: Brute-force scouts against the login-disabled Sticky Elephant config
+#: (84 IPs, 15 clusters per Table 9).
+PSQL_BRUTE_SCOUTS = 84
+#: Redis medium-honeypot brute-forcers (5 IPs).
+REDIS_BRUTE_SCOUTS = 5
+#: RDP scanning: 164 IPs on PostgreSQL (3 clusters), 14 on Redis.
+RDP_PSQL_IPS = 164
+RDP_REDIS_IPS = 14
+#: JDWP scanning on Redis (2 IPs).
+JDWP_REDIS_IPS = 2
+#: CraftCMS CVE-2023-41892 recon on Elasticsearch (2 IPs).
+CRAFTCMS_IPS = 2
+#: VMware CVE-2021-22005 recon on Elasticsearch (15 IPs, 2 clusters).
+VMWARE_IPS = 15
+
+
+@dataclass(frozen=True)
+class CampaignCohort:
+    """One exploit campaign (a Table 9 row)."""
+
+    name: str
+    dbms: str
+    count: int
+    countries: tuple[tuple[str, int], ...]
+    active_days: tuple[int, int] = (4, 12)
+    config: str | None = None
+
+
+#: Exploit campaigns, with Table 10's per-country exploiter allocation.
+CAMPAIGN_COHORTS: tuple[CampaignCohort, ...] = (
+    CampaignCohort("p2pinfect", "redis", 35,
+                   (("China", 19), ("Singapore", 6), ("United States", 1),
+                    ("Bulgaria", 1), ("Netherlands", 1), ("Vietnam", 4),
+                    ("India", 3))),
+    CampaignCohort("abcbot", "redis", 1, (("China", 1),)),
+    CampaignCohort("redis_cve_2022_0543", "redis", 1, (("China", 1),)),
+    CampaignCohort("redis_vandal", "redis", 1, (("Vietnam", 1),)),
+    CampaignCohort("kinsing", "postgresql", 196,
+                   (("United States", 35), ("France", 30), ("Germany", 27),
+                    ("China", 20), ("United Kingdom", 14), ("Russia", 12),
+                    ("Indonesia", 7), ("Netherlands", 5), ("Bulgaria", 2),
+                    ("Singapore", 4), ("Brazil", 14), ("India", 10),
+                    ("Vietnam", 8), ("Japan", 8)),
+                   config="default"),
+    CampaignCohort("psql_privilege", "postgresql", 25,
+                   (("United States", 4), ("Germany", 2), ("China", 2),
+                    ("United Kingdom", 1), ("Netherlands", 1),
+                    ("Poland", 6), ("Romania", 5), ("Turkey", 4)),
+                   config="default"),
+    CampaignCohort("psql_lockout", "postgresql", 1,
+                   (("Bulgaria", 1),), config="default"),
+    CampaignCohort("lucifer", "elasticsearch", 2, (("China", 2),)),
+    CampaignCohort("ransom_group1", "mongodb", 35,
+                   (("Bulgaria", 29), ("United States", 4),
+                    ("United Kingdom", 2))),
+    CampaignCohort("ransom_group2", "mongodb", 27,
+                   (("United States", 8), ("Netherlands", 6),
+                    ("Germany", 2), ("United Kingdom", 1),
+                    ("Singapore", 1), ("Romania", 5), ("Poland", 4))),
+)
+
+#: AS-type mix per behavior class (Table 11, normalized by the builder).
+AS_TYPE_MIX: dict[str, dict[ASType, int]] = {
+    "scanning": {ASType.TELECOM: 1070, ASType.HOSTING: 1777,
+                 ASType.SECURITY: 122, ASType.ICT: 2, ASType.BUSINESS: 1,
+                 ASType.IP_SERVICE: 3, ASType.UNKNOWN: 155},
+    "scouting": {ASType.TELECOM: 138, ASType.HOSTING: 1020,
+                 ASType.SECURITY: 334, ASType.ICT: 61, ASType.BUSINESS: 3,
+                 ASType.IP_SERVICE: 70, ASType.UNKNOWN: 325},
+    "exploiting": {ASType.TELECOM: 34, ASType.HOSTING: 264,
+                   ASType.ICT: 19, ASType.BUSINESS: 1,
+                   ASType.UNIVERSITY: 1, ASType.UNKNOWN: 5},
+}
+
+#: Threat-intel coverage rates (Sections 5 and 6.2).
+INTEL_BRUTE_GREYNOISE = 0.21
+INTEL_BRUTE_ABUSEIPDB = 0.65
+INTEL_BRUTE_CYMRU = 0.48
+INTEL_EXPLOIT_GREYNOISE = 0.11
+INTEL_EXPLOIT_ABUSEIPDB = 0.15
+INTEL_EXPLOIT_CYMRU_IPS = 6
+
+
+def campaign_total(dbms: str | None = None) -> int:
+    """Total exploiter IPs (optionally for one DBMS) in the scenario."""
+    return sum(cohort.count for cohort in CAMPAIGN_COHORTS
+               if dbms is None or cohort.dbms == dbms)

@@ -1,0 +1,256 @@
+"""Medium/high-tier scanning and scouting behaviors (Section 6).
+
+Scouts authenticate, enumerate, or retrieve data without modifying
+anything: cluster-info probes against Elasticsearch, ``listDatabases`` /
+``listCollections`` against MongoDB, ``INFO``/``CLIENT LIST`` against
+Redis, single login probes against PostgreSQL -- including the
+institutional scanners whose deep probing the paper calls out.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.agents.base import (Behavior, Visit, VisitContext, connect_probe,
+                               day_time, pick_active_days, run_quietly)
+from repro.clients import (ElasticClient, MongoClient, PostgresClient,
+                           RedisClient, WireError)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.deployment.plan import DeploymentPlan
+from repro.netsim.clock import EXPERIMENT_DAYS
+
+
+def midhigh_targets(plan: "DeploymentPlan", dbms: str,
+                    config: str | None = None) -> list[str]:
+    """Keys of medium/high targets for one DBMS."""
+    interaction = "high" if dbms == "mongodb" else "medium"
+    return [t.key for t in plan.select(interaction=interaction, dbms=dbms,
+                                       config=config)]
+
+
+@dataclass
+class MidScanBehavior:
+    """Connect-and-leave scanning over the medium/high tier."""
+
+    dbms: str = "postgresql"
+    active_days: int = 1
+    probes_per_day: int = 2
+
+    def visits(self, plan: "DeploymentPlan",
+               rng: random.Random) -> list[Visit]:
+        pool = midhigh_targets(plan, self.dbms)
+        visits = []
+        for day in pick_active_days(rng, EXPERIMENT_DAYS, self.active_days):
+            for key in rng.sample(pool, min(self.probes_per_day,
+                                            len(pool))):
+                visits.append(Visit(day_time(rng, day), key, connect_probe))
+        return visits
+
+
+Behavior.register(MidScanBehavior)
+
+
+def _elastic_basic_scout(ctx: VisitContext) -> None:
+    client = ElasticClient(ctx.open())
+    try:
+        client.connect()
+        run_quietly(lambda: client.get("/"))
+        run_quietly(lambda: client.get("/_nodes"))
+        run_quietly(lambda: client.get("/_cluster/health"))
+    except WireError:
+        pass
+    finally:
+        client.close()
+
+
+#: The URL list used by the six-IP deep-enumeration cluster the paper
+#: observed against Elasticsearch.
+ELASTIC_URL_LIST = (
+    "/", "/_nodes", "/_cluster/health", "/_cluster/stats", "/_stats",
+    "/_cat/indices", "/_cat/shards", "/_aliases", "/_mapping",
+    "/_search?q=*", "/_all/_search", "/customers/_search", "/.env",
+    "/favicon.ico",
+)
+
+
+def _elastic_url_list_scout(ctx: VisitContext) -> None:
+    client = ElasticClient(ctx.open())
+    try:
+        client.connect()
+        for url in ELASTIC_URL_LIST:
+            run_quietly(lambda url=url: client.get(url))
+    except WireError:
+        pass
+    finally:
+        client.close()
+
+
+def _mongo_basic_scout(ctx: VisitContext) -> None:
+    client = MongoClient(ctx.open())
+    try:
+        client.connect()
+        run_quietly(client.is_master_legacy)
+        run_quietly(lambda: client.command("admin", {"buildInfo": 1}))
+    except WireError:
+        pass
+    finally:
+        client.close()
+
+
+def _mongo_deep_scout(ctx: VisitContext) -> None:
+    # The institutional behavior the paper flags: listDatabases and
+    # listCollections expose a roadmap of the stored data.
+    client = MongoClient(ctx.open())
+    try:
+        client.connect()
+        run_quietly(client.is_master_legacy)
+        run_quietly(lambda: client.command("admin", {"buildInfo": 1}))
+        databases = []
+        run_quietly(lambda: databases.extend(client.list_databases()))
+        for database in databases:
+            run_quietly(lambda db=database: client.list_collections(db))
+    except WireError:
+        pass
+    finally:
+        client.close()
+
+
+def _redis_basic_scout(ctx: VisitContext) -> None:
+    client = RedisClient(ctx.open())
+    try:
+        client.connect()
+        run_quietly(lambda: client.command("INFO"))
+        run_quietly(lambda: client.command("CLIENT", "LIST"))
+    except WireError:
+        pass
+    finally:
+        client.close()
+
+
+def _redis_fake_data_scout(ctx: VisitContext) -> None:
+    # The fake-data-aware pattern of Section 6: list every key, then TYPE
+    # each one to probe its structure.
+    client = RedisClient(ctx.open())
+    try:
+        client.connect()
+        run_quietly(lambda: client.command("INFO"))
+        keys = client.command("KEYS", "*")
+        if isinstance(keys, list):
+            for key in keys:
+                if isinstance(key, bytes):
+                    run_quietly(lambda k=key: client.command("TYPE", k))
+    except WireError:
+        pass
+    finally:
+        client.close()
+
+
+def _postgres_single_login_scout(ctx: VisitContext) -> None:
+    # Open-config bots log in once as part of their script, no brute
+    # force (the paper's observation about the default configuration).
+    client = PostgresClient(ctx.open())
+    try:
+        client.connect()
+        client.login("postgres", "postgres")
+        client.query("SELECT version();")
+    except WireError:
+        pass
+    finally:
+        client.close()
+
+
+_SCOUT_SCRIPTS = {
+    ("elasticsearch", "basic"): _elastic_basic_scout,
+    ("elasticsearch", "url_list"): _elastic_url_list_scout,
+    ("mongodb", "basic"): _mongo_basic_scout,
+    ("mongodb", "deep"): _mongo_deep_scout,
+    ("redis", "basic"): _redis_basic_scout,
+    ("redis", "fake_data"): _redis_fake_data_scout,
+    ("postgresql", "basic"): _postgres_single_login_scout,
+}
+
+
+@dataclass
+class ScoutBehavior:
+    """Information gathering against one medium/high DBMS.
+
+    ``style`` selects the probing depth; see ``_SCOUT_SCRIPTS``.
+    """
+
+    dbms: str = "elasticsearch"
+    style: str = "basic"
+    active_days: int = 1
+    visits_per_day: int = 1
+    config: str | None = None
+    #: Optional custom session script (a toolkit from
+    #: :mod:`repro.agents.toolkits`); overrides ``style``.
+    script: object | None = None
+
+    def visits(self, plan: "DeploymentPlan",
+               rng: random.Random) -> list[Visit]:
+        script = self.script or _SCOUT_SCRIPTS.get((self.dbms, self.style))
+        if script is None:
+            raise ValueError(
+                f"no scout script for {self.dbms}/{self.style}")
+        pool = midhigh_targets(plan, self.dbms, self.config)
+        visits = []
+        for day in pick_active_days(rng, EXPERIMENT_DAYS,
+                                    self.active_days):
+            for _ in range(self.visits_per_day):
+                visits.append(Visit(day_time(rng, day), rng.choice(pool),
+                                    script))
+        return visits
+
+
+Behavior.register(ScoutBehavior)
+
+
+@dataclass
+class RestrictedPsqlBruteBehavior:
+    """Aggressive credential attack against the login-disabled
+    PostgreSQL configuration (which the paper found attracted ~2x the
+    login attempts of the open one)."""
+
+    attempts_per_day: int = 40
+    active_days: int = 2
+    credentials: tuple[tuple[str, str], ...] = (
+        ("postgres", "postgres"), ("postgres", "123456"),
+        ("postgres", "password"), ("admin", "admin"),
+        ("postgres", "postgres123"), ("root", "root"),
+    )
+
+    def visits(self, plan: "DeploymentPlan",
+               rng: random.Random) -> list[Visit]:
+        pool = midhigh_targets(plan, "postgresql",
+                               config="login_disabled")
+        visits = []
+        for day in pick_active_days(rng, EXPERIMENT_DAYS,
+                                    self.active_days):
+            target = rng.choice(pool)
+            visits.append(Visit(day_time(rng, day), target,
+                                self._burst(self.attempts_per_day)))
+        return visits
+
+    def _burst(self, attempts: int):
+        def script(ctx: VisitContext) -> None:
+            for index in range(attempts):
+                client = PostgresClient(ctx.open())
+                try:
+                    client.connect()
+                    username, password = self.credentials[
+                        index % len(self.credentials)]
+                    if index >= len(self.credentials):
+                        password = f"{password}{ctx.rng.randrange(1000)}"
+                    client.login(username, password)
+                except WireError:
+                    pass
+                finally:
+                    client.close()
+
+        return script
+
+
+Behavior.register(RestrictedPsqlBruteBehavior)

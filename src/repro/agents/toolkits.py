@@ -1,0 +1,191 @@
+"""Scanner/scout toolkit pools.
+
+Real attack traffic comes from many different tools, each with its own
+probe list; that diversity is what makes the paper's clustering find
+20-79 behavioral clusters per honeypot (Table 8).  This module
+generates deterministic pools of "toolkits" -- per-tool probe command
+subsets -- which the population builder assigns to actors.  Actors
+sharing a toolkit produce identical TF vectors and fall into one
+cluster; different toolkits separate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.agents.base import VisitContext, run_quietly
+from repro.clients import (ElasticClient, MongoClient, PostgresClient,
+                           RedisClient, WireError)
+
+SessionScript = Callable[[VisitContext], None]
+
+#: Probe endpoints an Elasticsearch recon tool may request.
+ELASTIC_ENDPOINT_POOL = (
+    "/", "/_nodes", "/_cluster/health", "/_cluster/stats", "/_stats",
+    "/_cat/indices", "/_cat/shards", "/_cat/nodes", "/_cat/health",
+    "/_aliases", "/_mapping", "/_cluster/settings", "/_search?q=*",
+    "/_all/_search", "/robots.txt", "/favicon.ico", "/.env",
+    "/_template", "/_plugins", "/version",
+)
+
+#: Commands a MongoDB recon tool may run.
+MONGO_COMMAND_POOL = (
+    "isMaster", "buildInfo", "serverStatus", "getLog", "ping",
+    "whatsmyuri", "listDatabases", "listCollections", "hostInfo",
+    "connectionStatus",
+)
+
+#: Probes a Redis recon tool may send.
+REDIS_PROBE_POOL = (
+    ("INFO",), ("INFO", "server"), ("CLIENT", "LIST"), ("PING",),
+    ("DBSIZE",), ("CONFIG", "GET", "*"), ("CONFIG", "GET", "dir"),
+    ("KEYS", "*"), ("SCAN", "0"), ("COMMAND",), ("ECHO", "hi"),
+    ("MODULE", "LIST"), ("EXISTS", "backup"),
+)
+
+#: Post-login queries a PostgreSQL bot may issue.
+PSQL_QUERY_POOL = (
+    "SELECT version();", "SHOW server_version;", "SELECT 1;",
+    "SELECT current_database();", "SELECT current_user;",
+    "SHOW ssl;", "SELECT usename FROM pg_user;",
+    "SELECT datname FROM pg_database;", "SET application_name = 'pg';",
+    "SHOW data_directory;",
+)
+
+#: Credential-list variants used by the Sticky Elephant brute-force
+#: clusters (the paper found 15 of them).
+PSQL_BRUTE_CREDENTIAL_VARIANTS: tuple[tuple[tuple[str, str], ...], ...]
+
+
+def _subsets(pool: tuple, count: int, *, min_size: int, max_size: int,
+             seed: str, always_first: bool = False) -> list[tuple]:
+    """Deterministically sample ``count`` distinct subsets of ``pool``."""
+    rng = random.Random(f"toolkits:{seed}")
+    seen: set[tuple] = set()
+    subsets: list[tuple] = []
+    attempts = 0
+    while len(subsets) < count and attempts < count * 50:
+        attempts += 1
+        size = rng.randint(min_size, min(max_size, len(pool)))
+        chosen = rng.sample(pool, size)
+        if always_first and pool[0] not in chosen:
+            chosen[0] = pool[0]
+        subset = tuple(sorted(chosen, key=pool.index))
+        if subset not in seen:
+            seen.add(subset)
+            subsets.append(subset)
+    return subsets
+
+
+ELASTIC_TOOLKITS = _subsets(ELASTIC_ENDPOINT_POOL, 56, min_size=1,
+                            max_size=7, seed="elastic",
+                            always_first=True)
+
+MONGO_TOOLKITS = _subsets(MONGO_COMMAND_POOL, 24, min_size=1, max_size=5,
+                          seed="mongo", always_first=True)
+
+REDIS_TOOLKITS = _subsets(REDIS_PROBE_POOL, 18, min_size=1, max_size=4,
+                          seed="redis")
+
+PSQL_QUERY_TOOLKITS = _subsets(PSQL_QUERY_POOL, 48, min_size=0,
+                               max_size=4, seed="psql")
+
+
+def _brute_variants() -> tuple[tuple[tuple[str, str], ...], ...]:
+    rng = random.Random("toolkits:psql-brute")
+    usernames = ("postgres", "admin", "root", "test", "pgsql", "dbadmin",
+                 "replicator", "backup")
+    passwords = ("postgres", "123456", "password", "admin", "root",
+                 "qwerty", "P@ssw0rd", "postgres123", "pg123456", "1234")
+    variants = []
+    for index in range(15):
+        users = rng.sample(usernames, rng.randint(1, 3))
+        chosen_passwords = rng.sample(passwords, rng.randint(3, 6))
+        variants.append(tuple((user, password) for user in users
+                              for password in chosen_passwords))
+    return tuple(variants)
+
+
+PSQL_BRUTE_CREDENTIAL_VARIANTS = _brute_variants()
+
+
+def elastic_toolkit_script(endpoints: tuple[str, ...]) -> SessionScript:
+    """Build a scout script requesting ``endpoints`` in order."""
+
+    def script(ctx: VisitContext) -> None:
+        client = ElasticClient(ctx.open())
+        try:
+            client.connect()
+            for endpoint in endpoints:
+                run_quietly(lambda e=endpoint: client.get(e))
+        except WireError:
+            pass
+        finally:
+            client.close()
+
+    return script
+
+
+def mongo_toolkit_script(commands: tuple[str, ...]) -> SessionScript:
+    """Build a scout script running ``commands`` in order."""
+
+    def script(ctx: VisitContext) -> None:
+        client = MongoClient(ctx.open())
+        try:
+            client.connect()
+            for command in commands:
+                if command == "isMaster":
+                    run_quietly(client.is_master_legacy)
+                elif command == "listCollections":
+                    run_quietly(lambda: client.command(
+                        "customers", {"listCollections": 1}))
+                else:
+                    run_quietly(lambda c=command:
+                                client.command("admin", {c: 1}))
+        except WireError:
+            pass
+        finally:
+            client.close()
+
+    return script
+
+
+def redis_toolkit_script(probes: tuple[tuple[str, ...], ...]
+                         ) -> SessionScript:
+    """Build a scout script sending ``probes`` in order."""
+
+    def script(ctx: VisitContext) -> None:
+        client = RedisClient(ctx.open())
+        try:
+            client.connect()
+            for probe in probes:
+                run_quietly(lambda p=probe: client.command(*p))
+        except WireError:
+            pass
+        finally:
+            client.close()
+
+    return script
+
+
+def psql_toolkit_script(queries: tuple[str, ...],
+                        credential: tuple[str, str] = ("postgres",
+                                                       "postgres"),
+                        ) -> SessionScript:
+    """Build a one-shot-login bot script issuing ``queries``."""
+
+    def script(ctx: VisitContext) -> None:
+        client = PostgresClient(ctx.open())
+        try:
+            client.connect()
+            if not client.login(*credential):
+                return
+            for query in queries:
+                run_quietly(lambda q=query: client.query(q))
+        except WireError:
+            pass
+        finally:
+            client.close()
+
+    return script

@@ -1,0 +1,203 @@
+"""Command-line interface (``python -m repro``).
+
+Subcommands:
+
+* ``run``            -- replay the 20-day deployment, write the SQLite
+  databases (and optionally the raw logs / public dataset),
+* ``report``         -- regenerate the paper's key tables from an
+  existing run,
+* ``serve``          -- start live TCP honeypots on loopback and print
+  captured events until interrupted,
+* ``export-dataset`` -- run a deployment and export the anonymized
+  Appendix-B dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.bruteforce import credential_stats, logins_by_country
+from repro.core.campaigns import campaign_summary
+from repro.core.loading import load_ip_profiles
+from repro.core.reports import (classification_table, extrapolate,
+                                format_table)
+from repro.core.temporal import hourly_series
+from repro.deployment import ExperimentConfig, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Decoy Databases reproduction toolkit")
+    subcommands = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = subcommands.add_parser(
+        "run", help="replay the 20-day deployment")
+    run_cmd.add_argument("--seed", type=int, default=2024)
+    run_cmd.add_argument("--scale", type=float, default=0.002,
+                         help="login-volume scale factor")
+    run_cmd.add_argument("--output", type=Path,
+                         default=Path("experiment-output"))
+    run_cmd.add_argument("--raw-logs", action="store_true",
+                         help="also write consolidated JSONL raw logs")
+    run_cmd.add_argument("--dataset", action="store_true",
+                         help="also export the anonymized dataset")
+
+    report_cmd = subcommands.add_parser(
+        "report", help="print the key tables of an existing run")
+    report_cmd.add_argument("--output", type=Path,
+                            default=Path("experiment-output"),
+                            help="directory of a previous `repro run`")
+    report_cmd.add_argument("--scale", type=float, default=0.002,
+                            help="scale used by that run (for "
+                                 "extrapolation)")
+
+    serve_cmd = subcommands.add_parser(
+        "serve", help="serve live honeypots on loopback TCP ports")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+
+    dataset_cmd = subcommands.add_parser(
+        "export-dataset", help="run a deployment and export the "
+                               "anonymized dataset")
+    dataset_cmd.add_argument("--seed", type=int, default=2024)
+    dataset_cmd.add_argument("--scale", type=float, default=0.001)
+    dataset_cmd.add_argument("--output", type=Path,
+                             default=Path("experiment-output"))
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(ExperimentConfig(
+        seed=args.seed, volume_scale=args.scale,
+        output_dir=args.output, write_raw_logs=args.raw_logs,
+        export_dataset=args.dataset))
+    print(f"visits:   {result.visits_total:,}")
+    print(f"events:   {result.events_total:,}")
+    print(f"low DB:   {result.low_db}")
+    print(f"mid DB:   {result.midhigh_db}")
+    if result.raw_log_dir:
+        print(f"raw logs: {result.raw_log_dir}")
+    if result.dataset_dir:
+        print(f"dataset:  {result.dataset_dir}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    low_db = args.output / "low.sqlite"
+    midhigh_db = args.output / "midhigh.sqlite"
+    for path in (low_db, midhigh_db):
+        if not path.exists():
+            print(f"error: {path} not found (run `repro run` first)",
+                  file=sys.stderr)
+            return 1
+
+    series = hourly_series(low_db)
+    print(f"Figure 2: {series.total_unique} unique low-tier IPs, "
+          f"{series.mean_clients_per_hour():.1f} clients/hour, "
+          f"{series.mean_new_per_hour():.1f} new/hour\n")
+
+    print("Table 5: top countries by login attempts")
+    rows = logins_by_country(low_db, top=10)
+    print(format_table(
+        ["Country", "#Logins", "extrapolated", "#IP/Total"],
+        [[r.country, r.logins, f"{extrapolate(r.logins, args.scale):,}",
+          f"{r.login_ips}/{r.total_ips}"] for r in rows]))
+
+    stats = credential_stats(low_db, "mssql")
+    print(f"\nTable 12: top MSSQL credentials")
+    print(format_table(["Username", "Password", "#"],
+                       [[u, p or '""', c]
+                        for (u, p), c in stats.top_pairs[:5]]))
+
+    profiles = load_ip_profiles(midhigh_db)
+    print("\nTable 8: medium/high classification")
+    print(format_table(
+        ["DBMS", "#IP", "Scan", "Scout", "Exploit", "#Cls"],
+        [[r.dbms, r.total_ips, r.scanning, r.scouting, r.exploiting,
+          r.clusters]
+         for r in classification_table(profiles,
+                                       distance_threshold=0.1)]))
+
+    print("\nTable 9: attack campaigns")
+    print(format_table(
+        ["Category", "DBMS", "Attack", "#IP"],
+        [[r.category, r.dbms, r.tag, r.ip_count]
+         for r in campaign_summary(profiles)]))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.honeypots import (Elasticpot, LowInteractionMSSQL,
+                                 LowInteractionMySQL, MongoHoneypot,
+                                 RedisHoneypot, StickyElephant)
+    from repro.honeypots.tcp import serve_honeypots
+    from repro.netsim.clock import SimClock
+    from repro.pipeline.logstore import LogStore
+
+    async def serve() -> None:
+        clock = SimClock()
+        store = LogStore()
+        seen = 0
+
+        honeypots = [
+            LowInteractionMySQL("serve-mysql"),
+            LowInteractionMSSQL("serve-mssql"),
+            RedisHoneypot("serve-redis", config="fake_data"),
+            StickyElephant("serve-postgresql"),
+            Elasticpot("serve-elasticsearch"),
+            MongoHoneypot("serve-mongodb"),
+        ]
+        servers = await serve_honeypots(honeypots, clock, store.append,
+                                        host=args.host)
+        print("honeypots listening:")
+        for server in servers:
+            print(f"  {server.honeypot.dbms:15s} "
+                  f"{args.host}:{server.port}")
+        print("Ctrl-C to stop")
+        try:
+            while True:
+                await asyncio.sleep(0.5)
+                events = store.events()
+                for event in events[seen:]:
+                    print(f"[{event.dbms}] {event.src_ip} "
+                          f"{event.event_type} {event.action or ''}")
+                seen = len(events)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            for server in servers:
+                await server.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
+def cmd_export_dataset(args: argparse.Namespace) -> int:
+    result = run_experiment(ExperimentConfig(
+        seed=args.seed, volume_scale=args.scale,
+        output_dir=args.output, export_dataset=True))
+    print(f"dataset: {result.dataset_dir}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": cmd_run,
+        "report": cmd_report,
+        "serve": cmd_serve,
+        "export-dataset": cmd_export_dataset,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""Elasticsearch REST client (HTTP/1.1)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.clients.wire import Wire, WireError
+from repro.protocols import http11
+from repro.protocols.errors import ProtocolError
+
+
+class ElasticClient:
+    """Minimal Elasticsearch HTTP client."""
+
+    def __init__(self, wire: Wire, *, host: str = "target"):
+        self._wire = wire
+        self._host = host
+
+    def connect(self) -> None:
+        """Open the connection."""
+        self._wire.connect()
+
+    def request(self, method: str, target: str, *,
+                body: bytes | str | dict | None = None
+                ) -> http11.HttpResponse:
+        """Issue one request and parse the response."""
+        if isinstance(body, dict):
+            body = json.dumps(body).encode()
+        elif isinstance(body, str):
+            body = body.encode()
+        raw = self._wire.send(http11.build_request(
+            method, target, body=body or b"", host=self._host))
+        try:
+            return http11.parse_response(raw)
+        except ProtocolError as exc:
+            raise WireError(f"malformed HTTP response: {exc}") from exc
+
+    def get(self, target: str) -> http11.HttpResponse:
+        """GET a target path."""
+        return self.request("GET", target)
+
+    def get_json(self, target: str) -> dict:
+        """GET a target path and decode the JSON body."""
+        response = self.get(target)
+        try:
+            return json.loads(response.body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise WireError(f"non-JSON response body: {exc}") from exc
+
+    def search_with_source(self, source: str) -> http11.HttpResponse:
+        """``GET /_search?source=...`` -- the scripted-payload vector."""
+        from urllib.parse import quote
+
+        return self.get(f"/_search?source={quote(source)}")
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._wire.close()

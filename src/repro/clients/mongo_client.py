@@ -1,0 +1,79 @@
+"""MongoDB client (OP_MSG / legacy OP_QUERY)."""
+
+from __future__ import annotations
+
+from repro.clients.wire import Wire, WireError
+from repro.protocols import mongo_wire as wire_codec
+from repro.protocols.errors import ProtocolError
+
+
+class MongoClient:
+    """Minimal MongoDB driver."""
+
+    def __init__(self, wire: Wire):
+        self._wire = wire
+        self._reader = wire_codec.MessageReader()
+        self._next_request_id = 1
+
+    def connect(self) -> None:
+        """Open the connection."""
+        self._wire.connect()
+
+    def is_master_legacy(self) -> dict:
+        """Probe with the legacy OP_QUERY ``isMaster`` handshake.
+
+        This is what mass scanners send, predating OP_MSG.
+        """
+        message = wire_codec.build_query(
+            self._request_id(), "admin.$cmd", {"isMaster": 1})
+        replies = self._feed(self._wire.send(message))
+        for reply in replies:
+            if isinstance(reply, wire_codec.ReplyMessage):
+                if not reply.documents:
+                    raise WireError("empty OP_REPLY")
+                return reply.documents[0]
+        raise WireError("no OP_REPLY to legacy isMaster")
+
+    def command(self, database: str, command: dict) -> dict:
+        """Run one command via OP_MSG and return the reply document."""
+        body = dict(command)
+        body["$db"] = database
+        message = wire_codec.build_msg(self._request_id(), body)
+        replies = self._feed(self._wire.send(message))
+        for reply in replies:
+            if isinstance(reply, wire_codec.MsgMessage):
+                return reply.body
+        raise WireError(f"no OP_MSG reply to {next(iter(command))!r}")
+
+    def find_all(self, database: str, collection: str, *,
+                 batch: int = 0) -> list[dict]:
+        """Fetch documents of one collection."""
+        reply = self.command(database, {"find": collection, "limit": batch})
+        cursor = reply.get("cursor") or {}
+        return list(cursor.get("firstBatch") or [])
+
+    def list_databases(self) -> list[str]:
+        """Names of all databases."""
+        reply = self.command("admin", {"listDatabases": 1})
+        return [entry["name"] for entry in reply.get("databases", [])]
+
+    def list_collections(self, database: str) -> list[str]:
+        """Collection names of one database."""
+        reply = self.command(database, {"listCollections": 1})
+        cursor = reply.get("cursor") or {}
+        return [entry["name"] for entry in cursor.get("firstBatch") or []]
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._wire.close()
+
+    def _request_id(self) -> int:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        return request_id
+
+    def _feed(self, data: bytes) -> list[object]:
+        try:
+            return self._reader.feed(data)
+        except ProtocolError as exc:
+            raise WireError(f"malformed server data: {exc}") from exc

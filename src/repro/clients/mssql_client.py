@@ -1,0 +1,70 @@
+"""Microsoft SQL Server client (TDS login phase)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clients.wire import Wire, WireError
+from repro.protocols import tds
+from repro.protocols.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class MssqlLoginResult:
+    """Outcome of one LOGIN7 attempt."""
+
+    success: bool
+    error_number: int | None = None
+    error_message: str | None = None
+
+
+class MSSQLClient:
+    """Minimal TDS client: PRELOGIN + LOGIN7."""
+
+    def __init__(self, wire: Wire):
+        self._wire = wire
+        self._reader = tds.PacketReader()
+
+    def connect(self) -> dict[int, bytes]:
+        """Open the connection and negotiate PRELOGIN.
+
+        Returns the server's PRELOGIN option map.
+        """
+        self._wire.connect()
+        reply = self._wire.send(
+            tds.frame(tds.PKT_PRELOGIN, tds.build_prelogin()))
+        packets = self._feed(reply)
+        if not packets:
+            raise WireError("no PRELOGIN response")
+        return tds.parse_prelogin(packets[0][1])
+
+    def login(self, username: str, password: str, *,
+              hostname: str = "WIN-SCANNER",
+              app_name: str = "OSQL-32") -> MssqlLoginResult:
+        """Attempt to authenticate via LOGIN7."""
+        payload = tds.build_login7(username, password, hostname=hostname,
+                                   app_name=app_name)
+        reply = self._wire.send(tds.frame(tds.PKT_LOGIN7, payload))
+        packets = self._feed(reply)
+        if not packets:
+            raise WireError("no LOGIN7 response")
+        try:
+            tokens = tds.parse_tokens(packets[0][1])
+        except ProtocolError as exc:
+            raise WireError(f"malformed token stream: {exc}") from exc
+        for token in tokens:
+            if token == "LOGINACK":
+                return MssqlLoginResult(True)
+            if isinstance(token, tds.ErrorToken):
+                return MssqlLoginResult(False, token.number, token.message)
+        raise WireError("LOGIN7 response carried no outcome token")
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._wire.close()
+
+    def _feed(self, data: bytes) -> list[tuple[int, bytes]]:
+        try:
+            return self._reader.feed(data)
+        except ProtocolError as exc:
+            raise WireError(f"malformed server data: {exc}") from exc

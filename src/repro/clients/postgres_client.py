@@ -1,0 +1,110 @@
+"""PostgreSQL client (pgwire frontend).
+
+Implements the startup/authentication flow and the simple-query
+subprotocol: enough to brute-force logins against Sticky Elephant and to
+run the Kinsing-style ``COPY FROM PROGRAM`` sequences once inside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clients.wire import Wire, WireError
+from repro.protocols import postgres as pg
+from repro.protocols.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one simple query."""
+
+    columns: list[str]
+    rows: list[list[bytes | None]]
+    command_tag: str | None
+    error: dict[str, str] | None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class PostgresClient:
+    """Minimal pgwire frontend."""
+
+    def __init__(self, wire: Wire):
+        self._wire = wire
+
+    def connect(self) -> None:
+        """Open the connection (no server greeting in pgwire)."""
+        self._wire.connect()
+
+    def login(self, username: str, password: str,
+              database: str | None = None) -> bool:
+        """Start up and authenticate; returns success."""
+        reply = self._wire.send(pg.build_startup_message(username, database))
+        messages = self._parse(reply)
+        if not messages:
+            raise WireError("no reply to startup message")
+        first = messages[0]
+        if first.type_code == b"E":
+            return False
+        if first.type_code != b"R":
+            raise WireError(f"unexpected startup reply {first.type_code!r}")
+        reply = self._wire.send(pg.build_password_message(password))
+        for message in self._parse(reply):
+            if message.type_code == b"E":
+                return False
+            if message.type_code == b"R":
+                # AuthenticationOk carries subcode 0.
+                continue
+        return True
+
+    def query(self, sql: str) -> QueryResult:
+        """Run one simple query and collect its result."""
+        reply = self._wire.send(pg.build_query(sql))
+        columns: list[str] = []
+        rows: list[list[bytes | None]] = []
+        command_tag: str | None = None
+        error: dict[str, str] | None = None
+        for message in self._parse(reply):
+            if message.type_code == b"T":
+                columns = _parse_columns(message.payload)
+            elif message.type_code == b"D":
+                rows.append(pg.parse_data_row(message.payload))
+            elif message.type_code == b"C":
+                command_tag = message.payload.rstrip(b"\x00").decode(
+                    "utf-8", "replace")
+            elif message.type_code == b"E":
+                error = pg.parse_error_fields(message.payload)
+        return QueryResult(columns, rows, command_tag, error)
+
+    def terminate(self) -> None:
+        """Send Terminate and close."""
+        try:
+            self._wire.send(pg.build_terminate())
+        except WireError:
+            pass
+        self._wire.close()
+
+    def close(self) -> None:
+        """Close the connection without the Terminate courtesy."""
+        self._wire.close()
+
+    def _parse(self, data: bytes) -> list[pg.BackendMessage]:
+        try:
+            return pg.parse_backend_messages(data)
+        except ProtocolError as exc:
+            raise WireError(f"malformed server data: {exc}") from exc
+
+
+def _parse_columns(payload: bytes) -> list[str]:
+    import struct
+
+    (count,) = struct.unpack_from(">h", payload, 0)
+    columns = []
+    offset = 2
+    for _ in range(count):
+        end = payload.find(b"\x00", offset)
+        columns.append(payload[offset:end].decode("utf-8", "replace"))
+        offset = end + 1 + 18  # fixed per-column descriptor
+    return columns

@@ -1,0 +1,55 @@
+"""Redis client (RESP2)."""
+
+from __future__ import annotations
+
+from repro.clients.wire import Wire, WireError
+from repro.protocols import resp
+from repro.protocols.errors import ProtocolError
+
+
+class RedisClient:
+    """Minimal Redis client.
+
+    :meth:`command` sends one command and returns the decoded reply;
+    :meth:`send_raw` ships arbitrary bytes (inline commands, attack
+    payloads) and returns the decoded replies.
+    """
+
+    def __init__(self, wire: Wire):
+        self._wire = wire
+        self._parser = resp.RespParser()
+
+    def connect(self) -> None:
+        """Open the connection (Redis servers send no greeting)."""
+        self._wire.connect()
+
+    def command(self, *args: str | bytes) -> object:
+        """Send one command; returns its decoded reply.
+
+        Error replies come back as :class:`repro.protocols.resp.Error`
+        values rather than raising -- attack scripts routinely ignore
+        errors and push on.
+        """
+        replies = self.send_raw(resp.encode_command(*args))
+        if not replies:
+            raise WireError("no reply to command")
+        return replies[0]
+
+    def send_inline(self, line: str) -> object:
+        """Send one inline (telnet-style) command."""
+        replies = self.send_raw(resp.encode_inline_command(line))
+        if not replies:
+            raise WireError("no reply to inline command")
+        return replies[0]
+
+    def send_raw(self, data: bytes) -> list[object]:
+        """Send raw bytes; returns all decoded replies."""
+        reply = self._wire.send(data)
+        try:
+            return self._parser.feed(reply)
+        except ProtocolError as exc:
+            raise WireError(f"malformed server data: {exc}") from exc
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._wire.close()

@@ -1,0 +1,101 @@
+"""Client transport abstraction.
+
+A :class:`Wire` is the client's view of a connection: ``connect()``
+returns the server greeting, ``send(data)`` returns the server's reply
+bytes.  The honeypots in this repository are strictly request/response,
+so this synchronous exchange model holds for both transports:
+
+* :class:`repro.honeypots.base.MemoryWire` -- in-process, used by the
+  fast experiment driver,
+* :class:`TcpWire` -- a real TCP socket, used by the live examples and
+  integration tests.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Protocol
+
+
+class WireError(Exception):
+    """Raised when a wire cannot complete an exchange."""
+
+
+class Wire(Protocol):
+    """Structural interface shared by MemoryWire and TcpWire."""
+
+    def connect(self) -> bytes:
+        """Open the connection; returns the greeting (may be empty)."""
+
+    def send(self, data: bytes) -> bytes:
+        """Send bytes; returns the server's reply bytes."""
+
+    def close(self) -> None:
+        """Close the connection."""
+
+
+class TcpWire:
+    """Synchronous TCP client transport.
+
+    ``send`` reads the reply until the socket quiesces: a first blocking
+    read bounded by ``timeout``, then short follow-up reads to drain any
+    additional frames the server flushed separately.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 2.0,
+                 expect_greeting: bool = False):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.expect_greeting = expect_greeting
+        self._sock: socket.socket | None = None
+
+    def connect(self) -> bytes:
+        """Open the socket; returns the greeting if one is expected."""
+        if self._sock is not None:
+            raise WireError("wire already connected")
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+        except OSError as exc:
+            raise WireError(f"connect to {self.host}:{self.port} failed: "
+                            f"{exc}") from exc
+        if not self.expect_greeting:
+            return b""
+        return self._drain(initial_timeout=self.timeout)
+
+    def send(self, data: bytes) -> bytes:
+        """Send ``data``; returns the server reply (may be empty)."""
+        if self._sock is None:
+            raise WireError("wire not connected")
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise WireError(f"send failed: {exc}") from exc
+        return self._drain(initial_timeout=self.timeout)
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def _drain(self, *, initial_timeout: float) -> bytes:
+        assert self._sock is not None
+        chunks = bytearray()
+        timeout = initial_timeout
+        while True:
+            self._sock.settimeout(timeout)
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                break
+            except OSError:
+                break
+            if not chunk:
+                break
+            chunks += chunk
+            timeout = 0.05  # drain whatever else is already in flight
+        return bytes(chunks)

@@ -1,0 +1,52 @@
+"""The paper's analysis methodology.
+
+Everything in this package consumes only the SQLite databases produced
+by :mod:`repro.pipeline` -- never the traffic generator -- mirroring the
+paper's separation between collection and analysis:
+
+* :mod:`repro.core.loading` -- per-IP event/action-sequence extraction,
+* :mod:`repro.core.classification` -- scanning / scouting / exploiting,
+* :mod:`repro.core.tf` -- term-frequency feature vectors,
+* :mod:`repro.core.clustering` -- agglomerative hierarchical clustering
+  (Ward linkage, from scratch),
+* :mod:`repro.core.retention` -- client retention CDFs (Figs. 3, 5),
+* :mod:`repro.core.temporal` -- hourly traffic series (Figs. 2, 6-9),
+* :mod:`repro.core.intersections` -- honeypot-set intersections (Fig. 4),
+* :mod:`repro.core.bruteforce` -- credential statistics (Tables 5, 12),
+* :mod:`repro.core.campaigns` -- campaign tagging (Table 9),
+* :mod:`repro.core.reports` -- the remaining tables of the paper.
+"""
+
+from repro.core.classification import BehaviorClass, classify_ips
+from repro.core.clustering import AgglomerativeClustering, ward_linkage
+from repro.core.loading import action_sequences, load_ip_profiles
+from repro.core.tf import TfVectorizer
+from repro.core.retention import (retention_by_class, retention_by_dbms,
+                                  retention_overall)
+from repro.core.temporal import hourly_series, per_dbms_series
+from repro.core.intersections import upset_intersections
+from repro.core.bruteforce import credential_stats, logins_by_country
+from repro.core.campaigns import campaign_summary, tag_profile
+from repro.core.reports import classification_table, cluster_dbms
+
+__all__ = [
+    "BehaviorClass",
+    "classify_ips",
+    "AgglomerativeClustering",
+    "ward_linkage",
+    "action_sequences",
+    "load_ip_profiles",
+    "TfVectorizer",
+    "retention_by_class",
+    "retention_by_dbms",
+    "retention_overall",
+    "hourly_series",
+    "per_dbms_series",
+    "upset_intersections",
+    "credential_stats",
+    "logins_by_country",
+    "campaign_summary",
+    "tag_profile",
+    "classification_table",
+    "cluster_dbms",
+]

@@ -1,0 +1,131 @@
+"""Brute-force credential statistics (Tables 5 and 12, Section 5).
+
+Per-country login volumes, top credential pairs, and the unique
+username / password / combination counts that characterize how much
+effort database brute-forcers invest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.pipeline.convert import open_database
+
+
+@dataclass(frozen=True)
+class CountryLoginRow:
+    """One row of Table 5."""
+
+    country: str
+    logins: int
+    login_ips: int
+    total_ips: int
+    by_dbms: dict[str, int]
+
+
+def logins_by_country(db_path: str | Path,
+                      top: int = 10) -> list[CountryLoginRow]:
+    """Table 5: top countries by login attempts."""
+    connection = open_database(db_path)
+    try:
+        totals = dict(connection.execute(
+            "SELECT country, COUNT(DISTINCT src_ip) FROM events "
+            "GROUP BY country"))
+        rows: dict[str, dict] = {}
+        cursor = connection.execute(
+            "SELECT country, dbms, COUNT(*) AS logins, "
+            "COUNT(DISTINCT src_ip) AS ips FROM events "
+            "WHERE event_type = 'login_attempt' "
+            "GROUP BY country, dbms")
+        for country, dbms, logins, _ips in cursor:
+            entry = rows.setdefault(country, {"logins": 0, "by_dbms": {}})
+            entry["logins"] += logins
+            entry["by_dbms"][dbms] = logins
+        login_ips = dict(connection.execute(
+            "SELECT country, COUNT(DISTINCT src_ip) FROM events "
+            "WHERE event_type = 'login_attempt' GROUP BY country"))
+    finally:
+        connection.close()
+    result = [CountryLoginRow(country, entry["logins"],
+                              login_ips.get(country, 0),
+                              totals.get(country, 0), entry["by_dbms"])
+              for country, entry in rows.items()]
+    result.sort(key=lambda row: -row.logins)
+    return result[:top]
+
+
+@dataclass(frozen=True)
+class CredentialStats:
+    """Aggregate credential statistics for one DBMS (Section 5)."""
+
+    dbms: str
+    total_attempts: int
+    unique_usernames: int
+    unique_passwords: int
+    unique_combinations: int
+    top_usernames: list[tuple[str, int]]
+    top_passwords: list[tuple[str, int]]
+    top_pairs: list[tuple[tuple[str, str], int]]
+
+
+def credential_stats(db_path: str | Path, dbms: str,
+                     top: int = 10) -> CredentialStats:
+    """Table 12 plus the uniqueness counts for one DBMS."""
+    connection = open_database(db_path)
+    try:
+        cursor = connection.execute(
+            "SELECT username, password, COUNT(*) FROM events "
+            "WHERE event_type = 'login_attempt' AND dbms = ? "
+            "GROUP BY username, password", (dbms,))
+        usernames: dict[str, int] = {}
+        passwords: dict[str, int] = {}
+        pairs: dict[tuple[str, str], int] = {}
+        total = 0
+        for username, password, count in cursor:
+            username = username or ""
+            password = password or ""
+            total += count
+            usernames[username] = usernames.get(username, 0) + count
+            passwords[password] = passwords.get(password, 0) + count
+            pairs[(username, password)] = count
+    finally:
+        connection.close()
+    return CredentialStats(
+        dbms=dbms,
+        total_attempts=total,
+        unique_usernames=len(usernames),
+        unique_passwords=len(passwords),
+        unique_combinations=len(pairs),
+        top_usernames=sorted(usernames.items(),
+                             key=lambda item: -item[1])[:top],
+        top_passwords=sorted(passwords.items(),
+                             key=lambda item: -item[1])[:top],
+        top_pairs=sorted(pairs.items(), key=lambda item: -item[1])[:top],
+    )
+
+
+def brute_force_ips(db_path: str | Path) -> set[str]:
+    """Sources with at least one login attempt (the paper's definition
+    of a brute-force attacker in Section 5)."""
+    connection = open_database(db_path)
+    try:
+        return {row[0] for row in connection.execute(
+            "SELECT DISTINCT src_ip FROM events "
+            "WHERE event_type = 'login_attempt'")}
+    finally:
+        connection.close()
+
+
+def average_attempts_per_client(db_path: str | Path) -> float:
+    """Average login attempts over *all* observed clients."""
+    connection = open_database(db_path)
+    try:
+        (logins,) = connection.execute(
+            "SELECT COUNT(*) FROM events "
+            "WHERE event_type = 'login_attempt'").fetchone()
+        (clients,) = connection.execute(
+            "SELECT COUNT(DISTINCT src_ip) FROM events").fetchone()
+    finally:
+        connection.close()
+    return logins / clients if clients else 0.0

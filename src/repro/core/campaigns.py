@@ -1,0 +1,172 @@
+"""Campaign tagging (Table 9 and the Section 6.3 case studies).
+
+Clusters of interest get descriptive tags based on recognizable
+commands and payload signatures -- botnet names, malware identifiers,
+CVE numbers -- mirroring the paper's manual tagging backed by OSINT
+lookups.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.loading import IpProfile
+
+
+@dataclass(frozen=True)
+class CampaignSignature:
+    """A recognizable attack pattern."""
+
+    tag: str
+    category: str
+    dbms: str
+    description: str
+    raw_patterns: tuple[re.Pattern[str], ...] = ()
+    #: Minimum login attempts AND distinct credentials to count as a
+    #: brute-forcer (single-credential retries are misconfigurations or
+    #: scripted one-shot logins, not brute force).
+    min_logins: int = 0
+    min_distinct_credentials: int = 0
+
+
+def _p(*patterns: str) -> tuple[re.Pattern[str], ...]:
+    return tuple(re.compile(pattern, re.I | re.S) for pattern in patterns)
+
+
+#: Categories of Table 9.
+CAT_UNRELATED = "Scans for services unrelated to the DBMS"
+CAT_DBMS = "Attacks on the DBMS"
+CAT_DATA = "Attacks on the data in the DBMS"
+CAT_SYSTEM = "Attacks on the underlying system"
+
+#: The campaign signature catalog (Table 9 rows).
+SIGNATURES: tuple[CampaignSignature, ...] = (
+    CampaignSignature(
+        "RDP scanning", CAT_UNRELATED, "redis",
+        "mstshash cookie probes against Redis",
+        raw_patterns=_p(r"mstshash=")),
+    CampaignSignature(
+        "RDP scanning", CAT_UNRELATED, "postgresql",
+        "mstshash cookie probes against PostgreSQL",
+        raw_patterns=_p(r"mstshash=")),
+    CampaignSignature(
+        "JDWP scanning", CAT_UNRELATED, "redis",
+        "Java Debug Wire Protocol handshakes",
+        raw_patterns=_p(r"JDWP-Handshake")),
+    CampaignSignature(
+        "CVE-2023-41892 (CraftCMS)", CAT_UNRELATED, "elasticsearch",
+        "CraftCMS conditions/render RCE recon",
+        raw_patterns=_p(r"conditions/render")),
+    CampaignSignature(
+        "CVE-2021-22005 (VMware)", CAT_UNRELATED, "elasticsearch",
+        "vSphere SOAP version recon",
+        raw_patterns=_p(r"RetrieveServiceContent|/sdk\b")),
+    CampaignSignature(
+        "Brute-force attacks", CAT_DBMS, "redis",
+        "AUTH credential guessing", min_logins=2,
+        min_distinct_credentials=2),
+    CampaignSignature(
+        "Brute-force attacks", CAT_DBMS, "postgresql",
+        "password credential guessing", min_logins=3,
+        min_distinct_credentials=3),
+    CampaignSignature(
+        "Privilege manipulation", CAT_DBMS, "postgresql",
+        "superuser password resets / NOSUPERUSER downgrades",
+        raw_patterns=_p(r"ALTER\s+USER .*(WITH\s+PASSWORD|NOSUPERUSER)")),
+    CampaignSignature(
+        "Data theft and ransom", CAT_DATA, "mongodb",
+        "dump, wipe, ransom note",
+        raw_patterns=_p(r"BTC")),
+    CampaignSignature(
+        "P2P infect (Worm)", CAT_SYSTEM, "redis",
+        "rogue-master exp.so module chain",
+        raw_patterns=_p(r"exp\.so")),
+    CampaignSignature(
+        "ABCbot (Botnet)", CAT_SYSTEM, "redis",
+        "ff.sh cron dropper",
+        raw_patterns=_p(r"ff\.sh")),
+    CampaignSignature(
+        "Kinsing malware", CAT_SYSTEM, "postgresql",
+        "COPY FROM PROGRAM base64 dropper",
+        raw_patterns=_p(r"FROM\s+PROGRAM .*base64")),
+    CampaignSignature(
+        "Lucifer botnet", CAT_SYSTEM, "elasticsearch",
+        "script_fields Java RCE fetching sss6/sv6",
+        raw_patterns=_p(r"Runtime\.getRuntime\(\)\.exec")),
+    CampaignSignature(
+        "CVE-2022-0543", CAT_SYSTEM, "redis",
+        "Lua sandbox escape via package.loadlib",
+        raw_patterns=_p(r"package\.loadlib|io\.popen")),
+)
+
+#: Ransom-note template fingerprints (Listings 7 and 8).
+RANSOM_TEMPLATES: tuple[tuple[str, re.Pattern[str]], ...] = (
+    ("template-1", re.compile(r"All your data is backed up", re.I)),
+    ("template-2", re.compile(r"Your DB has been back up", re.I)),
+)
+
+
+def tag_profile(profile: IpProfile) -> set[str]:
+    """Return the campaign tags matching one profile."""
+    tags = set()
+    combined = "\n".join(profile.raws)
+    for signature in SIGNATURES:
+        if signature.dbms != profile.dbms:
+            continue
+        if signature.min_logins:
+            if (profile.login_attempts >= signature.min_logins
+                    and len(profile.credentials)
+                    >= signature.min_distinct_credentials):
+                tags.add(signature.tag)
+            continue
+        if any(pattern.search(combined)
+               for pattern in signature.raw_patterns):
+            tags.add(signature.tag)
+    return tags
+
+
+def ransom_templates(profile: IpProfile) -> set[str]:
+    """Which ransom-note templates (if any) a profile left behind."""
+    combined = "\n".join(profile.raws)
+    return {name for name, pattern in RANSOM_TEMPLATES
+            if pattern.search(combined)}
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """One row of Table 9."""
+
+    category: str
+    dbms: str
+    tag: str
+    ip_count: int
+    cluster_count: int
+
+
+def campaign_summary(profiles: dict[tuple[str, str], IpProfile],
+                     cluster_labels: dict[tuple[str, str], int]
+                     | None = None) -> list[CampaignRow]:
+    """Build Table 9: per (category, DBMS, tag) IP and cluster counts.
+
+    ``cluster_labels`` maps (ip, dbms) to a cluster id (from
+    :mod:`repro.core.clustering`); when omitted, cluster counts are 0.
+    """
+    members: dict[tuple[str, str, str], set[str]] = {}
+    clusters: dict[tuple[str, str, str], set[int]] = {}
+    for key, profile in profiles.items():
+        for tag in tag_profile(profile):
+            signature = next(s for s in SIGNATURES
+                             if s.tag == tag and s.dbms == profile.dbms)
+            row_key = (signature.category, profile.dbms, tag)
+            members.setdefault(row_key, set()).add(profile.src_ip)
+            if cluster_labels and key in cluster_labels:
+                clusters.setdefault(row_key, set()).add(
+                    cluster_labels[key])
+    category_order = [CAT_UNRELATED, CAT_DBMS, CAT_DATA, CAT_SYSTEM]
+    rows = [CampaignRow(category, dbms, tag, len(ips),
+                        len(clusters.get((category, dbms, tag), set())))
+            for (category, dbms, tag), ips in members.items()]
+    rows.sort(key=lambda row: (category_order.index(row.category),
+                               row.dbms, row.tag))
+    return rows

@@ -1,0 +1,126 @@
+"""Behavioral classification: scanning, scouting, exploiting.
+
+The paper's Section 4.3 taxonomy, implemented as a rule engine over the
+per-IP profiles:
+
+* *scanning* -- connected, nothing more;
+* *scouting* -- login attempts or read-only information gathering;
+* *exploiting* -- state-changing or system-compromising actions.
+
+An exploiting IP is also a scout and a scanner; a scouting IP is also a
+scanner (the paper's cumulative-membership convention).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.core.loading import IpProfile
+
+
+class BehaviorClass(enum.Enum):
+    """The three adversarial behavior classes."""
+
+    SCANNING = "scanning"
+    SCOUTING = "scouting"
+    EXPLOITING = "exploiting"
+
+
+#: Action tokens that constitute exploitation, per DBMS.  These are the
+#: state-changing / system-compromising operations of Section 6.2.
+_EXPLOIT_ACTIONS: dict[str, frozenset[str]] = {
+    "redis": frozenset({
+        "SET", "DEL", "HSET", "FLUSHDB", "FLUSHALL", "CONFIG SET",
+        "SLAVEOF", "REPLICAOF", "MODULE LOAD", "SYSTEM.EXEC", "SAVE",
+        "BGSAVE", "EVAL",
+    }),
+    "postgresql": frozenset({
+        "COPY FROM PROGRAM", "ALTER USER", "ALTER ROLE", "CREATE USER",
+        "CREATE TABLE", "DROP TABLE", "INSERT", "UPDATE", "DELETE",
+    }),
+    "mongodb": frozenset({
+        "insert", "delete", "drop", "dropDatabase",
+    }),
+    "elasticsearch": frozenset(),
+}
+
+#: Raw-payload signatures that constitute exploitation regardless of the
+#: action token (e.g. scripted RCE delivered through a read endpoint).
+_EXPLOIT_RAW_PATTERNS: tuple[re.Pattern[str], ...] = (
+    re.compile(r"Runtime\.getRuntime\(\)\.exec", re.I),
+    re.compile(r"package\.loadlib", re.I),
+    re.compile(r"io\.popen", re.I),
+    re.compile(r"base64\s+-d\s*\|\s*bash", re.I),
+)
+
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Classification outcome for one (IP, DBMS) profile."""
+
+    src_ip: str
+    dbms: str
+    classes: frozenset[BehaviorClass]
+
+    @property
+    def primary(self) -> BehaviorClass:
+        """The most severe class."""
+        if BehaviorClass.EXPLOITING in self.classes:
+            return BehaviorClass.EXPLOITING
+        if BehaviorClass.SCOUTING in self.classes:
+            return BehaviorClass.SCOUTING
+        return BehaviorClass.SCANNING
+
+
+def classify_profile(profile: IpProfile) -> Classification:
+    """Classify one per-(IP, DBMS) profile."""
+    classes = {BehaviorClass.SCANNING}
+    exploit_actions = _EXPLOIT_ACTIONS.get(profile.dbms, frozenset())
+    exploiting = any(action in exploit_actions
+                     for action in profile.actions)
+    if not exploiting:
+        exploiting = any(pattern.search(raw)
+                         for raw in profile.raws
+                         for pattern in _EXPLOIT_RAW_PATTERNS)
+    if exploiting:
+        classes.add(BehaviorClass.EXPLOITING)
+        classes.add(BehaviorClass.SCOUTING)
+    elif profile.interacted:
+        classes.add(BehaviorClass.SCOUTING)
+    return Classification(profile.src_ip, profile.dbms,
+                          frozenset(classes))
+
+
+def classify_ips(profiles: dict[tuple[str, str], IpProfile],
+                 ) -> dict[tuple[str, str], Classification]:
+    """Classify every profile; keyed like the input."""
+    return {key: classify_profile(profile)
+            for key, profile in profiles.items()}
+
+
+def class_counts(classifications: dict[tuple[str, str], Classification],
+                 dbms: str) -> dict[BehaviorClass, int]:
+    """Cumulative per-class IP counts for one DBMS (Table 8 convention:
+    scouting membership implies scanning, exploiting implies both)."""
+    counts = {cls: 0 for cls in BehaviorClass}
+    for (ip, profile_dbms), classification in classifications.items():
+        if profile_dbms != dbms:
+            continue
+        for cls in classification.classes:
+            counts[cls] += 1
+    return counts
+
+
+def primary_counts(classifications: dict[tuple[str, str], Classification],
+                   dbms: str) -> dict[BehaviorClass, int]:
+    """Exclusive per-class IP counts (each IP counted once, by its most
+    severe class) -- the convention of Table 8's percentage columns."""
+    counts = {cls: 0 for cls in BehaviorClass}
+    for (ip, profile_dbms), classification in classifications.items():
+        if profile_dbms != dbms:
+            continue
+        counts[classification.primary] += 1
+    return counts

@@ -1,0 +1,228 @@
+"""Agglomerative hierarchical clustering, from scratch.
+
+Implements the paper's clustering method -- bottom-up agglomeration of
+TF feature vectors under Euclidean distance with Ward linkage -- using
+the nearest-neighbor-chain algorithm and Lance-Williams distance
+updates.  The output linkage matrix follows the SciPy convention
+``(cluster_a, cluster_b, height, size)``, so results can be
+cross-checked against ``scipy.cluster.hierarchy`` (the property tests
+do exactly that).
+
+Single, complete, and average linkage are also provided for the
+ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_LINKAGES = ("ward", "single", "complete", "average")
+
+
+def pairwise_sq_euclidean(matrix: np.ndarray) -> np.ndarray:
+    """Full (n, n) squared-Euclidean distance matrix."""
+    norms = np.einsum("ij,ij->i", matrix, matrix)
+    distances = norms[:, None] + norms[None, :] - 2.0 * (matrix @ matrix.T)
+    np.maximum(distances, 0.0, out=distances)
+    np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+def linkage(matrix: np.ndarray, method: str = "ward") -> np.ndarray:
+    """Compute the agglomeration dendrogram of ``matrix`` rows.
+
+    Returns an (n-1, 4) array of merges ``(a, b, height, size)`` in
+    merge order, heights non-decreasing, cluster ids per the SciPy
+    convention (originals ``0..n-1``, merged clusters ``n..2n-2``).
+
+    Raises
+    ------
+    ValueError
+        For unknown methods or fewer than two observations.
+    """
+    if method not in _LINKAGES:
+        raise ValueError(f"unknown linkage method {method!r}")
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or len(matrix) < 2:
+        raise ValueError("linkage needs a 2-D matrix with >= 2 rows")
+    n = len(matrix)
+    distances = pairwise_sq_euclidean(matrix)
+    if method != "ward":
+        np.sqrt(distances, out=distances)
+    np.fill_diagonal(distances, np.inf)
+
+    size = np.ones(n)
+    active = np.ones(n, dtype=bool)
+    cluster_id = np.arange(n)
+    next_id = n
+    merges = []
+    chain: list[int] = []
+
+    while len(merges) < n - 1:
+        if not chain:
+            chain.append(int(np.argmax(active)))
+        top = chain[-1]
+        row = distances[top].copy()
+        row[~active] = np.inf
+        row[top] = np.inf
+        nearest = int(np.argmin(row))
+        if len(chain) > 1 and distances[top, chain[-2]] <= row[nearest]:
+            nearest = chain.pop(-2)
+            chain.pop()  # remove `top`
+            merges.append(_merge(distances, size, active, cluster_id,
+                                 top, nearest, next_id, method))
+            next_id += 1
+        else:
+            chain.append(nearest)
+
+    result = np.array(merges)
+    # Reducibility guarantees non-decreasing heights up to float noise;
+    # sort to normalize, remapping ids to the new merge order.
+    order = np.argsort(result[:, 2], kind="stable")
+    return _reorder(result, order, n)
+
+
+def _merge(distances: np.ndarray, size: np.ndarray, active: np.ndarray,
+           cluster_id: np.ndarray, a: int, b: int, next_id: int,
+           method: str) -> tuple[float, float, float, float]:
+    d_ab = distances[a, b]
+    n_a, n_b = size[a], size[b]
+    others = active.copy()
+    others[a] = others[b] = False
+    if method == "ward":
+        n_k = size[others]
+        updated = ((n_a + n_k) * distances[a, others]
+                   + (n_b + n_k) * distances[b, others]
+                   - n_k * d_ab) / (n_a + n_b + n_k)
+        height = float(np.sqrt(d_ab))
+    elif method == "single":
+        updated = np.minimum(distances[a, others], distances[b, others])
+        height = float(d_ab)
+    elif method == "complete":
+        updated = np.maximum(distances[a, others], distances[b, others])
+        height = float(d_ab)
+    else:  # average
+        updated = (n_a * distances[a, others]
+                   + n_b * distances[b, others]) / (n_a + n_b)
+        height = float(d_ab)
+    record = (float(cluster_id[a]), float(cluster_id[b]), height,
+              float(n_a + n_b))
+    # The merged cluster takes slot ``a``; slot ``b`` is retired.
+    distances[a, others] = updated
+    distances[others, a] = updated
+    distances[a, a] = np.inf
+    distances[b, :] = np.inf
+    distances[:, b] = np.inf
+    size[a] = n_a + n_b
+    active[b] = False
+    cluster_id[a] = next_id
+    return record
+
+
+def _reorder(result: np.ndarray, order: np.ndarray, n: int) -> np.ndarray:
+    """Sort merges by height and remap merged-cluster ids accordingly."""
+    remap = {}
+    for new_index, old_index in enumerate(order):
+        remap[n + old_index] = n + new_index
+    sorted_result = result[order].copy()
+    for row in sorted_result:
+        for column in (0, 1):
+            original = int(row[column])
+            if original >= n:
+                row[column] = remap[original]
+        if row[0] > row[1]:
+            row[0], row[1] = row[1], row[0]
+    return sorted_result
+
+
+def ward_linkage(matrix: np.ndarray) -> np.ndarray:
+    """Ward-linkage dendrogram (the paper's configuration)."""
+    return linkage(matrix, "ward")
+
+
+def cut_tree(merges: np.ndarray, n_leaves: int, *,
+             n_clusters: int | None = None,
+             distance_threshold: float | None = None) -> np.ndarray:
+    """Flatten a dendrogram into integer labels.
+
+    Exactly one of ``n_clusters`` / ``distance_threshold`` must be
+    given.  With a threshold, merges with height strictly above it are
+    not applied (SciPy ``fcluster(criterion="distance")`` semantics keep
+    merges at height <= t).
+    """
+    if (n_clusters is None) == (distance_threshold is None):
+        raise ValueError(
+            "specify exactly one of n_clusters / distance_threshold")
+    if n_clusters is not None:
+        if not 1 <= n_clusters <= n_leaves:
+            raise ValueError("n_clusters out of range")
+        applied = len(merges) - (n_clusters - 1)
+    else:
+        applied = int(np.searchsorted(merges[:, 2], distance_threshold,
+                                      side="right"))
+    parent = list(range(n_leaves + len(merges)))
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for index in range(applied):
+        a, b = int(merges[index, 0]), int(merges[index, 1])
+        merged = n_leaves + index
+        parent[find(a)] = merged
+        parent[find(b)] = merged
+    roots: dict[int, int] = {}
+    labels = np.empty(n_leaves, dtype=int)
+    for leaf in range(n_leaves):
+        root = find(leaf)
+        labels[leaf] = roots.setdefault(root, len(roots))
+    return labels
+
+
+@dataclass
+class AgglomerativeClustering:
+    """Scikit-learn-flavored wrapper: fit a matrix, read ``labels_``.
+
+    Parameters
+    ----------
+    n_clusters:
+        Cut the dendrogram to exactly this many clusters, or
+    distance_threshold:
+        cut at this merge height instead.
+    method:
+        Linkage method (default ``ward``, the paper's choice).
+    """
+
+    n_clusters: int | None = None
+    distance_threshold: float | None = None
+    method: str = "ward"
+    labels_: np.ndarray = field(default=None, repr=False)  # type: ignore
+    merges_: np.ndarray = field(default=None, repr=False)  # type: ignore
+
+    def fit(self, matrix: np.ndarray) -> "AgglomerativeClustering":
+        """Cluster the rows of ``matrix``."""
+        matrix = np.asarray(matrix, dtype=float)
+        if len(matrix) == 1:
+            self.merges_ = np.empty((0, 4))
+            self.labels_ = np.zeros(1, dtype=int)
+            return self
+        self.merges_ = linkage(matrix, self.method)
+        self.labels_ = cut_tree(self.merges_, len(matrix),
+                                n_clusters=self.n_clusters,
+                                distance_threshold=self.distance_threshold)
+        return self
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
+        """Cluster and return the labels."""
+        return self.fit(matrix).labels_
+
+    @property
+    def n_clusters_(self) -> int:
+        """Number of clusters found."""
+        if self.labels_ is None:
+            raise RuntimeError("call fit first")
+        return int(self.labels_.max()) + 1

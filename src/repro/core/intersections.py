@@ -1,0 +1,75 @@
+"""Honeypot-set intersections (the Figure 4 upset plot).
+
+For the medium/high tier, each source IP touches some subset of the
+four honeypot families; the upset plot shows how many IPs fall into
+each exact subset.  Most IPs hit a single family, with a notable
+overlap cohort probing several -- including the RDP scanners seen on
+both Redis and PostgreSQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.loading import IpProfile
+
+
+@dataclass(frozen=True)
+class UpsetData:
+    """Exact-subset membership counts."""
+
+    #: Sorted family names (the plot's set axis).
+    families: tuple[str, ...]
+    #: combination (frozenset of families) -> number of IPs in exactly
+    #: that combination.
+    combinations: dict[frozenset, int]
+
+    def count(self, *families: str) -> int:
+        """IPs seen on exactly this combination of families."""
+        return self.combinations.get(frozenset(families), 0)
+
+    def total_unique(self) -> int:
+        """Total unique IPs."""
+        return sum(self.combinations.values())
+
+    def per_family_totals(self) -> dict[str, int]:
+        """IPs per family (the set-size bars; overlaps counted in
+        every family they touch)."""
+        totals = {family: 0 for family in self.families}
+        for combination, count in self.combinations.items():
+            for family in combination:
+                totals[family] += count
+        return totals
+
+    def single_family_fraction(self) -> float:
+        """Fraction of IPs touching exactly one family."""
+        total = self.total_unique()
+        if total == 0:
+            return 0.0
+        singles = sum(count for combination, count
+                      in self.combinations.items()
+                      if len(combination) == 1)
+        return singles / total
+
+    def rows(self) -> list[tuple[str, int]]:
+        """(combination, count) rows, largest first."""
+        ordered = sorted(self.combinations.items(),
+                         key=lambda item: (-item[1],
+                                           sorted(item[0])))
+        return [("+".join(sorted(combination)), count)
+                for combination, count in ordered]
+
+
+def upset_intersections(profiles: dict[tuple[str, str], IpProfile],
+                        ) -> UpsetData:
+    """Compute Figure 4 from medium/high profiles."""
+    memberships: dict[str, set[str]] = {}
+    for (ip, dbms), _profile in profiles.items():
+        memberships.setdefault(ip, set()).add(dbms)
+    families = tuple(sorted({dbms for sets in memberships.values()
+                             for dbms in sets}))
+    combinations: dict[frozenset, int] = {}
+    for ip, family_set in memberships.items():
+        key = frozenset(family_set)
+        combinations[key] = combinations.get(key, 0) + 1
+    return UpsetData(families, combinations)

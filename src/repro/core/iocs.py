@@ -1,0 +1,151 @@
+"""Indicator-of-compromise extraction (the Section 6.3 methodology).
+
+The paper's case studies pivot on IOCs recovered from captured
+payloads: loader URLs (``http://<IP>:<PORT>/ff.sh``), Bitcoin addresses
+and contact emails from ransom notes, SSH keys from P2PInfect, and
+dropped-file paths.  This module extracts the same indicator classes
+from per-IP raw payloads, so campaigns can be pivoted on shared
+infrastructure -- e.g. all 35 P2PInfect IPs share one loader endpoint.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.loading import IpProfile
+
+_URL = re.compile(r"\bhttps?://([0-9]{1,3}(?:\.[0-9]{1,3}){3})"
+                  r"(?::([0-9]{2,5}))?(/[^\s'\"|<>]*)?")
+_DEV_TCP = re.compile(r"/dev/tcp/([0-9]{1,3}(?:\.[0-9]{1,3}){3})/"
+                      r"([0-9]{2,5})")
+_BTC = re.compile(r"\b(bc1[a-z0-9]{8,64}|[13][a-km-zA-HJ-NP-Z1-9]"
+                  r"{25,34})\b")
+_EMAIL = re.compile(r"\b[\w.+-]+@[\w-]+(?:\.[\w-]+)+\b")
+_SSH_KEY = re.compile(r"\bssh-(?:rsa|ed25519)\s+[A-Za-z0-9+/=]{16,}")
+_DROPPED_FILE = re.compile(r"(/tmp/[\w.\-]+|/var/spool/cron[\w./\-]*"
+                           r"|/root/\.ssh/[\w.\-]+|/etc/cron\.d/"
+                           r"[\w.\-]+)")
+_BTC_AMOUNT = re.compile(r"\b([0-9]+\.[0-9]+)\s*BTC\b", re.I)
+
+
+@dataclass(frozen=True)
+class IocSet:
+    """Indicators recovered from one profile (or one campaign)."""
+
+    loader_endpoints: frozenset[str] = frozenset()
+    urls: frozenset[str] = frozenset()
+    btc_addresses: frozenset[str] = frozenset()
+    btc_amounts: frozenset[str] = frozenset()
+    emails: frozenset[str] = frozenset()
+    ssh_keys: frozenset[str] = frozenset()
+    dropped_files: frozenset[str] = frozenset()
+
+    def __bool__(self) -> bool:
+        return any((self.loader_endpoints, self.urls,
+                    self.btc_addresses, self.emails, self.ssh_keys,
+                    self.dropped_files))
+
+    def merge(self, other: "IocSet") -> "IocSet":
+        """Union of two indicator sets."""
+        return IocSet(
+            loader_endpoints=self.loader_endpoints
+            | other.loader_endpoints,
+            urls=self.urls | other.urls,
+            btc_addresses=self.btc_addresses | other.btc_addresses,
+            btc_amounts=self.btc_amounts | other.btc_amounts,
+            emails=self.emails | other.emails,
+            ssh_keys=self.ssh_keys | other.ssh_keys,
+            dropped_files=self.dropped_files | other.dropped_files)
+
+
+_BASE64_BLOB = re.compile(r"\b[A-Za-z0-9+/]{40,}={0,2}\b")
+
+
+def _decode_base64_blobs(texts: list[str]) -> list[str]:
+    """Decode embedded base64 payloads (the paper decodes Kinsing's
+    ``COPY FROM PROGRAM 'echo <b64>|base64 -d|bash'`` stage this way)."""
+    import base64
+
+    decoded = []
+    for text in texts:
+        for blob in _BASE64_BLOB.findall(text):
+            try:
+                raw = base64.b64decode(blob, validate=True)
+            except (ValueError, binascii_error):
+                continue
+            candidate = raw.decode("utf-8", "replace")
+            if sum(char.isprintable() or char in "\n\t"
+                   for char in candidate) > 0.9 * max(1, len(candidate)):
+                decoded.append(candidate)
+    return decoded
+
+
+try:
+    from binascii import Error as binascii_error
+except ImportError:  # pragma: no cover
+    binascii_error = ValueError
+
+
+def extract_iocs(texts: list[str]) -> IocSet:
+    """Extract all indicator classes from raw payload texts.
+
+    Embedded base64 payloads are decoded and searched too.
+    """
+    texts = list(texts) + _decode_base64_blobs(texts)
+    loaders: set[str] = set()
+    urls: set[str] = set()
+    for text in texts:
+        for match in _URL.finditer(text):
+            host, port, path = match.groups()
+            endpoint = host + (f":{port}" if port else "")
+            loaders.add(endpoint)
+            urls.add(match.group(0))
+        for match in _DEV_TCP.finditer(text):
+            loaders.add(f"{match.group(1)}:{match.group(2)}")
+    combined = "\n".join(texts)
+    return IocSet(
+        loader_endpoints=frozenset(loaders),
+        urls=frozenset(urls),
+        btc_addresses=frozenset(_BTC.findall(combined)),
+        btc_amounts=frozenset(_BTC_AMOUNT.findall(combined)),
+        emails=frozenset(_EMAIL.findall(combined)),
+        ssh_keys=frozenset(match.group(0)
+                           for match in _SSH_KEY.finditer(combined)),
+        dropped_files=frozenset(_DROPPED_FILE.findall(combined)),
+    )
+
+
+def profile_iocs(profile: IpProfile) -> IocSet:
+    """Extract IOCs from one per-IP profile."""
+    return extract_iocs(profile.raws)
+
+
+@dataclass
+class InfrastructurePivot:
+    """Groups source IPs by shared loader infrastructure."""
+
+    #: loader endpoint -> source IPs that referenced it.
+    by_endpoint: dict[str, set[str]] = field(default_factory=dict)
+
+    def add(self, src_ip: str, iocs: IocSet) -> None:
+        for endpoint in iocs.loader_endpoints:
+            self.by_endpoint.setdefault(endpoint, set()).add(src_ip)
+
+    def shared_endpoints(self, minimum: int = 2) -> dict[str, set[str]]:
+        """Endpoints referenced by at least ``minimum`` distinct IPs --
+        the campaign-infrastructure signal."""
+        return {endpoint: ips
+                for endpoint, ips in self.by_endpoint.items()
+                if len(ips) >= minimum}
+
+
+def pivot_infrastructure(profiles: dict[tuple[str, str], IpProfile],
+                         ) -> InfrastructurePivot:
+    """Build the loader-infrastructure pivot over all profiles."""
+    pivot = InfrastructurePivot()
+    for (src_ip, _dbms), profile in profiles.items():
+        iocs = profile_iocs(profile)
+        if iocs.loader_endpoints:
+            pivot.add(src_ip, iocs)
+    return pivot

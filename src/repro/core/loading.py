@@ -1,0 +1,175 @@
+"""Load per-IP views from a converted SQLite database.
+
+The analysis operates on two shapes of data:
+
+* :class:`IpProfile` -- per-(IP, DBMS) aggregates: event counts, first /
+  last day seen, source metadata, and the ordered action sequence used
+  for classification and clustering;
+* raw event iteration for the table builders in
+  :mod:`repro.core.reports`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.pipeline.convert import open_database
+
+#: Seconds per day, used to bucket timestamps into experiment days.
+DAY_SECONDS = 86400.0
+
+
+@dataclass
+class IpProfile:
+    """Everything observed from one source IP against one DBMS."""
+
+    src_ip: str
+    dbms: str
+    country: str = "Unknown"
+    asn: int | None = None
+    as_name: str = "Unknown"
+    as_type: str = "Unknown"
+    institutional: bool = False
+    connects: int = 0
+    login_attempts: int = 0
+    #: Distinct (username, password) pairs tried.
+    credentials: set[tuple[str, str]] = field(default_factory=set)
+    #: Ordered action tokens (commands, queries, HTTP requests).
+    actions: list[str] = field(default_factory=list)
+    #: Raw payload excerpts, for signature matching.
+    raws: list[str] = field(default_factory=list)
+    malformed: int = 0
+    first_ts: float = float("inf")
+    last_ts: float = float("-inf")
+    days_seen: set[int] = field(default_factory=set)
+    configs: set[str] = field(default_factory=set)
+
+    @property
+    def active_days(self) -> int:
+        """Number of distinct experiment days with activity."""
+        return len(self.days_seen)
+
+    @property
+    def interacted(self) -> bool:
+        """Whether the IP did anything beyond connecting."""
+        return bool(self.actions or self.login_attempts or self.malformed)
+
+
+def load_ip_profiles(db_path: str | Path, *,
+                     interaction: str | None = None,
+                     dbms: str | None = None,
+                     start_ts: float | None = None,
+                     ) -> dict[tuple[str, str], IpProfile]:
+    """Build per-(IP, DBMS) profiles from a converted database.
+
+    Parameters
+    ----------
+    db_path:
+        SQLite database produced by the pipeline.
+    interaction / dbms:
+        Optional filters.
+    start_ts:
+        Experiment start timestamp for day bucketing; defaults to the
+        earliest event in the database.
+    """
+    connection = open_database(db_path)
+    try:
+        where, params = _filters(interaction, dbms)
+        if start_ts is None:
+            row = connection.execute(
+                f"SELECT MIN(timestamp) FROM events{where}",
+                params).fetchone()
+            start_ts = row[0] if row and row[0] is not None else 0.0
+        profiles: dict[tuple[str, str], IpProfile] = {}
+        cursor = connection.execute(
+            "SELECT src_ip, dbms, country, asn, as_name, as_type, "
+            "institutional, event_type, action, raw, timestamp, config, "
+            "username, password "
+            f"FROM events{where} ORDER BY timestamp, id", params)
+        for row in cursor:
+            key = (row["src_ip"], row["dbms"])
+            profile = profiles.get(key)
+            if profile is None:
+                profile = IpProfile(
+                    src_ip=row["src_ip"], dbms=row["dbms"],
+                    country=row["country"], asn=row["asn"],
+                    as_name=row["as_name"], as_type=row["as_type"],
+                    institutional=bool(row["institutional"]))
+                profiles[key] = profile
+            _accumulate(profile, row, start_ts)
+        return profiles
+    finally:
+        connection.close()
+
+
+def _accumulate(profile: IpProfile, row: sqlite3.Row,
+                start_ts: float) -> None:
+    timestamp = row["timestamp"]
+    profile.first_ts = min(profile.first_ts, timestamp)
+    profile.last_ts = max(profile.last_ts, timestamp)
+    profile.days_seen.add(int((timestamp - start_ts) // DAY_SECONDS))
+    profile.configs.add(row["config"])
+    event_type = row["event_type"]
+    if event_type == "connect":
+        profile.connects += 1
+    elif event_type == "login_attempt":
+        profile.login_attempts += 1
+        username = row["username"] or ""
+        profile.credentials.add((username, row["password"] or ""))
+        # The username is part of the clustering term: brute-force tools
+        # differ in the account lists they target, and that is what
+        # separates their clusters.
+        profile.actions.append(f"LOGIN {username}")
+    elif event_type in ("command", "query", "http_request"):
+        if row["action"]:
+            profile.actions.append(row["action"])
+        if row["raw"]:
+            profile.raws.append(row["raw"])
+    elif event_type == "malformed":
+        profile.malformed += 1
+        raw = row["raw"] or ""
+        if raw:
+            profile.raws.append(raw)
+        # A coarse content fingerprint keeps different probe families
+        # (RDP cookies vs JDWP handshakes vs TLS hellos) in different
+        # clustering terms while identical bot payloads still collide.
+        digest = hashlib.md5(raw.encode("utf-8", "replace")).hexdigest()
+        profile.actions.append(f"MALFORMED {digest[:6]}")
+
+
+def _filters(interaction: str | None,
+             dbms: str | None) -> tuple[str, list]:
+    clauses = []
+    params: list = []
+    if interaction is not None:
+        clauses.append("interaction = ?")
+        params.append(interaction)
+    if dbms is not None:
+        clauses.append("dbms = ?")
+        params.append(dbms)
+    if not clauses:
+        return "", params
+    return " WHERE " + " AND ".join(clauses), params
+
+
+def action_sequences(profiles: dict[tuple[str, str], IpProfile],
+                     *, dbms: str | None = None,
+                     require_actions: bool = True,
+                     ) -> dict[str, list[str]]:
+    """Per-IP action sequences (the clustering "documents").
+
+    When ``require_actions`` is set, IPs that only connected are
+    excluded -- the paper notes that clustering pure scanners is
+    uninformative.
+    """
+    sequences: dict[str, list[str]] = {}
+    for (src_ip, profile_dbms), profile in profiles.items():
+        if dbms is not None and profile_dbms != dbms:
+            continue
+        if require_actions and not profile.actions:
+            continue
+        sequences[src_ip] = list(profile.actions)
+    return sequences

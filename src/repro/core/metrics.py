@@ -1,0 +1,83 @@
+"""Clustering quality metrics, from scratch.
+
+Used by the ablation benches to compare linkage methods and feature
+choices quantitatively:
+
+* :func:`silhouette_score` -- mean silhouette coefficient over all
+  samples (cohesion vs separation, in [-1, 1]),
+* :func:`adjusted_rand_index` -- chance-corrected agreement between two
+  partitions, 1.0 for identical partitions, ~0 for independent ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clustering import pairwise_sq_euclidean
+
+
+def silhouette_score(matrix: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient of a clustering.
+
+    Samples in singleton clusters contribute 0, per the standard
+    convention.
+
+    Raises
+    ------
+    ValueError
+        If fewer than 2 clusters are present (silhouette undefined).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    labels = np.asarray(labels)
+    if len(matrix) != len(labels):
+        raise ValueError("matrix and labels must have equal length")
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("silhouette requires at least 2 clusters")
+    distances = np.sqrt(pairwise_sq_euclidean(matrix))
+    scores = np.zeros(len(matrix))
+    members = {label: np.flatnonzero(labels == label)
+               for label in unique}
+    for index in range(len(matrix)):
+        own = members[labels[index]]
+        if len(own) == 1:
+            continue
+        a = distances[index, own].sum() / (len(own) - 1)
+        b = min(distances[index, members[other]].mean()
+                for other in unique if other != labels[index])
+        denominator = max(a, b)
+        scores[index] = 0.0 if denominator == 0 else (b - a) / denominator
+    return float(scores.mean())
+
+
+def adjusted_rand_index(labels_a: np.ndarray,
+                        labels_b: np.ndarray) -> float:
+    """Adjusted Rand index between two partitions of the same samples."""
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if len(labels_a) != len(labels_b):
+        raise ValueError("partitions must cover the same samples")
+    n = len(labels_a)
+    if n == 0:
+        raise ValueError("empty partitions")
+    values_a, inverse_a = np.unique(labels_a, return_inverse=True)
+    values_b, inverse_b = np.unique(labels_b, return_inverse=True)
+    contingency = np.zeros((len(values_a), len(values_b)), dtype=np.int64)
+    np.add.at(contingency, (inverse_a, inverse_b), 1)
+
+    def comb2(array: np.ndarray) -> float:
+        return float((array * (array - 1) // 2).sum())
+
+    sum_cells = comb2(contingency)
+    sum_rows = comb2(contingency.sum(axis=1))
+    sum_cols = comb2(contingency.sum(axis=0))
+    total = n * (n - 1) / 2
+    expected = sum_rows * sum_cols / total if total else 0.0
+    maximum = (sum_rows + sum_cols) / 2
+    if maximum == expected:
+        # Degenerate partitions (e.g. both all-singletons): identical
+        # partitions score 1, anything else 0.
+        return 1.0 if (labels_a == labels_a[0]).all() == (
+            labels_b == labels_b[0]).all() and sum_rows == sum_cols \
+            and sum_cells == sum_rows else 0.0
+    return (sum_cells - expected) / (maximum - expected)

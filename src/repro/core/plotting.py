@@ -1,0 +1,114 @@
+"""Plain-text figure rendering.
+
+The benches regenerate the paper's figures as data; this module renders
+them as terminal-friendly charts so `benchmarks/_output/` contains
+actual figures, not just tables:
+
+* :func:`sparkline` -- one-line unicode intensity strip,
+* :func:`line_chart` -- multi-row ASCII line chart for time series,
+* :func:`cdf_chart` -- step-plot rendering for retention CDFs.
+"""
+
+from __future__ import annotations
+
+import math
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """Render ``values`` as a one-line unicode sparkline."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0 or not math.isfinite((len(_SPARKS) - 1) / span):
+        # Flat series, or a span so small (subnormal) that scaling
+        # overflows -- render as flat.
+        return _SPARKS[0] * len(values)
+    scale = (len(_SPARKS) - 1) / span
+    return "".join(_SPARKS[min(len(_SPARKS) - 1,
+                               int((value - low) * scale))]
+                   for value in values)
+
+
+def line_chart(values: list[float], *, height: int = 10,
+               width: int = 72, label: str = "") -> str:
+    """Render a time series as an ASCII chart.
+
+    The series is resampled (by bucket means) to at most ``width``
+    columns.
+
+    Raises
+    ------
+    ValueError
+        For empty input or non-positive dimensions.
+    """
+    if not values:
+        raise ValueError("cannot chart an empty series")
+    if height < 2 or width < 2:
+        raise ValueError("chart dimensions must be at least 2x2")
+    resampled = _resample(values, width)
+    low, high = min(resampled), max(resampled)
+    span = (high - low) or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = low + span * (level - 0.5) / height
+        cells = "".join("█" if value >= threshold else " "
+                        for value in resampled)
+        prefix = (f"{high:8.1f} |" if level == height
+                  else f"{low:8.1f} |" if level == 1 else "         |")
+        rows.append(prefix + cells)
+    rows.append("         +" + "-" * len(resampled))
+    if label:
+        rows.append(f"          {label}")
+    return "\n".join(rows)
+
+
+def cdf_chart(points: list[tuple[float, float]], *, height: int = 10,
+              width: int = 60, label: str = "") -> str:
+    """Render an empirical CDF (sorted (x, F(x)) points) as a step plot.
+
+    Raises
+    ------
+    ValueError
+        For empty input.
+    """
+    if not points:
+        raise ValueError("cannot chart an empty CDF")
+    max_x = max(x for x, _y in points)
+    columns = []
+    for column in range(width):
+        x = max_x * (column + 1) / width
+        y = 0.0
+        for point_x, point_y in points:
+            if point_x <= x:
+                y = point_y
+            else:
+                break
+        columns.append(y)
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = (level - 0.5) / height
+        cells = "".join("█" if y >= threshold else " "
+                        for y in columns)
+        prefix = ("    1.00 |" if level == height
+                  else "    0.00 |" if level == 1 else "         |")
+        rows.append(prefix + cells)
+    rows.append("         +" + "-" * width
+                + f"  (x: 0..{max_x:g}{' ' + label if label else ''})")
+    return "\n".join(rows)
+
+
+def _resample(values: list[float], width: int) -> list[float]:
+    if len(values) <= width:
+        return [float(value) for value in values]
+    bucket = len(values) / width
+    resampled = []
+    for index in range(width):
+        start = int(index * bucket)
+        end = max(start + 1, int((index + 1) * bucket))
+        chunk = values[start:end]
+        resampled.append(sum(chunk) / len(chunk))
+    return resampled

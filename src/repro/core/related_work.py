@@ -1,0 +1,75 @@
+"""Related-work comparison tables (Tables 1 and 2 of the paper).
+
+Static by nature -- these tables summarize prior literature -- but kept
+as structured data so the bench can regenerate and sanity-check them
+(e.g. this work is the only live-data DBMS-honeypot study).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HoneypotStudy:
+    """One row of Table 1 (quantitative comparison)."""
+
+    work: str
+    honeypot: str
+    instances: int
+    collection: str
+    traffic: str
+    attacks: str
+    period: str
+    duration_days: int
+
+
+TABLE1_STUDIES: tuple[HoneypotStudy, ...] = (
+    HoneypotStudy("Pa et al.", "IoTPOT (Telnet: IoT)", 87, "Live",
+                  "180,581 host IPs", "79,935 exploitative IPs",
+                  "Apr'15-Jun'15", 81),
+    HoneypotStudy("Wang et al.", "ThingPot (REST, XMPP: IoT)", 1, "Live",
+                  "113,741 requests", "47,297 targeted requests",
+                  "Jun'17-Aug'17", 47),
+    HoneypotStudy("Dodson et al.", "SecuriOT (ICS protocols)", 120,
+                  "Live", "202,467 packets",
+                  "9 ICS attacks, 3,919 malicious interactions",
+                  "Mar'18-Apr'19", 395),
+    HoneypotStudy("Hiesgen et al.", "Spoki (reactive telescope)", 4,
+                  "Live", "16,597,830 two-phase scanner events",
+                  "4,140,195 events with payload", "Apr'20-Jan'20", 90),
+    HoneypotStudy("Munteanu et al.", "SSH/Telnet Honeyfarm", 221, "Live",
+                  "402 million sessions", "~122 million intrusive",
+                  "Nov'21-Mar'23", 450),
+    HoneypotStudy("Wu et al.", "closed/open/web honeypots (IoT)", 28,
+                  "Live", "14,693,367 requests", "N/A (ethics focus)",
+                  "Mar'23-Mar'24", 365),
+    HoneypotStudy("van Liebergen et al.", "MySQL", 5, "Live",
+                  "62 attacker hosts", "131 ransom notes, 3 templates",
+                  "Jun'24, Sep'24", 40),
+    HoneypotStudy("This work",
+                  "Qeeqbox, RedisHoneyPot, Sticky Elephant, Elasticpot, "
+                  "Mongo-honeypot", 278, "Live",
+                  "3,340 low-int IPs, 3,665 med/high IPs",
+                  "324 exploitative IPs", "Mar'24-Apr'24", 20),
+)
+
+
+@dataclass(frozen=True)
+class DbmsHoneypotStudy:
+    """One row of Table 2 (qualitative comparison)."""
+
+    work: str
+    year: int
+    new_method: bool
+    simulated_data: bool
+    historical_data: bool
+    live_data: bool
+
+
+TABLE2_STUDIES: tuple[DbmsHoneypotStudy, ...] = (
+    DbmsHoneypotStudy("Ma et al.", 2011, True, True, False, False),
+    DbmsHoneypotStudy("Wegerer et al.", 2016, True, False, False, False),
+    DbmsHoneypotStudy("Hu et al.", 2024, True, False, True, False),
+    DbmsHoneypotStudy("This work", 2025, False, False, False, True),
+)

@@ -1,0 +1,355 @@
+"""Table builders for the remaining evaluation tables.
+
+Each function regenerates one table of the paper from a converted
+SQLite database (plus, for Table 8/9, the clustering output).  Pretty
+printers render the rows the way the benches report them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.classification import (BehaviorClass, classify_ips,
+                                       primary_counts)
+from repro.core.clustering import AgglomerativeClustering
+from repro.core.loading import IpProfile, action_sequences
+from repro.core.tf import TfVectorizer
+from repro.pipeline.convert import open_database
+
+# -- Table 6: top ASN ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AsnRow:
+    """One row of Table 6."""
+
+    asn: int
+    as_name: str
+    ip_count: int
+    share: float
+    logins: int
+    by_dbms: dict[str, int]
+
+
+def asn_table(db_path: str | Path, top: int = 10) -> list[AsnRow]:
+    """Table 6: top ASNs by IP count, with login split."""
+    connection = open_database(db_path)
+    try:
+        (total_ips,) = connection.execute(
+            "SELECT COUNT(DISTINCT src_ip) FROM events").fetchone()
+        ip_counts = {}
+        for asn, as_name, count in connection.execute(
+                "SELECT asn, as_name, COUNT(DISTINCT src_ip) FROM events "
+                "WHERE asn IS NOT NULL GROUP BY asn"):
+            ip_counts[asn] = (as_name, count)
+        login_counts: dict[int, dict[str, int]] = {}
+        for asn, dbms, count in connection.execute(
+                "SELECT asn, dbms, COUNT(*) FROM events "
+                "WHERE event_type = 'login_attempt' AND asn IS NOT NULL "
+                "GROUP BY asn, dbms"):
+            login_counts.setdefault(asn, {})[dbms] = count
+    finally:
+        connection.close()
+    rows = []
+    for asn, (as_name, count) in ip_counts.items():
+        by_dbms = login_counts.get(asn, {})
+        rows.append(AsnRow(asn, as_name, count,
+                           count / total_ips if total_ips else 0.0,
+                           sum(by_dbms.values()), by_dbms))
+    rows.sort(key=lambda row: -row.ip_count)
+    return rows[:top]
+
+
+# -- Table 7: AS types of login sources ------------------------------------------
+
+
+def as_type_logins(db_path: str | Path) -> dict[str, int]:
+    """Table 7: distinct IPs attempting logins, by AS type."""
+    connection = open_database(db_path)
+    try:
+        return dict(connection.execute(
+            "SELECT as_type, COUNT(DISTINCT src_ip) FROM events "
+            "WHERE event_type = 'login_attempt' "
+            "GROUP BY as_type ORDER BY 2 DESC"))
+    finally:
+        connection.close()
+
+
+# -- Section 5: single- vs multi-service hosts -------------------------------------
+
+
+@dataclass(frozen=True)
+class SingleVsMulti:
+    """The Section 5 control-group comparison."""
+
+    single_ips: int
+    multi_ips: int
+    overlap: int
+    brute_single_only: int
+    brute_multi_only: int
+
+
+def single_vs_multi(db_path: str | Path) -> SingleVsMulti:
+    """Compare the single-service control group with the multi-service
+    deployment."""
+    connection = open_database(db_path)
+    try:
+        single = {row[0] for row in connection.execute(
+            "SELECT DISTINCT src_ip FROM events WHERE config = 'single'")}
+        multi = {row[0] for row in connection.execute(
+            "SELECT DISTINCT src_ip FROM events WHERE config = 'multi'")}
+        brute_single = {row[0] for row in connection.execute(
+            "SELECT DISTINCT src_ip FROM events WHERE config = 'single' "
+            "AND event_type = 'login_attempt'")}
+        brute_multi = {row[0] for row in connection.execute(
+            "SELECT DISTINCT src_ip FROM events WHERE config = 'multi' "
+            "AND event_type = 'login_attempt'")}
+    finally:
+        connection.close()
+    overlap = single & multi
+    return SingleVsMulti(
+        single_ips=len(single),
+        multi_ips=len(multi),
+        overlap=len(overlap),
+        brute_single_only=len((brute_single - brute_multi) & overlap),
+        brute_multi_only=len((brute_multi - brute_single) & overlap),
+    )
+
+
+# -- Table 10: exploiting countries ---------------------------------------------------
+
+
+def exploit_countries(profiles: dict[tuple[str, str], IpProfile],
+                      top: int = 10) -> list[tuple[str, int,
+                                                   dict[str, int]]]:
+    """Table 10: top countries by exploiting IPs, split per DBMS."""
+    classifications = classify_ips(profiles)
+    per_country: dict[str, dict[str, set[str]]] = {}
+    for key, classification in classifications.items():
+        if BehaviorClass.EXPLOITING not in classification.classes:
+            continue
+        profile = profiles[key]
+        country = per_country.setdefault(profile.country, {})
+        country.setdefault(profile.dbms, set()).add(profile.src_ip)
+    rows = []
+    for country, by_dbms in per_country.items():
+        unique = {ip for ips in by_dbms.values() for ip in ips}
+        rows.append((country, len(unique),
+                     {dbms: len(ips) for dbms, ips in by_dbms.items()}))
+    rows.sort(key=lambda row: -row[1])
+    return rows[:top]
+
+
+# -- Table 11: AS type x behavior class ---------------------------------------------
+
+
+def as_type_behavior(profiles: dict[tuple[str, str], IpProfile],
+                     ) -> dict[str, dict[BehaviorClass, int]]:
+    """Table 11: unique IPs per (AS type, primary behavior class)."""
+    classifications = classify_ips(profiles)
+    severity = {BehaviorClass.SCANNING: 0, BehaviorClass.SCOUTING: 1,
+                BehaviorClass.EXPLOITING: 2}
+    per_ip: dict[str, tuple[str, BehaviorClass]] = {}
+    for key, classification in classifications.items():
+        profile = profiles[key]
+        primary = classification.primary
+        current = per_ip.get(profile.src_ip)
+        if current is None or severity[primary] > severity[current[1]]:
+            per_ip[profile.src_ip] = (profile.as_type, primary)
+    table: dict[str, dict[BehaviorClass, int]] = {}
+    for as_type, cls in per_ip.values():
+        row = table.setdefault(as_type,
+                               {c: 0 for c in BehaviorClass})
+        row[cls] += 1
+    return table
+
+
+# -- Section 6: configuration effects ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConfigEffect:
+    """The Section 6 configuration ablation."""
+
+    psql_open_logins: int
+    psql_restricted_logins: int
+    redis_default_type_cmds: int
+    redis_fake_data_type_cmds: int
+
+
+def config_effect(db_path: str | Path) -> ConfigEffect:
+    """Compare honeypot configurations: login volume on open vs
+    restricted PostgreSQL, TYPE probing on default vs fake-data Redis."""
+    connection = open_database(db_path)
+    try:
+        def count(sql: str, *params: str) -> int:
+            (value,) = connection.execute(sql, params).fetchone()
+            return value
+
+        return ConfigEffect(
+            psql_open_logins=count(
+                "SELECT COUNT(*) FROM events WHERE dbms = 'postgresql' "
+                "AND config = 'default' AND event_type = 'login_attempt'"),
+            psql_restricted_logins=count(
+                "SELECT COUNT(*) FROM events WHERE dbms = 'postgresql' "
+                "AND config = 'login_disabled' "
+                "AND event_type = 'login_attempt'"),
+            redis_default_type_cmds=count(
+                "SELECT COUNT(*) FROM events WHERE dbms = 'redis' "
+                "AND config = 'default' AND action = 'TYPE'"),
+            redis_fake_data_type_cmds=count(
+                "SELECT COUNT(*) FROM events WHERE dbms = 'redis' "
+                "AND config = 'fake_data' AND action = 'TYPE'"),
+        )
+    finally:
+        connection.close()
+
+
+# -- Table 8: classification + clustering --------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClassificationRow:
+    """One row of Table 8."""
+
+    dbms: str
+    total_ips: int
+    scanning: int
+    scouting: int
+    exploiting: int
+    clusters: int
+
+
+def cluster_dbms(profiles: dict[tuple[str, str], IpProfile], dbms: str,
+                 *, distance_threshold: float = 0.18,
+                 ) -> dict[tuple[str, str], int]:
+    """Cluster one DBMS's interactive IPs by their TF action vectors.
+
+    Returns (ip, dbms) -> cluster label.  Pure scanners (no actions)
+    are excluded, as in the paper.
+    """
+    sequences = action_sequences(profiles, dbms=dbms)
+    if not sequences:
+        return {}
+    ips = sorted(sequences)
+    documents = [sequences[ip] for ip in ips]
+    matrix = TfVectorizer().fit_transform(documents)
+    model = AgglomerativeClustering(
+        distance_threshold=distance_threshold).fit(matrix)
+    return {(ip, dbms): int(label)
+            for ip, label in zip(ips, model.labels_)}
+
+
+def classification_table(profiles: dict[tuple[str, str], IpProfile],
+                         *, distance_threshold: float = 0.18,
+                         ) -> list[ClassificationRow]:
+    """Table 8: per-DBMS class counts and cluster counts."""
+    classifications = classify_ips(profiles)
+    dbms_names = sorted({dbms for _ip, dbms in profiles})
+    rows = []
+    for dbms in dbms_names:
+        counts = primary_counts(classifications, dbms)
+        total = sum(counts.values())
+        labels = cluster_dbms(profiles, dbms,
+                              distance_threshold=distance_threshold)
+        clusters = len(set(labels.values()))
+        rows.append(ClassificationRow(
+            dbms=dbms, total_ips=total,
+            scanning=counts[BehaviorClass.SCANNING],
+            scouting=counts[BehaviorClass.SCOUTING],
+            exploiting=counts[BehaviorClass.EXPLOITING],
+            clusters=clusters))
+    return rows
+
+
+# -- Section 6.1: institutional scanner deep probing --------------------------------
+
+
+@dataclass(frozen=True)
+class InstitutionalProbing:
+    """What institutional scanners did on one DBMS (Section 6.1)."""
+
+    dbms: str
+    scanners: int
+    institutional_scanners: int
+    institutional_scouting: int
+    deep_probing_ips: int
+    deep_actions: dict[str, int]
+
+
+#: Actions that reveal database *content* rather than mere liveness --
+#: the privacy concern the paper raises about device search engines.
+_DEEP_ACTIONS: dict[str, frozenset[str]] = {
+    "mongodb": frozenset({"listDatabases", "listCollections", "find"}),
+    "redis": frozenset({"KEYS", "SCAN", "HGETALL", "LRANGE"}),
+    "elasticsearch": frozenset({"GET /_search", "GET /_mapping",
+                                "GET /_aliases", "GET /_cat/indices",
+                                "GET /_all/_search",
+                                "GET /<index>/_search"}),
+    "postgresql": frozenset({"SELECT USENAME", "SELECT DATNAME",
+                             "SHOW DATA_DIRECTORY"}),
+}
+
+
+def institutional_probing(profiles: dict[tuple[str, str], IpProfile],
+                          ) -> list[InstitutionalProbing]:
+    """Per-DBMS institutional scanner counts and deep-probing activity."""
+    classifications = classify_ips(profiles)
+    rows = []
+    for dbms in sorted({key[1] for key in profiles}):
+        deep_actions = _DEEP_ACTIONS.get(dbms, frozenset())
+        scanners = institutional = inst_scouting = deep_ips = 0
+        action_counts: dict[str, int] = {}
+        for key, profile in profiles.items():
+            if key[1] != dbms or not profile.institutional:
+                continue
+            primary = classifications[key].primary
+            if primary is BehaviorClass.SCANNING:
+                scanners += 1
+                institutional += 1
+            else:
+                institutional += 1
+                inst_scouting += 1
+            hits = [action for action in profile.actions
+                    if action in deep_actions]
+            if hits:
+                deep_ips += 1
+                for action in hits:
+                    action_counts[action] = action_counts.get(
+                        action, 0) + 1
+        total_scanners = sum(
+            1 for key, c in classifications.items()
+            if key[1] == dbms and c.primary is BehaviorClass.SCANNING)
+        rows.append(InstitutionalProbing(
+            dbms=dbms, scanners=total_scanners,
+            institutional_scanners=scanners,
+            institutional_scouting=inst_scouting,
+            deep_probing_ips=deep_ips, deep_actions=action_counts))
+    return rows
+
+
+# -- formatting helpers ----------------------------------------------------------------
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = ["  ".join(header.ljust(widths[index])
+                       for index, header in enumerate(headers))]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(widths[index])
+                               for index, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def extrapolate(count: int, volume_scale: float) -> int:
+    """Scale a simulated volume back to paper magnitude."""
+    if not 0 < volume_scale <= 1:
+        raise ValueError("volume_scale must be in (0, 1]")
+    return round(count / volume_scale)

@@ -1,0 +1,106 @@
+"""Client retention analysis (Figures 3 and 5).
+
+Retention is the number of distinct experiment days a source IP was
+seen on.  Figure 3 plots the CDF per DBMS for the low-interaction tier;
+Figure 5 plots it per behavior class for the medium/high tier, where
+exploiters turn out to be the most persistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classification import BehaviorClass, Classification
+from repro.core.loading import IpProfile
+
+
+@dataclass(frozen=True)
+class RetentionCdf:
+    """An empirical CDF over active-day counts."""
+
+    label: str
+    #: Sorted (days, cumulative_fraction) points.
+    points: tuple[tuple[int, float], ...]
+    population: int
+
+    def at(self, days: int) -> float:
+        """P(active_days <= days)."""
+        fraction = 0.0
+        for point_days, cumulative in self.points:
+            if point_days > days:
+                break
+            fraction = cumulative
+        return fraction
+
+    def mean_days(self) -> float:
+        """Mean active days."""
+        previous = 0.0
+        total = 0.0
+        for point_days, cumulative in self.points:
+            total += point_days * (cumulative - previous)
+            previous = cumulative
+        return total
+
+
+def _cdf(label: str, day_counts: list[int]) -> RetentionCdf:
+    if not day_counts:
+        return RetentionCdf(label, (), 0)
+    counts: dict[int, int] = {}
+    for days in day_counts:
+        counts[days] = counts.get(days, 0) + 1
+    total = len(day_counts)
+    points = []
+    cumulative = 0
+    for days in sorted(counts):
+        cumulative += counts[days]
+        points.append((days, cumulative / total))
+    return RetentionCdf(label, tuple(points), total)
+
+
+def retention_by_dbms(profiles: dict[tuple[str, str], IpProfile],
+                      ) -> dict[str, RetentionCdf]:
+    """Figure 3: one CDF per DBMS."""
+    day_counts: dict[str, list[int]] = {}
+    for (ip, dbms), profile in profiles.items():
+        day_counts.setdefault(dbms, []).append(profile.active_days)
+    return {dbms: _cdf(dbms, counts)
+            for dbms, counts in sorted(day_counts.items())}
+
+
+def retention_overall(profiles: dict[tuple[str, str], IpProfile],
+                      ) -> RetentionCdf:
+    """Retention over unique IPs across all services."""
+    per_ip: dict[str, set[int]] = {}
+    for (ip, dbms), profile in profiles.items():
+        per_ip.setdefault(ip, set()).update(profile.days_seen)
+    return _cdf("all", [len(days) for days in per_ip.values()])
+
+
+def retention_by_class(profiles: dict[tuple[str, str], IpProfile],
+                       classifications: dict[tuple[str, str],
+                                             Classification],
+                       ) -> dict[BehaviorClass, RetentionCdf]:
+    """Figure 5: one CDF per behavior class (by primary class, unique
+    IPs)."""
+    severity = {BehaviorClass.SCANNING: 0, BehaviorClass.SCOUTING: 1,
+                BehaviorClass.EXPLOITING: 2}
+    per_ip_class: dict[str, BehaviorClass] = {}
+    per_ip_days: dict[str, set[int]] = {}
+    for key, profile in profiles.items():
+        ip = key[0]
+        primary = classifications[key].primary
+        current = per_ip_class.get(ip)
+        if current is None or severity[primary] > severity[current]:
+            per_ip_class[ip] = primary
+        per_ip_days.setdefault(ip, set()).update(profile.days_seen)
+    day_counts: dict[BehaviorClass, list[int]] = {
+        cls: [] for cls in BehaviorClass}
+    for ip, cls in per_ip_class.items():
+        day_counts[cls].append(len(per_ip_days[ip]))
+    return {cls: _cdf(cls.value, counts)
+            for cls, counts in day_counts.items()}
+
+
+def single_day_fraction(cdf: RetentionCdf) -> float:
+    """Fraction of clients seen on exactly one day (the paper: 43%)."""
+    return cdf.at(1)

@@ -1,0 +1,106 @@
+"""Temporal traffic series (Figures 2 and 6-9).
+
+Hourly client counts and the cumulative number of previously unseen
+source IPs over the deployment window, computed straight from the event
+timestamps of a converted database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.pipeline.convert import open_database
+
+_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class TemporalSeries:
+    """Hourly activity series for one traffic slice."""
+
+    label: str
+    #: clients_per_hour[h] = distinct IPs connecting in hour h.
+    clients_per_hour: tuple[int, ...]
+    #: cumulative_new[h] = unique IPs seen in hours 0..h.
+    cumulative_new: tuple[int, ...]
+
+    @property
+    def hours(self) -> int:
+        return len(self.clients_per_hour)
+
+    @property
+    def total_unique(self) -> int:
+        return self.cumulative_new[-1] if self.cumulative_new else 0
+
+    def mean_clients_per_hour(self) -> float:
+        """Average distinct clients per hour (the paper: ~50)."""
+        if not self.clients_per_hour:
+            return 0.0
+        return sum(self.clients_per_hour) / len(self.clients_per_hour)
+
+    def mean_new_per_hour(self) -> float:
+        """Average previously-unseen clients per hour (the paper: ~7)."""
+        if not self.cumulative_new:
+            return 0.0
+        return self.total_unique / len(self.cumulative_new)
+
+
+def hourly_series(db_path: str | Path, *, interaction: str | None = None,
+                  dbms: str | None = None,
+                  label: str | None = None) -> TemporalSeries:
+    """Compute the Figure 2 series for one traffic slice."""
+    connection = open_database(db_path)
+    try:
+        clauses, params = [], []
+        if interaction is not None:
+            clauses.append("interaction = ?")
+            params.append(interaction)
+        if dbms is not None:
+            clauses.append("dbms = ?")
+            params.append(dbms)
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        row = connection.execute(
+            f"SELECT MIN(timestamp), MAX(timestamp) FROM events{where}",
+            params).fetchone()
+        if row[0] is None:
+            return TemporalSeries(label or "empty", (), ())
+        start, end = row
+        hours = int((end - start) // _HOUR) + 1
+        hourly_ips: list[set[str]] = [set() for _ in range(hours)]
+        seen: set[str] = set()
+        cumulative: list[int] = [0] * hours
+        cursor = connection.execute(
+            "SELECT timestamp, src_ip FROM events"
+            f"{where} ORDER BY timestamp", params)
+        new_counts = [0] * hours
+        for timestamp, src_ip in cursor:
+            hour = int((timestamp - start) // _HOUR)
+            hourly_ips[hour].add(src_ip)
+            if src_ip not in seen:
+                seen.add(src_ip)
+                new_counts[hour] += 1
+        running = 0
+        for hour in range(hours):
+            running += new_counts[hour]
+            cumulative[hour] = running
+        return TemporalSeries(
+            label or (dbms or "all"),
+            tuple(len(ips) for ips in hourly_ips),
+            tuple(cumulative))
+    finally:
+        connection.close()
+
+
+def per_dbms_series(db_path: str | Path, *, interaction: str = "low",
+                    ) -> dict[str, TemporalSeries]:
+    """Figures 6-9: one series per DBMS."""
+    connection = open_database(db_path)
+    try:
+        names = [row[0] for row in connection.execute(
+            "SELECT DISTINCT dbms FROM events WHERE interaction = ? "
+            "ORDER BY dbms", (interaction,))]
+    finally:
+        connection.close()
+    return {name: hourly_series(db_path, interaction=interaction,
+                                dbms=name) for name in names}

@@ -1,0 +1,70 @@
+"""Term-frequency feature vectors over action sequences.
+
+Implements the paper's Section 6.1 featurization: each source IP's
+ordered sequence of actions is a document, each action a term, and
+
+    tf(t, d) = count(t in d) / len(d)
+
+is the feature value -- duplicates included, so a bot that issues
+``CONFIG SET`` eight times looks different from one that issues it once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TfVectorizer:
+    """Fits a vocabulary over action sequences and emits TF matrices."""
+
+    vocabulary: dict[str, int] = field(default_factory=dict)
+
+    def fit(self, documents: list[list[str]]) -> "TfVectorizer":
+        """Learn the vocabulary (sorted for determinism)."""
+        terms = sorted({term for document in documents
+                        for term in document})
+        self.vocabulary = {term: index for index, term in enumerate(terms)}
+        return self
+
+    def transform(self, documents: list[list[str]]) -> np.ndarray:
+        """Vectorize ``documents`` into a dense (n_docs, n_terms) matrix.
+
+        Unknown terms are ignored; an empty document maps to the zero
+        vector.
+
+        Raises
+        ------
+        RuntimeError
+            If called before :meth:`fit`.
+        """
+        if not self.vocabulary:
+            raise RuntimeError("vectorizer must be fitted first")
+        matrix = np.zeros((len(documents), len(self.vocabulary)))
+        for row, document in enumerate(documents):
+            if not document:
+                continue
+            for term in document:
+                column = self.vocabulary.get(term)
+                if column is not None:
+                    matrix[row, column] += 1.0
+            matrix[row] /= len(document)
+        return matrix
+
+    def fit_transform(self, documents: list[list[str]]) -> np.ndarray:
+        """Fit and transform in one step."""
+        return self.fit(documents).transform(documents)
+
+    def binary_transform(self, documents: list[list[str]]) -> np.ndarray:
+        """Set-of-actions (0/1) features -- the ablation baseline."""
+        if not self.vocabulary:
+            raise RuntimeError("vectorizer must be fitted first")
+        matrix = np.zeros((len(documents), len(self.vocabulary)))
+        for row, document in enumerate(documents):
+            for term in set(document):
+                column = self.vocabulary.get(term)
+                if column is not None:
+                    matrix[row, column] = 1.0
+        return matrix

@@ -1,0 +1,21 @@
+"""Experiment deployment and orchestration.
+
+:mod:`repro.deployment.plan` encodes Table 4 (the 278-instance honeypot
+deployment); :mod:`repro.deployment.experiment` replays the 20-day
+collection window against a synthetic actor population and runs the data
+pipeline, producing the SQLite databases the analysis layer consumes.
+"""
+
+from repro.deployment.plan import (DeploymentPlan, DeploymentTarget,
+                                   build_plan)
+from repro.deployment.experiment import (ExperimentConfig, ExperimentResult,
+                                         run_experiment)
+
+__all__ = [
+    "DeploymentPlan",
+    "DeploymentTarget",
+    "build_plan",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+]

@@ -1,0 +1,142 @@
+"""The experiment driver: replay 20 days of attacks, run the pipeline.
+
+Mirrors the paper's data flow end to end (Figure 1): actors speak wire
+protocols to the honeypots, honeypots emit log events, the conversion
+step enriches them with GeoIP/ASN/institutional metadata and writes
+SQLite databases -- one for the low-interaction tier (Section 5) and one
+for the medium/high tier (Section 6), which is how the paper analyzes
+them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from datetime import timedelta
+from pathlib import Path
+
+from repro.agents.base import Visit, VisitContext
+from repro.agents.population import World, build_world
+from repro.clients.wire import Wire, WireError
+from repro.deployment.plan import DeploymentPlan, build_plan
+from repro.honeypots.base import MemoryWire, SessionContext
+from repro.netsim.clock import EXPERIMENT_START, SimClock
+from repro.pipeline.convert import convert_to_sqlite
+from repro.pipeline.logstore import LogStore
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs of one experiment run."""
+
+    seed: int = 2024
+    #: Multiplier on login volumes (IP counts are never scaled).
+    volume_scale: float = 0.002
+    output_dir: Path = Path("experiment-output")
+    #: Also persist the consolidated JSON-lines raw logs (Figure 1 ②).
+    write_raw_logs: bool = False
+    #: Also export the anonymized public dataset (Appendix B).
+    export_dataset: bool = False
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a downstream analysis needs."""
+
+    config: ExperimentConfig
+    plan: DeploymentPlan
+    world: World
+    low_db: Path
+    midhigh_db: Path
+    events_total: int
+    visits_total: int
+    raw_log_dir: Path | None = None
+    dataset_dir: Path | None = None
+
+
+@dataclass
+class _DriverWire:
+    """A MemoryWire that stamps each connection with a fresh client port
+    and closes honeypot-side sessions even when scripts forget."""
+
+    inner: MemoryWire
+
+    def connect(self) -> bytes:
+        return self.inner.connect()
+
+    def send(self, data: bytes) -> bytes:
+        if self.inner.server_closed:
+            raise WireError("connection closed by server")
+        return self.inner.send(data)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def run_experiment(config: ExperimentConfig = ExperimentConfig()
+                   ) -> ExperimentResult:
+    """Run the full deployment window and produce the SQLite databases."""
+    plan = build_plan(config.seed)
+    world = build_world(config.seed, config.volume_scale)
+    clock = SimClock()
+    store = LogStore()
+    visits = _compile_visits(world, plan, config.seed)
+    open_wires: list[MemoryWire] = []
+
+    for offset, actor_ip, sequence, visit in visits:
+        clock.seek(EXPERIMENT_START + timedelta(seconds=offset))
+        rng = random.Random(f"{config.seed}:{actor_ip}:{sequence}")
+
+        def opener(target_key: str, *, _ip=actor_ip, _rng=rng) -> Wire:
+            target = plan.by_key(target_key)
+            context = SessionContext(
+                src_ip=_ip, src_port=_rng.randint(1024, 65535),
+                clock=clock, sink=store.append)
+            wire = MemoryWire(target.honeypot, context)
+            open_wires.append(wire)
+            return _DriverWire(wire)
+
+        visit.script(VisitContext(opener=opener,
+                                  target_key=visit.target_key, rng=rng))
+        # Close any connection the script left dangling.
+        for wire in open_wires:
+            wire.close()
+        open_wires.clear()
+
+    output_dir = Path(config.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    raw_log_dir = None
+    if config.write_raw_logs:
+        raw_log_dir = output_dir / "raw-logs"
+        store.write_consolidated(raw_log_dir)
+    dataset_dir = None
+    if config.export_dataset:
+        from repro.pipeline.dataset import export_dataset
+
+        dataset_dir = output_dir / "dataset"
+        export_dataset(store, dataset_dir)
+
+    low_events = [event for event in store if event.interaction == "low"]
+    midhigh_events = [event for event in store
+                      if event.interaction != "low"]
+    low_db = convert_to_sqlite(low_events, output_dir / "low.sqlite",
+                               world.geoip, world.scanners)
+    midhigh_db = convert_to_sqlite(midhigh_events,
+                                   output_dir / "midhigh.sqlite",
+                                   world.geoip, world.scanners)
+    return ExperimentResult(
+        config=config, plan=plan, world=world, low_db=low_db,
+        midhigh_db=midhigh_db, events_total=len(store),
+        visits_total=len(visits), raw_log_dir=raw_log_dir,
+        dataset_dir=dataset_dir)
+
+
+def _compile_visits(world: World, plan: DeploymentPlan,
+                    seed: int) -> list[tuple[float, str, int, Visit]]:
+    """Expand all actors into one time-ordered visit schedule."""
+    schedule: list[tuple[float, str, int, Visit]] = []
+    for actor in world.actors:
+        for sequence, visit in enumerate(actor.compile(plan, seed)):
+            schedule.append((visit.time_offset, actor.ip, sequence, visit))
+    schedule.sort(key=lambda item: (item[0], item[1], item[2]))
+    return schedule

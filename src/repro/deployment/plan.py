@@ -1,0 +1,170 @@
+"""The honeypot deployment plan (Table 4 of the paper).
+
+278 honeypot instances:
+
+* 200 low-interaction honeypots: 50 multi-service VMs, each exposing
+  MySQL, PostgreSQL, Redis and MSSQL behind one IP (config ``multi``),
+* 20 low-interaction honeypots: 20 single-service VMs, five per DBMS
+  (config ``single``) -- the control group for the honeypot-obviousness
+  question,
+* 20 medium-interaction Redis (10 ``default`` + 10 ``fake_data``),
+* 20 medium-interaction PostgreSQL (10 ``default`` + 10
+  ``login_disabled``),
+* 10 medium-interaction Elasticsearch (``default``),
+* 8 high-interaction MongoDB (``fake_data``), one per country.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.honeypots import (Elasticpot, Honeypot, LowInteractionMSSQL,
+                             LowInteractionMySQL, LowInteractionPostgres,
+                             LowInteractionRedis, MongoHoneypot,
+                             RedisHoneypot, StickyElephant)
+
+#: Countries hosting the eight MongoDB instances.
+MONGODB_COUNTRIES = ("Australia", "Canada", "Germany", "India",
+                     "Netherlands", "Singapore", "United Kingdom",
+                     "United States")
+
+#: DBMS order on the multi-service VMs.
+LOW_DBMS = ("mysql", "postgresql", "redis", "mssql")
+
+_LOW_CLASSES = {
+    "mysql": LowInteractionMySQL,
+    "postgresql": LowInteractionPostgres,
+    "redis": LowInteractionRedis,
+    "mssql": LowInteractionMSSQL,
+}
+
+
+@dataclass(frozen=True)
+class DeploymentTarget:
+    """One deployed honeypot instance, addressable by ``key``.
+
+    ``host`` groups instances sharing a public IP (the multi-service
+    VMs); ``location`` is the hosting country.
+    """
+
+    key: str
+    host: str
+    honeypot: Honeypot
+    location: str = "Netherlands"
+
+    @property
+    def dbms(self) -> str:
+        return self.honeypot.dbms
+
+    @property
+    def interaction(self) -> str:
+        return self.honeypot.interaction
+
+    @property
+    def config(self) -> str:
+        return self.honeypot.info.config
+
+
+@dataclass
+class DeploymentPlan:
+    """The full deployment, with lookup helpers for the actor layer."""
+
+    targets: list[DeploymentTarget] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_key = {target.key: target for target in self.targets}
+
+    def by_key(self, key: str) -> DeploymentTarget:
+        """Look up one target."""
+        return self._by_key[key]
+
+    def select(self, *, interaction: str | None = None,
+               dbms: str | None = None, config: str | None = None,
+               ) -> list[DeploymentTarget]:
+        """Filter targets by interaction level / DBMS / configuration."""
+        found = []
+        for target in self.targets:
+            if interaction is not None and target.interaction != interaction:
+                continue
+            if dbms is not None and target.dbms != dbms:
+                continue
+            if config is not None and target.config != config:
+                continue
+            found.append(target)
+        return found
+
+    def hosts(self, *, config: str) -> list[str]:
+        """Distinct host identifiers with the given low-int config."""
+        seen: dict[str, None] = {}
+        for target in self.targets:
+            if target.config == config:
+                seen.setdefault(target.host, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+
+def build_plan(seed: int = 2024) -> DeploymentPlan:
+    """Instantiate the 278 honeypots of Table 4."""
+    targets: list[DeploymentTarget] = []
+
+    # 50 multi-service VMs x 4 low-interaction honeypots.
+    for vm in range(50):
+        host = f"vm-multi-{vm:02d}"
+        for dbms in LOW_DBMS:
+            honeypot = _LOW_CLASSES[dbms](
+                f"low-{dbms}-multi-{vm:02d}", config="multi")
+            targets.append(DeploymentTarget(
+                key=f"low/multi/{vm:02d}/{dbms}", host=host,
+                honeypot=honeypot))
+
+    # 20 single-service VMs (five per DBMS).
+    for dbms in LOW_DBMS:
+        for index in range(5):
+            host = f"vm-single-{dbms}-{index}"
+            honeypot = _LOW_CLASSES[dbms](
+                f"low-{dbms}-single-{index}", config="single")
+            targets.append(DeploymentTarget(
+                key=f"low/single/{dbms}/{index}", host=host,
+                honeypot=honeypot))
+
+    # Medium Redis: 10 default + 10 fake-data.
+    for config in ("default", "fake_data"):
+        for index in range(10):
+            honeypot = RedisHoneypot(f"med-redis-{config}-{index}",
+                                     config=config, seed=seed + index)
+            targets.append(DeploymentTarget(
+                key=f"med/redis/{config}/{index}",
+                host=f"vm-med-redis-{config}-{index}", honeypot=honeypot))
+
+    # Medium PostgreSQL: 10 default + 10 login-disabled.
+    for config in ("default", "login_disabled"):
+        for index in range(10):
+            honeypot = StickyElephant(f"med-postgresql-{config}-{index}",
+                                      config=config)
+            targets.append(DeploymentTarget(
+                key=f"med/postgresql/{config}/{index}",
+                host=f"vm-med-postgresql-{config}-{index}",
+                honeypot=honeypot))
+
+    # Medium Elasticsearch: 10 default.
+    for index in range(10):
+        honeypot = Elasticpot(f"med-elasticsearch-default-{index}")
+        targets.append(DeploymentTarget(
+            key=f"med/elasticsearch/default/{index}",
+            host=f"vm-med-elasticsearch-{index}", honeypot=honeypot))
+
+    # High MongoDB: 8 fake-data instances across eight countries.
+    for index, country in enumerate(MONGODB_COUNTRIES):
+        honeypot = MongoHoneypot(f"high-mongodb-{index}",
+                                 config="fake_data", seed=seed + index)
+        targets.append(DeploymentTarget(
+            key=f"high/mongodb/{index}", host=f"vm-high-mongodb-{index}",
+            honeypot=honeypot, location=country))
+
+    plan = DeploymentPlan(targets)
+    if len(plan) != 278:
+        raise AssertionError(
+            f"deployment must have 278 instances, built {len(plan)}")
+    return plan

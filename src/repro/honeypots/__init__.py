@@ -1,0 +1,44 @@
+"""Database honeypots.
+
+One module per honeypot family deployed in the paper (Table 3):
+
+* :mod:`repro.honeypots.lowint` -- Qeeqbox-style low-interaction MySQL,
+  PostgreSQL, Redis and MSSQL honeypots (credential capture only),
+* :mod:`repro.honeypots.redis_honeypot` -- medium-interaction Redis,
+* :mod:`repro.honeypots.sticky_elephant` -- medium-interaction PostgreSQL,
+* :mod:`repro.honeypots.elasticpot` -- medium-interaction Elasticsearch,
+* :mod:`repro.honeypots.mongo_honeypot` -- high-interaction MongoDB.
+
+All honeypots are transport-agnostic byte-stream sessions
+(:mod:`repro.honeypots.base`); :mod:`repro.honeypots.tcp` serves them
+over real sockets and :class:`repro.honeypots.base.MemoryWire` drives
+them in-process for the fast simulation.
+"""
+
+from repro.honeypots.base import (Honeypot, HoneypotSession, MemoryWire,
+                                  SessionContext)
+from repro.honeypots.catalog import CATALOG, CatalogEntry
+from repro.honeypots.lowint import (LowInteractionMSSQL, LowInteractionMySQL,
+                                    LowInteractionPostgres,
+                                    LowInteractionRedis)
+from repro.honeypots.redis_honeypot import RedisHoneypot
+from repro.honeypots.sticky_elephant import StickyElephant
+from repro.honeypots.elasticpot import Elasticpot
+from repro.honeypots.mongo_honeypot import MongoHoneypot
+
+__all__ = [
+    "Honeypot",
+    "HoneypotSession",
+    "MemoryWire",
+    "SessionContext",
+    "CATALOG",
+    "CatalogEntry",
+    "LowInteractionMySQL",
+    "LowInteractionPostgres",
+    "LowInteractionRedis",
+    "LowInteractionMSSQL",
+    "RedisHoneypot",
+    "StickyElephant",
+    "Elasticpot",
+    "MongoHoneypot",
+]

@@ -1,0 +1,47 @@
+"""Honeypot catalog (Table 3 of the paper).
+
+Maps every honeypot family to its interaction level, the DBMS it
+simulates, and the adversarial behaviors it can capture (S = scanning,
+T = scouting, E = exploiting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One row of Table 3."""
+
+    honeypot: str
+    level: str
+    simulates: tuple[str, ...]
+    captures: tuple[str, ...]
+
+
+#: The deployed honeypot families, matching Table 3.
+CATALOG: tuple[CatalogEntry, ...] = (
+    CatalogEntry("qeeqbox", "Low",
+                 ("mysql", "postgresql", "redis", "mssql"), ("S", "T")),
+    CatalogEntry("redishoneypot", "Medium", ("redis",), ("S", "T", "E")),
+    CatalogEntry("sticky_elephant", "Medium", ("postgresql",),
+                 ("S", "T", "E")),
+    CatalogEntry("elasticpot", "Medium", ("elasticsearch",),
+                 ("S", "T", "E")),
+    CatalogEntry("mongodb-honeypot", "High", ("mongodb",), ("S", "T", "E")),
+)
+
+
+def entry_for(honeypot_type: str) -> CatalogEntry:
+    """Look up the catalog row for a honeypot family.
+
+    Raises
+    ------
+    KeyError
+        If the family is not part of the deployment.
+    """
+    for entry in CATALOG:
+        if entry.honeypot == honeypot_type:
+            return entry
+    raise KeyError(honeypot_type)

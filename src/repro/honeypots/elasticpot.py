@@ -1,0 +1,248 @@
+"""Medium-interaction Elasticsearch honeypot (the paper's Elasticpot).
+
+An HTTP/1.1 server replicating a deliberately old, unauthenticated
+Elasticsearch node.  System endpoints answer from JSON templates -- the
+customization mechanism of the original Elasticpot -- while document
+endpoints are backed by a real in-memory index store: documents PUT by
+attackers are searchable afterwards, indices can be dropped, and
+``/_cat/indices`` reflects the live state.  The ``/_search`` handler
+accepts the Java ``script_fields`` payloads that the Lucifer botnet
+uses for remote code execution (logging them verbatim).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import urllib.parse
+
+from repro.honeypots.base import (Honeypot, HoneypotSession, HoneypotInfo,
+                                  SessionContext)
+from repro.pipeline.logstore import EventType
+from repro.protocols import http11
+from repro.protocols.errors import ProtocolError
+
+#: Advertised version: old enough to look exploitable (dynamic scripting).
+ES_VERSION = "1.4.2"
+
+CLUSTER_NAME = "elasticsearch"
+NODE_NAME = "Franklin Storm"
+
+
+def default_templates() -> dict[str, dict]:
+    """The built-in endpoint -> JSON response templates."""
+    return {
+        "/": {
+            "name": NODE_NAME,
+            "cluster_name": CLUSTER_NAME,
+            "version": {
+                "number": ES_VERSION,
+                "build_hash": "927caff6f05403e936c20bf4529f144f0c89fd8c",
+                "build_timestamp": "2014-12-16T14:11:12Z",
+                "build_snapshot": False,
+                "lucene_version": "4.10.2",
+            },
+            "tagline": "You Know, for Search",
+        },
+        "/_nodes": {
+            "cluster_name": CLUSTER_NAME,
+            "nodes": {
+                "x1JG6g9PRHy6ClCOO2-C4g": {
+                    "name": NODE_NAME,
+                    "transport_address": "inet[/172.17.0.2:9300]",
+                    "host": "db-prod-01",
+                    "ip": "172.17.0.2",
+                    "version": ES_VERSION,
+                    "http_address": "inet[/172.17.0.2:9200]",
+                    "os": {"name": "Linux", "arch": "amd64"},
+                },
+            },
+        },
+        "/_cluster/health": {
+            "cluster_name": CLUSTER_NAME,
+            "status": "yellow",
+            "number_of_nodes": 1,
+            "number_of_data_nodes": 1,
+            "active_primary_shards": 5,
+            "active_shards": 5,
+        },
+    }
+
+
+class Elasticpot(Honeypot):
+    """The medium-interaction Elasticsearch honeypot."""
+
+    honeypot_type = "elasticpot"
+    dbms = "elasticsearch"
+    interaction = "medium"
+    default_port = 9200
+
+    def __init__(self, honeypot_id: str, *, config: str = "default",
+                 port: int | None = None,
+                 templates: dict[str, dict] | None = None,
+                 seed: int = 2024):
+        super().__init__(honeypot_id, config=config, port=port)
+        self.templates = templates if templates is not None \
+            else default_templates()
+        # A small decoy index; attacker-indexed documents join it.
+        from repro.netsim.mockaroo import MockarooGenerator
+
+        generator = MockarooGenerator(seed=seed)
+        self.indices: dict[str, list[dict]] = {
+            "customers": [record.as_document()
+                          for record in generator.customers(64)],
+        }
+
+    def new_session(self, context: SessionContext) -> HoneypotSession:
+        return _ElasticSession(self.info, context, self.templates,
+                               self.indices)
+
+
+#: Path segments collapsed when normalizing an action token.
+_HEX_ID = re.compile(r"^[0-9a-fA-F-]{8,}$")
+
+
+def normalize_http_action(method: str, path: str) -> str:
+    """Map a request to its clustering "term".
+
+    API endpoints keep their path; index/document paths are collapsed so
+    ``GET /customers/_doc/42`` and ``GET /users/_doc/7`` share a term.
+    """
+    segments = [seg for seg in path.split("/") if seg]
+    normalized = []
+    in_api = False
+    for segment in segments:
+        if segment.startswith("_"):
+            in_api = True
+            normalized.append(segment)
+        elif _HEX_ID.match(segment) or segment.isdigit():
+            normalized.append("<id>")
+        elif in_api:
+            # Non-id sub-resources of an API endpoint
+            # (/_cluster/health) are part of the endpoint name.
+            normalized.append(segment)
+        else:
+            normalized.append("<index>")
+    return f"{method} /" + "/".join(normalized)
+
+
+class _ElasticSession(HoneypotSession):
+
+    def __init__(self, info: HoneypotInfo, context: SessionContext,
+                 templates: dict[str, dict],
+                 indices: dict[str, list[dict]]):
+        super().__init__(info, context)
+        self._templates = templates
+        self._indices = indices
+        self._parser = http11.HttpRequestParser()
+
+    def on_data(self, data: bytes) -> bytes:
+        try:
+            requests = self._parser.feed(data)
+        except ProtocolError:
+            self.log(EventType.MALFORMED, raw=data)
+            self.closed = True
+            return http11.build_response(
+                400, json.dumps({"error": "malformed request"}))
+        out = bytearray()
+        for request in requests:
+            out += self._handle(request)
+        return bytes(out)
+
+    def _handle(self, request: http11.HttpRequest) -> bytes:
+        action = normalize_http_action(request.method, request.path)
+        # Log the percent-decoded target so payload signatures (e.g.
+        # scripted ``?source={...}`` bodies) stay recognizable.
+        raw = urllib.parse.unquote(request.target)
+        if request.body:
+            raw += " " + request.body.decode("utf-8", "replace")
+        self.log(EventType.HTTP_REQUEST, action=action, raw=raw)
+        template = self._templates.get(request.path)
+        if template is not None:
+            return _render(template)
+        if request.path == "/_cat/indices":
+            return self._handle_cat_indices()
+        if request.path == "/_stats":
+            return self._handle_stats()
+        if request.path.endswith("/_search") or request.path == "/_search":
+            return self._handle_search(request)
+        segments = [seg for seg in request.path.split("/") if seg]
+        if request.method in ("PUT", "POST") and segments:
+            return self._handle_index(segments, request)
+        if request.method == "DELETE" and segments:
+            if self._indices.pop(segments[0], None) is not None:
+                return http11.build_response(200, json.dumps(
+                    {"acknowledged": True}))
+        return http11.build_response(404, json.dumps({
+            "error": {
+                "root_cause": [{"type": "index_not_found_exception",
+                                "reason": "no such index"}],
+                "type": "index_not_found_exception",
+            },
+            "status": 404,
+        }))
+
+    def _handle_cat_indices(self) -> bytes:
+        lines = [f"yellow open {name} 5 1 {len(documents)} 0 "
+                 f"{len(documents) * 330}b {len(documents) * 330}b"
+                 for name, documents in sorted(self._indices.items())]
+        return http11.build_response(200, "\n".join(lines) + "\n",
+                                     content_type="text/plain")
+
+    def _handle_stats(self) -> bytes:
+        return http11.build_response(200, json.dumps({
+            "_shards": {"total": 10, "successful": 5, "failed": 0},
+            "indices": {name: {"primaries": {"docs":
+                                             {"count": len(documents)}}}
+                        for name, documents in self._indices.items()},
+        }))
+
+    def _handle_index(self, segments: list[str],
+                      request: http11.HttpRequest) -> bytes:
+        index = segments[0]
+        try:
+            document = json.loads(request.body or b"{}")
+        except json.JSONDecodeError:
+            document = {}
+        if not isinstance(document, dict):
+            document = {"value": document}
+        self._indices.setdefault(index, []).append(document)
+        return http11.build_response(201, json.dumps(
+            {"_index": index, "result": "created"}))
+
+    def _handle_search(self, request: http11.HttpRequest) -> bytes:
+        # ``?source={...}`` carries the scripted payloads (Lucifer); the
+        # stored documents come back as hits, which is what makes
+        # dump-style scouting observable.
+        segments = [seg for seg in request.path.split("/") if seg]
+        if len(segments) >= 2 and segments[0] != "_all":
+            documents = self._indices.get(segments[0], [])
+            if segments[0] not in self._indices:
+                return http11.build_response(404, json.dumps(
+                    {"error": {"type": "index_not_found_exception"},
+                     "status": 404}))
+            scope = [(segments[0], doc) for doc in documents]
+        else:
+            scope = [(name, doc)
+                     for name, documents in sorted(self._indices.items())
+                     for doc in documents]
+        hits = [{"_index": name, "_score": 1.0, "_source": doc}
+                for name, doc in scope[:10]]
+        body = {
+            "took": 2,
+            "timed_out": False,
+            "_shards": {"total": 5, "successful": 5, "failed": 0},
+            "hits": {"total": len(scope), "max_score": 1.0,
+                     "hits": hits},
+        }
+        return http11.build_response(200, json.dumps(body))
+
+
+def _render(template: dict) -> bytes:
+    if "_raw" in template:
+        return http11.build_response(200, template["_raw"],
+                                     content_type="text/plain")
+    status = template.get("_status", 200)
+    body = {key: value for key, value in template.items()
+            if key != "_status"}
+    return http11.build_response(status, json.dumps(body))

@@ -1,0 +1,208 @@
+"""Extension honeypots for lesser-studied DBMS platforms.
+
+The paper's limitations section names MariaDB, CockroachDB and CouchDB
+as platforms a broader deployment should cover; these honeypots provide
+that coverage on top of the existing protocol substrates:
+
+* :class:`LowInteractionMariaDB` -- MariaDB speaks the MySQL protocol
+  with a distinctive version banner,
+* :class:`CockroachHoneypot` -- CockroachDB speaks pgwire, so Sticky
+  Elephant's session logic is reused under a CockroachDB identity,
+* :class:`CouchDBHoneypot` -- a medium-interaction CouchDB REST server
+  (HTTP), capturing ``_session`` credentials and enumerations.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.parse
+
+from repro.honeypots.base import (Honeypot, HoneypotSession, HoneypotInfo,
+                                  SessionContext)
+from repro.honeypots.lowint import LowInteractionMySQL, _MySQLSession
+from repro.honeypots.sticky_elephant import StickyElephant
+from repro.pipeline.logstore import EventType
+from repro.protocols import http11, mysql
+from repro.protocols.errors import ProtocolError
+
+#: MariaDB advertises itself through the replication-compatible banner.
+MARIADB_VERSION = "5.5.5-10.6.12-MariaDB-0ubuntu0.22.04.1"
+
+
+class _MariaDBSession(_MySQLSession):
+
+    def on_connect(self) -> bytes:
+        return mysql.frame(
+            mysql.build_handshake_v10(MARIADB_VERSION, 1002, self._SALT),
+            0)
+
+
+class LowInteractionMariaDB(LowInteractionMySQL):
+    """MariaDB credential-capture honeypot (MySQL wire protocol)."""
+
+    honeypot_type = "qeeqbox"
+    dbms = "mariadb"
+    interaction = "low"
+    default_port = 3306
+
+    def new_session(self, context: SessionContext) -> HoneypotSession:
+        return _MariaDBSession(self.info, context)
+
+
+class CockroachHoneypot(StickyElephant):
+    """CockroachDB honeypot: pgwire with a CockroachDB identity.
+
+    CockroachDB clients connect over the PostgreSQL protocol, so the
+    Sticky Elephant session machinery applies unchanged; only the
+    service identity differs.
+    """
+
+    honeypot_type = "sticky_elephant"
+    dbms = "cockroachdb"
+    interaction = "medium"
+    default_port = 26257
+
+
+#: CouchDB's banner document.
+COUCHDB_BANNER = {
+    "couchdb": "Welcome",
+    "version": "3.3.1",
+    "git_sha": "1fd50b82a",
+    "uuid": "3f5e8a7bd9c14c2ea1d5b6c7d8e9f0a1",
+    "features": ["access-ready", "partitioned", "pluggable-storage-"
+                 "engines", "reshard", "scheduler"],
+    "vendor": {"name": "The Apache Software Foundation"},
+}
+
+
+class CouchDBHoneypot(Honeypot):
+    """Medium-interaction CouchDB honeypot (HTTP REST).
+
+    Captures ``POST /_session`` credentials (CouchDB's cookie login),
+    answers the enumeration endpoints scanners hit (``/``, ``/_all_dbs``,
+    ``/_utils``), and lets documents be "created" so ransom-style
+    attacks play out.
+    """
+
+    honeypot_type = "couchdb-honeypot"
+    dbms = "couchdb"
+    interaction = "medium"
+    default_port = 5984
+
+    def __init__(self, honeypot_id: str, *, config: str = "default",
+                 port: int | None = None):
+        super().__init__(honeypot_id, config=config, port=port)
+        self.databases: dict[str, list[dict]] = {
+            "customers": [{"_id": f"cust-{index}", "tier": "gold"}
+                          for index in range(40)],
+        }
+
+    def new_session(self, context: SessionContext) -> HoneypotSession:
+        return _CouchDBSession(self.info, context, self.databases)
+
+
+class _CouchDBSession(HoneypotSession):
+
+    def __init__(self, info: HoneypotInfo, context: SessionContext,
+                 databases: dict[str, list[dict]]):
+        super().__init__(info, context)
+        self._databases = databases
+        self._parser = http11.HttpRequestParser()
+
+    def on_data(self, data: bytes) -> bytes:
+        try:
+            requests = self._parser.feed(data)
+        except ProtocolError:
+            self.log(EventType.MALFORMED, raw=data)
+            self.closed = True
+            return http11.build_response(400, json.dumps(
+                {"error": "bad_request"}))
+        out = bytearray()
+        for request in requests:
+            out += self._handle(request)
+        return bytes(out)
+
+    def _handle(self, request: http11.HttpRequest) -> bytes:
+        if request.method == "POST" and request.path == "/_session":
+            return self._handle_login(request)
+        action = f"{request.method} {request.path}"
+        raw = urllib.parse.unquote(request.target)
+        if request.body:
+            raw += " " + request.body.decode("utf-8", "replace")
+        self.log(EventType.HTTP_REQUEST, action=action, raw=raw)
+        return self._route(request)
+
+    def _handle_login(self, request: http11.HttpRequest) -> bytes:
+        body = request.body.decode("utf-8", "replace")
+        if request.headers.get("content-type", "").startswith(
+                "application/json"):
+            try:
+                fields = json.loads(body or "{}")
+            except json.JSONDecodeError:
+                fields = {}
+        else:
+            parsed = urllib.parse.parse_qs(body)
+            fields = {key: values[0] for key, values in parsed.items()}
+        username = str(fields.get("name", ""))
+        password = str(fields.get("password", ""))
+        self.log(EventType.LOGIN_ATTEMPT, action="POST /_session",
+                 username=username, password=password)
+        return http11.build_response(401, json.dumps(
+            {"error": "unauthorized",
+             "reason": "Name or password is incorrect."}))
+
+    def _route(self, request: http11.HttpRequest) -> bytes:
+        path = request.path
+        if path == "/":
+            return http11.build_response(200, json.dumps(COUCHDB_BANNER))
+        if path == "/_all_dbs":
+            return http11.build_response(200, json.dumps(
+                sorted(self._databases)))
+        if path == "/_utils" or path.startswith("/_utils/"):
+            return http11.build_response(
+                200, "<html><title>Fauxton</title></html>",
+                content_type="text/html")
+        if path == "/_membership":
+            return http11.build_response(200, json.dumps(
+                {"all_nodes": ["couchdb@127.0.0.1"],
+                 "cluster_nodes": ["couchdb@127.0.0.1"]}))
+        segments = [seg for seg in path.split("/") if seg]
+        if not segments:
+            return http11.build_response(404, json.dumps(
+                {"error": "not_found"}))
+        database = segments[0]
+        if request.method == "PUT" and len(segments) == 1:
+            self._databases.setdefault(database, [])
+            return http11.build_response(201, json.dumps({"ok": True}))
+        if request.method == "DELETE" and len(segments) == 1:
+            existed = self._databases.pop(database, None) is not None
+            if existed:
+                return http11.build_response(200, json.dumps(
+                    {"ok": True}))
+            return http11.build_response(404, json.dumps(
+                {"error": "not_found"}))
+        if database not in self._databases:
+            return http11.build_response(404, json.dumps(
+                {"error": "not_found", "reason": "Database does not "
+                                                 "exist."}))
+        documents = self._databases[database]
+        if len(segments) == 2 and segments[1] == "_all_docs":
+            rows = [{"id": doc.get("_id", str(index)), "value": {}}
+                    for index, doc in enumerate(documents)]
+            return http11.build_response(200, json.dumps(
+                {"total_rows": len(rows), "rows": rows}))
+        if request.method in ("PUT", "POST"):
+            try:
+                document = json.loads(request.body or b"{}")
+            except json.JSONDecodeError:
+                document = {}
+            if len(segments) == 2:
+                document.setdefault("_id", segments[1])
+            documents.append(document)
+            return http11.build_response(201, json.dumps(
+                {"ok": True, "id": document.get("_id", "")}))
+        if len(segments) == 1:
+            return http11.build_response(200, json.dumps(
+                {"db_name": database, "doc_count": len(documents)}))
+        return http11.build_response(404, json.dumps(
+            {"error": "not_found"}))

@@ -1,0 +1,130 @@
+"""High-interaction MongoDB honeypot.
+
+Presents a fully functional (in-process) MongoDB populated with fake
+customer data, mirroring the paper's Docker-hosted deployment.  Because
+the backing :class:`~repro.mongodb_engine.MongoEngine` really executes
+commands, ransom attacks play out end to end: attackers can dump the
+customer collection, drop it, and insert their ransom note -- and the
+honeypot's state reflects it.
+"""
+
+from __future__ import annotations
+
+from repro.honeypots.base import (Honeypot, HoneypotSession, HoneypotInfo,
+                                  SessionContext)
+from repro.mongodb_engine import MongoEngine
+from repro.mongodb_engine.engine import CommandError
+from repro.netsim.mockaroo import MockarooGenerator
+from repro.pipeline.logstore import EventType
+from repro.protocols import mongo_wire as wire
+from repro.protocols.errors import ProtocolError
+
+#: Database/collection planted with decoy data.
+DECOY_DATABASE = "customers"
+DECOY_COLLECTION = "records"
+
+#: Number of fake customer documents planted per instance.
+FAKE_CUSTOMERS = 250
+
+
+def _build_engine(config: str, seed: int) -> MongoEngine:
+    engine = MongoEngine()
+    if config == "fake_data":
+        generator = MockarooGenerator(seed=seed)
+        documents = [record.as_document()
+                     for record in generator.customers(FAKE_CUSTOMERS)]
+        engine.insert(DECOY_DATABASE, DECOY_COLLECTION, documents)
+    return engine
+
+
+class MongoHoneypot(Honeypot):
+    """The high-interaction MongoDB honeypot (one engine per instance)."""
+
+    honeypot_type = "mongodb-honeypot"
+    dbms = "mongodb"
+    interaction = "high"
+    default_port = 27017
+
+    def __init__(self, honeypot_id: str, *, config: str = "fake_data",
+                 port: int | None = None, seed: int = 2024):
+        if config not in ("default", "fake_data"):
+            raise ValueError(f"unsupported MongoHoneypot config {config!r}")
+        super().__init__(honeypot_id, config=config, port=port)
+        self.engine = _build_engine(config, seed)
+
+    def new_session(self, context: SessionContext) -> HoneypotSession:
+        return _MongoSession(self.info, context, self.engine)
+
+
+#: Commands whose target collection matters for behavioral analysis.
+_COLLECTION_COMMANDS = {"find", "insert", "delete", "drop", "count"}
+
+
+class _MongoSession(HoneypotSession):
+
+    def __init__(self, info: HoneypotInfo, context: SessionContext,
+                 engine: MongoEngine):
+        super().__init__(info, context)
+        self._engine = engine
+        self._reader = wire.MessageReader()
+        self._next_response_id = 1
+
+    def on_data(self, data: bytes) -> bytes:
+        try:
+            messages = self._reader.feed(data)
+        except ProtocolError:
+            self.log(EventType.MALFORMED, raw=data)
+            self.closed = True
+            return b""
+        out = bytearray()
+        for message in messages:
+            out += self._handle(message)
+        return bytes(out)
+
+    def _handle(self, message: object) -> bytes:
+        if isinstance(message, wire.QueryMessage):
+            return self._handle_legacy(message)
+        if isinstance(message, wire.MsgMessage):
+            return self._handle_msg(message)
+        self.log(EventType.MALFORMED, raw=repr(message))
+        return b""
+
+    def _handle_legacy(self, message: wire.QueryMessage) -> bytes:
+        database = message.collection.split(".", 1)[0]
+        command = dict(message.query)
+        reply = self._run(database, command)
+        return wire.build_reply(self._response_id(),
+                                message.header.request_id, [reply])
+
+    def _handle_msg(self, message: wire.MsgMessage) -> bytes:
+        command = dict(message.body)
+        database = str(command.pop("$db", "admin"))
+        # Driver bookkeeping fields are not part of the command proper.
+        for meta in ("lsid", "$readPreference", "apiVersion"):
+            command.pop(meta, None)
+        reply = self._run(database, command)
+        return wire.build_msg(self._response_id(), reply,
+                              response_to=message.header.request_id)
+
+    def _run(self, database: str, command: dict) -> dict:
+        action = self._action(command)
+        self.log(EventType.COMMAND, action=action,
+                 raw=f"{database}: {command!r}"[:512])
+        try:
+            return self._engine.run_command(database, command)
+        except CommandError as exc:
+            return {"ok": 0.0, "errmsg": str(exc), "code": exc.code,
+                    "codeName": exc.code_name}
+
+    def _action(self, command: dict) -> str:
+        if not command:
+            return "empty"
+        name = next(iter(command))
+        if name.lower() in _COLLECTION_COMMANDS:
+            return name
+        return name
+
+    def _response_id(self) -> int:
+        response_id = self._next_response_id
+        self._next_response_id += 1
+        return response_id

@@ -1,0 +1,216 @@
+"""Medium-interaction MySQL honeypot (extension).
+
+The paper's deployment kept MySQL at the low-interaction tier; the
+parallel study it compares against (van Liebergen et al., NDSS 2025)
+ran *interactive* MySQL honeypots and harvested database ransom notes
+from them.  This extension honeypot provides that capability: any login
+is accepted (and captured), and a scripted query handler backed by a
+tiny in-memory table store lets ransom attacks play out -- enumerate,
+dump, drop, leave a note.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.honeypots.base import (Honeypot, HoneypotSession, HoneypotInfo,
+                                  SessionContext)
+from repro.pipeline.logstore import EventType
+from repro.protocols import mysql
+from repro.protocols.errors import ProtocolError
+
+SERVER_VERSION = "8.0.36"
+
+#: Decoy schema planted in each instance.
+DECOY_DATABASE = "shop"
+DECOY_TABLES = {
+    "users": [["1", "alice", "alice@example.com"],
+              ["2", "bob", "bob@example.com"],
+              ["3", "carol", "carol@example.com"]],
+    "orders": [["1", "1", "49.90"], ["2", "3", "120.00"]],
+}
+
+_SQL_ACTIONS: list[tuple[re.Pattern[str], str]] = [
+    (re.compile(r"^\s*select\s+@@version", re.I), "SELECT @@VERSION"),
+    (re.compile(r"^\s*select\s+version\s*\(", re.I), "SELECT VERSION"),
+    (re.compile(r"^\s*show\s+databases", re.I), "SHOW DATABASES"),
+    (re.compile(r"^\s*show\s+tables", re.I), "SHOW TABLES"),
+    (re.compile(r"^\s*select\b.*\bfrom\b", re.I | re.S), "SELECT FROM"),
+    (re.compile(r"^\s*select\b", re.I), "SELECT"),
+    (re.compile(r"^\s*drop\s+table", re.I), "DROP TABLE"),
+    (re.compile(r"^\s*drop\s+database", re.I), "DROP DATABASE"),
+    (re.compile(r"^\s*create\s+table", re.I), "CREATE TABLE"),
+    (re.compile(r"^\s*create\s+database", re.I), "CREATE DATABASE"),
+    (re.compile(r"^\s*insert\b", re.I), "INSERT"),
+    (re.compile(r"^\s*use\b", re.I), "USE"),
+    (re.compile(r"^\s*set\b", re.I), "SET"),
+]
+
+
+def normalize_mysql_action(sql: str) -> str:
+    """Map a statement to its logged action token."""
+    for pattern, action in _SQL_ACTIONS:
+        if pattern.search(sql):
+            return action
+    return "UNKNOWN SQL"
+
+
+class MediumInteractionMySQL(Honeypot):
+    """Interactive MySQL honeypot with a decoy schema."""
+
+    honeypot_type = "mysql-medium"
+    dbms = "mysql"
+    interaction = "medium"
+    default_port = 3306
+
+    def __init__(self, honeypot_id: str, *, config: str = "fake_data",
+                 port: int | None = None):
+        super().__init__(honeypot_id, config=config, port=port)
+        self.tables: dict[str, list[list[str]]] = (
+            {name: [list(row) for row in rows]
+             for name, rows in DECOY_TABLES.items()}
+            if config == "fake_data" else {})
+
+    def new_session(self, context: SessionContext) -> HoneypotSession:
+        return _MediumMySQLSession(self.info, context, self.tables)
+
+
+_IDENTIFIER = re.compile(r"(?:from|table(?:\s+if\s+exists)?|into)\s+"
+                         r"[`\"]?(\w+)[`\"]?", re.I)
+
+
+class _MediumMySQLSession(HoneypotSession):
+
+    _SALT = b"\x11\x22\x33\x44\x55\x66\x77\x88" \
+            b"\x99\xaa\xbb\xcc\xdd\xee\xff\x01\x02\x03\x04\x05"
+
+    def __init__(self, info: HoneypotInfo, context: SessionContext,
+                 tables: dict[str, list[list[str]]]):
+        super().__init__(info, context)
+        self._tables = tables
+        self._reader = mysql.PacketReader()
+        self._phase = "login"
+        self._username: str | None = None
+
+    def on_connect(self) -> bytes:
+        return mysql.frame(
+            mysql.build_handshake_v10(SERVER_VERSION, 2001, self._SALT), 0)
+
+    def on_data(self, data: bytes) -> bytes:
+        try:
+            packets = self._reader.feed(data)
+        except ProtocolError:
+            self.log(EventType.MALFORMED, raw=data)
+            self.closed = True
+            return b""
+        out = bytearray()
+        for _sequence_id, payload in packets:
+            out += self._handle(payload)
+            if self.closed:
+                break
+        return bytes(out)
+
+    def _handle(self, payload: bytes) -> bytes:
+        if self._phase == "login":
+            return self._handle_login(payload)
+        if self._phase == "password":
+            return self._handle_password(payload)
+        return self._handle_command(payload)
+
+    def _handle_login(self, payload: bytes) -> bytes:
+        try:
+            response = mysql.parse_handshake_response(payload)
+        except ProtocolError:
+            self.log(EventType.MALFORMED, raw=payload)
+            self.closed = True
+            return b""
+        self._username = response.username
+        self._phase = "password"
+        return mysql.frame(mysql.build_auth_switch_request(
+            mysql.CLEAR_PASSWORD_PLUGIN), 2)
+
+    def _handle_password(self, payload: bytes) -> bytes:
+        password = mysql.parse_clear_password(payload)
+        self.log(EventType.LOGIN_ATTEMPT, action="login",
+                 username=self._username, password=password)
+        # Deliberately open: any credential is accepted.
+        self._phase = "command"
+        return mysql.frame(mysql.build_ok(), 4)
+
+    def _handle_command(self, payload: bytes) -> bytes:
+        try:
+            opcode, argument = mysql.parse_command(payload)
+        except ProtocolError:
+            self.log(EventType.MALFORMED, raw=payload)
+            return mysql.frame(mysql.build_err(
+                1064, "42000", "malformed packet"), 1)
+        if opcode == mysql.COM_QUIT:
+            self.closed = True
+            return b""
+        if opcode == mysql.COM_PING:
+            self.log(EventType.COMMAND, action="PING")
+            return mysql.frame(mysql.build_ok(), 1)
+        if opcode == mysql.COM_QUERY:
+            sql = argument.decode("utf-8", "replace")
+            action = normalize_mysql_action(sql)
+            self.log(EventType.QUERY, action=action, raw=sql)
+            return self._execute(sql, action)
+        self.log(EventType.COMMAND, action=f"COM_{opcode:#04x}")
+        return mysql.frame(mysql.build_err(
+            1047, "08S01", "Unknown command"), 1)
+
+    def _execute(self, sql: str, action: str) -> bytes:
+        if action in ("SELECT @@VERSION", "SELECT VERSION"):
+            return mysql.build_text_resultset(
+                ["@@version"], [[SERVER_VERSION]])
+        if action == "SHOW DATABASES":
+            rows = [["information_schema"], [DECOY_DATABASE], ["mysql"]]
+            return mysql.build_text_resultset(["Database"], rows)
+        if action == "SHOW TABLES":
+            rows = [[name] for name in sorted(self._tables)]
+            return mysql.build_text_resultset(
+                [f"Tables_in_{DECOY_DATABASE}"], rows)
+        if action == "SELECT FROM":
+            table = self._target_table(sql)
+            if table is None:
+                return mysql.frame(mysql.build_err(
+                    1146, "42S02", "Table doesn't exist"), 1)
+            rows = self._tables[table]
+            width = max((len(row) for row in rows), default=1)
+            columns = [f"col{index}" for index in range(width)]
+            return mysql.build_text_resultset(columns, rows)
+        if action == "DROP TABLE":
+            table = self._target_table(sql)
+            if table is None:
+                return mysql.frame(mysql.build_err(
+                    1051, "42S02", "Unknown table"), 1)
+            del self._tables[table]
+            return mysql.frame(mysql.build_ok(), 1)
+        if action == "DROP DATABASE":
+            self._tables.clear()
+            return mysql.frame(mysql.build_ok(), 1)
+        if action == "CREATE TABLE":
+            match = _IDENTIFIER.search(sql)
+            if match:
+                self._tables.setdefault(match.group(1), [])
+            return mysql.frame(mysql.build_ok(), 1)
+        if action == "INSERT":
+            match = _IDENTIFIER.search(sql)
+            if match:
+                values = re.search(r"values\s*\((.*)\)", sql,
+                                   re.I | re.S)
+                row = ([part.strip().strip("'\"")
+                        for part in values.group(1).split(",")]
+                       if values else [])
+                self._tables.setdefault(match.group(1), []).append(row)
+            return mysql.frame(mysql.build_ok(affected_rows=1), 1)
+        if action in ("USE", "SET", "CREATE DATABASE", "SELECT"):
+            return mysql.frame(mysql.build_ok(), 1)
+        return mysql.frame(mysql.build_err(
+            1064, "42000", "You have an error in your SQL syntax"), 1)
+
+    def _target_table(self, sql: str) -> str | None:
+        match = _IDENTIFIER.search(sql)
+        if match and match.group(1) in self._tables:
+            return match.group(1)
+        return None

@@ -1,0 +1,413 @@
+"""Medium-interaction Redis honeypot (the paper's RedisHoneyPot).
+
+Emulates an open (no-auth) Redis server backed by a real in-memory
+keyspace (:mod:`repro.redis_engine`), responding to the command families
+the original Go honeypot supports -- SET, GET, DEL, KEYS, TYPE, FLUSHDB,
+INFO, CONFIG, SAVE, SLAVEOF, MODULE and friends -- which is exactly the
+surface the recorded attacks (P2PInfect, ABCbot, CVE-2022-0543) exercise.
+
+Two deployment configurations, matching Table 4:
+
+* ``default`` -- empty out-of-the-box keyspace,
+* ``fake_data`` -- preloaded with 200 Mockaroo user/password entries.
+"""
+
+from __future__ import annotations
+
+from repro.honeypots.base import (Honeypot, HoneypotSession, HoneypotInfo,
+                                  SessionContext)
+from repro.netsim.mockaroo import MockarooGenerator
+from repro.pipeline.logstore import EventType
+from repro.protocols import resp
+from repro.protocols.errors import ProtocolError
+from repro.redis_engine import RedisEngine, WrongTypeError
+
+#: Number of fake login entries planted in the ``fake_data`` config.
+FAKE_LOGIN_ENTRIES = 200
+
+OK = resp.SimpleString("OK")
+PONG = resp.SimpleString("PONG")
+
+
+def _build_engine(config: str, seed: int) -> RedisEngine:
+    engine = RedisEngine()
+    if config == "fake_data":
+        generator = MockarooGenerator(seed=seed)
+        for entry in generator.login_entries(FAKE_LOGIN_ENTRIES):
+            engine.set(entry.username.encode(), entry.password.encode())
+        engine.dirty = 0
+    return engine
+
+
+class RedisHoneypot(Honeypot):
+    """The medium-interaction Redis honeypot (one engine per instance)."""
+
+    honeypot_type = "redishoneypot"
+    dbms = "redis"
+    interaction = "medium"
+    default_port = 6379
+
+    def __init__(self, honeypot_id: str, *, config: str = "default",
+                 port: int | None = None, seed: int = 2024):
+        if config not in ("default", "fake_data"):
+            raise ValueError(f"unsupported RedisHoneypot config {config!r}")
+        super().__init__(honeypot_id, config=config, port=port)
+        self.engine = _build_engine(config, seed)
+
+    def new_session(self, context: SessionContext) -> HoneypotSession:
+        return _RedisSession(self.info, context, self.engine)
+
+
+class _RedisSession(HoneypotSession):
+
+    def __init__(self, info: HoneypotInfo, context: SessionContext,
+                 engine: RedisEngine):
+        super().__init__(info, context)
+        self._engine = engine
+        self._parser = resp.RespParser()
+
+    def on_disconnect(self) -> None:
+        pending = self._parser.take_pending()
+        if pending:
+            # Trailing bytes that never formed a command (e.g. a JDWP
+            # handshake) are still evidence worth keeping.
+            self.log(EventType.MALFORMED, raw=pending)
+
+    def on_data(self, data: bytes) -> bytes:
+        try:
+            values = self._parser.feed(data)
+        except ProtocolError:
+            self.log(EventType.MALFORMED, raw=data)
+            return resp.encode(resp.Error("ERR Protocol error"))
+        out = bytearray()
+        for value in values:
+            try:
+                tokens = resp.command_tokens(value)
+            except ProtocolError:
+                self.log(EventType.MALFORMED, raw=repr(value))
+                out += resp.encode(resp.Error("ERR Protocol error"))
+                continue
+            out += self._dispatch(tokens)
+            if self.closed:
+                break
+        return bytes(out)
+
+    def _dispatch(self, tokens: list[bytes]) -> bytes:
+        name = tokens[0].upper().decode("utf-8", "replace")
+        args = tokens[1:]
+        raw = b" ".join(tokens)
+        action = name
+        if name in ("CONFIG", "MODULE", "CLIENT", "SLAVEOF", "REPLICAOF",
+                    "FLUSHALL", "FLUSHDB", "DEBUG"):
+            if name in ("CONFIG", "MODULE", "CLIENT", "DEBUG") and args:
+                action = f"{name} {args[0].upper().decode('utf-8', 'replace')}"
+        self.log(EventType.COMMAND, action=action, raw=raw)
+        handler = getattr(self, f"_cmd_{name.lower().replace('.', '_')}",
+                          None)
+        if handler is None:
+            return resp.encode(resp.Error(
+                f"ERR unknown command `{name}`, with args beginning with:"))
+        try:
+            return handler(args)
+        except WrongTypeError as exc:
+            return resp.encode(resp.Error(str(exc)))
+
+    # -- basic ------------------------------------------------------------
+
+    def _cmd_ping(self, args: list[bytes]) -> bytes:
+        return resp.encode(args[0] if args else PONG)
+
+    def _cmd_echo(self, args: list[bytes]) -> bytes:
+        if len(args) != 1:
+            return _wrong_arity("echo")
+        return resp.encode(args[0])
+
+    def _cmd_quit(self, args: list[bytes]) -> bytes:
+        self.closed = True
+        return resp.encode(OK)
+
+    def _cmd_select(self, args: list[bytes]) -> bytes:
+        return resp.encode(OK)
+
+    def _cmd_auth(self, args: list[bytes]) -> bytes:
+        # The honeypot is deliberately open: AUTH is logged (as a login
+        # attempt) and "succeeds" against any password.
+        if not args:
+            return _wrong_arity("auth")
+        username = (args[0].decode("utf-8", "replace") if len(args) >= 2
+                    else "default")
+        password = args[-1].decode("utf-8", "replace")
+        self.log(EventType.LOGIN_ATTEMPT, action="AUTH", username=username,
+                 password=password)
+        return resp.encode(resp.Error(
+            "ERR Client sent AUTH, but no password is set. Did you mean "
+            "AUTH <username> <password>?"))
+
+    # -- keyspace ------------------------------------------------------------
+
+    def _now(self) -> float:
+        return self.context.clock.timestamp()
+
+    def _cmd_set(self, args: list[bytes]) -> bytes:
+        if len(args) < 2:
+            return _wrong_arity("set")
+        ex = None
+        index = 2
+        while index < len(args):
+            option = args[index].upper()
+            if option == b"EX" and index + 1 < len(args):
+                try:
+                    ex = float(args[index + 1])
+                except ValueError:
+                    return resp.encode(resp.Error(
+                        "ERR value is not an integer or out of range"))
+                index += 2
+            elif option in (b"NX", b"XX", b"KEEPTTL"):
+                index += 1
+            else:
+                return resp.encode(resp.Error("ERR syntax error"))
+        self._engine.set(args[0], args[1], ex=ex, now=self._now())
+        return resp.encode(OK)
+
+    def _cmd_setex(self, args: list[bytes]) -> bytes:
+        if len(args) != 3:
+            return _wrong_arity("setex")
+        try:
+            seconds = float(args[1])
+        except ValueError:
+            return resp.encode(resp.Error(
+                "ERR value is not an integer or out of range"))
+        self._engine.set(args[0], args[2], ex=seconds, now=self._now())
+        return resp.encode(OK)
+
+    def _cmd_get(self, args: list[bytes]) -> bytes:
+        if len(args) != 1:
+            return _wrong_arity("get")
+        return resp.encode(self._engine.get(args[0], self._now()))
+
+    def _cmd_expire(self, args: list[bytes]) -> bytes:
+        if len(args) != 2:
+            return _wrong_arity("expire")
+        try:
+            seconds = float(args[1])
+        except ValueError:
+            return resp.encode(resp.Error(
+                "ERR value is not an integer or out of range"))
+        return resp.encode(int(self._engine.expire(args[0], seconds,
+                                                   self._now())))
+
+    def _cmd_ttl(self, args: list[bytes]) -> bytes:
+        if len(args) != 1:
+            return _wrong_arity("ttl")
+        return resp.encode(self._engine.ttl(args[0], self._now()))
+
+    def _cmd_persist(self, args: list[bytes]) -> bytes:
+        if len(args) != 1:
+            return _wrong_arity("persist")
+        return resp.encode(int(self._engine.persist(args[0],
+                                                    self._now())))
+
+    def _cmd_incr(self, args: list[bytes]) -> bytes:
+        return self._incr_by(args, 1)
+
+    def _cmd_decr(self, args: list[bytes]) -> bytes:
+        return self._incr_by(args, -1)
+
+    def _cmd_incrby(self, args: list[bytes]) -> bytes:
+        if len(args) != 2:
+            return _wrong_arity("incrby")
+        try:
+            delta = int(args[1])
+        except ValueError:
+            return resp.encode(resp.Error(
+                "ERR value is not an integer or out of range"))
+        return self._incr_by(args[:1], delta)
+
+    def _incr_by(self, args: list[bytes], delta: int) -> bytes:
+        if len(args) != 1:
+            return _wrong_arity("incr")
+        try:
+            return resp.encode(self._engine.incrby(args[0], delta,
+                                                   self._now()))
+        except ValueError as exc:
+            return resp.encode(resp.Error(str(exc)))
+
+    def _cmd_append(self, args: list[bytes]) -> bytes:
+        if len(args) != 2:
+            return _wrong_arity("append")
+        return resp.encode(self._engine.append(args[0], args[1],
+                                               self._now()))
+
+    def _cmd_lpush(self, args: list[bytes]) -> bytes:
+        if len(args) < 2:
+            return _wrong_arity("lpush")
+        return resp.encode(self._engine.lpush(args[0], args[1:]))
+
+    def _cmd_rpush(self, args: list[bytes]) -> bytes:
+        if len(args) < 2:
+            return _wrong_arity("rpush")
+        return resp.encode(self._engine.rpush(args[0], args[1:]))
+
+    def _cmd_lrange(self, args: list[bytes]) -> bytes:
+        if len(args) != 3:
+            return _wrong_arity("lrange")
+        try:
+            start, stop = int(args[1]), int(args[2])
+        except ValueError:
+            return resp.encode(resp.Error(
+                "ERR value is not an integer or out of range"))
+        return resp.encode(self._engine.lrange(args[0], start, stop))
+
+    def _cmd_llen(self, args: list[bytes]) -> bytes:
+        if len(args) != 1:
+            return _wrong_arity("llen")
+        return resp.encode(self._engine.llen(args[0]))
+
+    def _cmd_lpop(self, args: list[bytes]) -> bytes:
+        if len(args) != 1:
+            return _wrong_arity("lpop")
+        return resp.encode(self._engine.lpop(args[0]))
+
+    def _cmd_del(self, args: list[bytes]) -> bytes:
+        if not args:
+            return _wrong_arity("del")
+        return resp.encode(self._engine.delete(args))
+
+    def _cmd_exists(self, args: list[bytes]) -> bytes:
+        if not args:
+            return _wrong_arity("exists")
+        return resp.encode(sum(1 for key in args
+                               if self._engine.exists(key)))
+
+    def _cmd_keys(self, args: list[bytes]) -> bytes:
+        if len(args) != 1:
+            return _wrong_arity("keys")
+        return resp.encode(self._engine.keys(args[0]))
+
+    def _cmd_scan(self, args: list[bytes]) -> bytes:
+        # Single-pass cursor: always returns everything with cursor 0.
+        return resp.encode([b"0", self._engine.keys(b"*")])
+
+    def _cmd_type(self, args: list[bytes]) -> bytes:
+        if len(args) != 1:
+            return _wrong_arity("type")
+        return resp.encode(resp.SimpleString(self._engine.type(args[0])))
+
+    def _cmd_dbsize(self, args: list[bytes]) -> bytes:
+        return resp.encode(self._engine.dbsize())
+
+    def _cmd_hset(self, args: list[bytes]) -> bytes:
+        if len(args) < 3 or len(args) % 2 == 0:
+            return _wrong_arity("hset")
+        fields = {args[i]: args[i + 1] for i in range(1, len(args), 2)}
+        return resp.encode(self._engine.hset(args[0], fields))
+
+    def _cmd_hgetall(self, args: list[bytes]) -> bytes:
+        if len(args) != 1:
+            return _wrong_arity("hgetall")
+        flattened: list[bytes] = []
+        for key, value in self._engine.hgetall(args[0]).items():
+            flattened += [key, value]
+        return resp.encode(flattened)
+
+    def _cmd_flushdb(self, args: list[bytes]) -> bytes:
+        self._engine.flushdb()
+        return resp.encode(OK)
+
+    def _cmd_flushall(self, args: list[bytes]) -> bytes:
+        self._engine.flushdb()
+        return resp.encode(OK)
+
+    # -- admin ------------------------------------------------------------
+
+    def _cmd_info(self, args: list[bytes]) -> bytes:
+        return resp.encode(self._engine.info().encode())
+
+    def _cmd_config(self, args: list[bytes]) -> bytes:
+        if len(args) >= 2 and args[0].upper() == b"GET":
+            found = self._engine.config_get(
+                args[1].decode("utf-8", "replace"))
+            flattened: list[bytes] = []
+            for name, value in found.items():
+                flattened += [name.encode(), value.encode()]
+            return resp.encode(flattened)
+        if len(args) >= 3 and args[0].upper() == b"SET":
+            self._engine.config_set(args[1].decode("utf-8", "replace"),
+                                    args[2].decode("utf-8", "replace"))
+            return resp.encode(OK)
+        return resp.encode(resp.Error("ERR Unknown CONFIG subcommand"))
+
+    def _cmd_save(self, args: list[bytes]) -> bytes:
+        self._engine.save()
+        return resp.encode(OK)
+
+    def _cmd_bgsave(self, args: list[bytes]) -> bytes:
+        self._engine.save()
+        return resp.encode(resp.SimpleString("Background saving started"))
+
+    def _cmd_slaveof(self, args: list[bytes]) -> bytes:
+        if len(args) != 2:
+            return _wrong_arity("slaveof")
+        if args[0].upper() == b"NO" and args[1].upper() == b"ONE":
+            self._engine.slaveof(None, None)
+        else:
+            try:
+                port = int(args[1])
+            except ValueError:
+                return resp.encode(resp.Error("ERR Invalid master port"))
+            self._engine.slaveof(args[0].decode("utf-8", "replace"), port)
+        return resp.encode(OK)
+
+    _cmd_replicaof = _cmd_slaveof
+
+    def _cmd_module(self, args: list[bytes]) -> bytes:
+        if len(args) >= 2 and args[0].upper() == b"LOAD":
+            self._engine.module_load(args[1].decode("utf-8", "replace"))
+            return resp.encode(OK)
+        if len(args) >= 2 and args[0].upper() == b"UNLOAD":
+            if self._engine.module_unload(
+                    args[1].decode("utf-8", "replace")):
+                return resp.encode(OK)
+            return resp.encode(resp.Error(
+                "ERR Error unloading module: no such module with that name"))
+        if args and args[0].upper() == b"LIST":
+            return resp.encode([path.encode()
+                                for path in self._engine.loaded_modules])
+        return resp.encode(resp.Error("ERR Unknown MODULE subcommand"))
+
+    def _cmd_system_exec(self, args: list[bytes]) -> bytes:
+        # Provided by the rogue "exp.so" module attackers load; pretending
+        # it exists keeps the attack sequence flowing so it can be logged.
+        if self._engine.loaded_modules:
+            return resp.encode(b"")
+        return resp.encode(resp.Error(
+            "ERR unknown command `system.exec`, with args beginning with:"))
+
+    def _cmd_eval(self, args: list[bytes]) -> bytes:
+        # CVE-2022-0543 Lua sandbox escapes arrive here; the script output
+        # is faked just far enough to look like the Vulhub PoC succeeded.
+        if args and (b"io.popen" in args[0] or b"loadlib" in args[0]):
+            return resp.encode(b"uid=999(redis) gid=999(redis) "
+                               b"groups=999(redis)\n")
+        return resp.encode(None)
+
+    def _cmd_client(self, args: list[bytes]) -> bytes:
+        if args and args[0].upper() == b"LIST":
+            peer = f"{self.context.src_ip}:{self.context.src_port}"
+            return resp.encode(
+                f"id=3 addr={peer} fd=8 name= age=0 idle=0\n".encode())
+        if args and args[0].upper() == b"SETNAME":
+            return resp.encode(OK)
+        return resp.encode(resp.Error("ERR Unknown CLIENT subcommand"))
+
+    def _cmd_command(self, args: list[bytes]) -> bytes:
+        return resp.encode([])
+
+    def _cmd_debug(self, args: list[bytes]) -> bytes:
+        return resp.encode(resp.Error(
+            "ERR DEBUG command not allowed."))
+
+
+def _wrong_arity(name: str) -> bytes:
+    return resp.encode(resp.Error(
+        f"ERR wrong number of arguments for '{name}' command"))

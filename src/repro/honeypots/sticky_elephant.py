@@ -1,0 +1,207 @@
+"""Medium-interaction PostgreSQL honeypot (the paper's Sticky Elephant).
+
+Speaks the pgwire protocol and answers queries from a scripted handler:
+it does not execute SQL, but recognizes the statement shapes attackers
+use (``COPY ... FROM PROGRAM`` for Kinsing droppers, ``ALTER USER`` for
+privilege manipulation, table create/drop around command execution) and
+produces believable responses.
+
+Two deployment configurations, matching Table 4:
+
+* ``default`` -- any password is accepted and queries can be issued,
+* ``login_disabled`` -- every authentication attempt fails.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.honeypots.base import (Honeypot, HoneypotSession, HoneypotInfo,
+                                  SessionContext)
+from repro.pipeline.logstore import EventType
+from repro.protocols import postgres as pg
+from repro.protocols.errors import ProtocolError
+
+SERVER_VERSION = "12.7 (Ubuntu 12.7-0ubuntu0.20.04.1)"
+
+#: Statement-shape patterns, tried in order; first match wins.  The
+#: normalized action string doubles as the clustering "term" for this
+#: query.
+_SQL_ACTIONS: list[tuple[re.Pattern[str], str]] = [
+    (re.compile(r"copy\s+.*\bfrom\s+program\b", re.I | re.S),
+     "COPY FROM PROGRAM"),
+    (re.compile(r"^\s*create\s+table", re.I), "CREATE TABLE"),
+    (re.compile(r"^\s*drop\s+table", re.I), "DROP TABLE"),
+    (re.compile(r"^\s*alter\s+user", re.I), "ALTER USER"),
+    (re.compile(r"^\s*alter\s+role", re.I), "ALTER ROLE"),
+    (re.compile(r"^\s*create\s+user", re.I), "CREATE USER"),
+    (re.compile(r"^\s*select\s+version\s*\(", re.I), "SELECT VERSION"),
+    (re.compile(r"^\s*select\s+pg_sleep", re.I), "SELECT PG_SLEEP"),
+    (re.compile(r"^\s*select\b", re.I), "SELECT"),
+    (re.compile(r"^\s*insert\b", re.I), "INSERT"),
+    (re.compile(r"^\s*update\b", re.I), "UPDATE"),
+    (re.compile(r"^\s*delete\b", re.I), "DELETE"),
+    (re.compile(r"^\s*set\b", re.I), "SET"),
+    (re.compile(r"^\s*show\b", re.I), "SHOW"),
+]
+
+
+def response_category(sql: str) -> str:
+    """Map a SQL statement to the coarse category the scripted response
+    handler dispatches on."""
+    for pattern, action in _SQL_ACTIONS:
+        if pattern.search(sql):
+            return action
+    return "UNKNOWN SQL"
+
+
+_SQL_TOKEN = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+
+
+def normalize_sql_action(sql: str) -> str:
+    """Map a SQL statement to its normalized (logged) action token.
+
+    Dangerous statement shapes keep their category names; everything
+    else is summarized by its first two identifiers, so ``SELECT
+    current_user;`` and ``SELECT version();`` are distinct clustering
+    terms while parameter values are dropped.
+    """
+    category = response_category(sql)
+    if category not in ("SELECT", "SHOW", "SET", "UNKNOWN SQL"):
+        return category
+    tokens = _SQL_TOKEN.findall(sql)
+    if tokens:
+        return " ".join(token.upper() for token in tokens[:2])
+    return "UNKNOWN SQL"
+
+
+class StickyElephant(Honeypot):
+    """The medium-interaction PostgreSQL honeypot."""
+
+    honeypot_type = "sticky_elephant"
+    dbms = "postgresql"
+    interaction = "medium"
+    default_port = 5432
+
+    def __init__(self, honeypot_id: str, *, config: str = "default",
+                 port: int | None = None):
+        if config not in ("default", "login_disabled"):
+            raise ValueError(
+                f"unsupported StickyElephant config {config!r}")
+        super().__init__(honeypot_id, config=config, port=port)
+
+    def new_session(self, context: SessionContext) -> HoneypotSession:
+        return _ElephantSession(self.info, context)
+
+
+class _ElephantSession(HoneypotSession):
+
+    def __init__(self, info: HoneypotInfo, context: SessionContext):
+        super().__init__(info, context)
+        self._stream = pg.PgStream(expect_startup=True)
+        self._user: str | None = None
+        self._authenticated = False
+
+    def on_data(self, data: bytes) -> bytes:
+        try:
+            messages = self._stream.feed(data)
+        except ProtocolError:
+            # Non-pgwire probes (RDP cookies, TLS hellos) land here; the
+            # raw bytes are kept for behavioral analysis.
+            self.log(EventType.MALFORMED, raw=data)
+            self.closed = True
+            return b""
+        out = bytearray()
+        for message in messages:
+            out += self._handle(message)
+            if self.closed:
+                break
+        return bytes(out)
+
+    def _handle(self, message: object) -> bytes:
+        if isinstance(message, pg.SSLRequest):
+            return b"N"
+        if isinstance(message, pg.StartupMessage):
+            self._user = message.user or ""
+            return pg.build_authentication_request(
+                pg.AUTH_CLEARTEXT_PASSWORD)
+        if isinstance(message, pg.CancelRequest):
+            self.closed = True
+            return b""
+        if isinstance(message, pg.FrontendMessage):
+            return self._handle_typed(message)
+        self.log(EventType.MALFORMED, raw=repr(message))
+        self.closed = True
+        return b""
+
+    def _handle_typed(self, message: pg.FrontendMessage) -> bytes:
+        if message.type_code == b"p":
+            return self._handle_password(message.payload)
+        if message.type_code == b"Q":
+            return self._handle_query(message.payload)
+        if message.type_code == b"X":
+            self.closed = True
+            return b""
+        self.log(EventType.MALFORMED, raw=repr(message))
+        return pg.build_error_response(
+            "ERROR", "0A000", "unsupported frontend message")
+
+    def _handle_password(self, payload: bytes) -> bytes:
+        password = payload.rstrip(b"\x00").decode("utf-8", "replace")
+        self.log(EventType.LOGIN_ATTEMPT, action="login",
+                 username=self._user, password=password)
+        if self.info.config == "login_disabled":
+            self.closed = True
+            return pg.build_error_response(
+                "FATAL", "28P01",
+                f'password authentication failed for user "{self._user}"')
+        self._authenticated = True
+        return (pg.build_authentication_ok()
+                + pg.build_parameter_status("server_version", "12.7")
+                + pg.build_parameter_status("server_encoding", "UTF8")
+                + pg.build_backend_key_data(4242, 91919191)
+                + pg.build_ready_for_query())
+
+    def _handle_query(self, payload: bytes) -> bytes:
+        sql = payload.rstrip(b"\x00").decode("utf-8", "replace")
+        self.log(EventType.QUERY, action=normalize_sql_action(sql),
+                 raw=sql)
+        if not self._authenticated:
+            return pg.build_error_response(
+                "FATAL", "08P01", "query before authentication")
+        return self._scripted_response(sql, response_category(sql))
+
+    def _scripted_response(self, sql: str, action: str) -> bytes:
+        if action == "SELECT VERSION":
+            return (pg.build_row_description(["version"])
+                    + pg.build_data_row([f"PostgreSQL {SERVER_VERSION}"])
+                    + pg.build_command_complete("SELECT 1")
+                    + pg.build_ready_for_query())
+        if action in ("CREATE TABLE", "CREATE USER"):
+            return (pg.build_command_complete(action)
+                    + pg.build_ready_for_query())
+        if action == "DROP TABLE":
+            return (pg.build_command_complete("DROP TABLE")
+                    + pg.build_ready_for_query())
+        if action in ("ALTER USER", "ALTER ROLE"):
+            return (pg.build_command_complete("ALTER ROLE")
+                    + pg.build_ready_for_query())
+        if action == "COPY FROM PROGRAM":
+            return (pg.build_command_complete("COPY 1")
+                    + pg.build_ready_for_query())
+        if action in ("INSERT", "UPDATE", "DELETE"):
+            tag = {"INSERT": "INSERT 0 1", "UPDATE": "UPDATE 1",
+                   "DELETE": "DELETE 1"}[action]
+            return (pg.build_command_complete(tag)
+                    + pg.build_ready_for_query())
+        if action in ("SET", "SHOW"):
+            return (pg.build_command_complete(action)
+                    + pg.build_ready_for_query())
+        if action in ("SELECT", "SELECT PG_SLEEP"):
+            return (pg.build_row_description(["cmd_output"])
+                    + pg.build_data_row([""])
+                    + pg.build_command_complete("SELECT 1")
+                    + pg.build_ready_for_query())
+        return (pg.build_error_response(
+            "ERROR", "42601", f'syntax error at or near "{sql[:32]}"')
+            + pg.build_ready_for_query())

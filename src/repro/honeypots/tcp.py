@@ -1,0 +1,86 @@
+"""Serve honeypot sessions over real TCP sockets.
+
+Used by the live examples and the integration tests: the exact same
+session objects that power the fast in-memory simulation are bound to
+``asyncio`` stream servers here, so a real ``redis-cli`` or ``psql``
+could talk to them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from repro.honeypots.base import Honeypot, SessionContext
+from repro.netsim.clock import SimClock
+from repro.pipeline.logstore import EventSink
+
+
+@dataclass
+class TcpHoneypotServer:
+    """An asyncio TCP server wrapping one honeypot instance."""
+
+    honeypot: Honeypot
+    clock: SimClock
+    sink: EventSink
+    host: str = "127.0.0.1"
+    port: int = 0
+
+    def __post_init__(self) -> None:
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> int:
+        """Bind and start serving; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        """Stop serving and release the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername") or ("0.0.0.0", 0)
+        context = SessionContext(src_ip=peer[0], src_port=peer[1],
+                                 clock=self.clock, sink=self.sink)
+        session = self.honeypot.new_session(context)
+        try:
+            greeting = session.connect()
+            if greeting:
+                writer.write(greeting)
+                await writer.drain()
+            while not session.closed:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                reply = session.receive(data)
+                if reply:
+                    writer.write(reply)
+                    await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            session.disconnect()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+
+async def serve_honeypots(honeypots: list[Honeypot], clock: SimClock,
+                          sink: EventSink,
+                          host: str = "127.0.0.1") -> list[TcpHoneypotServer]:
+    """Start one TCP server per honeypot on ephemeral ports."""
+    servers = []
+    for honeypot in honeypots:
+        server = TcpHoneypotServer(honeypot, clock, sink, host=host)
+        await server.start()
+        servers.append(server)
+    return servers

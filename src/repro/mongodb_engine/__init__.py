@@ -1,0 +1,13 @@
+"""An in-process MongoDB-subset document store.
+
+The paper's high-interaction honeypot runs a *real* MongoDB inside Docker;
+here the real database is replaced by this engine -- small, but genuinely
+stateful: inserts, finds, deletes and drops actually execute, which is
+what makes ransom attacks (dump, wipe, leave a note) observable end to
+end.
+"""
+
+from repro.mongodb_engine.engine import MongoEngine
+from repro.mongodb_engine.query import matches
+
+__all__ = ["MongoEngine", "matches"]

@@ -1,0 +1,401 @@
+"""The document store and its command interface.
+
+:class:`MongoEngine` executes the database commands the wire layer
+dispatches to it.  Commands arrive as plain dictionaries (decoded BSON)
+and results return as dictionaries (to be re-encoded); the engine knows
+nothing about the wire protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocols.bson import ObjectId
+from repro.mongodb_engine.query import QueryError, matches
+
+
+class CommandError(Exception):
+    """A command failed; carries the MongoDB error code and message."""
+
+    def __init__(self, code: int, code_name: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.code_name = code_name
+
+
+@dataclass
+class Collection:
+    """An ordered list of documents."""
+
+    documents: list[dict] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+
+@dataclass
+class MongoEngine:
+    """Databases -> collections -> documents, plus command execution."""
+
+    version: str = "7.0.5"
+    _databases: dict[str, dict[str, Collection]] = field(
+        default_factory=dict)
+    _next_object_id: int = 1
+
+    # -- direct (Python) API ------------------------------------------------
+
+    def insert(self, database: str, collection: str,
+               documents: list[dict]) -> int:
+        """Insert ``documents``, assigning ``_id`` where missing."""
+        target = self._collection(database, collection, create=True)
+        for document in documents:
+            if "_id" not in document:
+                document = {"_id": self._new_object_id(), **document}
+            target.documents.append(document)
+        return len(documents)
+
+    def find(self, database: str, collection: str, query: dict
+             | None = None, *, limit: int = 0) -> list[dict]:
+        """Return documents matching ``query`` (all when ``None``)."""
+        target = self._collection(database, collection)
+        if target is None:
+            return []
+        results = []
+        for document in target.documents:
+            if query is None or matches(document, query):
+                results.append(document)
+                if limit and len(results) >= limit:
+                    break
+        return results
+
+    def count(self, database: str, collection: str,
+              query: dict | None = None) -> int:
+        """Count documents matching ``query``."""
+        return len(self.find(database, collection, query))
+
+    def delete(self, database: str, collection: str, query: dict, *,
+               limit: int = 0) -> int:
+        """Delete matching documents; returns the number removed."""
+        target = self._collection(database, collection)
+        if target is None:
+            return 0
+        kept, removed = [], 0
+        for document in target.documents:
+            if (not limit or removed < limit) and matches(document, query):
+                removed += 1
+            else:
+                kept.append(document)
+        target.documents = kept
+        return removed
+
+    def update(self, database: str, collection: str, query: dict,
+               change: dict, *, multi: bool = False,
+               upsert: bool = False) -> tuple[int, int]:
+        """Update matching documents; returns (matched, modified).
+
+        ``change`` is either a ``$set``/``$unset`` operator document or
+        a full replacement document.  With ``upsert`` and no match, a
+        new document is inserted.
+        """
+        target = self._collection(database, collection,
+                                  create=upsert)
+        matched = modified = 0
+        if target is not None:
+            for index, document in enumerate(target.documents):
+                if not matches(document, query):
+                    continue
+                matched += 1
+                updated = _apply_update(document, change)
+                if updated != document:
+                    target.documents[index] = updated
+                    modified += 1
+                if not multi:
+                    break
+        if matched == 0 and upsert:
+            seed = {key: value for key, value in query.items()
+                    if not key.startswith("$")
+                    and not isinstance(value, dict)}
+            self.insert(database, collection,
+                        [_apply_update(seed, change)])
+            return 0, 1
+        return matched, modified
+
+    def distinct(self, database: str, collection: str, key: str,
+                 query: dict | None = None) -> list:
+        """Distinct values of ``key`` among matching documents."""
+        seen = []
+        for document in self.find(database, collection, query):
+            value = document.get(key)
+            if value is not None and value not in seen:
+                seen.append(value)
+        return seen
+
+    def drop_collection(self, database: str, collection: str) -> bool:
+        """Drop one collection; returns whether it existed."""
+        collections = self._databases.get(database)
+        if collections and collections.pop(collection, None) is not None:
+            if not collections:
+                self._databases.pop(database, None)
+            return True
+        return False
+
+    def drop_database(self, database: str) -> bool:
+        """Drop a whole database; returns whether it existed."""
+        return self._databases.pop(database, None) is not None
+
+    def list_databases(self) -> list[str]:
+        """Names of non-empty databases, sorted."""
+        return sorted(self._databases)
+
+    def list_collections(self, database: str) -> list[str]:
+        """Collection names of ``database``, sorted."""
+        return sorted(self._databases.get(database, {}))
+
+    # -- command execution ---------------------------------------------------
+
+    def run_command(self, database: str, command: dict) -> dict:
+        """Execute one database command and return its reply document.
+
+        Raises
+        ------
+        CommandError
+            For unknown commands or malformed arguments; the wire layer
+            translates this into an ``ok: 0`` reply.
+        """
+        if not command:
+            raise CommandError(40415, "FailedToParse", "empty command")
+        name = next(iter(command))
+        handler = _COMMANDS.get(name.lower())
+        if handler is None:
+            raise CommandError(
+                59, "CommandNotFound", f"no such command: '{name}'")
+        try:
+            return handler(self, database, command)
+        except QueryError as exc:
+            raise CommandError(2, "BadValue", str(exc)) from exc
+
+    # -- command handlers ------------------------------------------------------
+
+    def _cmd_hello(self, database: str, command: dict) -> dict:
+        return {
+            "ismaster": True,
+            "isWritablePrimary": True,
+            "maxBsonObjectSize": 16 * 1024 * 1024,
+            "maxMessageSizeBytes": 48 * 1024 * 1024,
+            "maxWireVersion": 21,
+            "minWireVersion": 0,
+            "readOnly": False,
+            "ok": 1.0,
+        }
+
+    def _cmd_ping(self, database: str, command: dict) -> dict:
+        return {"ok": 1.0}
+
+    def _cmd_build_info(self, database: str, command: dict) -> dict:
+        major, minor, patch = (int(part) for part in
+                               self.version.split("."))
+        return {
+            "version": self.version,
+            "gitVersion": "0000000000000000000000000000000000000000",
+            "versionArray": [major, minor, patch, 0],
+            "bits": 64,
+            "ok": 1.0,
+        }
+
+    def _cmd_server_status(self, database: str, command: dict) -> dict:
+        return {
+            "host": "db-prod-01",
+            "version": self.version,
+            "process": "mongod",
+            "uptime": 86400.0,
+            "connections": {"current": 1, "available": 819199},
+            "ok": 1.0,
+        }
+
+    def _cmd_get_log(self, database: str, command: dict) -> dict:
+        return {"totalLinesWritten": 0, "log": [], "ok": 1.0}
+
+    def _cmd_whatsmyuri(self, database: str, command: dict) -> dict:
+        return {"you": "0.0.0.0:0", "ok": 1.0}
+
+    def _cmd_list_databases(self, database: str, command: dict) -> dict:
+        databases = []
+        total = 0
+        for name in self.list_databases():
+            size = sum(len(coll) for coll in
+                       self._databases[name].values()) * 1024
+            databases.append(
+                {"name": name, "sizeOnDisk": size, "empty": size == 0})
+            total += size
+        return {"databases": databases, "totalSize": total, "ok": 1.0}
+
+    def _cmd_list_collections(self, database: str, command: dict) -> dict:
+        names = self.list_collections(database)
+        batch = [{"name": name, "type": "collection",
+                  "options": {}, "info": {"readOnly": False}}
+                 for name in names]
+        return {"cursor": {"id": 0,
+                           "ns": f"{database}.$cmd.listCollections",
+                           "firstBatch": batch},
+                "ok": 1.0}
+
+    def _cmd_find(self, database: str, command: dict) -> dict:
+        collection = _collection_arg(command, "find")
+        query = command.get("filter") or {}
+        limit = int(command.get("limit") or 0)
+        if limit < 0:
+            limit = -limit
+        documents = self.find(database, collection, query, limit=limit)
+        return {"cursor": {"id": 0, "ns": f"{database}.{collection}",
+                           "firstBatch": documents},
+                "ok": 1.0}
+
+    def _cmd_count(self, database: str, command: dict) -> dict:
+        collection = _collection_arg(command, "count")
+        query = command.get("query") or {}
+        return {"n": self.count(database, collection, query), "ok": 1.0}
+
+    def _cmd_insert(self, database: str, command: dict) -> dict:
+        collection = _collection_arg(command, "insert")
+        documents = command.get("documents")
+        if not isinstance(documents, list) or not documents:
+            raise CommandError(2, "BadValue",
+                               "insert requires a documents array")
+        inserted = self.insert(database, collection, documents)
+        return {"n": inserted, "ok": 1.0}
+
+    def _cmd_delete(self, database: str, command: dict) -> dict:
+        collection = _collection_arg(command, "delete")
+        deletes = command.get("deletes")
+        if not isinstance(deletes, list):
+            raise CommandError(2, "BadValue",
+                               "delete requires a deletes array")
+        removed = 0
+        for spec in deletes:
+            query = spec.get("q", {})
+            limit = int(spec.get("limit", 0))
+            removed += self.delete(database, collection, query, limit=limit)
+        return {"n": removed, "ok": 1.0}
+
+    def _cmd_drop(self, database: str, command: dict) -> dict:
+        collection = _collection_arg(command, "drop")
+        if not self.drop_collection(database, collection):
+            raise CommandError(26, "NamespaceNotFound", "ns not found")
+        return {"ns": f"{database}.{collection}", "ok": 1.0}
+
+    def _cmd_drop_database(self, database: str, command: dict) -> dict:
+        self.drop_database(database)
+        return {"dropped": database, "ok": 1.0}
+
+    def _cmd_update(self, database: str, command: dict) -> dict:
+        collection = _collection_arg(command, "update")
+        updates = command.get("updates")
+        if not isinstance(updates, list) or not updates:
+            raise CommandError(2, "BadValue",
+                               "update requires an updates array")
+        matched = modified = 0
+        for spec in updates:
+            m, n = self.update(database, collection, spec.get("q", {}),
+                               spec.get("u", {}),
+                               multi=bool(spec.get("multi")),
+                               upsert=bool(spec.get("upsert")))
+            matched += m
+            modified += n
+        return {"n": matched, "nModified": modified, "ok": 1.0}
+
+    def _cmd_distinct(self, database: str, command: dict) -> dict:
+        collection = _collection_arg(command, "distinct")
+        key = command.get("key")
+        if not isinstance(key, str) or not key:
+            raise CommandError(2, "BadValue",
+                               "distinct requires a key")
+        values = self.distinct(database, collection, key,
+                               command.get("query") or {})
+        return {"values": values, "ok": 1.0}
+
+    def _cmd_end_sessions(self, database: str, command: dict) -> dict:
+        return {"ok": 1.0}
+
+    # -- internals ------------------------------------------------------------
+
+    def _collection(self, database: str, collection: str, *,
+                    create: bool = False) -> Collection | None:
+        collections = self._databases.get(database)
+        if collections is None:
+            if not create:
+                return None
+            collections = self._databases[database] = {}
+        target = collections.get(collection)
+        if target is None:
+            if not create:
+                return None
+            target = collections[collection] = Collection()
+        return target
+
+    def _new_object_id(self) -> ObjectId:
+        oid = ObjectId.from_counter(self._next_object_id)
+        self._next_object_id += 1
+        return oid
+
+
+def _collection_arg(command: dict, name: str) -> str:
+    value = command.get(name)
+    if not isinstance(value, str) or not value:
+        raise CommandError(73, "InvalidNamespace",
+                           f"{name} requires a collection name")
+    return value
+
+
+_COMMANDS = {
+    "hello": MongoEngine._cmd_hello,
+    "ismaster": MongoEngine._cmd_hello,
+    "ping": MongoEngine._cmd_ping,
+    "buildinfo": MongoEngine._cmd_build_info,
+    "serverstatus": MongoEngine._cmd_server_status,
+    "getlog": MongoEngine._cmd_get_log,
+    "whatsmyuri": MongoEngine._cmd_whatsmyuri,
+    "listdatabases": MongoEngine._cmd_list_databases,
+    "listcollections": MongoEngine._cmd_list_collections,
+    "find": MongoEngine._cmd_find,
+    "count": MongoEngine._cmd_count,
+    "insert": MongoEngine._cmd_insert,
+    "delete": MongoEngine._cmd_delete,
+    "drop": MongoEngine._cmd_drop,
+    "dropdatabase": MongoEngine._cmd_drop_database,
+    "update": MongoEngine._cmd_update,
+    "distinct": MongoEngine._cmd_distinct,
+    "endsessions": MongoEngine._cmd_end_sessions,
+}
+
+
+def _apply_update(document: dict, change: dict) -> dict:
+    """Apply an update document: $set/$unset operators or replacement."""
+    operators = {key for key in change if key.startswith("$")}
+    if not operators:
+        replacement = dict(change)
+        if "_id" in document:
+            replacement.setdefault("_id", document["_id"])
+        return replacement
+    updated = dict(document)
+    for operator, operand in change.items():
+        if operator == "$set":
+            if not isinstance(operand, dict):
+                raise CommandError(2, "BadValue",
+                                   "$set requires a document")
+            updated.update(operand)
+        elif operator == "$unset":
+            if not isinstance(operand, dict):
+                raise CommandError(2, "BadValue",
+                                   "$unset requires a document")
+            for key in operand:
+                updated.pop(key, None)
+        elif operator == "$inc":
+            if not isinstance(operand, dict):
+                raise CommandError(2, "BadValue",
+                                   "$inc requires a document")
+            for key, delta in operand.items():
+                updated[key] = updated.get(key, 0) + delta
+        else:
+            raise CommandError(2, "BadValue",
+                               f"unsupported update operator {operator}")
+    return updated

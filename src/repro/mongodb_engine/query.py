@@ -1,0 +1,145 @@
+"""MongoDB query filter evaluation.
+
+Implements the filter subset used by scanners and data-theft scripts:
+equality on (possibly dotted) paths, the comparison operators
+``$eq/$ne/$gt/$gte/$lt/$lte``, membership ``$in/$nin``, ``$exists``,
+``$regex``, and the logical combinators ``$and/$or/$nor/$not``.
+"""
+
+from __future__ import annotations
+
+import re
+
+
+class QueryError(ValueError):
+    """Raised for malformed filters (unknown operators, bad operands)."""
+
+
+_MISSING = object()
+
+
+def matches(document: dict, query: dict) -> bool:
+    """Return whether ``document`` satisfies ``query``.
+
+    An empty query matches every document (MongoDB semantics).
+    """
+    for key, condition in query.items():
+        if key == "$and":
+            _require_list(key, condition)
+            if not all(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            _require_list(key, condition)
+            if not any(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$nor":
+            _require_list(key, condition)
+            if any(matches(document, sub) for sub in condition):
+                return False
+        elif key.startswith("$"):
+            raise QueryError(f"unknown top-level operator {key}")
+        else:
+            if not _match_path(document, key, condition):
+                return False
+    return True
+
+
+def _match_path(document: dict, path: str, condition: object) -> bool:
+    value = _resolve(document, path)
+    if isinstance(condition, dict) and any(
+            k.startswith("$") for k in condition):
+        return _match_operators(value, condition)
+    if value is _MISSING:
+        return False
+    return _values_equal(value, condition)
+
+
+def _match_operators(value: object, operators: dict) -> bool:
+    for op, operand in operators.items():
+        if op == "$eq":
+            if value is _MISSING or not _values_equal(value, operand):
+                return False
+        elif op == "$ne":
+            if value is not _MISSING and _values_equal(value, operand):
+                return False
+        elif op in ("$gt", "$gte", "$lt", "$lte"):
+            if not _compare(op, value, operand):
+                return False
+        elif op == "$in":
+            _require_list(op, operand)
+            if value is _MISSING or not any(
+                    _values_equal(value, item) for item in operand):
+                return False
+        elif op == "$nin":
+            _require_list(op, operand)
+            if value is not _MISSING and any(
+                    _values_equal(value, item) for item in operand):
+                return False
+        elif op == "$exists":
+            if bool(operand) != (value is not _MISSING):
+                return False
+        elif op == "$regex":
+            if not isinstance(value, str):
+                return False
+            if re.search(str(operand), value) is None:
+                return False
+        elif op == "$not":
+            if not isinstance(operand, dict):
+                raise QueryError("$not requires an operator document")
+            if _match_operators(value, operand):
+                return False
+        else:
+            raise QueryError(f"unknown operator {op}")
+    return True
+
+
+def _resolve(document: object, path: str) -> object:
+    current = document
+    for part in path.split("."):
+        if isinstance(current, dict) and part in current:
+            current = current[part]
+        elif isinstance(current, list) and part.isdigit():
+            index = int(part)
+            if index >= len(current):
+                return _MISSING
+            current = current[index]
+        else:
+            return _MISSING
+    return current
+
+
+def _values_equal(left: object, right: object) -> bool:
+    # Arrays match their elements too (MongoDB "multikey" behavior).
+    if isinstance(left, list) and not isinstance(right, list):
+        return any(_values_equal(item, right) for item in left)
+    if type(left) is bool or type(right) is bool:
+        return left is right if isinstance(left, bool) and isinstance(
+            right, bool) else False
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return float(left) == float(right)
+    return left == right
+
+
+def _compare(op: str, value: object, operand: object) -> bool:
+    if value is _MISSING:
+        return False
+    comparable = (isinstance(value, (int, float))
+                  and isinstance(operand, (int, float))
+                  and not isinstance(value, bool)
+                  and not isinstance(operand, bool))
+    if not comparable:
+        comparable = isinstance(value, str) and isinstance(operand, str)
+    if not comparable:
+        return False
+    if op == "$gt":
+        return value > operand
+    if op == "$gte":
+        return value >= operand
+    if op == "$lt":
+        return value < operand
+    return value <= operand
+
+
+def _require_list(op: str, operand: object) -> None:
+    if not isinstance(operand, list):
+        raise QueryError(f"{op} requires an array operand")

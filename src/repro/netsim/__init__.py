@@ -1,0 +1,33 @@
+"""Internet-simulation substrate.
+
+The paper's data source is the live Internet: honeypots on public IP
+addresses receiving traffic from real adversaries.  This package provides
+the synthetic replacement used by the reproduction:
+
+* :mod:`repro.netsim.clock` -- a simulated wall clock so a 20-day
+  deployment runs in seconds,
+* :mod:`repro.netsim.address_space` -- an IPv4 address space carved into
+  autonomous systems,
+* :mod:`repro.netsim.asdb` -- the AS-type registry mirroring the paper's
+  manual/ASdb classification (Appendix D),
+* :mod:`repro.netsim.geoip` -- a GeoLite-style IP -> (country, ASN) lookup,
+* :mod:`repro.netsim.mockaroo` -- a deterministic fake-data generator
+  standing in for the Mockaroo service used to populate honeypots.
+"""
+
+from repro.netsim.address_space import AddressSpace, AutonomousSystem
+from repro.netsim.asdb import ASType, ASDatabase
+from repro.netsim.clock import SimClock
+from repro.netsim.geoip import GeoIPDatabase, GeoRecord
+from repro.netsim.mockaroo import MockarooGenerator
+
+__all__ = [
+    "AddressSpace",
+    "AutonomousSystem",
+    "ASType",
+    "ASDatabase",
+    "SimClock",
+    "GeoIPDatabase",
+    "GeoRecord",
+    "MockarooGenerator",
+]

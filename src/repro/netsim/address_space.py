@@ -1,0 +1,132 @@
+"""Synthetic IPv4 address space carved into autonomous systems.
+
+Each :class:`AutonomousSystem` owns one /16 prefix, assigned sequentially
+by the :class:`AddressSpace`.  Individual addresses are allocated from an
+AS's prefix on demand and annotated with a geolocation country which may
+differ from the AS registration country -- mirroring the paper's finding
+that the dominant Russian brute-forcers used AS208091, a hoster registered
+in the UK.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+
+from repro.netsim.asdb import ASDatabase, ASType
+
+#: First /16 handed out; avoids private/reserved low ranges.
+_FIRST_PREFIX_BASE = int(ipaddress.IPv4Address("20.0.0.0"))
+
+#: Hosts per /16 prefix.
+_PREFIX_SIZE = 1 << 16
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """A registered autonomous system.
+
+    Attributes
+    ----------
+    asn:
+        The AS number.
+    name:
+        Organization name, e.g. ``"GOOGLE-CLOUD-PLATFORM"``.
+    registered_country:
+        ISO-like country name where the AS is registered.
+    as_type:
+        Appendix-D category of the operating organization.
+    prefix:
+        The /16 IPv4 prefix owned by this AS.
+    """
+
+    asn: int
+    name: str
+    registered_country: str
+    as_type: ASType
+    prefix: ipaddress.IPv4Network
+
+
+class AddressSpace:
+    """Allocator and reverse index for the synthetic address space."""
+
+    def __init__(self) -> None:
+        self._systems: dict[int, AutonomousSystem] = {}
+        self._next_prefix_index = 0
+        self._next_host: dict[int, int] = {}
+        self._ip_country: dict[int, str] = {}
+        self._ip_asn: dict[int, int] = {}
+        self.asdb = ASDatabase()
+
+    def register_as(self, asn: int, name: str, registered_country: str,
+                    as_type: ASType) -> AutonomousSystem:
+        """Register an AS and assign it the next free /16 prefix.
+
+        Returns the existing record when ``asn`` is already registered
+        with identical attributes; raises :class:`ValueError` on a
+        conflicting re-registration.
+        """
+        existing = self._systems.get(asn)
+        if existing is not None:
+            if (existing.name, existing.registered_country,
+                    existing.as_type) != (name, registered_country, as_type):
+                raise ValueError(f"conflicting re-registration of AS{asn}")
+            return existing
+        base = _FIRST_PREFIX_BASE + self._next_prefix_index * _PREFIX_SIZE
+        prefix = ipaddress.IPv4Network((base, 16))
+        self._next_prefix_index += 1
+        system = AutonomousSystem(asn, name, registered_country, as_type,
+                                  prefix)
+        self._systems[asn] = system
+        self._next_host[asn] = 1
+        self.asdb.register(asn, as_type)
+        return system
+
+    def allocate(self, asn: int,
+                 country: str | None = None) -> ipaddress.IPv4Address:
+        """Allocate the next unused address from ``asn``'s prefix.
+
+        Parameters
+        ----------
+        asn:
+            The AS to allocate from; must be registered.
+        country:
+            Geolocation country of the new address.  Defaults to the AS
+            registration country.
+
+        Raises
+        ------
+        KeyError
+            If ``asn`` is not registered.
+        RuntimeError
+            If the AS prefix is exhausted.
+        """
+        system = self._systems[asn]
+        host = self._next_host[asn]
+        if host >= _PREFIX_SIZE - 1:
+            raise RuntimeError(f"prefix of AS{asn} exhausted")
+        self._next_host[asn] = host + 1
+        ip_int = int(system.prefix.network_address) + host
+        self._ip_country[ip_int] = country or system.registered_country
+        self._ip_asn[ip_int] = asn
+        return ipaddress.IPv4Address(ip_int)
+
+    def system(self, asn: int) -> AutonomousSystem:
+        """Return the :class:`AutonomousSystem` record for ``asn``."""
+        return self._systems[asn]
+
+    def systems(self) -> list[AutonomousSystem]:
+        """Return all registered systems, in registration order."""
+        return list(self._systems.values())
+
+    def lookup_asn(self, ip: str | ipaddress.IPv4Address) -> int | None:
+        """Return the AS number owning ``ip``, or ``None`` if unallocated."""
+        return self._ip_asn.get(int(ipaddress.IPv4Address(ip)))
+
+    def lookup_country(self, ip: str | ipaddress.IPv4Address) -> str | None:
+        """Return the geolocation country of ``ip``, or ``None``."""
+        return self._ip_country.get(int(ipaddress.IPv4Address(ip)))
+
+    def allocated(self) -> int:
+        """Return the total number of allocated addresses."""
+        return len(self._ip_asn)

@@ -1,0 +1,64 @@
+"""AS-type classification (the paper's Appendix D taxonomy).
+
+The paper manually classifies every autonomous system observed at the
+honeypots into one of nine categories, cross-referenced against ASdb.
+:class:`ASDatabase` is the offline stand-in: a registry mapping AS numbers
+to :class:`ASType` values, queried by the enrichment pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ASType(enum.Enum):
+    """AS categories from Appendix D of the paper."""
+
+    BUSINESS = "Business"
+    HOSTING = "Hosting"
+    ICT = "ICT Service"
+    IP_SERVICE = "IP Service"
+    SECURITY = "Security"
+    TELECOM = "Telecom"
+    UNIVERSITY = "University"
+    VPN = "VPN"
+    UNKNOWN = "Unknown"
+
+
+@dataclass
+class ASDatabase:
+    """Registry of AS number -> :class:`ASType`.
+
+    Unregistered AS numbers classify as :attr:`ASType.UNKNOWN`, matching
+    the paper's handling of organizations that could not be identified.
+    """
+
+    _types: dict[int, ASType] = field(default_factory=dict)
+
+    def register(self, asn: int, as_type: ASType) -> None:
+        """Record the classification for ``asn``.
+
+        Raises
+        ------
+        ValueError
+            If ``asn`` is already registered with a different type.
+        """
+        existing = self._types.get(asn)
+        if existing is not None and existing is not as_type:
+            raise ValueError(
+                f"AS{asn} already classified as {existing.value}, "
+                f"refusing to reclassify as {as_type.value}")
+        self._types[asn] = as_type
+
+    def classify(self, asn: int | None) -> ASType:
+        """Return the type of ``asn`` (``UNKNOWN`` when unregistered)."""
+        if asn is None:
+            return ASType.UNKNOWN
+        return self._types.get(asn, ASType.UNKNOWN)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._types
+
+    def __len__(self) -> int:
+        return len(self._types)

@@ -1,0 +1,77 @@
+"""GeoLite-style IP geolocation and ASN lookup.
+
+The paper enriches every client IP with country and AS metadata from the
+MaxMind GeoLite database of April 2024 (Figure 1, step 3).  The
+reproduction's :class:`GeoIPDatabase` serves the same query -- built as a
+frozen snapshot of the synthetic :class:`~repro.netsim.address_space.AddressSpace`
+so the enrichment pipeline is decoupled from the allocator, just as the
+paper's pipeline is decoupled from the Internet.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+
+from repro.netsim.address_space import AddressSpace
+from repro.netsim.asdb import ASType
+
+
+@dataclass(frozen=True)
+class GeoRecord:
+    """Result of a GeoIP lookup."""
+
+    ip: str
+    country: str
+    asn: int | None
+    as_name: str
+    as_type: ASType
+
+    @property
+    def known(self) -> bool:
+        """Whether the address resolved to a registered AS."""
+        return self.asn is not None
+
+
+#: Record returned for addresses absent from the snapshot.
+_UNMAPPED = ("Unknown", None, "Unknown", ASType.UNKNOWN)
+
+
+class GeoIPDatabase:
+    """Frozen IP -> (country, ASN, AS name, AS type) snapshot."""
+
+    def __init__(self, records: dict[int, tuple[str, int, str, ASType]]):
+        self._records = records
+
+    @classmethod
+    def from_address_space(cls, space: AddressSpace) -> "GeoIPDatabase":
+        """Snapshot all currently allocated addresses of ``space``."""
+        records: dict[int, tuple[str, int, str, ASType]] = {}
+        for system in space.systems():
+            base = int(system.prefix.network_address)
+            for offset in range(1, _hosts_allocated(space, system.asn) + 1):
+                ip_int = base + offset
+                country = space.lookup_country(
+                    ipaddress.IPv4Address(ip_int))
+                if country is None:
+                    continue
+                records[ip_int] = (country, system.asn, system.name,
+                                   system.as_type)
+        return cls(records)
+
+    def lookup(self, ip: str | ipaddress.IPv4Address) -> GeoRecord:
+        """Resolve ``ip``; unmapped addresses yield an ``Unknown`` record."""
+        addr = ipaddress.IPv4Address(ip)
+        country, asn, as_name, as_type = self._records.get(
+            int(addr), _UNMAPPED)
+        return GeoRecord(str(addr), country, asn, as_name, as_type)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def _hosts_allocated(space: AddressSpace, asn: int) -> int:
+    """Number of host addresses handed out from ``asn``'s prefix."""
+    # The allocator hands out hosts 1..n-1 sequentially; _next_host is the
+    # next free index, so n-1 addresses are live.
+    return space._next_host[asn] - 1

@@ -1,0 +1,23 @@
+"""Data-processing pipeline (Figure 1 of the paper).
+
+Honeypots write structured log events (:mod:`repro.pipeline.logstore`);
+conversion scripts turn them into queryable SQLite databases
+(:mod:`repro.pipeline.convert`), enriching each client IP with GeoIP/ASN
+metadata (:mod:`repro.pipeline.enrich`) and tagging institutional
+scanners (:mod:`repro.pipeline.institutional`).
+"""
+
+from repro.pipeline.logstore import EventType, LogEvent, LogStore
+from repro.pipeline.convert import convert_to_sqlite, read_events
+from repro.pipeline.enrich import enrich_events
+from repro.pipeline.institutional import InstitutionalScannerList
+
+__all__ = [
+    "EventType",
+    "LogEvent",
+    "LogStore",
+    "convert_to_sqlite",
+    "read_events",
+    "enrich_events",
+    "InstitutionalScannerList",
+]

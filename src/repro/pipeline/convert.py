@@ -1,0 +1,117 @@
+"""Log -> SQLite conversion (Figure 1, step 4).
+
+Cleans and standardizes the honeypot logs into a single queryable SQLite
+database.  The paper chose SQLite "for convenience"; the analysis layer
+(:mod:`repro.core`) reads exclusively from these databases, never from
+the traffic generator -- preserving the paper's separation between data
+collection and analysis.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.netsim.geoip import GeoIPDatabase
+from repro.pipeline.enrich import EnrichedEvent, enrich_events
+from repro.pipeline.institutional import InstitutionalScannerList
+from repro.pipeline.logstore import LogEvent
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS events (
+    id INTEGER PRIMARY KEY,
+    timestamp REAL NOT NULL,
+    honeypot_id TEXT NOT NULL,
+    honeypot_type TEXT NOT NULL,
+    dbms TEXT NOT NULL,
+    interaction TEXT NOT NULL,
+    config TEXT NOT NULL,
+    src_ip TEXT NOT NULL,
+    src_port INTEGER NOT NULL,
+    event_type TEXT NOT NULL,
+    action TEXT,
+    username TEXT,
+    password TEXT,
+    raw TEXT,
+    country TEXT NOT NULL,
+    asn INTEGER,
+    as_name TEXT NOT NULL,
+    as_type TEXT NOT NULL,
+    institutional INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_events_src_ip ON events (src_ip);
+CREATE INDEX IF NOT EXISTS idx_events_type ON events (event_type);
+CREATE INDEX IF NOT EXISTS idx_events_dbms ON events (dbms, interaction);
+"""
+
+_INSERT = """
+INSERT INTO events (timestamp, honeypot_id, honeypot_type, dbms,
+                    interaction, config, src_ip, src_port, event_type,
+                    action, username, password, raw, country, asn,
+                    as_name, as_type, institutional)
+VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+"""
+
+
+def convert_to_sqlite(events: Iterable[LogEvent], db_path: str | Path,
+                      geoip: GeoIPDatabase,
+                      scanners: InstitutionalScannerList | None = None,
+                      ) -> Path:
+    """Enrich ``events`` and write them to a SQLite database.
+
+    An existing database at ``db_path`` is replaced.
+    Returns the database path.
+    """
+    db_path = Path(db_path)
+    db_path.parent.mkdir(parents=True, exist_ok=True)
+    if db_path.exists():
+        db_path.unlink()
+    connection = sqlite3.connect(db_path)
+    try:
+        connection.executescript(_SCHEMA)
+        rows = (_row(enriched)
+                for enriched in enrich_events(events, geoip, scanners))
+        connection.executemany(_INSERT, rows)
+        connection.commit()
+    finally:
+        connection.close()
+    return db_path
+
+
+def _row(enriched: EnrichedEvent) -> tuple:
+    event = enriched.event
+    return (event.timestamp, event.honeypot_id, event.honeypot_type,
+            event.dbms, event.interaction, event.config, event.src_ip,
+            event.src_port, event.event_type, event.action, event.username,
+            event.password, event.raw, enriched.country, enriched.asn,
+            enriched.as_name, enriched.as_type,
+            int(enriched.institutional))
+
+
+def open_database(db_path: str | Path) -> sqlite3.Connection:
+    """Open a converted database read-only with row access by name."""
+    connection = sqlite3.connect(f"file:{Path(db_path)}?mode=ro", uri=True)
+    connection.row_factory = sqlite3.Row
+    return connection
+
+
+def read_events(db_path: str | Path) -> Iterator[sqlite3.Row]:
+    """Iterate over all event rows of a converted database."""
+    connection = open_database(db_path)
+    try:
+        yield from connection.execute(
+            "SELECT * FROM events ORDER BY timestamp, id")
+    finally:
+        connection.close()
+
+
+def count_events(db_path: str | Path) -> int:
+    """Total number of event rows in a converted database."""
+    connection = open_database(db_path)
+    try:
+        (count,) = connection.execute(
+            "SELECT COUNT(*) FROM events").fetchone()
+        return count
+    finally:
+        connection.close()

@@ -1,0 +1,52 @@
+"""GeoIP/ASN enrichment (Figure 1, step 3).
+
+Every client IP appearing in the honeypot logs is annotated with its
+country, AS number, AS name, Appendix-D AS type, and whether it belongs
+to a known institutional scanner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.netsim.geoip import GeoIPDatabase
+from repro.pipeline.institutional import InstitutionalScannerList
+from repro.pipeline.logstore import LogEvent
+
+
+@dataclass(frozen=True)
+class EnrichedEvent:
+    """A log event plus source metadata."""
+
+    event: LogEvent
+    country: str
+    asn: int | None
+    as_name: str
+    as_type: str
+    institutional: bool
+
+
+def enrich_events(events: Iterable[LogEvent], geoip: GeoIPDatabase,
+                  scanners: InstitutionalScannerList | None = None,
+                  ) -> list[EnrichedEvent]:
+    """Annotate ``events`` with GeoIP/ASN/institutional metadata.
+
+    Lookups are cached per source IP, as the pipeline processes millions
+    of events from a few thousand sources.
+    """
+    scanners = scanners or InstitutionalScannerList()
+    cache: dict[str, tuple[str, int | None, str, str, bool]] = {}
+    enriched = []
+    for event in events:
+        metadata = cache.get(event.src_ip)
+        if metadata is None:
+            record = geoip.lookup(event.src_ip)
+            metadata = (record.country, record.asn, record.as_name,
+                        record.as_type.value,
+                        scanners.is_institutional(event.src_ip, record.asn))
+            cache[event.src_ip] = metadata
+        country, asn, as_name, as_type, institutional = metadata
+        enriched.append(EnrichedEvent(event, country, asn, as_name,
+                                      as_type, institutional))
+    return enriched

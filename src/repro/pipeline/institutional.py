@@ -1,0 +1,39 @@
+"""Institutional scanner detection.
+
+The paper identifies sources belonging to known institutional scanners --
+security companies, research groups, and device search engines such as
+Censys and Shodan -- following the source-list methodology of Griffioen
+et al. (IMC 2024).  :class:`InstitutionalScannerList` is that list: a set
+of AS numbers and individual IPs known to belong to acknowledged
+scanning organizations.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+
+
+@dataclass
+class InstitutionalScannerList:
+    """Known institutional scanning sources (ASes and single IPs)."""
+
+    asns: set[int] = field(default_factory=set)
+    ips: set[str] = field(default_factory=set)
+
+    def add_asn(self, asn: int) -> None:
+        """Mark a whole AS as institutional (e.g. CENSYS-ARIN-01)."""
+        self.asns.add(asn)
+
+    def add_ip(self, ip: str) -> None:
+        """Mark one address as institutional."""
+        self.ips.add(str(ipaddress.IPv4Address(ip)))
+
+    def is_institutional(self, ip: str, asn: int | None) -> bool:
+        """Whether ``ip`` (in AS ``asn``) belongs to a known scanner."""
+        if asn is not None and asn in self.asns:
+            return True
+        return ip in self.ips
+
+    def __len__(self) -> int:
+        return len(self.asns) + len(self.ips)

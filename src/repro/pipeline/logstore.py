@@ -1,0 +1,164 @@
+"""Structured honeypot log events.
+
+Each honeypot in the paper logs to its own ``.log``/``.json`` files; here
+every honeypot emits :class:`LogEvent` records into a :class:`LogStore`,
+which can persist them as JSON-lines files (the raw-log stage of the
+paper's pipeline) for conversion into SQLite.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+
+class EventType(str, enum.Enum):
+    """Kinds of honeypot observations."""
+
+    CONNECT = "connect"
+    DISCONNECT = "disconnect"
+    LOGIN_ATTEMPT = "login_attempt"
+    COMMAND = "command"
+    QUERY = "query"
+    HTTP_REQUEST = "http_request"
+    MALFORMED = "malformed"
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    """One observation made by a honeypot.
+
+    Attributes
+    ----------
+    timestamp:
+        POSIX timestamp (simulated clock).
+    honeypot_id:
+        Unique deployment instance, e.g. ``"low-mysql-007"``.
+    honeypot_type:
+        Software identity, e.g. ``"qeeqbox"`` or ``"sticky_elephant"``.
+    dbms:
+        Emulated service: ``mysql`` / ``postgresql`` / ``redis`` /
+        ``mssql`` / ``elasticsearch`` / ``mongodb``.
+    interaction:
+        ``low`` / ``medium`` / ``high``.
+    config:
+        Deployment configuration label (``default``, ``fake_data``,
+        ``login_disabled``, ``multi``, ``single``).
+    src_ip / src_port:
+        The client endpoint.
+    event_type:
+        The :class:`EventType` value.
+    action:
+        Normalized action token used as the clustering "term", e.g.
+        ``"SET"``, ``"COPY FROM PROGRAM"``, ``"GET /_nodes"``.
+    username / password:
+        Captured credentials for login attempts.
+    raw:
+        Raw payload excerpt (truncated) for manual inspection.
+    """
+
+    timestamp: float
+    honeypot_id: str
+    honeypot_type: str
+    dbms: str
+    interaction: str
+    config: str
+    src_ip: str
+    src_port: int
+    event_type: str
+    action: str | None = None
+    username: str | None = None
+    password: str | None = None
+    raw: str | None = None
+
+    def to_json(self) -> str:
+        """Serialize as a single JSON line."""
+        return json.dumps(asdict(self), separators=(",", ":"),
+                          ensure_ascii=False)
+
+    @classmethod
+    def from_json(cls, line: str) -> "LogEvent":
+        """Parse a JSON line back into an event."""
+        data = json.loads(line)
+        return cls(**data)
+
+
+#: Callable honeypots use to emit events.
+EventSink = Callable[[LogEvent], None]
+
+#: Maximum stored length of the raw payload excerpt.
+MAX_RAW = 2048
+
+
+def truncate_raw(raw: bytes | str | None) -> str | None:
+    """Clamp a raw payload for logging, decoding bytes leniently."""
+    if raw is None:
+        return None
+    if isinstance(raw, bytes):
+        raw = raw.decode("utf-8", "replace")
+    return raw[:MAX_RAW]
+
+
+class LogStore:
+    """Collects events in memory and persists them as JSON lines.
+
+    The paper consolidates the logs of all honeypots sharing a
+    configuration into a single file; :meth:`write_consolidated` mirrors
+    that, grouping by ``(interaction, dbms, config)``.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[LogEvent] = []
+
+    def append(self, event: LogEvent) -> None:
+        """Record one event (usable directly as an :data:`EventSink`)."""
+        self._events.append(event)
+
+    def extend(self, events: Iterable[LogEvent]) -> None:
+        """Record many events."""
+        self._events.extend(events)
+
+    def events(self) -> list[LogEvent]:
+        """All recorded events, in arrival order."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[LogEvent]:
+        return iter(self._events)
+
+    def write_consolidated(self, directory: str | Path) -> list[Path]:
+        """Write one ``.jsonl`` file per (interaction, dbms, config).
+
+        Returns the paths written, sorted.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        groups: dict[str, list[LogEvent]] = {}
+        for event in self._events:
+            name = f"{event.interaction}-{event.dbms}-{event.config}.jsonl"
+            groups.setdefault(name, []).append(event)
+        paths = []
+        for name, events in sorted(groups.items()):
+            path = directory / name
+            with open(path, "w", encoding="utf-8") as handle:
+                for event in events:
+                    handle.write(event.to_json() + "\n")
+            paths.append(path)
+        return paths
+
+    @classmethod
+    def read_consolidated(cls, directory: str | Path) -> "LogStore":
+        """Load every ``.jsonl`` file under ``directory``."""
+        store = cls()
+        for path in sorted(Path(directory).glob("*.jsonl")):
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        store.append(LogEvent.from_json(line))
+        return store

@@ -1,0 +1,27 @@
+"""Wire-protocol codecs.
+
+From-scratch encoders/decoders for every protocol spoken by the paper's
+honeypots and their attackers:
+
+* :mod:`repro.protocols.resp` -- Redis RESP2 (serialization + inline
+  commands),
+* :mod:`repro.protocols.postgres` -- PostgreSQL frontend/backend protocol
+  v3 (pgwire),
+* :mod:`repro.protocols.mysql` -- MySQL client/server protocol (handshake
+  v10, auth switch, OK/ERR),
+* :mod:`repro.protocols.tds` -- Microsoft SQL Server TDS (PRELOGIN,
+  LOGIN7, token stream),
+* :mod:`repro.protocols.http11` -- minimal HTTP/1.1 framing for the
+  Elasticsearch honeypot,
+* :mod:`repro.protocols.bson` -- BSON document codec,
+* :mod:`repro.protocols.mongo_wire` -- MongoDB wire protocol (OP_MSG,
+  OP_QUERY, OP_REPLY).
+
+All codecs are symmetric (both the honeypot servers and the attacker
+clients are built on them) and transport-agnostic: they consume and
+produce ``bytes``.
+"""
+
+from repro.protocols.errors import ProtocolError
+
+__all__ = ["ProtocolError"]

@@ -1,0 +1,175 @@
+"""BSON (Binary JSON) document codec.
+
+Implements the element types needed by the MongoDB wire protocol and the
+in-process MongoDB engine: double, string, embedded document, array,
+binary, ObjectId, boolean, UTC datetime, null, int32 and int64.
+
+Wire format reference: https://bsonspec.org/spec.html
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from repro.protocols.errors import ProtocolError
+
+_INT32_MIN, _INT32_MAX = -(1 << 31), (1 << 31) - 1
+_INT64_MIN, _INT64_MAX = -(1 << 63), (1 << 63) - 1
+_MAX_DOCUMENT = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ObjectId:
+    """A 12-byte MongoDB ObjectId."""
+
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.value) != 12:
+            raise ValueError("ObjectId must be exactly 12 bytes")
+
+    @classmethod
+    def from_counter(cls, counter: int) -> "ObjectId":
+        """Build a deterministic ObjectId from an integer counter."""
+        return cls(counter.to_bytes(12, "big"))
+
+    def hex(self) -> str:
+        """Hexadecimal representation."""
+        return self.value.hex()
+
+
+def encode_document(document: dict) -> bytes:
+    """Encode ``document`` as BSON.
+
+    Raises
+    ------
+    TypeError
+        For unsupported value types or non-string keys.
+    """
+    body = bytearray()
+    for key, value in document.items():
+        if not isinstance(key, str):
+            raise TypeError(f"BSON keys must be strings, got {key!r}")
+        body += _encode_element(key, value)
+    body += b"\x00"
+    return struct.pack("<i", len(body) + 4) + bytes(body)
+
+
+def _encode_element(key: str, value: object) -> bytes:
+    name = key.encode() + b"\x00"
+    if isinstance(value, bool):
+        return b"\x08" + name + (b"\x01" if value else b"\x00")
+    if isinstance(value, float):
+        return b"\x01" + name + struct.pack("<d", value)
+    if isinstance(value, str):
+        encoded = value.encode() + b"\x00"
+        return b"\x02" + name + struct.pack("<i", len(encoded)) + encoded
+    if isinstance(value, dict):
+        return b"\x03" + name + encode_document(value)
+    if isinstance(value, (list, tuple)):
+        indexed = {str(i): item for i, item in enumerate(value)}
+        return b"\x04" + name + encode_document(indexed)
+    if isinstance(value, bytes):
+        return (b"\x05" + name + struct.pack("<i", len(value)) + b"\x00"
+                + value)
+    if isinstance(value, ObjectId):
+        return b"\x07" + name + value.value
+    if isinstance(value, datetime):
+        millis = int(value.timestamp() * 1000)
+        return b"\x09" + name + struct.pack("<q", millis)
+    if value is None:
+        return b"\x0a" + name
+    if isinstance(value, int):
+        if _INT32_MIN <= value <= _INT32_MAX:
+            return b"\x10" + name + struct.pack("<i", value)
+        if _INT64_MIN <= value <= _INT64_MAX:
+            return b"\x12" + name + struct.pack("<q", value)
+        raise TypeError(f"integer {value} exceeds int64 range")
+    raise TypeError(f"cannot encode {type(value).__name__} as BSON")
+
+
+def decode_document(data: bytes, offset: int = 0) -> tuple[dict, int]:
+    """Decode one BSON document starting at ``offset``.
+
+    Returns ``(document, end_offset)``.
+    """
+    if len(data) - offset < 5:
+        raise ProtocolError("truncated BSON document")
+    (length,) = struct.unpack_from("<i", data, offset)
+    if not 5 <= length <= _MAX_DOCUMENT or offset + length > len(data):
+        raise ProtocolError(f"invalid BSON document length {length}")
+    end = offset + length
+    if data[end - 1] != 0:
+        raise ProtocolError("BSON document missing terminator")
+    document: dict = {}
+    position = offset + 4
+    while position < end - 1:
+        element_type = data[position]
+        position += 1
+        name_end = data.find(b"\x00", position, end)
+        if name_end < 0:
+            raise ProtocolError("unterminated BSON element name")
+        key = data[position:name_end].decode("utf-8", "replace")
+        position = name_end + 1
+        value, position = _decode_value(element_type, data, position, end)
+        document[key] = value
+    return document, end
+
+
+def _decode_value(element_type: int, data: bytes, position: int,
+                  end: int) -> tuple[object, int]:
+    if element_type == 0x01:
+        _check(position + 8 <= end, "double")
+        return struct.unpack_from("<d", data, position)[0], position + 8
+    if element_type == 0x02:
+        _check(position + 4 <= end, "string")
+        (length,) = struct.unpack_from("<i", data, position)
+        _check(1 <= length and position + 4 + length <= end, "string")
+        raw = data[position + 4:position + 4 + length - 1]
+        return raw.decode("utf-8", "replace"), position + 4 + length
+    if element_type == 0x03:
+        return decode_document(data, position)
+    if element_type == 0x04:
+        nested, position = decode_document(data, position)
+        return [nested[key] for key in sorted(nested, key=_array_index)], \
+            position
+    if element_type == 0x05:
+        _check(position + 5 <= end, "binary")
+        (length,) = struct.unpack_from("<i", data, position)
+        _check(0 <= length and position + 5 + length <= end, "binary")
+        raw = data[position + 5:position + 5 + length]
+        return raw, position + 5 + length
+    if element_type == 0x07:
+        _check(position + 12 <= end, "ObjectId")
+        return ObjectId(data[position:position + 12]), position + 12
+    if element_type == 0x08:
+        _check(position + 1 <= end, "boolean")
+        return data[position] != 0, position + 1
+    if element_type == 0x09:
+        _check(position + 8 <= end, "datetime")
+        (millis,) = struct.unpack_from("<q", data, position)
+        value = datetime.fromtimestamp(millis / 1000, tz=timezone.utc)
+        return value, position + 8
+    if element_type == 0x0A:
+        return None, position
+    if element_type == 0x10:
+        _check(position + 4 <= end, "int32")
+        return struct.unpack_from("<i", data, position)[0], position + 4
+    if element_type == 0x12:
+        _check(position + 8 <= end, "int64")
+        return struct.unpack_from("<q", data, position)[0], position + 8
+    raise ProtocolError(f"unsupported BSON element type {element_type:#x}")
+
+
+def _check(condition: bool, what: str) -> None:
+    if not condition:
+        raise ProtocolError(f"truncated BSON {what}")
+
+
+def _array_index(key: str) -> int:
+    try:
+        return int(key)
+    except ValueError as exc:
+        raise ProtocolError(f"non-numeric BSON array index {key!r}") from exc

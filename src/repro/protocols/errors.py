@@ -1,0 +1,20 @@
+"""Shared protocol-level exceptions."""
+
+from __future__ import annotations
+
+
+class ProtocolError(Exception):
+    """Raised when a byte stream violates the protocol being parsed.
+
+    Honeypot sessions catch this to log malformed input (which the paper
+    observes frequently, e.g. RDP cookies sent to Redis) instead of
+    crashing.
+    """
+
+
+class IncompleteFrame(ProtocolError):
+    """Raised when a frame is truncated; the caller should await more bytes.
+
+    Streaming parsers use this internally to distinguish "need more data"
+    from "garbage data".
+    """

@@ -1,0 +1,178 @@
+"""Minimal HTTP/1.1 framing for the Elasticsearch honeypot.
+
+Elasticsearch exposes a REST API, so Elasticpot-style honeypots are HTTP
+servers.  This module implements just enough of RFC 9112: request parsing
+(request line, headers, ``Content-Length`` bodies) and response
+serialization.  Chunked transfer encoding is intentionally unsupported --
+scanners and exploit scripts send simple requests.
+"""
+
+from __future__ import annotations
+
+import urllib.parse
+from dataclasses import dataclass, field
+
+from repro.protocols.errors import ProtocolError
+
+_MAX_HEAD = 64 * 1024
+_MAX_BODY = 16 * 1024 * 1024
+
+_METHODS = {"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH"}
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    401: "Unauthorized",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """A parsed HTTP request."""
+
+    method: str
+    target: str
+    version: str
+    headers: dict[str, str]
+    body: bytes
+
+    @property
+    def path(self) -> str:
+        """Request path without the query string."""
+        return urllib.parse.urlsplit(self.target).path
+
+    @property
+    def query(self) -> dict[str, list[str]]:
+        """Parsed query-string parameters."""
+        return urllib.parse.parse_qs(
+            urllib.parse.urlsplit(self.target).query,
+            keep_blank_values=True)
+
+    @property
+    def raw_query(self) -> str:
+        """The raw (undecoded) query string."""
+        return urllib.parse.urlsplit(self.target).query
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """A parsed HTTP response (client side)."""
+
+    status: int
+    reason: str
+    headers: dict[str, str]
+    body: bytes
+
+
+def build_request(method: str, target: str, *, headers: dict[str, str]
+                  | None = None, body: bytes | str = b"",
+                  host: str = "localhost") -> bytes:
+    """Serialize an HTTP/1.1 request."""
+    if isinstance(body, str):
+        body = body.encode()
+    lines = [f"{method} {target} HTTP/1.1", f"Host: {host}"]
+    merged = dict(headers or {})
+    if body and "Content-Length" not in merged:
+        merged["Content-Length"] = str(len(body))
+    for name, value in merged.items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode() + body
+
+
+def build_response(status: int, body: bytes | str = b"", *,
+                   content_type: str = "application/json",
+                   headers: dict[str, str] | None = None) -> bytes:
+    """Serialize an HTTP/1.1 response."""
+    if isinstance(body, str):
+        body = body.encode()
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode() + body
+
+
+@dataclass
+class HttpRequestParser:
+    """Incremental parser for a stream of HTTP requests."""
+
+    _buffer: bytearray = field(default_factory=bytearray)
+
+    def feed(self, data: bytes) -> list[HttpRequest]:
+        """Add bytes; return completed requests."""
+        self._buffer += data
+        requests = []
+        while True:
+            request = self._try_parse()
+            if request is None:
+                return requests
+            requests.append(request)
+
+    def _try_parse(self) -> HttpRequest | None:
+        head_end = self._buffer.find(b"\r\n\r\n")
+        if head_end < 0:
+            if len(self._buffer) > _MAX_HEAD:
+                raise ProtocolError("HTTP header section too large")
+            return None
+        head = bytes(self._buffer[:head_end]).decode("latin-1")
+        lines = head.split("\r\n")
+        request_line = lines[0].split(" ")
+        if len(request_line) != 3:
+            raise ProtocolError(f"malformed request line: {lines[0]!r}")
+        method, target, version = request_line
+        if method.upper() not in _METHODS:
+            raise ProtocolError(f"unsupported HTTP method {method!r}")
+        if not version.startswith("HTTP/1."):
+            raise ProtocolError(f"unsupported HTTP version {version!r}")
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if ":" not in line:
+                raise ProtocolError(f"malformed header line: {line!r}")
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError as exc:
+            raise ProtocolError("invalid Content-Length") from exc
+        if not 0 <= content_length <= _MAX_BODY:
+            raise ProtocolError(f"invalid Content-Length {content_length}")
+        total = head_end + 4 + content_length
+        if len(self._buffer) < total:
+            return None
+        body = bytes(self._buffer[head_end + 4:total])
+        del self._buffer[:total]
+        return HttpRequest(method.upper(), target, version, headers, body)
+
+
+def parse_response(data: bytes) -> HttpResponse:
+    """Parse a complete HTTP response (client side)."""
+    head_end = data.find(b"\r\n\r\n")
+    if head_end < 0:
+        raise ProtocolError("incomplete HTTP response")
+    head = data[:head_end].decode("latin-1")
+    lines = head.split("\r\n")
+    status_line = lines[0].split(" ", 2)
+    if len(status_line) < 2 or not status_line[0].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed status line: {lines[0]!r}")
+    try:
+        status = int(status_line[1])
+    except ValueError as exc:
+        raise ProtocolError("non-numeric status code") from exc
+    reason = status_line[2] if len(status_line) == 3 else ""
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = data[head_end + 4:]
+    declared = headers.get("content-length")
+    if declared is not None and len(body) < int(declared):
+        raise ProtocolError("truncated HTTP response body")
+    return HttpResponse(status, reason, headers, body)

@@ -1,0 +1,190 @@
+"""MongoDB wire protocol (OP_MSG, OP_QUERY, OP_REPLY).
+
+Modern drivers speak OP_MSG; legacy handshakes (``isMaster`` probes from
+scanners) arrive as OP_QUERY and are answered with OP_REPLY.  Both are
+implemented here on top of the BSON codec.
+
+Wire format reference:
+https://www.mongodb.com/docs/manual/reference/mongodb-wire-protocol/
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.protocols import bson
+from repro.protocols.errors import ProtocolError
+
+OP_REPLY = 1
+OP_QUERY = 2004
+OP_MSG = 2013
+
+_HEADER = struct.Struct("<iiii")
+_MAX_MESSAGE = 48 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MsgHeader:
+    """Standard message header."""
+
+    message_length: int
+    request_id: int
+    response_to: int
+    op_code: int
+
+
+@dataclass(frozen=True)
+class QueryMessage:
+    """A decoded OP_QUERY message."""
+
+    header: MsgHeader
+    collection: str
+    number_to_skip: int
+    number_to_return: int
+    query: dict
+
+
+@dataclass(frozen=True)
+class MsgMessage:
+    """A decoded OP_MSG message (kind-0 body section only)."""
+
+    header: MsgHeader
+    flag_bits: int
+    body: dict
+
+
+@dataclass(frozen=True)
+class ReplyMessage:
+    """A decoded OP_REPLY message."""
+
+    header: MsgHeader
+    response_flags: int
+    cursor_id: int
+    starting_from: int
+    documents: list[dict]
+
+
+def build_query(request_id: int, collection: str, query: dict, *,
+                number_to_return: int = 1) -> bytes:
+    """Encode an OP_QUERY message (legacy handshake path)."""
+    body = (struct.pack("<i", 0) + collection.encode() + b"\x00"
+            + struct.pack("<ii", 0, number_to_return)
+            + bson.encode_document(query))
+    return _with_header(request_id, 0, OP_QUERY, body)
+
+
+def build_msg(request_id: int, body: dict, *, response_to: int = 0,
+              flag_bits: int = 0) -> bytes:
+    """Encode an OP_MSG message with a single kind-0 body section."""
+    payload = (struct.pack("<I", flag_bits) + b"\x00"
+               + bson.encode_document(body))
+    return _with_header(request_id, response_to, OP_MSG, payload)
+
+
+def build_reply(request_id: int, response_to: int,
+                documents: list[dict]) -> bytes:
+    """Encode an OP_REPLY message."""
+    body = struct.pack("<iqii", 8, 0, 0, len(documents))
+    for document in documents:
+        body += bson.encode_document(document)
+    return _with_header(request_id, response_to, OP_REPLY, body)
+
+
+def _with_header(request_id: int, response_to: int, op_code: int,
+                 body: bytes) -> bytes:
+    length = _HEADER.size + len(body)
+    if length > _MAX_MESSAGE:
+        raise ValueError("MongoDB message exceeds maximum size")
+    return _HEADER.pack(length, request_id, response_to, op_code) + body
+
+
+@dataclass
+class MessageReader:
+    """Incremental splitter/decoder for the MongoDB message stream."""
+
+    _buffer: bytearray = field(default_factory=bytearray)
+
+    def feed(self, data: bytes) -> list[QueryMessage | MsgMessage
+                                        | ReplyMessage]:
+        """Add bytes; return completed, decoded messages."""
+        self._buffer += data
+        messages = []
+        while len(self._buffer) >= _HEADER.size:
+            length, request_id, response_to, op_code = _HEADER.unpack(
+                self._buffer[:_HEADER.size])
+            if not _HEADER.size <= length <= _MAX_MESSAGE:
+                raise ProtocolError(f"invalid message length {length}")
+            if len(self._buffer) < length:
+                break
+            raw = bytes(self._buffer[_HEADER.size:length])
+            del self._buffer[:length]
+            header = MsgHeader(length, request_id, response_to, op_code)
+            messages.append(_decode(header, raw))
+        return messages
+
+
+def _decode(header: MsgHeader,
+            body: bytes) -> QueryMessage | MsgMessage | ReplyMessage:
+    if header.op_code == OP_QUERY:
+        return _decode_query(header, body)
+    if header.op_code == OP_MSG:
+        return _decode_msg(header, body)
+    if header.op_code == OP_REPLY:
+        return _decode_reply(header, body)
+    raise ProtocolError(f"unsupported opcode {header.op_code}")
+
+
+def _decode_query(header: MsgHeader, body: bytes) -> QueryMessage:
+    if len(body) < 4:
+        raise ProtocolError("truncated OP_QUERY")
+    name_end = body.find(b"\x00", 4)
+    if name_end < 0:
+        raise ProtocolError("unterminated collection name")
+    collection = body[4:name_end].decode("utf-8", "replace")
+    offset = name_end + 1
+    if len(body) - offset < 8:
+        raise ProtocolError("truncated OP_QUERY numbers")
+    number_to_skip, number_to_return = struct.unpack_from("<ii", body,
+                                                          offset)
+    query, _end = bson.decode_document(body, offset + 8)
+    return QueryMessage(header, collection, number_to_skip,
+                        number_to_return, query)
+
+
+def _decode_msg(header: MsgHeader, body: bytes) -> MsgMessage:
+    if len(body) < 5:
+        raise ProtocolError("truncated OP_MSG")
+    (flag_bits,) = struct.unpack_from("<I", body, 0)
+    offset = 4
+    main_body: dict | None = None
+    while offset < len(body):
+        kind = body[offset]
+        offset += 1
+        if kind == 0:
+            document, offset = bson.decode_document(body, offset)
+            if main_body is None:
+                main_body = document
+        elif kind == 1:
+            # Document-sequence section: size, identifier, documents.
+            (size,) = struct.unpack_from("<i", body, offset)
+            offset += size
+        else:
+            raise ProtocolError(f"unsupported OP_MSG section kind {kind}")
+    if main_body is None:
+        raise ProtocolError("OP_MSG without a body section")
+    return MsgMessage(header, flag_bits, main_body)
+
+
+def _decode_reply(header: MsgHeader, body: bytes) -> ReplyMessage:
+    if len(body) < 20:
+        raise ProtocolError("truncated OP_REPLY")
+    response_flags, cursor_id, starting_from, number_returned = (
+        struct.unpack_from("<iqii", body, 0))
+    documents = []
+    offset = 20
+    for _ in range(number_returned):
+        document, offset = bson.decode_document(body, offset)
+        documents.append(document)
+    return ReplyMessage(header, response_flags, cursor_id, starting_from,
+                        documents)

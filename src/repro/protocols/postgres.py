@@ -1,0 +1,331 @@
+"""PostgreSQL frontend/backend protocol, version 3.0 (pgwire).
+
+Implements the subset spoken between a PostgreSQL honeypot and its
+attackers: startup / SSL negotiation, cleartext-password authentication,
+the simple-query subprotocol (``Q`` messages answered with row
+description / data rows / command completion), and error responses.
+
+Wire format reference:
+https://www.postgresql.org/docs/current/protocol-message-formats.html
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.protocols.errors import ProtocolError
+
+#: Protocol version 3.0 as sent in the startup packet.
+PROTOCOL_VERSION_3 = 196608
+#: Magic version signalling an SSLRequest.
+SSL_REQUEST_CODE = 80877103
+#: Magic version signalling a GSSAPI encryption request.
+GSSENC_REQUEST_CODE = 80877104
+#: Magic version signalling a CancelRequest.
+CANCEL_REQUEST_CODE = 80877102
+
+#: Authentication subcodes (message type 'R').
+AUTH_OK = 0
+AUTH_CLEARTEXT_PASSWORD = 3
+AUTH_MD5_PASSWORD = 5
+
+_MAX_MESSAGE = 64 * 1024 * 1024
+#: Sanity bound on startup packets (they only carry a few parameters).
+_MAX_STARTUP = 16 * 1024
+
+
+@dataclass(frozen=True)
+class StartupMessage:
+    """Client startup packet: protocol version + key/value parameters."""
+
+    protocol_version: int
+    parameters: dict[str, str]
+
+    @property
+    def user(self) -> str | None:
+        return self.parameters.get("user")
+
+    @property
+    def database(self) -> str | None:
+        return self.parameters.get("database", self.parameters.get("user"))
+
+
+@dataclass(frozen=True)
+class SSLRequest:
+    """Client request to upgrade to TLS (answered 'N' by honeypots)."""
+
+
+@dataclass(frozen=True)
+class CancelRequest:
+    """Out-of-band query cancellation request."""
+
+    process_id: int
+    secret_key: int
+
+
+@dataclass(frozen=True)
+class BackendMessage:
+    """A typed backend (server -> client) message."""
+
+    type_code: bytes
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class FrontendMessage:
+    """A typed frontend (client -> server) message (post-startup)."""
+
+    type_code: bytes
+    payload: bytes
+
+
+def build_startup_message(user: str, database: str | None = None,
+                          application_name: str | None = None) -> bytes:
+    """Encode a StartupMessage for ``user``."""
+    parameters = {"user": user}
+    if database is not None:
+        parameters["database"] = database
+    if application_name is not None:
+        parameters["application_name"] = application_name
+    body = bytearray(struct.pack(">i", PROTOCOL_VERSION_3))
+    for key, value in parameters.items():
+        body += key.encode() + b"\x00" + value.encode() + b"\x00"
+    body += b"\x00"
+    return struct.pack(">i", len(body) + 4) + bytes(body)
+
+
+def build_ssl_request() -> bytes:
+    """Encode an SSLRequest packet."""
+    return struct.pack(">ii", 8, SSL_REQUEST_CODE)
+
+
+def build_password_message(password: str) -> bytes:
+    """Encode a frontend PasswordMessage ('p')."""
+    return _frontend(b"p", password.encode() + b"\x00")
+
+
+def build_query(sql: str) -> bytes:
+    """Encode a frontend simple Query ('Q')."""
+    return _frontend(b"Q", sql.encode() + b"\x00")
+
+
+def build_terminate() -> bytes:
+    """Encode a frontend Terminate ('X')."""
+    return _frontend(b"X", b"")
+
+
+def _frontend(type_code: bytes, payload: bytes) -> bytes:
+    return type_code + struct.pack(">i", len(payload) + 4) + payload
+
+
+def build_authentication_request(subcode: int, extra: bytes = b"") -> bytes:
+    """Encode a backend AuthenticationRequest ('R')."""
+    return _backend(b"R", struct.pack(">i", subcode) + extra)
+
+
+def build_authentication_ok() -> bytes:
+    """Encode AuthenticationOk."""
+    return build_authentication_request(AUTH_OK)
+
+
+def build_parameter_status(name: str, value: str) -> bytes:
+    """Encode a backend ParameterStatus ('S')."""
+    return _backend(b"S", name.encode() + b"\x00" + value.encode() + b"\x00")
+
+
+def build_backend_key_data(process_id: int, secret_key: int) -> bytes:
+    """Encode BackendKeyData ('K')."""
+    return _backend(b"K", struct.pack(">ii", process_id, secret_key))
+
+
+def build_ready_for_query(status: bytes = b"I") -> bytes:
+    """Encode ReadyForQuery ('Z'); ``status`` is I, T, or E."""
+    if status not in (b"I", b"T", b"E"):
+        raise ValueError("transaction status must be I, T, or E")
+    return _backend(b"Z", status)
+
+
+def build_error_response(severity: str, code: str, message: str) -> bytes:
+    """Encode an ErrorResponse ('E') with severity/code/message fields."""
+    payload = (b"S" + severity.encode() + b"\x00"
+               + b"C" + code.encode() + b"\x00"
+               + b"M" + message.encode() + b"\x00"
+               + b"\x00")
+    return _backend(b"E", payload)
+
+
+def build_row_description(columns: list[str]) -> bytes:
+    """Encode a RowDescription ('T') with text-format columns."""
+    payload = bytearray(struct.pack(">h", len(columns)))
+    for name in columns:
+        payload += name.encode() + b"\x00"
+        # table OID, attr number, type OID (text=25), type size, type
+        # modifier, format code (0 = text).
+        payload += struct.pack(">ihihih", 0, 0, 25, -1, -1, 0)
+    return _backend(b"T", bytes(payload))
+
+
+def build_data_row(values: list[str | None]) -> bytes:
+    """Encode a DataRow ('D') of text values (``None`` -> SQL NULL)."""
+    payload = bytearray(struct.pack(">h", len(values)))
+    for value in values:
+        if value is None:
+            payload += struct.pack(">i", -1)
+        else:
+            encoded = value.encode()
+            payload += struct.pack(">i", len(encoded)) + encoded
+    return _backend(b"D", bytes(payload))
+
+
+def build_command_complete(tag: str) -> bytes:
+    """Encode CommandComplete ('C'), e.g. tag ``"SELECT 1"``."""
+    return _backend(b"C", tag.encode() + b"\x00")
+
+
+def build_empty_query_response() -> bytes:
+    """Encode EmptyQueryResponse ('I')."""
+    return _backend(b"I", b"")
+
+
+def _backend(type_code: bytes, payload: bytes) -> bytes:
+    return type_code + struct.pack(">i", len(payload) + 4) + payload
+
+
+@dataclass
+class PgStream:
+    """Incremental parser for one direction of a pgwire conversation.
+
+    The first client message has no type byte (startup/SSL/cancel); set
+    ``expect_startup=True`` for the server side of a fresh connection.
+    After the startup message is consumed the parser switches to typed
+    messages automatically.
+    """
+
+    expect_startup: bool = False
+    _buffer: bytearray = field(default_factory=bytearray)
+
+    def feed(self, data: bytes) -> list[object]:
+        """Add bytes; return completed messages.
+
+        Startup-phase messages come back as :class:`StartupMessage`,
+        :class:`SSLRequest` or :class:`CancelRequest`; typed messages as
+        :class:`FrontendMessage` (the caller decides direction semantics).
+        """
+        self._buffer += data
+        messages: list[object] = []
+        while True:
+            message = self._try_parse()
+            if message is None:
+                return messages
+            messages.append(message)
+
+    def _try_parse(self) -> object | None:
+        if self.expect_startup:
+            return self._try_parse_startup()
+        if len(self._buffer) < 5:
+            return None
+        type_code = bytes(self._buffer[:1])
+        (length,) = struct.unpack(">i", self._buffer[1:5])
+        if not 4 <= length <= _MAX_MESSAGE:
+            raise ProtocolError(f"invalid pgwire message length {length}")
+        total = 1 + length
+        if len(self._buffer) < total:
+            return None
+        payload = bytes(self._buffer[5:total])
+        del self._buffer[:total]
+        return FrontendMessage(type_code, payload)
+
+    def _try_parse_startup(self) -> object | None:
+        if len(self._buffer) < 8:
+            return None
+        (length, version) = struct.unpack(">ii", self._buffer[:8])
+        # Real startup packets are tiny; an implausible length means the
+        # client is not speaking pgwire at all (RDP cookies, TLS hellos).
+        if not 8 <= length <= _MAX_STARTUP:
+            raise ProtocolError(f"invalid startup packet length {length}")
+        if version not in (SSL_REQUEST_CODE, GSSENC_REQUEST_CODE,
+                           CANCEL_REQUEST_CODE, PROTOCOL_VERSION_3):
+            raise ProtocolError(
+                f"unsupported pgwire protocol version {version:#x}")
+        if len(self._buffer) < length:
+            return None
+        body = bytes(self._buffer[8:length])
+        del self._buffer[:length]
+        if version in (SSL_REQUEST_CODE, GSSENC_REQUEST_CODE):
+            return SSLRequest()
+        if version == CANCEL_REQUEST_CODE:
+            if len(body) != 8:
+                raise ProtocolError("malformed CancelRequest")
+            process_id, secret_key = struct.unpack(">ii", body)
+            self.expect_startup = False
+            return CancelRequest(process_id, secret_key)
+        self.expect_startup = False
+        return StartupMessage(version, _parse_parameters(body))
+
+
+def _parse_parameters(body: bytes) -> dict[str, str]:
+    parameters: dict[str, str] = {}
+    parts = body.split(b"\x00")
+    # Trailing terminator produces empty tail entries.
+    index = 0
+    while index + 1 < len(parts) and parts[index]:
+        parameters[parts[index].decode("utf-8", "replace")] = (
+            parts[index + 1].decode("utf-8", "replace"))
+        index += 2
+    return parameters
+
+
+def parse_backend_messages(data: bytes) -> list[BackendMessage]:
+    """Parse a complete server reply into typed backend messages."""
+    messages = []
+    offset = 0
+    while offset < len(data):
+        if len(data) - offset < 5:
+            raise ProtocolError("truncated backend message")
+        type_code = data[offset:offset + 1]
+        (length,) = struct.unpack(">i", data[offset + 1:offset + 5])
+        if not 4 <= length <= _MAX_MESSAGE:
+            raise ProtocolError(f"invalid backend message length {length}")
+        end = offset + 1 + length
+        if end > len(data):
+            raise ProtocolError("truncated backend message body")
+        messages.append(BackendMessage(type_code, data[offset + 5:end]))
+        offset = end
+    return messages
+
+
+def parse_error_fields(payload: bytes) -> dict[str, str]:
+    """Decode the field map of an ErrorResponse payload."""
+    fields: dict[str, str] = {}
+    offset = 0
+    while offset < len(payload) and payload[offset:offset + 1] != b"\x00":
+        code = payload[offset:offset + 1].decode()
+        end = payload.find(b"\x00", offset + 1)
+        if end < 0:
+            raise ProtocolError("unterminated error field")
+        fields[code] = payload[offset + 1:end].decode("utf-8", "replace")
+        offset = end + 1
+    return fields
+
+
+def parse_data_row(payload: bytes) -> list[bytes | None]:
+    """Decode a DataRow payload into column values."""
+    if len(payload) < 2:
+        raise ProtocolError("truncated DataRow")
+    (count,) = struct.unpack(">h", payload[:2])
+    values: list[bytes | None] = []
+    offset = 2
+    for _ in range(count):
+        if len(payload) - offset < 4:
+            raise ProtocolError("truncated DataRow column")
+        (length,) = struct.unpack(">i", payload[offset:offset + 4])
+        offset += 4
+        if length == -1:
+            values.append(None)
+            continue
+        if length < 0 or offset + length > len(payload):
+            raise ProtocolError("invalid DataRow column length")
+        values.append(payload[offset:offset + length])
+        offset += length
+    return values

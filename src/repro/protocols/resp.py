@@ -1,0 +1,230 @@
+"""Redis RESP2 protocol (REdis Serialization Protocol).
+
+Implements the five RESP2 frame types plus the *inline command* form that
+``redis-cli``-style tools and many attack scripts use.  The streaming
+:class:`RespParser` accumulates bytes and yields complete values, so both
+the honeypot server and the attacker client can run over any transport.
+
+Wire format reference: https://redis.io/docs/reference/protocol-spec/
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocols.errors import ProtocolError
+
+_CRLF = b"\r\n"
+
+#: Safety bound on bulk-string / array sizes accepted from the wire.
+MAX_BULK_LENGTH = 16 * 1024 * 1024
+MAX_ARRAY_LENGTH = 1 << 20
+
+
+@dataclass(frozen=True)
+class SimpleString:
+    """A ``+OK``-style simple string reply."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class Error:
+    """A ``-ERR ...`` error reply."""
+
+    message: str
+
+
+def encode(value: object) -> bytes:
+    """Encode a Python value as a RESP2 frame.
+
+    Mapping:
+
+    * :class:`SimpleString` -> simple string (``+``)
+    * :class:`Error` -> error (``-``)
+    * :class:`int` -> integer (``:``)
+    * :class:`bytes` / :class:`str` -> bulk string (``$``)
+    * ``None`` -> null bulk string (``$-1``)
+    * :class:`list` / :class:`tuple` -> array (``*``), recursively
+
+    Raises
+    ------
+    TypeError
+        For unsupported value types.
+    """
+    if isinstance(value, SimpleString):
+        if "\r" in value.value or "\n" in value.value:
+            raise TypeError("simple strings cannot contain CR/LF")
+        return b"+" + value.value.encode() + _CRLF
+    if isinstance(value, Error):
+        return b"-" + value.message.encode() + _CRLF
+    if isinstance(value, bool):
+        raise TypeError("RESP2 has no boolean type")
+    if isinstance(value, int):
+        return b":" + str(value).encode() + _CRLF
+    if isinstance(value, str):
+        value = value.encode()
+    if isinstance(value, bytes):
+        return b"$" + str(len(value)).encode() + _CRLF + value + _CRLF
+    if value is None:
+        return b"$-1" + _CRLF
+    if isinstance(value, (list, tuple)):
+        out = bytearray(b"*" + str(len(value)).encode() + _CRLF)
+        for item in value:
+            out += encode(item)
+        return bytes(out)
+    raise TypeError(f"cannot encode {type(value).__name__} as RESP")
+
+
+def encode_command(*args: str | bytes) -> bytes:
+    """Encode a client command as an array of bulk strings.
+
+    >>> encode_command("GET", "key")
+    b'*2\\r\\n$3\\r\\nGET\\r\\n$3\\r\\nkey\\r\\n'
+    """
+    if not args:
+        raise ValueError("a command needs at least one argument")
+    return encode([a.encode() if isinstance(a, str) else a for a in args])
+
+
+def encode_inline_command(line: str) -> bytes:
+    """Encode a command in the inline (telnet-friendly) form."""
+    if "\r" in line or "\n" in line:
+        raise ValueError("inline commands cannot contain CR/LF")
+    return line.encode() + _CRLF
+
+
+@dataclass
+class RespParser:
+    """Incremental RESP2 parser.
+
+    Feed raw bytes with :meth:`feed`; complete values come back from
+    :meth:`messages`.  Non-RESP lines (no type marker) are parsed as
+    inline commands and yielded as lists of ``bytes`` tokens; an empty
+    inline line yields nothing, per the Redis server behavior.
+
+    Raises :class:`ProtocolError` on malformed frames (bad lengths,
+    over-limit sizes); after an error, the parser state is undefined and
+    the connection should be dropped or the parser recreated.
+    """
+
+    _buffer: bytearray = field(default_factory=bytearray)
+
+    def feed(self, data: bytes) -> list[object]:
+        """Add ``data`` and return all values completed by it."""
+        self._buffer += data
+        values = []
+        while True:
+            result = self._try_parse(0)
+            if result is None:
+                return values
+            value, consumed = result
+            del self._buffer[:consumed]
+            if value is not _EMPTY_INLINE:
+                values.append(value)
+
+    def pending(self) -> int:
+        """Number of buffered bytes not yet parsed into a value."""
+        return len(self._buffer)
+
+    def take_pending(self) -> bytes:
+        """Remove and return any buffered, unparsed bytes.
+
+        Honeypots call this at disconnect time to log trailing garbage
+        (e.g. a JDWP handshake, which has no line terminator)."""
+        pending = bytes(self._buffer)
+        self._buffer.clear()
+        return pending
+
+    def _try_parse(self, start: int) -> tuple[object, int] | None:
+        """Parse one value at offset ``start``.
+
+        Returns ``(value, end_offset)`` or ``None`` if more bytes are
+        needed.
+        """
+        if start >= len(self._buffer):
+            return None
+        marker = self._buffer[start:start + 1]
+        if marker in (b"+", b"-", b":", b"$", b"*"):
+            return self._parse_typed(marker, start)
+        return self._parse_inline(start)
+
+    def _parse_typed(self, marker: bytes,
+                     start: int) -> tuple[object, int] | None:
+        line_end = self._buffer.find(_CRLF, start)
+        if line_end < 0:
+            return None
+        line = bytes(self._buffer[start + 1:line_end])
+        after = line_end + 2
+        if marker == b"+":
+            return SimpleString(line.decode("utf-8", "replace")), after
+        if marker == b"-":
+            return Error(line.decode("utf-8", "replace")), after
+        if marker == b":":
+            return _parse_int(line), after
+        if marker == b"$":
+            length = _parse_int(line)
+            if length == -1:
+                return None, after
+            if not 0 <= length <= MAX_BULK_LENGTH:
+                raise ProtocolError(f"invalid bulk length {length}")
+            end = after + length + 2
+            if len(self._buffer) < end:
+                return None
+            if self._buffer[end - 2:end] != _CRLF:
+                raise ProtocolError("bulk string missing CRLF terminator")
+            return bytes(self._buffer[after:after + length]), end
+        # marker == b"*"
+        count = _parse_int(line)
+        if count == -1:
+            return None, after
+        if not 0 <= count <= MAX_ARRAY_LENGTH:
+            raise ProtocolError(f"invalid array length {count}")
+        items = []
+        offset = after
+        for _ in range(count):
+            result = self._try_parse(offset)
+            if result is None:
+                return None
+            item, offset = result
+            items.append(item)
+        return items, offset
+
+    def _parse_inline(self, start: int) -> tuple[object, int] | None:
+        line_end = self._buffer.find(b"\n", start)
+        if line_end < 0:
+            if len(self._buffer) - start > MAX_BULK_LENGTH:
+                raise ProtocolError("inline command too long")
+            return None
+        raw = bytes(self._buffer[start:line_end]).rstrip(b"\r")
+        tokens = raw.split()
+        if not tokens:
+            return _EMPTY_INLINE, line_end + 1
+        return tokens, line_end + 1
+
+
+class _EmptyInline:
+    """Sentinel for blank inline lines (silently skipped)."""
+
+
+_EMPTY_INLINE = _EmptyInline()
+
+
+def _parse_int(line: bytes) -> int:
+    try:
+        return int(line)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid RESP integer {line!r}") from exc
+
+
+def command_tokens(value: object) -> list[bytes]:
+    """Normalize a parsed client command into a list of ``bytes`` tokens.
+
+    Accepts both the array-of-bulk-strings and inline forms; raises
+    :class:`ProtocolError` for anything else (e.g. a client sending a
+    bare integer frame).
+    """
+    if isinstance(value, list) and all(
+            isinstance(item, bytes) for item in value):
+        return value
+    raise ProtocolError(f"not a RESP command: {value!r}")

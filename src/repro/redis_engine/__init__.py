@@ -1,0 +1,5 @@
+"""In-memory Redis-like keyspace backing the medium-interaction honeypot."""
+
+from repro.redis_engine.engine import RedisEngine, WrongTypeError
+
+__all__ = ["RedisEngine", "WrongTypeError"]

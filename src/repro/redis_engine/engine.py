@@ -1,0 +1,348 @@
+"""A small Redis-compatible keyspace.
+
+Backs :class:`repro.honeypots.redis_honeypot.RedisHoneypot`: state-changing
+commands observed from attackers (``SET``, ``DEL``, ``FLUSHDB``,
+``CONFIG SET`` for the P2PInfect cron/SSH-key tricks, ``SLAVEOF`` for
+rogue-master module loading) really mutate state, which is what lets the
+honeypot respond consistently across an attack session.
+
+Strings (with lazy expiry), hashes, lists, counters and the
+keyspace/meta commands are implemented -- the surface the paper's
+attacks and scanner toolkits touch.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+
+
+class WrongTypeError(Exception):
+    """Operation applied against a key holding the wrong kind of value."""
+
+
+#: Default CONFIG parameters, matching a stock Redis the attacks expect.
+_DEFAULT_CONFIG = {
+    "dir": "/var/lib/redis",
+    "dbfilename": "dump.rdb",
+    "rdbcompression": "yes",
+    "save": "3600 1 300 100 60 10000",
+    "maxmemory": "0",
+    "appendonly": "no",
+}
+
+
+@dataclass
+class Replication:
+    """Replication role state (SLAVEOF target)."""
+
+    master_host: str | None = None
+    master_port: int | None = None
+
+    @property
+    def role(self) -> str:
+        return "slave" if self.master_host else "master"
+
+
+@dataclass
+class RedisEngine:
+    """The keyspace, configuration, and replication state.
+
+    Key expiry is lazy: commands accept an optional ``now`` timestamp
+    (the honeypot passes its simulated clock) and expired keys vanish
+    on access.
+    """
+
+    version: str = "5.0.7"
+    _strings: dict[bytes, bytes] = field(default_factory=dict)
+    _hashes: dict[bytes, dict[bytes, bytes]] = field(default_factory=dict)
+    _lists: dict[bytes, list[bytes]] = field(default_factory=dict)
+    _expires: dict[bytes, float] = field(default_factory=dict)
+    _config: dict[str, str] = field(
+        default_factory=lambda: dict(_DEFAULT_CONFIG))
+    replication: Replication = field(default_factory=Replication)
+    loaded_modules: list[str] = field(default_factory=list)
+    dirty: int = 0
+
+    # -- expiry ----------------------------------------------------------
+
+    def _purge(self, key: bytes, now: float | None) -> None:
+        deadline = self._expires.get(key)
+        if deadline is not None and now is not None and now >= deadline:
+            self._strings.pop(key, None)
+            self._hashes.pop(key, None)
+            self._lists.pop(key, None)
+            del self._expires[key]
+
+    def expire(self, key: bytes, seconds: float,
+               now: float | None = None) -> bool:
+        """EXPIRE key seconds -> whether the key existed."""
+        self._purge(key, now)
+        if not self.exists(key):
+            return False
+        base = now if now is not None else 0.0
+        self._expires[key] = base + seconds
+        return True
+
+    def ttl(self, key: bytes, now: float | None = None) -> int:
+        """TTL key -> remaining seconds, -1 without expiry, -2 missing."""
+        self._purge(key, now)
+        if not self.exists(key):
+            return -2
+        deadline = self._expires.get(key)
+        if deadline is None:
+            return -1
+        base = now if now is not None else 0.0
+        return max(0, int(deadline - base))
+
+    def persist(self, key: bytes, now: float | None = None) -> bool:
+        """PERSIST key -> whether an expiry was removed."""
+        self._purge(key, now)
+        return self._expires.pop(key, None) is not None
+
+    # -- string commands -------------------------------------------------
+
+    def set(self, key: bytes, value: bytes, *,
+            ex: float | None = None, now: float | None = None) -> None:
+        """SET key value [EX seconds] (discards previous values)."""
+        self._hashes.pop(key, None)
+        self._lists.pop(key, None)
+        self._expires.pop(key, None)
+        self._strings[key] = value
+        if ex is not None:
+            base = now if now is not None else 0.0
+            self._expires[key] = base + ex
+        self.dirty += 1
+
+    def get(self, key: bytes, now: float | None = None) -> bytes | None:
+        """GET key -> value or ``None``.
+
+        Raises
+        ------
+        WrongTypeError
+            If the key holds a hash or list.
+        """
+        self._purge(key, now)
+        if key in self._hashes or key in self._lists:
+            raise WrongTypeError("WRONGTYPE Operation against a key "
+                                 "holding the wrong kind of value")
+        return self._strings.get(key)
+
+    def incrby(self, key: bytes, delta: int,
+               now: float | None = None) -> int:
+        """INCRBY/DECRBY -> the new value.
+
+        Raises
+        ------
+        ValueError
+            If the current value is not an integer.
+        WrongTypeError
+            If the key holds a non-string.
+        """
+        current = self.get(key, now)
+        if current is None:
+            value = 0
+        else:
+            try:
+                value = int(current)
+            except ValueError:
+                raise ValueError(
+                    "ERR value is not an integer or out of range")
+        value += delta
+        self._strings[key] = str(value).encode()
+        self.dirty += 1
+        return value
+
+    def append(self, key: bytes, suffix: bytes,
+               now: float | None = None) -> int:
+        """APPEND key value -> the new length."""
+        current = self.get(key, now) or b""
+        self._strings[key] = current + suffix
+        self.dirty += 1
+        return len(self._strings[key])
+
+    # -- list commands ------------------------------------------------------
+
+    def lpush(self, key: bytes, values: list[bytes]) -> int:
+        """LPUSH key value [...] -> new list length."""
+        target = self._list_for_write(key)
+        for value in values:
+            target.insert(0, value)
+        self.dirty += 1
+        return len(target)
+
+    def rpush(self, key: bytes, values: list[bytes]) -> int:
+        """RPUSH key value [...] -> new list length."""
+        target = self._list_for_write(key)
+        target.extend(values)
+        self.dirty += 1
+        return len(target)
+
+    def lrange(self, key: bytes, start: int, stop: int) -> list[bytes]:
+        """LRANGE key start stop (inclusive, negative indices allowed)."""
+        if key in self._strings or key in self._hashes:
+            raise WrongTypeError("WRONGTYPE Operation against a key "
+                                 "holding the wrong kind of value")
+        target = self._lists.get(key, [])
+        length = len(target)
+        if start < 0:
+            start = max(0, length + start)
+        if stop < 0:
+            stop = length + stop
+        return target[start:stop + 1]
+
+    def llen(self, key: bytes) -> int:
+        """LLEN key."""
+        if key in self._strings or key in self._hashes:
+            raise WrongTypeError("WRONGTYPE Operation against a key "
+                                 "holding the wrong kind of value")
+        return len(self._lists.get(key, []))
+
+    def lpop(self, key: bytes) -> bytes | None:
+        """LPOP key."""
+        target = self._lists.get(key)
+        if not target:
+            return None
+        value = target.pop(0)
+        if not target:
+            del self._lists[key]
+        self.dirty += 1
+        return value
+
+    def _list_for_write(self, key: bytes) -> list[bytes]:
+        if key in self._strings or key in self._hashes:
+            raise WrongTypeError("WRONGTYPE Operation against a key "
+                                 "holding the wrong kind of value")
+        return self._lists.setdefault(key, [])
+
+    # -- hash commands ----------------------------------------------------
+
+    def hset(self, key: bytes, fields: dict[bytes, bytes]) -> int:
+        """HSET key field value [...] -> number of new fields."""
+        if key in self._strings:
+            raise WrongTypeError("WRONGTYPE Operation against a key "
+                                 "holding the wrong kind of value")
+        bucket = self._hashes.setdefault(key, {})
+        added = sum(1 for f in fields if f not in bucket)
+        bucket.update(fields)
+        self.dirty += 1
+        return added
+
+    def hgetall(self, key: bytes) -> dict[bytes, bytes]:
+        """HGETALL key -> field map (empty when missing)."""
+        if key in self._strings:
+            raise WrongTypeError("WRONGTYPE Operation against a key "
+                                 "holding the wrong kind of value")
+        return dict(self._hashes.get(key, {}))
+
+    # -- keyspace commands -------------------------------------------------
+
+    def delete(self, keys: list[bytes]) -> int:
+        """DEL key [...] -> number of keys removed."""
+        removed = 0
+        for key in keys:
+            if (self._strings.pop(key, None) is not None
+                    or self._hashes.pop(key, None) is not None
+                    or self._lists.pop(key, None) is not None):
+                removed += 1
+            self._expires.pop(key, None)
+        self.dirty += removed
+        return removed
+
+    def exists(self, key: bytes) -> bool:
+        """EXISTS key."""
+        return (key in self._strings or key in self._hashes
+                or key in self._lists)
+
+    def keys(self, pattern: bytes = b"*") -> list[bytes]:
+        """KEYS pattern -> matching keys, sorted for determinism."""
+        glob = pattern.decode("utf-8", "replace")
+        every = (list(self._strings) + list(self._hashes)
+                 + list(self._lists))
+        return sorted(key for key in every
+                      if fnmatch.fnmatchcase(key.decode("utf-8", "replace"),
+                                             glob))
+
+    def type(self, key: bytes) -> str:
+        """TYPE key -> ``string``, ``hash``, ``list`` or ``none``."""
+        if key in self._strings:
+            return "string"
+        if key in self._hashes:
+            return "hash"
+        if key in self._lists:
+            return "list"
+        return "none"
+
+    def dbsize(self) -> int:
+        """DBSIZE -> number of keys."""
+        return len(self._strings) + len(self._hashes) + len(self._lists)
+
+    def flushdb(self) -> None:
+        """FLUSHDB: drop every key."""
+        self._strings.clear()
+        self._hashes.clear()
+        self._lists.clear()
+        self._expires.clear()
+        self.dirty += 1
+
+    # -- config / admin ----------------------------------------------------
+
+    def config_get(self, parameter: str) -> dict[str, str]:
+        """CONFIG GET pattern -> matching parameter map."""
+        return {name: value for name, value in sorted(self._config.items())
+                if fnmatch.fnmatchcase(name, parameter.lower())}
+
+    def config_set(self, parameter: str, value: str) -> None:
+        """CONFIG SET parameter value (unknown parameters are accepted,
+        as an out-of-the-box Redis does for most of the ones attackers
+        touch)."""
+        self._config[parameter.lower()] = value
+
+    def save(self) -> None:
+        """SAVE: pretend to persist (resets the dirty counter)."""
+        self.dirty = 0
+
+    def slaveof(self, host: str | None, port: int | None) -> None:
+        """SLAVEOF host port, or SLAVEOF NO ONE via ``(None, None)``."""
+        self.replication.master_host = host
+        self.replication.master_port = port
+
+    def module_load(self, path: str) -> None:
+        """MODULE LOAD path: record the attempted module."""
+        self.loaded_modules.append(path)
+
+    def module_unload(self, name: str) -> bool:
+        """MODULE UNLOAD name -> whether a module matched.
+
+        Modules register under their own internal names (the rogue
+        ``exp.so`` registers as ``system``), which the honeypot cannot
+        know; any loaded module therefore satisfies an unload request,
+        matching by path first.
+        """
+        for index, path in enumerate(self.loaded_modules):
+            if name in path:
+                del self.loaded_modules[index]
+                return True
+        if self.loaded_modules:
+            self.loaded_modules.pop()
+            return True
+        return False
+
+    def info(self) -> str:
+        """INFO -> the sections attackers parse (server, replication)."""
+        lines = [
+            "# Server",
+            f"redis_version:{self.version}",
+            "redis_mode:standalone",
+            "os:Linux 5.4.0-72-generic x86_64",
+            "arch_bits:64",
+            "# Clients",
+            "connected_clients:1",
+            "# Replication",
+            f"role:{self.replication.role}",
+            "connected_slaves:0",
+            "# Keyspace",
+        ]
+        if self.dbsize():
+            lines.append(f"db0:keys={self.dbsize()},expires=0,avg_ttl=0")
+        return "\r\n".join(lines) + "\r\n"

@@ -1,0 +1,57 @@
+"""Cross-referencing attacker IPs against the OSINT platforms.
+
+Reproduces the coverage analysis of Sections 5 and 6.2: for a set of
+IPs observed misbehaving at the honeypots, how many does each platform
+already know about?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.threatintel.platforms import ThreatIntelWorld
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Per-platform coverage of one IP population."""
+
+    population: int
+    greynoise_malicious: int
+    abuseipdb_reported: int
+    cymru_suspicious: int
+    feodo_c2: int
+
+    def rate(self, count: int) -> float:
+        """Coverage fraction for one platform count."""
+        if self.population == 0:
+            return 0.0
+        return count / self.population
+
+    def rows(self) -> list[tuple[str, int, float]]:
+        """(platform, flagged, fraction) rows for reporting."""
+        return [
+            ("Greynoise (malicious)", self.greynoise_malicious,
+             self.rate(self.greynoise_malicious)),
+            ("AbuseIPDB (reported, 180d)", self.abuseipdb_reported,
+             self.rate(self.abuseipdb_reported)),
+            ("Team Cymru (suspicious)", self.cymru_suspicious,
+             self.rate(self.cymru_suspicious)),
+            ("FEODO (C2)", self.feodo_c2, self.rate(self.feodo_c2)),
+        ]
+
+
+def crossref(ips: Iterable[str], intel: ThreatIntelWorld) -> CoverageReport:
+    """Compute per-platform coverage for ``ips``."""
+    unique = sorted(set(ips))
+    return CoverageReport(
+        population=len(unique),
+        greynoise_malicious=sum(
+            1 for ip in unique if intel.greynoise.is_malicious(ip)),
+        abuseipdb_reported=sum(
+            1 for ip in unique if intel.abuseipdb.recently_reported(ip)),
+        cymru_suspicious=sum(
+            1 for ip in unique if intel.teamcymru.is_suspicious(ip)),
+        feodo_c2=sum(1 for ip in unique if intel.feodo.is_c2(ip)),
+    )

@@ -1,0 +1,122 @@
+"""Snapshot models of the four OSINT platforms the paper queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GreynoiseRecord:
+    """One Greynoise entry: classification plus activity tags."""
+
+    ip: str
+    classification: str  # "malicious" | "benign" | "unknown"
+    tags: tuple[str, ...] = ()
+    cves: tuple[str, ...] = ()
+
+
+@dataclass
+class GreynoiseSnapshot:
+    """IPs Greynoise has seen, with classification and tags."""
+
+    _records: dict[str, GreynoiseRecord] = field(default_factory=dict)
+
+    def add(self, record: GreynoiseRecord) -> None:
+        self._records[record.ip] = record
+
+    def lookup(self, ip: str) -> GreynoiseRecord | None:
+        """Return the record for ``ip``, or ``None`` if unseen."""
+        return self._records.get(ip)
+
+    def is_malicious(self, ip: str) -> bool:
+        record = self._records.get(ip)
+        return record is not None and record.classification == "malicious"
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+@dataclass(frozen=True)
+class AbuseReport:
+    """One user report on AbuseIPDB."""
+
+    ip: str
+    category: str  # e.g. "port scan", "brute-force", "sql injection"
+    age_days: int
+
+
+@dataclass
+class AbuseIPDBSnapshot:
+    """User-submitted abuse reports, queryable by recency."""
+
+    _reports: dict[str, list[AbuseReport]] = field(default_factory=dict)
+
+    def add(self, report: AbuseReport) -> None:
+        self._reports.setdefault(report.ip, []).append(report)
+
+    def reports(self, ip: str, *, within_days: int = 180
+                ) -> list[AbuseReport]:
+        """Reports for ``ip`` no older than ``within_days``."""
+        return [report for report in self._reports.get(ip, [])
+                if report.age_days <= within_days]
+
+    def recently_reported(self, ip: str, *, within_days: int = 180) -> bool:
+        return bool(self.reports(ip, within_days=within_days))
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+
+@dataclass(frozen=True)
+class CymruRecord:
+    """A Team Cymru scout verdict."""
+
+    ip: str
+    rating: str  # "suspicious" | "no rating"
+    tags: tuple[str, ...] = ()
+
+
+@dataclass
+class TeamCymruSnapshot:
+    """Team Cymru scout API verdicts."""
+
+    _records: dict[str, CymruRecord] = field(default_factory=dict)
+
+    def add(self, record: CymruRecord) -> None:
+        self._records[record.ip] = record
+
+    def lookup(self, ip: str) -> CymruRecord | None:
+        return self._records.get(ip)
+
+    def is_suspicious(self, ip: str) -> bool:
+        record = self._records.get(ip)
+        return record is not None and record.rating == "suspicious"
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+@dataclass
+class FeodoTracker:
+    """The abuse.ch botnet C2 indicator list."""
+
+    c2_ips: set[str] = field(default_factory=set)
+
+    def add(self, ip: str) -> None:
+        self.c2_ips.add(ip)
+
+    def is_c2(self, ip: str) -> bool:
+        return ip in self.c2_ips
+
+    def __len__(self) -> int:
+        return len(self.c2_ips)
+
+
+@dataclass
+class ThreatIntelWorld:
+    """All four platform snapshots, as one queryable bundle."""
+
+    greynoise: GreynoiseSnapshot = field(default_factory=GreynoiseSnapshot)
+    abuseipdb: AbuseIPDBSnapshot = field(default_factory=AbuseIPDBSnapshot)
+    teamcymru: TeamCymruSnapshot = field(default_factory=TeamCymruSnapshot)
+    feodo: FeodoTracker = field(default_factory=FeodoTracker)

@@ -1,0 +1,247 @@
+"""Tests for actor behaviors, credentials, toolkits and the population
+builder."""
+
+import random
+
+import pytest
+
+from repro.agents import scenario, toolkits
+from repro.agents.base import (Actor, CompositeBehavior, Visit,
+                               pick_active_days)
+from repro.agents.credentials import (TOP_MSSQL_CREDENTIALS,
+                                      CredentialSampler, mssql_sampler)
+from repro.agents.lowint import (BruteForceBehavior, LowScanBehavior,
+                                 MisconfiguredClientBehavior)
+from repro.agents.population import build_world
+from repro.agents.scouts import ScoutBehavior
+from repro.deployment.plan import build_plan
+from repro.netsim.clock import EXPERIMENT_DAYS
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_plan()
+
+
+class TestCredentials:
+    def test_head_contains_table12_pairs(self):
+        assert TOP_MSSQL_CREDENTIALS[0] == ("sa", "123")
+        assert ("hbv7", "") in TOP_MSSQL_CREDENTIALS
+
+    def test_sampler_is_sa_heavy(self):
+        sampler = mssql_sampler()
+        rng = random.Random(1)
+        samples = sampler.sample_many(rng, 2000)
+        sa_fraction = sum(1 for user, _pw in samples
+                          if user == "sa") / len(samples)
+        assert sa_fraction > 0.4
+
+    def test_more_unique_passwords_than_usernames(self):
+        sampler = mssql_sampler()
+        rng = random.Random(2)
+        samples = sampler.sample_many(rng, 5000)
+        usernames = {user for user, _pw in samples}
+        passwords = {pw for _user, pw in samples}
+        assert len(passwords) > len(usernames) * 3
+
+    def test_salted_samplers_differ_in_tail(self):
+        a = CredentialSampler(head_weight=0.0, tail_salt="a")
+        b = CredentialSampler(head_weight=0.0, tail_salt="b")
+        sa = set(a.sample_many(random.Random(3), 200))
+        sb = set(b.sample_many(random.Random(3), 200))
+        assert sa != sb
+
+
+class TestToolkits:
+    def test_pools_are_distinct_and_deterministic(self):
+        assert len(set(toolkits.ELASTIC_TOOLKITS)) == len(
+            toolkits.ELASTIC_TOOLKITS)
+        assert toolkits.ELASTIC_TOOLKITS == toolkits._subsets(
+            toolkits.ELASTIC_ENDPOINT_POOL, 56, min_size=1, max_size=7,
+            seed="elastic", always_first=True)
+
+    def test_elastic_toolkits_always_probe_banner(self):
+        assert all("/" in kit for kit in toolkits.ELASTIC_TOOLKITS)
+
+    def test_brute_variants_have_multiple_credentials(self):
+        for variant in toolkits.PSQL_BRUTE_CREDENTIAL_VARIANTS:
+            assert len(variant) >= 3
+
+    def test_fifteen_brute_variants(self):
+        assert len(toolkits.PSQL_BRUTE_CREDENTIAL_VARIANTS) == 15
+
+
+class TestBehaviors:
+    def test_pick_active_days_within_window(self):
+        rng = random.Random(1)
+        days = pick_active_days(rng, EXPERIMENT_DAYS, 5)
+        assert len(days) == 5
+        assert days == sorted(days)
+        assert all(0 <= d < EXPERIMENT_DAYS for d in days)
+
+    def test_pick_active_days_clamps(self):
+        rng = random.Random(1)
+        assert len(pick_active_days(rng, 20, 99)) == 20
+        assert len(pick_active_days(rng, 20, 0)) == 1
+
+    def test_low_scan_visit_times_ordered_by_day(self, plan):
+        rng = random.Random(2)
+        visits = LowScanBehavior(active_days=3,
+                                 probes_per_day=2).visits(plan, rng)
+        assert 6 <= len(visits) <= 9
+        assert all(isinstance(v, Visit) for v in visits)
+
+    def test_low_scan_scope_multi_only(self, plan):
+        rng = random.Random(3)
+        visits = LowScanBehavior(scope="multi", active_days=2,
+                                 probes_per_day=4).visits(plan, rng)
+        assert all("/multi/" in v.target_key for v in visits)
+
+    def test_low_scan_scope_both_touches_single(self, plan):
+        rng = random.Random(4)
+        visits = LowScanBehavior(scope="both", active_days=2,
+                                 probes_per_day=3).visits(plan, rng)
+        assert any("/single/" in v.target_key for v in visits)
+        assert any("/multi/" in v.target_key for v in visits)
+
+    def test_bruteforce_visits_spread_attempts(self, plan):
+        rng = random.Random(5)
+        behavior = BruteForceBehavior(dbms="mssql", total_attempts=100,
+                                      active_days=4)
+        visits = behavior.visits(plan, rng)
+        assert 1 <= len(visits) <= 4
+        assert all("mssql" in v.target_key for v in visits)
+
+    def test_bruteforce_rejects_redis(self, plan):
+        with pytest.raises(ValueError):
+            BruteForceBehavior(dbms="redis").visits(plan,
+                                                    random.Random(1))
+
+    def test_misconfigured_client_uses_fixed_credential(self, plan):
+        behavior = MisconfiguredClientBehavior(
+            credential=("svc", "hunter2"))
+        visits = behavior.visits(plan, random.Random(6))
+        assert visits
+
+    def test_scout_behavior_unknown_style_raises(self, plan):
+        with pytest.raises(ValueError):
+            ScoutBehavior(dbms="redis", style="quantum").visits(
+                plan, random.Random(1))
+
+    def test_composite_concatenates_sorted(self, plan):
+        rng = random.Random(7)
+        composite = CompositeBehavior([
+            LowScanBehavior(active_days=2),
+            LowScanBehavior(active_days=2)])
+        visits = composite.visits(plan, rng)
+        times = [v.time_offset for v in visits]
+        assert times == sorted(times)
+
+    def test_actor_compile_is_deterministic(self, plan):
+        actor = Actor("198.51.100.1", LowScanBehavior(active_days=3))
+        first = actor.compile(plan, seed=99)
+        second = actor.compile(plan, seed=99)
+        assert [(v.time_offset, v.target_key) for v in first] == \
+            [(v.time_offset, v.target_key) for v in second]
+
+    def test_actor_compile_varies_with_seed(self, plan):
+        actor = Actor("198.51.100.1", LowScanBehavior(active_days=3))
+        first = actor.compile(plan, seed=1)
+        second = actor.compile(plan, seed=2)
+        assert [(v.time_offset, v.target_key) for v in first] != \
+            [(v.time_offset, v.target_key) for v in second]
+
+
+class TestScenarioConsistency:
+    def test_low_population_adds_up(self):
+        # Named-AS scanner-only sources (AS totals minus the brute
+        # cohorts pinned inside them) + generic scanner-only sources +
+        # all brute-forcers must equal the paper's 3,340.
+        pinned = {}
+        for cohort in scenario.BRUTE_COHORTS:
+            if cohort.asn is not None:
+                pinned[cohort.asn] = (pinned.get(cohort.asn, 0)
+                                      + cohort.ip_count)
+        named_scanner = sum(
+            max(0, named.low_ip_count - pinned.get(named.asn, 0))
+            for named in scenario.NAMED_ASES)
+        generic = sum(scenario.LOW_GENERIC_COUNTRY_IPS.values())
+        total = named_scanner + generic + scenario.BRUTE_TOTAL_IPS
+        assert total == scenario.LOW_TOTAL_IPS == 3340
+        assert scenario.BRUTE_TOTAL_IPS == 599
+
+    def test_institutional_total(self):
+        assert sum(a.institutional_ips
+                   for a in scenario.NAMED_ASES) == 1468
+
+    def test_login_volume_near_paper_total(self):
+        total = sum(sum(c.logins.values())
+                    for c in scenario.BRUTE_COHORTS)
+        assert abs(total - 18_162_811) / 18_162_811 < 0.001
+
+    def test_exploiter_total_is_324(self):
+        assert scenario.campaign_total() == 324
+
+    def test_table8_scanning_margins(self):
+        by_dbms = {"elasticsearch": 0, "mongodb": 0, "postgresql": 0,
+                   "redis": 0}
+        for cohort in scenario.MID_SCAN_COHORTS:
+            for dbms in cohort.dbms_set:
+                by_dbms[dbms] += cohort.count
+        assert by_dbms == {"elasticsearch": 608, "mongodb": 706,
+                           "postgresql": 1140, "redis": 676}
+
+
+class TestWorldBuilder:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_world(seed=5, volume_scale=0.0005)
+
+    def test_low_population_exact(self, world):
+        low = (set(world.groups["low_scanner"])
+               | set(world.groups["low_brute"])
+               | set(world.groups.get("low_brute_heavy", [])))
+        assert len(low) == scenario.LOW_TOTAL_IPS
+
+    def test_brute_population_exact(self, world):
+        brute = (set(world.groups["low_brute"])
+                 | set(world.groups.get("low_brute_heavy", [])))
+        assert len(brute) == scenario.BRUTE_TOTAL_IPS
+
+    def test_institutional_count(self, world):
+        # Low-tier institutional scanners plus med/high institutional.
+        assert len(set(world.groups["institutional"])) >= 1468
+
+    def test_exploiters_exact(self, world):
+        assert len(set(world.groups["exploiter"])) == 324
+
+    def test_heavy_russians_in_as208091(self, world):
+        for ip in world.groups["low_brute_heavy"]:
+            assert world.space.lookup_asn(ip) == 208091
+            assert world.space.lookup_country(ip) == "Russia"
+
+    def test_all_actor_ips_unique(self, world):
+        ips = [actor.ip for actor in world.actors]
+        assert len(ips) == len(set(ips))
+
+    def test_geoip_covers_every_actor(self, world):
+        for actor in world.actors[::97]:
+            assert world.geoip.lookup(actor.ip).known
+
+    def test_intel_has_feodo_disjoint_from_actors(self, world):
+        actor_ips = {actor.ip for actor in world.actors}
+        assert not actor_ips & world.intel.feodo.c2_ips
+        assert len(world.intel.feodo) > 0
+
+    def test_determinism(self):
+        a = build_world(seed=6, volume_scale=0.001)
+        b = build_world(seed=6, volume_scale=0.001)
+        assert [actor.ip for actor in a.actors] == \
+            [actor.ip for actor in b.actors]
+        assert a.groups == b.groups
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_world(volume_scale=0.0)
+        with pytest.raises(ValueError):
+            build_world(volume_scale=1.5)

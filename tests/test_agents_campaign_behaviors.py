@@ -1,0 +1,100 @@
+"""Tests for the campaign behavior wrappers."""
+
+import random
+
+import pytest
+
+from repro.agents.base import VisitContext, connect_probe, run_quietly
+from repro.agents.exploits import (CampaignBehavior,
+                                   MultiServiceProbeBehavior)
+from repro.agents.exploits.redis_attacks import cve_2022_0543_script
+from repro.clients import WireError
+from repro.deployment.plan import build_plan
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_plan()
+
+
+class TestCampaignBehavior:
+    def test_sticks_to_one_target(self, plan):
+        behavior = CampaignBehavior(dbms="redis",
+                                    script=cve_2022_0543_script,
+                                    active_days=6)
+        visits = behavior.visits(plan, random.Random(3))
+        assert len(visits) == 6
+        assert len({visit.target_key for visit in visits}) == 1
+        assert all("med/redis" in visit.target_key for visit in visits)
+
+    def test_config_filter(self, plan):
+        behavior = CampaignBehavior(dbms="postgresql",
+                                    script=cve_2022_0543_script,
+                                    active_days=2, config="default")
+        visits = behavior.visits(plan, random.Random(4))
+        assert all("/default/" in visit.target_key for visit in visits)
+
+    def test_mongodb_routes_to_high_tier(self, plan):
+        behavior = CampaignBehavior(dbms="mongodb",
+                                    script=cve_2022_0543_script,
+                                    active_days=1)
+        visits = behavior.visits(plan, random.Random(5))
+        assert all(visit.target_key.startswith("high/mongodb")
+                   for visit in visits)
+
+    def test_unknown_dbms_raises(self, plan):
+        behavior = CampaignBehavior(dbms="oracle",
+                                    script=cve_2022_0543_script)
+        with pytest.raises(ValueError):
+            behavior.visits(plan, random.Random(1))
+
+    def test_visits_per_day(self, plan):
+        behavior = CampaignBehavior(dbms="redis",
+                                    script=cve_2022_0543_script,
+                                    active_days=2, visits_per_day=3)
+        assert len(behavior.visits(plan, random.Random(6))) == 6
+
+
+class TestMultiServiceProbeBehavior:
+    def test_probes_every_service_each_day(self, plan):
+        behavior = MultiServiceProbeBehavior(
+            dbms_set=("redis", "postgresql"), script=connect_probe,
+            active_days=3)
+        visits = behavior.visits(plan, random.Random(7))
+        assert len(visits) == 6
+        families = {visit.target_key.split("/")[1] for visit in visits}
+        assert families == {"redis", "postgresql"}
+
+    def test_same_days_across_services(self, plan):
+        behavior = MultiServiceProbeBehavior(
+            dbms_set=("redis", "mongodb"), script=connect_probe,
+            active_days=2)
+        visits = behavior.visits(plan, random.Random(8))
+        days = sorted({int(visit.time_offset // 86400)
+                       for visit in visits})
+        # Two active days shared across both services, not four.
+        assert len(days) == 2
+
+
+class TestHelpers:
+    def test_run_quietly_swallows_wire_errors(self):
+        def boom():
+            raise WireError("nope")
+
+        run_quietly(boom)  # must not raise
+
+    def test_run_quietly_propagates_other_errors(self):
+        def boom():
+            raise RuntimeError("real bug")
+
+        with pytest.raises(RuntimeError):
+            run_quietly(boom)
+
+    def test_connect_probe_handles_failures(self):
+        class FailingOpener:
+            def __call__(self, target_key):
+                raise WireError("unreachable")
+
+        ctx = VisitContext(opener=FailingOpener(), target_key="x",
+                           rng=random.Random(1))
+        connect_probe(ctx)  # must not raise

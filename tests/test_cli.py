@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.seed == 2024
+        assert args.scale == 0.002
+        assert not args.raw_logs
+
+    def test_run_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "--seed", "7", "--scale", "0.0005", "--output",
+             str(tmp_path), "--dataset", "--raw-logs"])
+        assert args.seed == 7
+        assert args.scale == 0.0005
+        assert args.dataset and args.raw_logs
+
+
+class TestCommands:
+    def test_run_then_report(self, tmp_path, capsys):
+        output = tmp_path / "exp"
+        code = main(["run", "--seed", "11", "--scale", "0.0002",
+                     "--output", str(output), "--dataset"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "low DB:" in captured
+        assert "dataset:" in captured
+        assert (output / "low.sqlite").exists()
+        assert (output / "dataset" / "README.md").exists()
+
+        code = main(["report", "--output", str(output),
+                     "--scale", "0.0002"])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Table 5" in captured
+        assert "Table 8" in captured
+        assert "Russia" in captured
+        assert "Kinsing" in captured
+
+    def test_report_missing_run_errors(self, tmp_path, capsys):
+        code = main(["report", "--output", str(tmp_path / "nope")])
+        assert code == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_export_dataset_command(self, tmp_path, capsys):
+        output = tmp_path / "exp"
+        code = main(["export-dataset", "--seed", "11", "--scale",
+                     "0.0002", "--output", str(output)])
+        assert code == 0
+        assert (output / "dataset").is_dir()
+        jsonl = list((output / "dataset").glob("*.jsonl"))
+        assert jsonl

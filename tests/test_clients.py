@@ -1,0 +1,157 @@
+"""Unit tests for the attacker-side protocol clients (error paths and
+conveniences not covered by the TCP integration tests)."""
+
+import pytest
+
+from repro.clients import (ElasticClient, MSSQLClient, MongoClient,
+                           MySQLClient, PostgresClient, RedisClient,
+                           WireError)
+from repro.honeypots import (Elasticpot, LowInteractionMSSQL,
+                             LowInteractionMySQL, MongoHoneypot,
+                             RedisHoneypot, StickyElephant)
+from repro.honeypots.base import MemoryWire
+
+
+@pytest.fixture
+def wire_for(session_context):
+    def _factory(honeypot):
+        return MemoryWire(honeypot, session_context)
+
+    return _factory
+
+
+class TestMySQLClient:
+    def test_login_failure_carries_error(self, wire_for):
+        client = MySQLClient(wire_for(LowInteractionMySQL("hp")))
+        client.connect()
+        result = client.login("root", "bad")
+        assert not result.success
+        assert result.error_code == 1045
+        assert "Access denied" in result.error_message
+
+    def test_server_version_exposed(self, wire_for):
+        client = MySQLClient(wire_for(LowInteractionMySQL("hp")))
+        assert client.connect() == "8.0.36"
+        assert client.server_version == "8.0.36"
+
+    def test_no_handshake_raises(self):
+        class SilentWire:
+            def connect(self):
+                return b""
+
+            def send(self, data):
+                return b""
+
+            def close(self):
+                pass
+
+        client = MySQLClient(SilentWire())
+        with pytest.raises(WireError):
+            client.connect()
+
+
+class TestPostgresClient:
+    def test_login_success_and_failure(self, wire_for):
+        client = PostgresClient(wire_for(StickyElephant("hp")))
+        client.connect()
+        assert client.login("postgres", "anything")
+
+        denied = PostgresClient(wire_for(
+            StickyElephant("hp2", config="login_disabled")))
+        denied.connect()
+        assert not denied.login("postgres", "anything")
+
+    def test_query_error_surfaces(self, wire_for):
+        client = PostgresClient(wire_for(StickyElephant("hp")))
+        client.connect()
+        client.login("postgres", "x")
+        result = client.query("???")
+        assert not result.ok
+        assert result.error["C"] == "42601"
+
+    def test_query_rows_decoded(self, wire_for):
+        client = PostgresClient(wire_for(StickyElephant("hp")))
+        client.connect()
+        client.login("postgres", "x")
+        result = client.query("SELECT version();")
+        assert result.columns == ["version"]
+        assert result.command_tag == "SELECT 1"
+        assert b"PostgreSQL" in result.rows[0][0]
+
+
+class TestRedisClient:
+    def test_error_replies_returned_not_raised(self, wire_for):
+        client = RedisClient(wire_for(RedisHoneypot("hp")))
+        client.connect()
+        from repro.protocols.resp import Error
+
+        reply = client.command("NOSUCHCMD")
+        assert isinstance(reply, Error)
+
+    def test_inline_commands(self, wire_for):
+        client = RedisClient(wire_for(RedisHoneypot("hp")))
+        client.connect()
+        reply = client.send_inline("PING")
+        assert reply.value == "PONG"
+
+    def test_send_raw_multiple_replies(self, wire_for):
+        from repro.protocols import resp
+
+        client = RedisClient(wire_for(RedisHoneypot("hp")))
+        client.connect()
+        replies = client.send_raw(resp.encode_command("PING")
+                                  + resp.encode_command("DBSIZE"))
+        assert len(replies) == 2
+
+
+class TestMSSQLClient:
+    def test_login_failure_error_number(self, wire_for):
+        client = MSSQLClient(wire_for(LowInteractionMSSQL("hp")))
+        client.connect()
+        result = client.login("sa", "nope")
+        assert not result.success
+        assert result.error_number == 18456
+
+
+class TestElasticClient:
+    def test_get_json_decodes(self, wire_for):
+        client = ElasticClient(wire_for(Elasticpot("hp")))
+        client.connect()
+        banner = client.get_json("/")
+        assert banner["cluster_name"] == "elasticsearch"
+
+    def test_non_json_body_raises(self, wire_for):
+        client = ElasticClient(wire_for(Elasticpot("hp")))
+        client.connect()
+        with pytest.raises(WireError):
+            client.get_json("/_cat/indices")  # plain-text endpoint
+
+    def test_search_with_source_quotes_payload(self, wire_for):
+        client = ElasticClient(wire_for(Elasticpot("hp")))
+        client.connect()
+        response = client.search_with_source('{"query":{}}')
+        assert response.status == 200
+
+    def test_dict_body_serialized(self, wire_for):
+        client = ElasticClient(wire_for(Elasticpot("hp")))
+        client.connect()
+        response = client.request("POST", "/idx/_doc",
+                                  body={"field": 1})
+        assert response.status == 201
+
+
+class TestMongoClient:
+    def test_convenience_wrappers(self, wire_for):
+        client = MongoClient(wire_for(MongoHoneypot("hp")))
+        client.connect()
+        assert client.list_databases() == ["customers"]
+        assert client.list_collections("customers") == ["records"]
+        docs = client.find_all("customers", "records", batch=2)
+        assert len(docs) == 2
+
+    def test_request_ids_increment(self, wire_for):
+        client = MongoClient(wire_for(MongoHoneypot("hp")))
+        client.connect()
+        client.command("admin", {"ping": 1})
+        client.command("admin", {"ping": 1})
+        assert client._next_request_id == 3

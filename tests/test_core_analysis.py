@@ -1,0 +1,206 @@
+"""Tests for retention, temporal, intersections, brute-force stats and
+campaign summary -- on small hand-built datasets."""
+
+import pytest
+
+from repro.core.campaigns import (CampaignRow, campaign_summary,
+                                  ransom_templates, tag_profile)
+from repro.core.classification import BehaviorClass, classify_ips
+from repro.core.intersections import upset_intersections
+from repro.core.loading import IpProfile
+from repro.core.retention import (retention_by_class, retention_by_dbms,
+                                  retention_overall, single_day_fraction)
+from repro.netsim.address_space import AddressSpace
+from repro.netsim.asdb import ASType
+from repro.netsim.geoip import GeoIPDatabase
+from repro.pipeline.convert import convert_to_sqlite
+from repro.pipeline.logstore import LogEvent
+
+
+def profile(ip, dbms, days, actions=(), country="Unknown",
+            as_type="Unknown") -> IpProfile:
+    p = IpProfile(src_ip=ip, dbms=dbms, country=country, as_type=as_type)
+    p.days_seen = set(days)
+    p.actions = list(actions)
+    p.connects = 1
+    return p
+
+
+class TestRetention:
+    def test_cdf_points_monotone(self):
+        profiles = {("a", "redis"): profile("a", "redis", [0]),
+                    ("b", "redis"): profile("b", "redis", [0, 1, 2]),
+                    ("c", "redis"): profile("c", "redis", [0, 5])}
+        cdf = retention_by_dbms(profiles)["redis"]
+        assert cdf.population == 3
+        assert cdf.at(1) == pytest.approx(1 / 3)
+        assert cdf.at(2) == pytest.approx(2 / 3)
+        assert cdf.at(3) == 1.0
+        assert cdf.at(0) == 0.0
+
+    def test_mean_days(self):
+        profiles = {("a", "redis"): profile("a", "redis", [0]),
+                    ("b", "redis"): profile("b", "redis", [0, 1, 2])}
+        cdf = retention_by_dbms(profiles)["redis"]
+        assert cdf.mean_days() == pytest.approx(2.0)
+
+    def test_overall_unions_days_across_services(self):
+        profiles = {("a", "redis"): profile("a", "redis", [0]),
+                    ("a", "mysql"): profile("a", "mysql", [1])}
+        cdf = retention_overall(profiles)
+        assert cdf.population == 1
+        assert cdf.at(1) == 0.0
+        assert cdf.at(2) == 1.0
+
+    def test_single_day_fraction(self):
+        profiles = {("a", "redis"): profile("a", "redis", [0]),
+                    ("b", "redis"): profile("b", "redis", [1, 2])}
+        assert single_day_fraction(retention_overall(profiles)) == 0.5
+
+    def test_by_class_uses_most_severe(self):
+        profiles = {
+            ("a", "redis"): profile("a", "redis", [0]),
+            ("a", "postgresql"): profile("a", "postgresql", [1, 2],
+                                         actions=["COPY FROM PROGRAM"]),
+        }
+        cdfs = retention_by_class(profiles, classify_ips(profiles))
+        assert cdfs[BehaviorClass.EXPLOITING].population == 1
+        assert cdfs[BehaviorClass.SCANNING].population == 0
+        # Union of days across both services: 3 days.
+        assert cdfs[BehaviorClass.EXPLOITING].at(3) == 1.0
+
+    def test_empty_cdf(self):
+        cdf = retention_by_class({}, {})
+        assert cdf[BehaviorClass.SCANNING].population == 0
+        assert cdf[BehaviorClass.SCANNING].at(5) == 0.0
+
+
+class TestIntersections:
+    def test_exact_combinations(self):
+        profiles = {
+            ("a", "redis"): profile("a", "redis", [0]),
+            ("a", "postgresql"): profile("a", "postgresql", [0]),
+            ("b", "redis"): profile("b", "redis", [0]),
+            ("c", "mongodb"): profile("c", "mongodb", [0]),
+        }
+        upset = upset_intersections(profiles)
+        assert upset.count("redis", "postgresql") == 1
+        assert upset.count("redis") == 1
+        assert upset.count("mongodb") == 1
+        assert upset.count("postgresql") == 0
+        assert upset.total_unique() == 3
+
+    def test_per_family_totals_count_overlaps(self):
+        profiles = {
+            ("a", "redis"): profile("a", "redis", [0]),
+            ("a", "postgresql"): profile("a", "postgresql", [0]),
+        }
+        totals = upset_intersections(profiles).per_family_totals()
+        assert totals == {"postgresql": 1, "redis": 1}
+
+    def test_single_family_fraction(self):
+        profiles = {
+            ("a", "redis"): profile("a", "redis", [0]),
+            ("b", "redis"): profile("b", "redis", [0]),
+            ("c", "redis"): profile("c", "redis", [0]),
+            ("c", "mongodb"): profile("c", "mongodb", [0]),
+        }
+        upset = upset_intersections(profiles)
+        assert upset.single_family_fraction() == pytest.approx(2 / 3)
+
+    def test_rows_sorted_by_count(self):
+        profiles = {
+            ("a", "redis"): profile("a", "redis", [0]),
+            ("b", "redis"): profile("b", "redis", [0]),
+            ("c", "mongodb"): profile("c", "mongodb", [0]),
+        }
+        rows = upset_intersections(profiles).rows()
+        assert rows[0] == ("redis", 2)
+
+    def test_empty(self):
+        upset = upset_intersections({})
+        assert upset.total_unique() == 0
+        assert upset.single_family_fraction() == 0.0
+
+
+class TestCampaignSummary:
+    def test_rows_grouped_and_ordered(self):
+        kinsing = profile("k", "postgresql", [0],
+                          actions=["COPY FROM PROGRAM"])
+        kinsing.raws = ["COPY t FROM PROGRAM 'echo x|base64 -d|bash'"]
+        rdp = profile("r", "postgresql", [0])
+        rdp.raws = ["Cookie: mstshash=Administr"]
+        profiles = {("k", "postgresql"): kinsing,
+                    ("r", "postgresql"): rdp}
+        rows = campaign_summary(profiles)
+        tags = [row.tag for row in rows]
+        assert tags == ["RDP scanning", "Kinsing malware"]
+
+    def test_cluster_counts(self):
+        a = profile("a", "mongodb", [0])
+        a.raws = ["pay 1 BTC now"]
+        b = profile("b", "mongodb", [0])
+        b.raws = ["pay 2 BTC now"]
+        profiles = {("a", "mongodb"): a, ("b", "mongodb"): b}
+        labels = {("a", "mongodb"): 0, ("b", "mongodb"): 1}
+        (row,) = campaign_summary(profiles, labels)
+        assert isinstance(row, CampaignRow)
+        assert row.ip_count == 2
+        assert row.cluster_count == 2
+
+    def test_single_credential_not_bruteforce(self):
+        p = profile("m", "postgresql", [0])
+        p.login_attempts = 10
+        p.credentials = {("postgres", "postgres")}
+        assert "Brute-force attacks" not in tag_profile(p)
+
+    def test_ransom_template_detection(self):
+        p = profile("x", "mongodb", [0])
+        p.raws = ["All your data is backed up. pay."]
+        assert ransom_templates(p) == {"template-1"}
+        p.raws = ["Your DB has been back up."]
+        assert ransom_templates(p) == {"template-2"}
+        p.raws = ["nothing here"]
+        assert ransom_templates(p) == set()
+
+
+class TestTemporalFromSqlite:
+    def make_db(self, tmp_path):
+        space = AddressSpace()
+        space.register_as(64500, "X", "Y", ASType.HOSTING)
+        ips = [str(space.allocate(64500)) for _ in range(3)]
+        geoip = GeoIPDatabase.from_address_space(space)
+        base = 1711065600.0
+
+        def event(ip, offset):
+            return LogEvent(timestamp=base + offset, honeypot_id="hp",
+                            honeypot_type="qeeqbox", dbms="mysql",
+                            interaction="low", config="multi", src_ip=ip,
+                            src_port=1, event_type="connect")
+
+        events = [event(ips[0], 0), event(ips[1], 60),
+                  event(ips[0], 3700), event(ips[2], 7300)]
+        return convert_to_sqlite(events, tmp_path / "t.sqlite", geoip)
+
+    def test_hourly_series(self, tmp_path):
+        from repro.core.temporal import hourly_series
+
+        series = hourly_series(self.make_db(tmp_path))
+        assert series.clients_per_hour == (2, 1, 1)
+        assert series.cumulative_new == (2, 2, 3)
+        assert series.total_unique == 3
+        assert series.mean_clients_per_hour() == pytest.approx(4 / 3)
+
+    def test_per_dbms_split(self, tmp_path):
+        from repro.core.temporal import per_dbms_series
+
+        series = per_dbms_series(self.make_db(tmp_path))
+        assert set(series) == {"mysql"}
+
+    def test_empty_slice(self, tmp_path):
+        from repro.core.temporal import hourly_series
+
+        series = hourly_series(self.make_db(tmp_path), dbms="redis")
+        assert series.hours == 0
+        assert series.total_unique == 0
+        assert series.mean_clients_per_hour() == 0.0

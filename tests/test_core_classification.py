@@ -1,0 +1,128 @@
+"""Tests for the scanning/scouting/exploiting classifier."""
+
+import pytest
+
+from repro.core.classification import (BehaviorClass, Classification,
+                                       class_counts, classify_ips,
+                                       classify_profile, primary_counts)
+from repro.core.loading import IpProfile
+
+
+def profile(dbms="redis", actions=(), raws=(), logins=0,
+            ip="1.2.3.4") -> IpProfile:
+    p = IpProfile(src_ip=ip, dbms=dbms)
+    p.actions = list(actions)
+    p.raws = list(raws)
+    p.login_attempts = logins
+    p.connects = 1
+    return p
+
+
+class TestRules:
+    def test_connect_only_is_scanning(self):
+        c = classify_profile(profile())
+        assert c.classes == frozenset({BehaviorClass.SCANNING})
+        assert c.primary is BehaviorClass.SCANNING
+
+    def test_login_attempt_is_scouting(self):
+        c = classify_profile(profile(logins=1, actions=["LOGIN sa"]))
+        assert c.primary is BehaviorClass.SCOUTING
+        assert BehaviorClass.SCANNING in c.classes
+
+    def test_readonly_commands_are_scouting(self):
+        c = classify_profile(profile(actions=["INFO", "KEYS", "TYPE"]))
+        assert c.primary is BehaviorClass.SCOUTING
+
+    def test_redis_state_change_is_exploiting(self):
+        c = classify_profile(profile(actions=["INFO", "CONFIG SET",
+                                              "SAVE"]))
+        assert c.primary is BehaviorClass.EXPLOITING
+        assert c.classes == frozenset(BehaviorClass)
+
+    def test_slaveof_module_load_exploiting(self):
+        c = classify_profile(profile(actions=["SLAVEOF", "MODULE LOAD"]))
+        assert c.primary is BehaviorClass.EXPLOITING
+
+    def test_psql_copy_from_program_exploiting(self):
+        c = classify_profile(profile(dbms="postgresql",
+                                     actions=["COPY FROM PROGRAM"]))
+        assert c.primary is BehaviorClass.EXPLOITING
+
+    def test_psql_select_only_scouting(self):
+        c = classify_profile(profile(dbms="postgresql",
+                                     actions=["SELECT VERSION"]))
+        assert c.primary is BehaviorClass.SCOUTING
+
+    def test_mongo_drop_exploiting(self):
+        c = classify_profile(profile(dbms="mongodb",
+                                     actions=["listDatabases", "drop"]))
+        assert c.primary is BehaviorClass.EXPLOITING
+
+    def test_mongo_enumeration_scouting(self):
+        c = classify_profile(profile(dbms="mongodb",
+                                     actions=["listDatabases", "find"]))
+        assert c.primary is BehaviorClass.SCOUTING
+
+    def test_elastic_reads_scouting(self):
+        c = classify_profile(profile(dbms="elasticsearch",
+                                     actions=["GET /_nodes"]))
+        assert c.primary is BehaviorClass.SCOUTING
+
+    def test_elastic_rce_payload_exploiting(self):
+        c = classify_profile(profile(
+            dbms="elasticsearch", actions=["GET /_search"],
+            raws=['{"script":"Runtime.getRuntime().exec(\\"curl\\")"}']))
+        assert c.primary is BehaviorClass.EXPLOITING
+
+    def test_lua_escape_payload_exploiting(self):
+        c = classify_profile(profile(
+            actions=["EVAL"],
+            raws=['package.loadlib("liblua5.1", "luaopen_io")']))
+        assert c.primary is BehaviorClass.EXPLOITING
+
+    def test_malformed_probe_is_scouting(self):
+        p = profile()
+        p.malformed = 1
+        p.actions = ["MALFORMED abc"]
+        assert classify_profile(p).primary is BehaviorClass.SCOUTING
+
+    def test_exploit_actions_are_dbms_specific(self):
+        # "drop" exploits MongoDB, but means nothing on Redis.
+        c = classify_profile(profile(dbms="redis", actions=["drop"]))
+        assert c.primary is BehaviorClass.SCOUTING
+
+
+class TestAggregation:
+    def build(self):
+        profiles = {
+            ("a", "redis"): profile(ip="a"),
+            ("b", "redis"): profile(ip="b", actions=["INFO"]),
+            ("c", "redis"): profile(ip="c", actions=["CONFIG SET"]),
+            ("d", "mongodb"): profile(ip="d", dbms="mongodb"),
+        }
+        return profiles, classify_ips(profiles)
+
+    def test_primary_counts_partition_population(self):
+        _profiles, classifications = self.build()
+        counts = primary_counts(classifications, "redis")
+        assert counts[BehaviorClass.SCANNING] == 1
+        assert counts[BehaviorClass.SCOUTING] == 1
+        assert counts[BehaviorClass.EXPLOITING] == 1
+        assert sum(counts.values()) == 3
+
+    def test_cumulative_counts_nest(self):
+        _profiles, classifications = self.build()
+        counts = class_counts(classifications, "redis")
+        assert counts[BehaviorClass.SCANNING] == 3
+        assert counts[BehaviorClass.SCOUTING] == 2
+        assert counts[BehaviorClass.EXPLOITING] == 1
+
+    def test_counts_filter_by_dbms(self):
+        _profiles, classifications = self.build()
+        counts = primary_counts(classifications, "mongodb")
+        assert sum(counts.values()) == 1
+
+
+def test_classification_primary_ordering():
+    c = Classification("x", "redis", frozenset(BehaviorClass))
+    assert c.primary is BehaviorClass.EXPLOITING

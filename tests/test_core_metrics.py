@@ -1,0 +1,113 @@
+"""Tests for the clustering quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.metrics import adjusted_rand_index, silhouette_score
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_score_high(self):
+        matrix = np.array([[0.0], [0.1], [10.0], [10.1]])
+        labels = np.array([0, 0, 1, 1])
+        assert silhouette_score(matrix, labels) > 0.9
+
+    def test_bad_clustering_scores_low(self):
+        matrix = np.array([[0.0], [0.1], [10.0], [10.1]])
+        labels = np.array([0, 1, 0, 1])  # splits the true clusters
+        assert silhouette_score(matrix, labels) < 0.1
+
+    def test_matches_sklearn_formula_on_known_case(self):
+        # Hand-computed: points 0,1 in cluster A at x=0,1; point 2 in
+        # cluster B at x=5 (singleton contributes 0).
+        matrix = np.array([[0.0], [1.0], [5.0]])
+        labels = np.array([0, 0, 1])
+        # s(0) = (5-1)/5 = 0.8 ; s(1) = (4-1)/4 = 0.75 ; s(2) = 0.
+        expected = (0.8 + 0.75 + 0.0) / 3
+        assert silhouette_score(matrix, labels) == pytest.approx(expected)
+
+    def test_single_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((3, 1)), np.zeros(3, dtype=int))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((3, 1)), np.zeros(2, dtype=int))
+
+    def test_scipy_cross_check(self):
+        pytest.importorskip("scipy")
+        # Cross-check against a direct (slow) reference implementation.
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(25, 3))
+        labels = rng.integers(0, 3, size=25)
+
+        def reference():
+            from scipy.spatial.distance import cdist
+
+            distances = cdist(matrix, matrix)
+            scores = []
+            for index in range(len(matrix)):
+                own = np.flatnonzero(labels == labels[index])
+                if len(own) == 1:
+                    scores.append(0.0)
+                    continue
+                a = distances[index, own].sum() / (len(own) - 1)
+                b = min(distances[index,
+                                  np.flatnonzero(labels == other)].mean()
+                        for other in np.unique(labels)
+                        if other != labels[index])
+                scores.append((b - a) / max(a, b))
+            return float(np.mean(scores))
+
+        assert silhouette_score(matrix, labels) == pytest.approx(
+            reference())
+
+
+class TestAdjustedRand:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_relabeling_invariant(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([7, 7, 3, 3])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_disagreement_scores_lower(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert adjusted_rand_index(a, b) < 0.5
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, size=400)
+        b = rng.integers(0, 4, size=400)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index(np.array([]), np.array([]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=2,
+                    max_size=40))
+    def test_self_agreement_property(self, labels):
+        labels = np.array(labels)
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=2,
+                    max_size=30),
+           st.lists(st.integers(min_value=0, max_value=3), min_size=2,
+                    max_size=30))
+    def test_symmetry_property(self, a, b):
+        size = min(len(a), len(b))
+        a = np.array(a[:size])
+        b = np.array(b[:size])
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a))

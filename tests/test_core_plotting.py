@@ -1,0 +1,70 @@
+"""Tests for the plain-text figure rendering."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.plotting import cdf_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1,
+                    max_size=200))
+    def test_length_preserved(self, values):
+        assert len(sparkline(values)) == len(values)
+
+
+class TestLineChart:
+    def test_shape(self):
+        chart = line_chart([1, 5, 3, 8, 2], height=5, width=10,
+                           label="demo")
+        lines = chart.splitlines()
+        assert len(lines) == 7  # 5 rows + axis + label
+        assert "demo" in lines[-1]
+
+    def test_peak_rendered_at_top(self):
+        chart = line_chart([0, 0, 10, 0, 0], height=4, width=5)
+        top_row = chart.splitlines()[0]
+        assert "█" in top_row
+
+    def test_resampling_long_series(self):
+        chart = line_chart(list(range(1000)), height=4, width=20)
+        body = chart.splitlines()[0]
+        assert len(body) <= 12 + 20
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+
+    def test_tiny_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], height=1)
+
+
+class TestCdfChart:
+    def test_step_shape(self):
+        chart = cdf_chart([(1, 0.5), (10, 1.0)], height=4, width=20)
+        lines = chart.splitlines()
+        assert lines[0].startswith("    1.00")
+        # The bottom half is filled from the first step onwards.
+        bottom = lines[-2]
+        assert "█" in bottom
+
+    def test_full_cdf_fills_top_right(self):
+        chart = cdf_chart([(1, 1.0)], height=3, width=10)
+        top = chart.splitlines()[0]
+        assert top.rstrip().endswith("█")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_chart([])

@@ -1,0 +1,128 @@
+"""Tests for session reconstruction."""
+
+import pytest
+
+from repro.core.sessions import (Session, reconstruct_sessions,
+                                 session_stats)
+from repro.netsim.address_space import AddressSpace
+from repro.netsim.asdb import ASType
+from repro.netsim.geoip import GeoIPDatabase
+from repro.pipeline.convert import convert_to_sqlite
+from repro.pipeline.logstore import LogEvent
+
+
+def event(ip, port, hp, event_type, ts):
+    return LogEvent(timestamp=ts, honeypot_id=hp,
+                    honeypot_type="qeeqbox", dbms="mysql",
+                    interaction="low", config="multi", src_ip=ip,
+                    src_port=port, event_type=event_type)
+
+
+@pytest.fixture
+def make_db(tmp_path):
+    space = AddressSpace()
+    space.register_as(64500, "X", "Y", ASType.HOSTING)
+    ips = [str(space.allocate(64500)) for _ in range(4)]
+    geoip = GeoIPDatabase.from_address_space(space)
+
+    def _build(events):
+        return ips, convert_to_sqlite(events, tmp_path / "s.sqlite",
+                                      geoip)
+
+    return _build
+
+
+class TestReconstruction:
+    def test_simple_session(self, make_db):
+        ips, db = make_db([
+            event("20.0.0.1", 5000, "hp", "connect", 0),
+            event("20.0.0.1", 5000, "hp", "login_attempt", 1),
+            event("20.0.0.1", 5000, "hp", "disconnect", 2),
+        ])
+        (session,) = reconstruct_sessions(db)
+        assert session.events == 3
+        assert session.interactions == 1
+        assert session.intrusive
+        assert session.duration == 2
+
+    def test_scan_session_not_intrusive(self, make_db):
+        _ips, db = make_db([
+            event("20.0.0.1", 5000, "hp", "connect", 0),
+            event("20.0.0.1", 5000, "hp", "disconnect", 1),
+        ])
+        (session,) = reconstruct_sessions(db)
+        assert not session.intrusive
+
+    def test_same_ip_two_ports_two_sessions(self, make_db):
+        _ips, db = make_db([
+            event("20.0.0.1", 5000, "hp", "connect", 0),
+            event("20.0.0.1", 5001, "hp", "connect", 1),
+            event("20.0.0.1", 5000, "hp", "disconnect", 2),
+            event("20.0.0.1", 5001, "hp", "disconnect", 3),
+        ])
+        sessions = reconstruct_sessions(db)
+        assert len(sessions) == 2
+
+    def test_port_reuse_splits_on_reconnect(self, make_db):
+        _ips, db = make_db([
+            event("20.0.0.1", 5000, "hp", "connect", 0),
+            event("20.0.0.1", 5000, "hp", "disconnect", 1),
+            event("20.0.0.1", 5000, "hp", "connect", 10),
+            event("20.0.0.1", 5000, "hp", "disconnect", 11),
+        ])
+        sessions = reconstruct_sessions(db)
+        assert len(sessions) == 2
+        assert sessions[0].start_ts == 0
+        assert sessions[1].start_ts == 10
+
+    def test_dangling_session_still_reported(self, make_db):
+        _ips, db = make_db([
+            event("20.0.0.1", 5000, "hp", "connect", 0),
+            event("20.0.0.1", 5000, "hp", "command", 1),
+        ])
+        (session,) = reconstruct_sessions(db)
+        assert session.events == 2
+
+    def test_dbms_filter(self, make_db):
+        _ips, db = make_db([
+            event("20.0.0.1", 5000, "hp", "connect", 0),
+            event("20.0.0.1", 5000, "hp", "disconnect", 1),
+        ])
+        assert reconstruct_sessions(db, dbms="redis") == []
+        assert len(reconstruct_sessions(db, dbms="mysql")) == 1
+
+
+class TestStats:
+    def test_aggregates(self):
+        sessions = [
+            Session("a", 1, "hp", "mysql", 0, 1, events=2,
+                    interactions=0),
+            Session("a", 2, "hp", "mysql", 0, 1, events=3,
+                    interactions=2),
+            Session("b", 3, "hp", "mysql", 0, 1, events=3,
+                    interactions=1),
+        ]
+        stats = session_stats(sessions)
+        assert stats.total_sessions == 3
+        assert stats.intrusive_sessions == 2
+        assert stats.unique_ips == 2
+        assert stats.intrusive_fraction == pytest.approx(2 / 3)
+        assert stats.sessions_per_ip == pytest.approx(1.5)
+        assert stats.mean_interactions_per_session == pytest.approx(1.0)
+
+    def test_empty(self):
+        stats = session_stats([])
+        assert stats.total_sessions == 0
+        assert stats.intrusive_fraction == 0.0
+
+
+class TestOnExperiment:
+    def test_brute_sessions_dominate_low_tier(self, small_experiment):
+        sessions = reconstruct_sessions(small_experiment.low_db,
+                                        dbms="mssql")
+        stats = session_stats(sessions)
+        # Every MSSQL brute attempt is its own session: session count
+        # far exceeds unique IPs.
+        assert stats.sessions_per_ip > 2
+        assert stats.intrusive_sessions > 0
+        assert 0 < stats.intrusive_fraction <= 1

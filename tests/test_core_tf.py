@@ -1,0 +1,69 @@
+"""Tests for the TF vectorizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tf import TfVectorizer
+
+
+class TestFit:
+    def test_vocabulary_sorted_and_unique(self):
+        vectorizer = TfVectorizer().fit([["B", "A"], ["A", "C"]])
+        assert vectorizer.vocabulary == {"A": 0, "B": 1, "C": 2}
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfVectorizer().transform([["A"]])
+
+
+class TestTransform:
+    def test_frequencies_include_duplicates(self):
+        matrix = TfVectorizer().fit_transform([["SET", "SET", "GET"]])
+        assert matrix.shape == (1, 2)
+        # Sorted vocabulary: GET=0, SET=1.
+        np.testing.assert_allclose(matrix[0], [1 / 3, 2 / 3])
+
+    def test_rows_sum_to_one(self):
+        documents = [["A", "B"], ["A"], ["C", "C", "C", "B"]]
+        matrix = TfVectorizer().fit_transform(documents)
+        np.testing.assert_allclose(matrix.sum(axis=1), [1, 1, 1])
+
+    def test_empty_document_is_zero_vector(self):
+        matrix = TfVectorizer().fit([["A"]]).transform([[], ["A"]])
+        assert matrix[0].sum() == 0
+        assert matrix[1].sum() == 1
+
+    def test_unknown_terms_ignored(self):
+        vectorizer = TfVectorizer().fit([["A"]])
+        matrix = vectorizer.transform([["A", "ZZZ"]])
+        np.testing.assert_allclose(matrix, [[0.5]])
+
+    def test_identical_documents_identical_vectors(self):
+        documents = [["X", "Y", "X"], ["X", "Y", "X"]]
+        matrix = TfVectorizer().fit_transform(documents)
+        np.testing.assert_array_equal(matrix[0], matrix[1])
+
+    def test_order_does_not_matter_for_tf(self):
+        matrix = TfVectorizer().fit_transform([["A", "B"], ["B", "A"]])
+        np.testing.assert_array_equal(matrix[0], matrix[1])
+
+
+class TestBinaryTransform:
+    def test_binary_ignores_counts(self):
+        vectorizer = TfVectorizer().fit([["A", "B"]])
+        matrix = vectorizer.binary_transform([["A", "A", "A"]])
+        np.testing.assert_array_equal(matrix, [[1.0, 0.0]])
+
+    def test_binary_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            TfVectorizer().binary_transform([["A"]])
+
+
+@given(st.lists(st.lists(st.sampled_from("ABCDE"), min_size=1,
+                         max_size=10), min_size=1, max_size=10))
+def test_tf_rows_always_sum_to_one(documents):
+    matrix = TfVectorizer().fit_transform(documents)
+    np.testing.assert_allclose(matrix.sum(axis=1), np.ones(len(documents)),
+                               atol=1e-12)
+    assert (matrix >= 0).all()

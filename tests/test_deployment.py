@@ -1,0 +1,102 @@
+"""Tests for the deployment plan (Table 4) and the honeypot catalog
+(Table 3)."""
+
+import pytest
+
+from repro.deployment.plan import (LOW_DBMS, MONGODB_COUNTRIES,
+                                   build_plan)
+from repro.honeypots.catalog import CATALOG, entry_for
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_plan()
+
+
+class TestTable4:
+    def test_278_instances(self, plan):
+        assert len(plan) == 278
+
+    def test_low_interaction_counts(self, plan):
+        assert len(plan.select(interaction="low")) == 220
+        assert len(plan.select(interaction="low", config="multi")) == 200
+        assert len(plan.select(interaction="low", config="single")) == 20
+
+    def test_fifty_low_per_dbms_on_multi(self, plan):
+        for dbms in LOW_DBMS:
+            assert len(plan.select(interaction="low", dbms=dbms,
+                                   config="multi")) == 50
+            assert len(plan.select(interaction="low", dbms=dbms,
+                                   config="single")) == 5
+
+    def test_medium_configurations(self, plan):
+        assert len(plan.select(dbms="redis",
+                               interaction="medium")) == 20
+        assert len(plan.select(dbms="redis", config="default",
+                               interaction="medium")) == 10
+        assert len(plan.select(dbms="redis", config="fake_data")) == 10
+        assert len(plan.select(dbms="postgresql",
+                               interaction="medium")) == 20
+        assert len(plan.select(dbms="postgresql",
+                               config="login_disabled")) == 10
+        assert len(plan.select(dbms="elasticsearch")) == 10
+
+    def test_mongodb_spread_across_eight_countries(self, plan):
+        targets = plan.select(interaction="high")
+        assert len(targets) == 8
+        assert sorted(t.location for t in targets) == sorted(
+            MONGODB_COUNTRIES)
+
+    def test_multi_vms_share_host_across_four_services(self, plan):
+        hosts = plan.hosts(config="multi")
+        assert len(hosts) == 50
+        first = [t for t in plan.targets if t.host == hosts[0]]
+        assert sorted(t.dbms for t in first) == sorted(LOW_DBMS)
+
+    def test_single_vms_expose_one_service(self, plan):
+        hosts = plan.hosts(config="single")
+        assert len(hosts) == 20
+        for host in hosts:
+            targets = [t for t in plan.targets if t.host == host]
+            assert len(targets) == 1
+
+    def test_lookup_by_key(self, plan):
+        target = plan.by_key("low/multi/00/mysql")
+        assert target.dbms == "mysql"
+        assert target.interaction == "low"
+        with pytest.raises(KeyError):
+            plan.by_key("no/such/key")
+
+    def test_keys_unique(self, plan):
+        keys = [t.key for t in plan.targets]
+        assert len(keys) == len(set(keys))
+
+    def test_ports_match_services(self, plan):
+        ports = {t.dbms: t.honeypot.info.port for t in plan.targets}
+        assert ports["mysql"] == 3306
+        assert ports["postgresql"] == 5432
+        assert ports["redis"] == 6379
+        assert ports["mssql"] == 1433
+        assert ports["elasticsearch"] == 9200
+        assert ports["mongodb"] == 27017
+
+
+class TestTable3:
+    def test_five_families(self):
+        assert len(CATALOG) == 5
+
+    def test_capture_levels(self):
+        qeeqbox = entry_for("qeeqbox")
+        assert qeeqbox.level == "Low"
+        assert qeeqbox.captures == ("S", "T")
+        for family in ("redishoneypot", "sticky_elephant", "elasticpot",
+                       "mongodb-honeypot"):
+            assert "E" in entry_for(family).captures
+
+    def test_qeeqbox_simulates_four_dbms(self):
+        assert set(entry_for("qeeqbox").simulates) == {
+            "mysql", "postgresql", "redis", "mssql"}
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            entry_for("cowrie")

@@ -1,0 +1,221 @@
+"""End-to-end test: a downscaled full experiment through the pipeline
+and the complete analysis, asserting the paper's headline shapes."""
+
+import sqlite3
+
+import pytest
+
+from repro.core.bruteforce import (average_attempts_per_client,
+                                   brute_force_ips, credential_stats,
+                                   logins_by_country)
+from repro.core.campaigns import campaign_summary
+from repro.core.classification import BehaviorClass, classify_ips
+from repro.core.intersections import upset_intersections
+from repro.core.loading import load_ip_profiles
+from repro.core.reports import (classification_table, config_effect,
+                                exploit_countries, single_vs_multi)
+from repro.core.retention import (retention_by_class, retention_overall,
+                                  single_day_fraction)
+from repro.core.temporal import hourly_series
+from repro.threatintel import crossref
+
+
+@pytest.fixture(scope="module")
+def low_profiles(small_experiment):
+    return load_ip_profiles(small_experiment.low_db)
+
+
+@pytest.fixture(scope="module")
+def mid_profiles(small_experiment):
+    return load_ip_profiles(small_experiment.midhigh_db)
+
+
+class TestLowTier:
+    def test_population_matches_paper(self, small_experiment):
+        connection = sqlite3.connect(small_experiment.low_db)
+        (unique,) = connection.execute(
+            "SELECT COUNT(DISTINCT src_ip) FROM events").fetchone()
+        connection.close()
+        assert unique == 3340
+
+    def test_mssql_dominates_logins(self, small_experiment):
+        stats = {dbms: credential_stats(small_experiment.low_db,
+                                        dbms).total_attempts
+                 for dbms in ("mssql", "mysql", "postgresql")}
+        total = sum(stats.values())
+        assert stats["mssql"] / total > 0.9
+
+    def test_sa_is_top_username(self, small_experiment):
+        stats = credential_stats(small_experiment.low_db, "mssql")
+        assert stats.top_usernames[0][0] == "sa"
+        assert stats.top_pairs[0][0] == ("sa", "123")
+
+    def test_more_unique_passwords_than_usernames(self, small_experiment):
+        stats = credential_stats(small_experiment.low_db, "mssql")
+        assert stats.unique_passwords > stats.unique_usernames
+
+    def test_brute_forcer_count(self, small_experiment):
+        assert len(brute_force_ips(small_experiment.low_db)) == 599
+
+    def test_russia_tops_login_table(self, small_experiment):
+        rows = logins_by_country(small_experiment.low_db)
+        assert rows[0].country == "Russia"
+        assert rows[0].by_dbms.get("mssql", 0) > 0.99 * rows[0].logins
+        countries = [row.country for row in rows]
+        assert "China" in countries[:3]
+
+    def test_redis_receives_no_logins(self, small_experiment):
+        stats = credential_stats(small_experiment.low_db, "redis")
+        assert stats.total_attempts == 0
+
+    def test_retention_single_day_fraction(self, low_profiles):
+        fraction = single_day_fraction(retention_overall(low_profiles))
+        assert 0.35 <= fraction <= 0.50
+
+    def test_single_vs_multi_shape(self, small_experiment):
+        result = single_vs_multi(small_experiment.low_db)
+        assert result.single_ips == 1720
+        assert 2900 <= result.multi_ips <= 3200
+        assert 1300 <= result.overlap <= 1600
+        assert result.brute_multi_only > result.brute_single_only
+
+    def test_temporal_series_covers_window(self, small_experiment):
+        series = hourly_series(small_experiment.low_db)
+        assert 24 * 19 <= series.hours <= 24 * 20
+        assert series.total_unique == 3340
+
+    def test_average_attempts_scale(self, small_experiment):
+        scale = small_experiment.config.volume_scale
+        average = average_attempts_per_client(small_experiment.low_db)
+        # Paper: 5,373 attempts averaged over all clients.
+        assert average / scale == pytest.approx(5373, rel=0.35)
+
+
+class TestMidHighTier:
+    def test_per_dbms_unique_ips_match_table8(self, small_experiment):
+        connection = sqlite3.connect(small_experiment.midhigh_db)
+        counts = dict(connection.execute(
+            "SELECT dbms, COUNT(DISTINCT src_ip) FROM events "
+            "GROUP BY dbms"))
+        connection.close()
+        assert counts == {"elasticsearch": 1237, "mongodb": 1233,
+                          "postgresql": 1955, "redis": 980}
+
+    def test_classification_counts_match_table8(self, mid_profiles):
+        rows = {row.dbms: row for row in
+                classification_table(mid_profiles,
+                                     distance_threshold=0.1)}
+        assert (rows["elasticsearch"].scanning,
+                rows["elasticsearch"].scouting,
+                rows["elasticsearch"].exploiting) == (608, 627, 2)
+        assert (rows["mongodb"].scanning, rows["mongodb"].scouting,
+                rows["mongodb"].exploiting) == (706, 465, 62)
+        assert (rows["postgresql"].scanning, rows["postgresql"].scouting,
+                rows["postgresql"].exploiting) == (1140, 593, 222)
+        assert (rows["redis"].scanning, rows["redis"].scouting,
+                rows["redis"].exploiting) == (676, 266, 38)
+
+    def test_cluster_counts_in_paper_range(self, mid_profiles):
+        rows = {row.dbms: row.clusters for row in
+                classification_table(mid_profiles,
+                                     distance_threshold=0.1)}
+        # Paper: 60 / 30 / 79 / 26 -- assert the right ballpark and
+        # ordering of magnitude.
+        assert 35 <= rows["elasticsearch"] <= 90
+        assert 15 <= rows["mongodb"] <= 45
+        assert 45 <= rows["postgresql"] <= 110
+        assert 15 <= rows["redis"] <= 45
+
+    def test_total_exploiters_is_324(self, mid_profiles):
+        classifications = classify_ips(mid_profiles)
+        exploiters = {key[0] for key, c in classifications.items()
+                      if BehaviorClass.EXPLOITING in c.classes}
+        assert len(exploiters) == 324
+
+    def test_campaign_summary_matches_table9(self, mid_profiles):
+        rows = {(row.dbms, row.tag): row.ip_count
+                for row in campaign_summary(mid_profiles)}
+        assert rows[("redis", "P2P infect (Worm)")] == 35
+        assert rows[("redis", "ABCbot (Botnet)")] == 1
+        assert rows[("redis", "CVE-2022-0543")] == 1
+        assert rows[("postgresql", "Kinsing malware")] == 196
+        assert rows[("mongodb", "Data theft and ransom")] == 62
+        assert rows[("elasticsearch", "Lucifer botnet")] == 2
+        assert rows[("postgresql", "RDP scanning")] == 164
+        assert rows[("redis", "RDP scanning")] == 14
+        assert rows[("redis", "JDWP scanning")] == 2
+        assert rows[("elasticsearch", "CVE-2021-22005 (VMware)")] == 15
+        assert rows[("elasticsearch", "CVE-2023-41892 (CraftCMS)")] == 2
+        assert rows[("postgresql", "Brute-force attacks")] == 84
+        assert rows[("redis", "Brute-force attacks")] == 5
+
+    def test_exploiters_most_persistent(self, mid_profiles):
+        cdfs = retention_by_class(mid_profiles,
+                                  classify_ips(mid_profiles))
+        scan = cdfs[BehaviorClass.SCANNING].mean_days()
+        scout = cdfs[BehaviorClass.SCOUTING].mean_days()
+        exploit = cdfs[BehaviorClass.EXPLOITING].mean_days()
+        assert exploit > scout > scan
+
+    def test_exploit_countries_topped_by_us(self, mid_profiles):
+        rows = exploit_countries(mid_profiles)
+        assert rows[0][0] == "United States"
+        top = dict((c, n) for c, n, _split in rows)
+        assert top["United States"] == 52
+        assert top["China"] == 45
+
+    def test_most_ips_hit_single_honeypot(self, mid_profiles):
+        upset = upset_intersections(mid_profiles)
+        assert upset.single_family_fraction() > 0.7
+        # The RDP cross-service cohort shows up.
+        assert upset.count("postgresql", "redis") >= 10
+
+    def test_restricted_psql_attracts_more_logins(self, small_experiment):
+        effect = config_effect(small_experiment.midhigh_db)
+        ratio = (effect.psql_restricted_logins
+                 / max(1, effect.psql_open_logins))
+        assert 1.3 <= ratio <= 3.5
+
+    def test_fake_data_redis_drives_type_probing(self, small_experiment):
+        effect = config_effect(small_experiment.midhigh_db)
+        assert effect.redis_fake_data_type_cmds > 100
+        assert effect.redis_default_type_cmds < \
+            effect.redis_fake_data_type_cmds / 10
+
+
+class TestThreatIntel:
+    def test_bruteforcers_moderately_covered(self, small_experiment):
+        world = small_experiment.world
+        report = crossref(brute_force_ips(small_experiment.low_db),
+                          world.intel)
+        assert 0.12 <= report.rate(report.greynoise_malicious) <= 0.32
+        assert 0.5 <= report.rate(report.abuseipdb_reported) <= 0.8
+        assert 0.35 <= report.rate(report.cymru_suspicious) <= 0.6
+        assert report.feodo_c2 == 0
+
+    def test_exploiters_mostly_unreported(self, small_experiment,
+                                          mid_profiles):
+        classifications = classify_ips(mid_profiles)
+        exploiters = {key[0] for key, c in classifications.items()
+                      if BehaviorClass.EXPLOITING in c.classes}
+        report = crossref(exploiters, small_experiment.world.intel)
+        assert report.rate(report.greynoise_malicious) <= 0.2
+        assert report.rate(report.abuseipdb_reported) <= 0.25
+        assert report.cymru_suspicious <= 10
+        assert report.feodo_c2 == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_events(self, tmp_path):
+        from repro.deployment import ExperimentConfig, run_experiment
+        from repro.pipeline.convert import read_events
+
+        config_a = ExperimentConfig(seed=77, volume_scale=0.0002,
+                                    output_dir=tmp_path / "a")
+        config_b = ExperimentConfig(seed=77, volume_scale=0.0002,
+                                    output_dir=tmp_path / "b")
+        result_a = run_experiment(config_a)
+        result_b = run_experiment(config_b)
+        rows_a = [tuple(row)[1:] for row in read_events(result_a.low_db)]
+        rows_b = [tuple(row)[1:] for row in read_events(result_b.low_db)]
+        assert rows_a == rows_b

@@ -1,0 +1,145 @@
+"""Tests for the extension honeypots (MariaDB, CockroachDB, CouchDB)."""
+
+import json
+
+import pytest
+
+from repro.honeypots.base import MemoryWire
+from repro.honeypots.extensions import (MARIADB_VERSION,
+                                        CockroachHoneypot,
+                                        CouchDBHoneypot,
+                                        LowInteractionMariaDB)
+from repro.pipeline.logstore import EventType
+from repro.protocols import http11, mysql, postgres as pg
+
+
+class TestMariaDB:
+    def test_banner_advertises_mariadb(self, session_context):
+        wire = MemoryWire(LowInteractionMariaDB("hp"), session_context)
+        greeting = wire.connect()
+        (packet,) = mysql.PacketReader().feed(greeting)
+        handshake = mysql.parse_handshake_v10(packet[1])
+        assert handshake.server_version == MARIADB_VERSION
+        assert "MariaDB" in handshake.server_version
+
+    def test_credentials_captured(self, session_context, log_store):
+        wire = MemoryWire(LowInteractionMariaDB("hp"), session_context)
+        wire.connect()
+        wire.send(mysql.frame(
+            mysql.build_handshake_response("root", b"\x00" * 20), 1))
+        wire.send(mysql.frame(
+            mysql.build_clear_password_response("maria123"), 3))
+        (login,) = [e for e in log_store
+                    if e.event_type == EventType.LOGIN_ATTEMPT.value]
+        assert login.password == "maria123"
+        assert login.dbms == "mariadb"
+
+    def test_metadata(self):
+        honeypot = LowInteractionMariaDB("hp")
+        assert honeypot.info.dbms == "mariadb"
+        assert honeypot.info.interaction == "low"
+
+
+class TestCockroach:
+    def test_pgwire_login_and_query(self, session_context, log_store):
+        wire = MemoryWire(CockroachHoneypot("hp"), session_context)
+        wire.connect()
+        wire.send(pg.build_startup_message("root"))
+        reply = wire.send(pg.build_password_message("admin"))
+        types = [m.type_code for m in pg.parse_backend_messages(reply)]
+        assert b"Z" in types
+        reply = wire.send(pg.build_query("SELECT version();"))
+        rows = [m for m in pg.parse_backend_messages(reply)
+                if m.type_code == b"D"]
+        assert rows
+        (login,) = [e for e in log_store
+                    if e.event_type == EventType.LOGIN_ATTEMPT.value]
+        assert login.dbms == "cockroachdb"
+
+    def test_identity(self):
+        honeypot = CockroachHoneypot("hp")
+        assert honeypot.info.dbms == "cockroachdb"
+        assert honeypot.info.port == 26257
+
+
+@pytest.fixture
+def couch(session_context):
+    wire = MemoryWire(CouchDBHoneypot("hp"), session_context)
+    wire.connect()
+    return wire
+
+
+def get(wire, target):
+    return http11.parse_response(wire.send(
+        http11.build_request("GET", target)))
+
+
+class TestCouchDB:
+    def test_banner(self, couch):
+        body = json.loads(get(couch, "/").body)
+        assert body["couchdb"] == "Welcome"
+        assert body["version"] == "3.3.1"
+
+    def test_all_dbs_enumeration(self, couch):
+        body = json.loads(get(couch, "/_all_dbs").body)
+        assert body == ["customers"]
+
+    def test_session_login_captured_and_rejected(self, couch,
+                                                 log_store):
+        response = http11.parse_response(couch.send(http11.build_request(
+            "POST", "/_session", body=b"name=admin&password=couch123",
+            headers={"Content-Type":
+                     "application/x-www-form-urlencoded"})))
+        assert response.status == 401
+        (login,) = [e for e in log_store
+                    if e.event_type == EventType.LOGIN_ATTEMPT.value]
+        assert (login.username, login.password) == ("admin", "couch123")
+
+    def test_json_session_login(self, couch, log_store):
+        couch.send(http11.build_request(
+            "POST", "/_session",
+            body=json.dumps({"name": "root", "password": "pw"}),
+            headers={"Content-Type": "application/json"}))
+        (login,) = [e for e in log_store
+                    if e.event_type == EventType.LOGIN_ATTEMPT.value]
+        assert login.username == "root"
+
+    def test_all_docs_dump(self, couch):
+        body = json.loads(get(couch, "/customers/_all_docs").body)
+        assert body["total_rows"] == 40
+
+    def test_database_lifecycle(self, couch):
+        response = http11.parse_response(couch.send(
+            http11.build_request("PUT", "/ransomdb")))
+        assert response.status == 201
+        assert "ransomdb" in json.loads(get(couch, "/_all_dbs").body)
+        response = http11.parse_response(couch.send(
+            http11.build_request("DELETE", "/customers")))
+        assert response.status == 200
+        assert json.loads(get(couch, "/_all_dbs").body) == ["ransomdb"]
+
+    def test_document_insert(self, couch):
+        response = http11.parse_response(couch.send(http11.build_request(
+            "PUT", "/customers/README",
+            body=json.dumps({"note": "pay 0.01 BTC"}).encode())))
+        assert response.status == 201
+        body = json.loads(get(couch, "/customers/_all_docs").body)
+        assert body["total_rows"] == 41
+
+    def test_unknown_database_404(self, couch):
+        assert get(couch, "/nope").status == 404
+
+    def test_fauxton_ui_served(self, couch):
+        response = get(couch, "/_utils")
+        assert b"Fauxton" in response.body
+
+    def test_membership_endpoint(self, couch):
+        body = json.loads(get(couch, "/_membership").body)
+        assert body["all_nodes"] == ["couchdb@127.0.0.1"]
+
+    def test_requests_logged(self, couch, log_store):
+        get(couch, "/_all_dbs")
+        events = [e for e in log_store
+                  if e.event_type == EventType.HTTP_REQUEST.value]
+        assert events[-1].action == "GET /_all_dbs"
+        assert events[-1].dbms == "couchdb"

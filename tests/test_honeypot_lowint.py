@@ -1,0 +1,151 @@
+"""Tests for the low-interaction (credential capture) honeypots."""
+
+import pytest
+
+from repro.honeypots import (LowInteractionMSSQL, LowInteractionMySQL,
+                             LowInteractionPostgres, LowInteractionRedis)
+from repro.honeypots.base import MemoryWire
+from repro.pipeline.logstore import EventType
+from repro.protocols import mysql, postgres as pg, resp, tds
+
+
+def events_of(store, event_type):
+    return [e for e in store if e.event_type == event_type.value]
+
+
+class TestMySQLLow:
+    def test_captures_cleartext_credentials(self, session_context,
+                                            log_store):
+        wire = MemoryWire(LowInteractionMySQL("hp"), session_context)
+        greeting = wire.connect()
+        (packet,) = mysql.PacketReader().feed(greeting)
+        handshake = mysql.parse_handshake_v10(packet[1])
+        assert handshake.server_version == "8.0.36"
+        reply = wire.send(mysql.frame(
+            mysql.build_handshake_response("root", b"\x00" * 20), 1))
+        (packet,) = mysql.PacketReader().feed(reply)
+        assert mysql.is_auth_switch(packet[1])
+        plugin, _ = mysql.parse_auth_switch_request(packet[1])
+        assert plugin == mysql.CLEAR_PASSWORD_PLUGIN
+        reply = wire.send(mysql.frame(
+            mysql.build_clear_password_response("letmein"), 3))
+        (packet,) = mysql.PacketReader().feed(reply)
+        err = mysql.parse_err(packet[1])
+        assert err.code == mysql.ER_ACCESS_DENIED
+        assert wire.server_closed
+        (login,) = events_of(log_store, EventType.LOGIN_ATTEMPT)
+        assert login.username == "root"
+        assert login.password == "letmein"
+        assert login.dbms == "mysql"
+
+    def test_garbage_logged_as_malformed(self, session_context,
+                                         log_store):
+        wire = MemoryWire(LowInteractionMySQL("hp"), session_context)
+        wire.connect()
+        wire.send(mysql.frame(b"\x00\x01\x02", 1))
+        wire.close()
+        assert events_of(log_store, EventType.MALFORMED)
+
+
+class TestPostgresLow:
+    def test_captures_credentials_and_denies(self, session_context,
+                                             log_store):
+        wire = MemoryWire(LowInteractionPostgres("hp"), session_context)
+        wire.connect()
+        assert wire.send(pg.build_ssl_request()) == b"N"
+        reply = wire.send(pg.build_startup_message("postgres"))
+        (message,) = pg.parse_backend_messages(reply)
+        assert message.type_code == b"R"
+        reply = wire.send(pg.build_password_message("toor"))
+        (message,) = pg.parse_backend_messages(reply)
+        fields = pg.parse_error_fields(message.payload)
+        assert fields["C"] == "28P01"
+        (login,) = events_of(log_store, EventType.LOGIN_ATTEMPT)
+        assert (login.username, login.password) == ("postgres", "toor")
+
+    def test_terminate_closes_quietly(self, session_context, log_store):
+        wire = MemoryWire(LowInteractionPostgres("hp"), session_context)
+        wire.connect()
+        wire.send(pg.build_startup_message("u"))
+        wire.send(pg.build_terminate())
+        assert wire.server_closed
+        assert not events_of(log_store, EventType.LOGIN_ATTEMPT)
+
+
+class TestRedisLow:
+    def test_noauth_for_commands(self, session_context, log_store):
+        wire = MemoryWire(LowInteractionRedis("hp"), session_context)
+        wire.connect()
+        assert b"NOAUTH" in wire.send(resp.encode_command("INFO"))
+        (command,) = events_of(log_store, EventType.COMMAND)
+        assert command.action == "INFO"
+
+    def test_auth_captured_and_rejected(self, session_context, log_store):
+        wire = MemoryWire(LowInteractionRedis("hp"), session_context)
+        wire.connect()
+        assert b"WRONGPASS" in wire.send(
+            resp.encode_command("AUTH", "secret"))
+        assert b"WRONGPASS" in wire.send(
+            resp.encode_command("AUTH", "bob", "pw"))
+        logins = events_of(log_store, EventType.LOGIN_ATTEMPT)
+        assert [(l.username, l.password) for l in logins] == [
+            ("default", "secret"), ("bob", "pw")]
+
+    def test_pending_garbage_flushed_on_disconnect(self, session_context,
+                                                   log_store):
+        wire = MemoryWire(LowInteractionRedis("hp"), session_context)
+        wire.connect()
+        wire.send(b"JDWP-Handshake")
+        wire.close()
+        (malformed,) = events_of(log_store, EventType.MALFORMED)
+        assert "JDWP-Handshake" in malformed.raw
+
+
+class TestMSSQLLow:
+    def test_prelogin_then_login_denied(self, session_context, log_store):
+        wire = MemoryWire(LowInteractionMSSQL("hp"), session_context)
+        wire.connect()
+        reply = wire.send(tds.frame(tds.PKT_PRELOGIN,
+                                    tds.build_prelogin()))
+        (packet,) = tds.PacketReader().feed(reply)
+        assert packet[0] == tds.PKT_RESPONSE
+        assert tds.parse_prelogin(packet[1])
+        reply = wire.send(tds.frame(tds.PKT_LOGIN7,
+                                    tds.build_login7("sa", "123")))
+        (packet,) = tds.PacketReader().feed(reply)
+        tokens = tds.parse_tokens(packet[1])
+        assert tokens[0].number == tds.MSSQL_LOGIN_FAILED
+        assert wire.server_closed
+        (login,) = events_of(log_store, EventType.LOGIN_ATTEMPT)
+        assert (login.username, login.password) == ("sa", "123")
+
+    def test_empty_password_captured(self, session_context, log_store):
+        wire = MemoryWire(LowInteractionMSSQL("hp"), session_context)
+        wire.connect()
+        wire.send(tds.frame(tds.PKT_PRELOGIN, tds.build_prelogin()))
+        wire.send(tds.frame(tds.PKT_LOGIN7, tds.build_login7("hbv7", "")))
+        (login,) = events_of(log_store, EventType.LOGIN_ATTEMPT)
+        assert (login.username, login.password) == ("hbv7", "")
+
+
+@pytest.mark.parametrize("factory,dbms,port", [
+    (LowInteractionMySQL, "mysql", 3306),
+    (LowInteractionPostgres, "postgresql", 5432),
+    (LowInteractionRedis, "redis", 6379),
+    (LowInteractionMSSQL, "mssql", 1433),
+])
+def test_metadata(factory, dbms, port):
+    honeypot = factory("hp-1", config="multi")
+    assert honeypot.info.dbms == dbms
+    assert honeypot.info.port == port
+    assert honeypot.info.interaction == "low"
+    assert honeypot.info.config == "multi"
+    assert honeypot.info.honeypot_type == "qeeqbox"
+
+
+def test_connect_disconnect_logged(session_context, log_store):
+    wire = MemoryWire(LowInteractionRedis("hp"), session_context)
+    wire.connect()
+    wire.close()
+    types = [e.event_type for e in log_store]
+    assert types == ["connect", "disconnect"]

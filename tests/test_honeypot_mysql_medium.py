@@ -1,0 +1,180 @@
+"""Tests for the medium-interaction MySQL honeypot and query client."""
+
+import random
+
+import pytest
+
+from repro.agents.base import VisitContext
+from repro.agents.exploits.mysql_attacks import (MYSQL_RANSOM_TEMPLATES,
+                                                 make_mysql_ransom_script)
+from repro.clients import MySQLQueryClient
+from repro.honeypots.base import MemoryWire, SessionContext
+from repro.honeypots.mysql_medium import (DECOY_TABLES,
+                                          MediumInteractionMySQL,
+                                          normalize_mysql_action)
+from repro.netsim.clock import SimClock
+from repro.pipeline.logstore import EventType, LogStore
+from repro.protocols import mysql
+
+
+@pytest.fixture
+def honeypot():
+    return MediumInteractionMySQL("ext-mysql")
+
+
+@pytest.fixture
+def client(honeypot, session_context):
+    client = MySQLQueryClient(MemoryWire(honeypot, session_context))
+    client.connect()
+    assert client.login("root", "anything").success
+    return client
+
+
+class TestResultsetCodec:
+    def test_roundtrip(self):
+        data = mysql.build_text_resultset(["a", "b"],
+                                          [["1", None], ["x", "y"]])
+        packets = mysql.PacketReader().feed(data)
+        columns, rows = mysql.parse_text_resultset(packets)
+        assert columns == ["a", "b"]
+        assert rows == [["1", None], ["x", "y"]]
+
+    def test_empty_resultset(self):
+        data = mysql.build_text_resultset(["only"], [])
+        columns, rows = mysql.parse_text_resultset(
+            mysql.PacketReader().feed(data))
+        assert columns == ["only"]
+        assert rows == []
+
+    def test_com_query_roundtrip(self):
+        opcode, argument = mysql.parse_command(
+            mysql.build_com_query("SELECT 1"))
+        assert opcode == mysql.COM_QUERY
+        assert argument == b"SELECT 1"
+
+
+class TestNormalization:
+    @pytest.mark.parametrize("sql,action", [
+        ("SELECT @@version;", "SELECT @@VERSION"),
+        ("SHOW DATABASES;", "SHOW DATABASES"),
+        ("show tables;", "SHOW TABLES"),
+        ("SELECT * FROM users;", "SELECT FROM"),
+        ("DROP TABLE users;", "DROP TABLE"),
+        ("INSERT INTO t VALUES ('x');", "INSERT"),
+        ("???", "UNKNOWN SQL"),
+    ])
+    def test_actions(self, sql, action):
+        assert normalize_mysql_action(sql) == action
+
+
+class TestInteraction:
+    def test_any_login_accepted_and_captured(self, honeypot,
+                                             session_context, log_store):
+        client = MySQLQueryClient(MemoryWire(honeypot, session_context))
+        client.connect()
+        assert client.login("admin", "t0psecret").success
+        (login,) = [e for e in log_store
+                    if e.event_type == EventType.LOGIN_ATTEMPT.value]
+        assert (login.username, login.password) == ("admin", "t0psecret")
+
+    def test_version_query(self, client):
+        result = client.query("SELECT @@version;")
+        assert result.rows == [["8.0.36"]]
+
+    def test_show_databases_and_tables(self, client):
+        assert ["shop"] in client.query("SHOW DATABASES;").rows
+        tables = [row[0] for row in client.query("SHOW TABLES;").rows]
+        assert tables == sorted(DECOY_TABLES)
+
+    def test_select_dump(self, client):
+        result = client.query("SELECT * FROM users;")
+        assert len(result.rows) == 3
+        assert result.rows[0][1] == "alice"
+
+    def test_drop_table_really_drops(self, client, honeypot):
+        assert client.query("DROP TABLE users;").ok
+        assert "users" not in honeypot.tables
+        result = client.query("SELECT * FROM users;")
+        assert not result.ok
+
+    def test_unknown_table_errors(self, client):
+        result = client.query("SELECT * FROM nothere;")
+        assert not result.ok
+        assert "exist" in result.error_message
+
+    def test_create_and_insert(self, client, honeypot):
+        assert client.query("CREATE TABLE notes (x text);").ok
+        assert client.query(
+            "INSERT INTO notes VALUES ('hello');").ok
+        assert honeypot.tables["notes"] == [["hello"]]
+
+    def test_syntax_error_for_garbage(self, client):
+        result = client.query("garbage query here")
+        assert not result.ok
+
+    def test_ping_and_quit(self, client):
+        assert client.ping()
+        client.quit()
+
+    def test_default_config_has_no_tables(self, session_context):
+        honeypot = MediumInteractionMySQL("hp", config="default")
+        client = MySQLQueryClient(MemoryWire(honeypot, session_context))
+        client.connect()
+        client.login("root", "root")
+        assert client.query("SHOW TABLES;").rows == []
+
+
+class TestRansomScripts:
+    def run(self, honeypot, template_index, ip="198.51.100.5"):
+        store = LogStore()
+        clock = SimClock()
+
+        def opener(target_key=None):
+            return MemoryWire(honeypot, SessionContext(
+                ip, 40000, clock, store.append))
+
+        script = make_mysql_ransom_script(template_index)
+        script(VisitContext(opener=opener, target_key="t",
+                            rng=random.Random(0)))
+        return store
+
+    def test_full_ransom_flow(self, honeypot):
+        store = self.run(honeypot, 0)
+        assert sorted(honeypot.tables) == ["README_TO_RECOVER"]
+        note = honeypot.tables["README_TO_RECOVER"][0][0]
+        assert "BTC" in note
+        actions = [e.action for e in store
+                   if e.event_type == EventType.QUERY.value]
+        assert "DROP TABLE" in actions
+        assert "INSERT" in actions
+
+    def test_three_distinct_templates(self):
+        notes = set()
+        for index in range(3):
+            honeypot = MediumInteractionMySQL(f"hp-{index}")
+            self.run(honeypot, index)
+            notes.add(honeypot.tables["README_TO_RECOVER"][0][0])
+        assert len(notes) == 3
+        assert notes == set(MYSQL_RANSOM_TEMPLATES)
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.text(alphabet=st.characters(min_codepoint=32,
+                                               max_codepoint=126),
+                        min_size=1, max_size=12),
+                min_size=1, max_size=5, unique=True),
+       st.lists(st.lists(st.one_of(st.none(),
+                                   st.text(max_size=16)),
+                         min_size=1, max_size=5),
+                max_size=6))
+def test_resultset_roundtrip_property(columns, rows):
+    rows = [row[:len(columns)] + [None] * (len(columns) - len(row))
+            for row in rows]
+    data = mysql.build_text_resultset(columns, rows)
+    packets = mysql.PacketReader().feed(data)
+    decoded_columns, decoded_rows = mysql.parse_text_resultset(packets)
+    assert decoded_columns == columns
+    assert decoded_rows == rows

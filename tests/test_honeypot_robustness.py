@@ -1,0 +1,90 @@
+"""Robustness fuzzing: honeypots must survive arbitrary client bytes.
+
+The paper's honeypots face whatever the Internet throws at them (RDP
+cookies, TLS hellos, truncated protocols).  Property: no honeypot
+session ever raises on any byte sequence, the connect/disconnect pair
+is always logged, and a session reports closed-state consistently.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.honeypots import (Elasticpot, LowInteractionMSSQL,
+                             LowInteractionMySQL, LowInteractionPostgres,
+                             LowInteractionRedis, MongoHoneypot,
+                             RedisHoneypot, StickyElephant)
+from repro.honeypots.base import SessionContext
+from repro.honeypots.extensions import (CockroachHoneypot,
+                                        CouchDBHoneypot,
+                                        LowInteractionMariaDB)
+from repro.netsim.clock import SimClock
+from repro.pipeline.logstore import LogStore
+
+FACTORIES = [
+    lambda: LowInteractionMySQL("fuzz"),
+    lambda: LowInteractionPostgres("fuzz"),
+    lambda: LowInteractionRedis("fuzz"),
+    lambda: LowInteractionMSSQL("fuzz"),
+    lambda: RedisHoneypot("fuzz"),
+    lambda: StickyElephant("fuzz"),
+    lambda: Elasticpot("fuzz"),
+    lambda: MongoHoneypot("fuzz", config="default"),
+    lambda: LowInteractionMariaDB("fuzz"),
+    lambda: CockroachHoneypot("fuzz"),
+    lambda: CouchDBHoneypot("fuzz"),
+]
+
+
+def drive(factory, chunks):
+    store = LogStore()
+    context = SessionContext("203.0.113.1", 1234, SimClock(),
+                             store.append)
+    session = factory().new_session(context)
+    greeting = session.connect()
+    assert isinstance(greeting, bytes)
+    for chunk in chunks:
+        if session.closed:
+            break
+        reply = session.receive(chunk)
+        assert isinstance(reply, bytes)
+    session.disconnect()
+    assert session.closed
+    # receive() after close is a no-op, not an error.
+    assert session.receive(b"more") == b""
+    types = [event.event_type for event in store]
+    assert types[0] == "connect"
+    assert types[-1] == "disconnect"
+    return store
+
+
+@pytest.mark.parametrize("index", range(len(FACTORIES)))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.function_scoped_fixture])
+@given(chunks=st.lists(st.binary(min_size=1, max_size=128), max_size=6))
+def test_random_bytes_never_crash(index, chunks):
+    drive(FACTORIES[index], chunks)
+
+
+@pytest.mark.parametrize("index", range(len(FACTORIES)))
+def test_realworld_garbage_probes(index):
+    probes = [
+        b"\x16\x03\x01\x02\x00\x01\x00\x01\xfc\x03\x03",  # TLS hello
+        b"GET / HTTP/1.0\r\n\r\n",
+        b"\x03\x00\x00+&\xe0\x00\x00\x00\x00\x00Cookie: "
+        b"mstshash=Administr\r\n",
+        b"JDWP-Handshake",
+        b"SSH-2.0-OpenSSH_8.9\r\n",
+        b"\x00" * 64,
+        b"\xff" * 64,
+    ]
+    for probe in probes:
+        drive(FACTORIES[index], [probe])
+
+
+@pytest.mark.parametrize("index", range(len(FACTORIES)))
+def test_single_byte_dribble(index):
+    # One byte at a time must behave like one big chunk (no crashes, no
+    # lost state).
+    payload = b"PING\r\nGET / HTTP/1.1\r\n\r\n\x00\x01\x02"
+    drive(FACTORIES[index], [bytes([b]) for b in payload])

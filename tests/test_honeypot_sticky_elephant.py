@@ -1,0 +1,139 @@
+"""Tests for the Sticky Elephant PostgreSQL honeypot."""
+
+import pytest
+
+from repro.honeypots import StickyElephant
+from repro.honeypots.base import MemoryWire
+from repro.honeypots.sticky_elephant import (normalize_sql_action,
+                                             response_category)
+from repro.pipeline.logstore import EventType
+from repro.protocols import postgres as pg
+
+
+def authenticate(wire, user="postgres", password="postgres"):
+    wire.send(pg.build_startup_message(user))
+    return wire.send(pg.build_password_message(password))
+
+
+@pytest.fixture
+def wire(session_context):
+    wire = MemoryWire(StickyElephant("hp"), session_context)
+    wire.connect()
+    return wire
+
+
+class TestNormalization:
+    @pytest.mark.parametrize("sql,action", [
+        ("COPY t FROM PROGRAM 'echo x|base64 -d|bash';",
+         "COPY FROM PROGRAM"),
+        ("copy t from\nprogram 'x';", "COPY FROM PROGRAM"),
+        ("CREATE TABLE abc(x text);", "CREATE TABLE"),
+        ("DROP TABLE IF EXISTS abc;", "DROP TABLE"),
+        ("ALTER USER postgres WITH NOSUPERUSER;", "ALTER USER"),
+        ("SELECT version();", "SELECT VERSION"),
+        ("SELECT current_user;", "SELECT CURRENT_USER"),
+        ("SELECT 1;", "SELECT"),
+        ("SHOW ssl;", "SHOW SSL"),
+        ("INSERT INTO t VALUES (1);", "INSERT"),
+        ("garbage here", "GARBAGE HERE"),
+        ("???", "UNKNOWN SQL"),
+    ])
+    def test_actions(self, sql, action):
+        assert normalize_sql_action(sql) == action
+
+    def test_response_category_is_coarse(self):
+        assert response_category("SELECT current_user;") == "SELECT"
+        assert response_category("SHOW ssl;") == "SHOW"
+
+
+class TestDefaultConfig:
+    def test_login_always_succeeds(self, wire, log_store):
+        reply = authenticate(wire, password="anything")
+        types = [m.type_code for m in pg.parse_backend_messages(reply)]
+        assert types[0] == b"R"
+        assert b"Z" in types
+        (login,) = [e for e in log_store
+                    if e.event_type == EventType.LOGIN_ATTEMPT.value]
+        assert login.password == "anything"
+
+    def test_select_version_returns_row(self, wire):
+        authenticate(wire)
+        reply = wire.send(pg.build_query("SELECT version();"))
+        messages = pg.parse_backend_messages(reply)
+        rows = [m for m in messages if m.type_code == b"D"]
+        assert rows
+        assert b"PostgreSQL" in rows[0].payload
+
+    def test_copy_from_program_reports_success(self, wire):
+        authenticate(wire)
+        reply = wire.send(pg.build_query(
+            "COPY x FROM PROGRAM 'echo pwned|base64 -d|bash';"))
+        tags = [m.payload for m in pg.parse_backend_messages(reply)
+                if m.type_code == b"C"]
+        assert tags == [b"COPY 1\x00"]
+
+    def test_create_drop_alter_sequences(self, wire):
+        authenticate(wire)
+        for sql, tag in [("CREATE TABLE t(x text);", b"CREATE TABLE"),
+                         ("ALTER USER postgres WITH NOSUPERUSER;",
+                          b"ALTER ROLE"),
+                         ("DROP TABLE t;", b"DROP TABLE")]:
+            reply = wire.send(pg.build_query(sql))
+            tags = [m.payload.rstrip(b"\x00")
+                    for m in pg.parse_backend_messages(reply)
+                    if m.type_code == b"C"]
+            assert tags == [tag]
+
+    def test_unknown_sql_gets_syntax_error(self, wire):
+        authenticate(wire)
+        reply = wire.send(pg.build_query("???"))
+        errors = [m for m in pg.parse_backend_messages(reply)
+                  if m.type_code == b"E"]
+        assert errors
+        assert pg.parse_error_fields(errors[0].payload)["C"] == "42601"
+
+    def test_query_before_auth_rejected(self, wire):
+        wire.send(pg.build_startup_message("u"))
+        reply = wire.send(pg.build_query("SELECT 1;"))
+        (message,) = pg.parse_backend_messages(reply)
+        assert message.type_code == b"E"
+
+    def test_queries_logged_with_raw_sql(self, wire, log_store):
+        authenticate(wire)
+        wire.send(pg.build_query("SELECT version();"))
+        (query,) = [e for e in log_store
+                    if e.event_type == EventType.QUERY.value]
+        assert query.action == "SELECT VERSION"
+        assert query.raw == "SELECT version();"
+
+
+class TestLoginDisabledConfig:
+    def test_every_login_fails(self, session_context, log_store):
+        wire = MemoryWire(StickyElephant("hp", config="login_disabled"),
+                          session_context)
+        wire.connect()
+        reply = authenticate(wire)
+        (message,) = pg.parse_backend_messages(reply)
+        assert message.type_code == b"E"
+        assert wire.server_closed
+        (login,) = [e for e in log_store
+                    if e.event_type == EventType.LOGIN_ATTEMPT.value]
+        assert login.config == "login_disabled"
+
+
+class TestNonPgwireProbes:
+    def test_rdp_cookie_logged_malformed(self, session_context,
+                                         log_store):
+        wire = MemoryWire(StickyElephant("hp"), session_context)
+        wire.connect()
+        wire.send(b"\x03\x00\x00+&\xe0\x00\x00\x00\x00\x00"
+                  b"Cookie: mstshash=Administr\r\n")
+        assert wire.server_closed
+        (malformed,) = [e for e in log_store
+                        if e.event_type == EventType.MALFORMED.value]
+        assert "mstshash" in malformed.raw
+
+
+def test_unknown_config_rejected():
+    with pytest.raises(ValueError):
+        StickyElephant("hp", config="wide_open")

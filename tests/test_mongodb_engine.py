@@ -1,0 +1,239 @@
+"""Tests for the in-process MongoDB engine and its query matcher."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mongodb_engine import MongoEngine, matches
+from repro.mongodb_engine.engine import CommandError
+from repro.mongodb_engine.query import QueryError
+
+
+class TestMatcher:
+    def test_empty_query_matches_everything(self):
+        assert matches({"a": 1}, {})
+        assert matches({}, {})
+
+    def test_equality(self):
+        assert matches({"a": 1}, {"a": 1})
+        assert not matches({"a": 1}, {"a": 2})
+        assert not matches({"a": 1}, {"b": 1})
+
+    def test_numeric_cross_type_equality(self):
+        assert matches({"a": 1}, {"a": 1.0})
+
+    def test_bool_not_equal_to_int(self):
+        assert not matches({"a": True}, {"a": 1})
+        assert matches({"a": True}, {"a": True})
+
+    def test_dotted_paths(self):
+        doc = {"user": {"name": "ann", "tags": ["x", "y"]}}
+        assert matches(doc, {"user.name": "ann"})
+        assert matches(doc, {"user.tags.1": "y"})
+        assert not matches(doc, {"user.tags.5": "y"})
+
+    def test_array_multikey_equality(self):
+        assert matches({"tags": ["a", "b"]}, {"tags": "a"})
+        assert not matches({"tags": ["a", "b"]}, {"tags": "c"})
+
+    def test_comparison_operators(self):
+        doc = {"n": 5}
+        assert matches(doc, {"n": {"$gt": 4}})
+        assert matches(doc, {"n": {"$gte": 5}})
+        assert matches(doc, {"n": {"$lt": 6}})
+        assert matches(doc, {"n": {"$lte": 5}})
+        assert not matches(doc, {"n": {"$gt": 5}})
+
+    def test_comparison_on_strings(self):
+        assert matches({"s": "b"}, {"s": {"$gt": "a"}})
+
+    def test_comparison_incomparable_types_false(self):
+        assert not matches({"s": "b"}, {"s": {"$gt": 1}})
+        assert not matches({}, {"s": {"$gt": 1}})
+
+    def test_ne_and_missing(self):
+        assert matches({"a": 1}, {"a": {"$ne": 2}})
+        assert matches({}, {"a": {"$ne": 2}})
+        assert not matches({"a": 2}, {"a": {"$ne": 2}})
+
+    def test_in_nin(self):
+        assert matches({"a": 2}, {"a": {"$in": [1, 2]}})
+        assert not matches({"a": 3}, {"a": {"$in": [1, 2]}})
+        assert matches({"a": 3}, {"a": {"$nin": [1, 2]}})
+        assert matches({}, {"a": {"$nin": [1, 2]}})
+
+    def test_exists(self):
+        assert matches({"a": None}, {"a": {"$exists": True}})
+        assert not matches({}, {"a": {"$exists": True}})
+        assert matches({}, {"a": {"$exists": False}})
+
+    def test_regex(self):
+        assert matches({"s": "hello world"}, {"s": {"$regex": "wor"}})
+        assert not matches({"s": "hello"}, {"s": {"$regex": "^world"}})
+        assert not matches({"s": 5}, {"s": {"$regex": "5"}})
+
+    def test_logical_operators(self):
+        doc = {"a": 1, "b": 2}
+        assert matches(doc, {"$and": [{"a": 1}, {"b": 2}]})
+        assert matches(doc, {"$or": [{"a": 9}, {"b": 2}]})
+        assert matches(doc, {"$nor": [{"a": 9}, {"b": 9}]})
+        assert not matches(doc, {"$nor": [{"a": 1}]})
+
+    def test_not_operator(self):
+        assert matches({"a": 1}, {"a": {"$not": {"$gt": 5}}})
+        assert not matches({"a": 9}, {"a": {"$not": {"$gt": 5}}})
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(QueryError):
+            matches({"a": 1}, {"a": {"$frobnicate": 1}})
+        with pytest.raises(QueryError):
+            matches({"a": 1}, {"$xyz": []})
+
+    def test_bad_operands_raise(self):
+        with pytest.raises(QueryError):
+            matches({"a": 1}, {"$and": "not-a-list"})
+        with pytest.raises(QueryError):
+            matches({"a": 1}, {"a": {"$in": 5}})
+
+
+@pytest.fixture
+def engine() -> MongoEngine:
+    engine = MongoEngine()
+    engine.insert("shop", "orders", [
+        {"item": "apple", "qty": 5},
+        {"item": "pear", "qty": 2},
+        {"item": "apple", "qty": 9},
+    ])
+    return engine
+
+
+class TestDirectApi:
+    def test_insert_assigns_ids(self, engine):
+        docs = engine.find("shop", "orders")
+        assert len(docs) == 3
+        assert all("_id" in doc for doc in docs)
+        assert len({doc["_id"].hex() for doc in docs}) == 3
+
+    def test_find_with_filter_and_limit(self, engine):
+        apples = engine.find("shop", "orders", {"item": "apple"})
+        assert len(apples) == 2
+        assert len(engine.find("shop", "orders", {"item": "apple"},
+                               limit=1)) == 1
+
+    def test_find_missing_collection(self, engine):
+        assert engine.find("shop", "nope") == []
+        assert engine.find("nodb", "orders") == []
+
+    def test_count(self, engine):
+        assert engine.count("shop", "orders") == 3
+        assert engine.count("shop", "orders", {"qty": {"$gt": 4}}) == 2
+
+    def test_delete_with_limit(self, engine):
+        removed = engine.delete("shop", "orders", {"item": "apple"},
+                                limit=1)
+        assert removed == 1
+        assert engine.count("shop", "orders") == 2
+
+    def test_delete_all_matching(self, engine):
+        assert engine.delete("shop", "orders", {}) == 3
+
+    def test_drop_collection(self, engine):
+        assert engine.drop_collection("shop", "orders")
+        assert not engine.drop_collection("shop", "orders")
+        assert engine.list_databases() == []
+
+    def test_drop_database(self, engine):
+        assert engine.drop_database("shop")
+        assert not engine.drop_database("shop")
+
+    def test_list_helpers(self, engine):
+        engine.insert("shop", "refunds", [{"x": 1}])
+        assert engine.list_databases() == ["shop"]
+        assert engine.list_collections("shop") == ["orders", "refunds"]
+
+
+class TestCommands:
+    def test_hello_and_ismaster(self, engine):
+        for name in ("hello", "isMaster", "ismaster"):
+            reply = engine.run_command("admin", {name: 1})
+            assert reply["ismaster"] is True
+            assert reply["ok"] == 1.0
+
+    def test_build_info(self, engine):
+        reply = engine.run_command("admin", {"buildInfo": 1})
+        assert reply["version"] == engine.version
+
+    def test_list_databases_command(self, engine):
+        reply = engine.run_command("admin", {"listDatabases": 1})
+        assert [d["name"] for d in reply["databases"]] == ["shop"]
+
+    def test_list_collections_command(self, engine):
+        reply = engine.run_command("shop", {"listCollections": 1})
+        names = [c["name"] for c in reply["cursor"]["firstBatch"]]
+        assert names == ["orders"]
+
+    def test_find_command(self, engine):
+        reply = engine.run_command("shop", {
+            "find": "orders", "filter": {"item": "pear"}})
+        batch = reply["cursor"]["firstBatch"]
+        assert len(batch) == 1
+        assert batch[0]["qty"] == 2
+
+    def test_insert_command(self, engine):
+        reply = engine.run_command("shop", {
+            "insert": "orders", "documents": [{"item": "plum", "qty": 1}]})
+        assert reply["n"] == 1
+        assert engine.count("shop", "orders") == 4
+
+    def test_delete_command(self, engine):
+        reply = engine.run_command("shop", {
+            "delete": "orders",
+            "deletes": [{"q": {"item": "apple"}, "limit": 0}]})
+        assert reply["n"] == 2
+
+    def test_drop_command(self, engine):
+        reply = engine.run_command("shop", {"drop": "orders"})
+        assert reply["ns"] == "shop.orders"
+        with pytest.raises(CommandError):
+            engine.run_command("shop", {"drop": "orders"})
+
+    def test_drop_database_command(self, engine):
+        reply = engine.run_command("shop", {"dropDatabase": 1})
+        assert reply["dropped"] == "shop"
+
+    def test_count_command(self, engine):
+        reply = engine.run_command("shop", {"count": "orders"})
+        assert reply["n"] == 3
+
+    def test_unknown_command_raises(self, engine):
+        with pytest.raises(CommandError) as excinfo:
+            engine.run_command("admin", {"explode": 1})
+        assert excinfo.value.code == 59
+
+    def test_empty_command_raises(self, engine):
+        with pytest.raises(CommandError):
+            engine.run_command("admin", {})
+
+    def test_insert_requires_documents(self, engine):
+        with pytest.raises(CommandError):
+            engine.run_command("shop", {"insert": "orders"})
+
+    def test_bad_query_becomes_command_error(self, engine):
+        with pytest.raises(CommandError) as excinfo:
+            engine.run_command("shop", {
+                "find": "orders", "filter": {"a": {"$bogus": 1}}})
+        assert excinfo.value.code == 2
+
+
+@given(st.lists(st.integers(min_value=0, max_value=20), min_size=1,
+                max_size=30),
+       st.integers(min_value=0, max_value=20))
+def test_find_delete_invariant(values, pivot):
+    """delete(q) removes exactly the documents find(q) returned."""
+    engine = MongoEngine()
+    engine.insert("db", "c", [{"v": v} for v in values])
+    query = {"v": {"$gte": pivot}}
+    expected = len(engine.find("db", "c", query))
+    removed = engine.delete("db", "c", query)
+    assert removed == expected
+    assert engine.count("db", "c") == len(values) - removed
+    assert engine.find("db", "c", query) == []

@@ -1,0 +1,104 @@
+"""Tests for the MongoDB engine's update/distinct commands."""
+
+import pytest
+
+from repro.mongodb_engine import MongoEngine
+from repro.mongodb_engine.engine import CommandError
+
+
+@pytest.fixture
+def engine() -> MongoEngine:
+    engine = MongoEngine()
+    engine.insert("db", "c", [
+        {"name": "a", "tier": "gold", "visits": 1},
+        {"name": "b", "tier": "gold", "visits": 2},
+        {"name": "c", "tier": "silver", "visits": 3},
+    ])
+    return engine
+
+
+class TestUpdate:
+    def test_set_single(self, engine):
+        matched, modified = engine.update("db", "c", {"name": "a"},
+                                          {"$set": {"tier": "vip"}})
+        assert (matched, modified) == (1, 1)
+        assert engine.count("db", "c", {"tier": "vip"}) == 1
+
+    def test_multi(self, engine):
+        matched, modified = engine.update("db", "c", {"tier": "gold"},
+                                          {"$set": {"tier": "basic"}},
+                                          multi=True)
+        assert (matched, modified) == (2, 2)
+
+    def test_single_updates_first_match_only(self, engine):
+        matched, _ = engine.update("db", "c", {"tier": "gold"},
+                                   {"$set": {"tier": "basic"}})
+        assert matched == 1
+        assert engine.count("db", "c", {"tier": "gold"}) == 1
+
+    def test_noop_counts_matched_not_modified(self, engine):
+        matched, modified = engine.update("db", "c", {"name": "a"},
+                                          {"$set": {"tier": "gold"}})
+        assert (matched, modified) == (1, 0)
+
+    def test_unset(self, engine):
+        engine.update("db", "c", {"name": "a"},
+                      {"$unset": {"visits": ""}})
+        (doc,) = engine.find("db", "c", {"name": "a"})
+        assert "visits" not in doc
+
+    def test_inc(self, engine):
+        engine.update("db", "c", {"name": "b"}, {"$inc": {"visits": 5}})
+        (doc,) = engine.find("db", "c", {"name": "b"})
+        assert doc["visits"] == 7
+
+    def test_replacement_preserves_id(self, engine):
+        (before,) = engine.find("db", "c", {"name": "a"})
+        engine.update("db", "c", {"name": "a"}, {"name": "a2"})
+        (after,) = engine.find("db", "c", {"name": "a2"})
+        assert after["_id"] == before["_id"]
+        assert "tier" not in after
+
+    def test_upsert_inserts_on_miss(self, engine):
+        matched, modified = engine.update(
+            "db", "c", {"name": "zz"}, {"$set": {"tier": "new"}},
+            upsert=True)
+        assert (matched, modified) == (0, 1)
+        (doc,) = engine.find("db", "c", {"name": "zz"})
+        assert doc["tier"] == "new"
+
+    def test_unknown_operator_raises(self, engine):
+        with pytest.raises(CommandError):
+            engine.update("db", "c", {"name": "a"},
+                          {"$rename": {"x": "y"}})
+
+    def test_update_command_shape(self, engine):
+        reply = engine.run_command("db", {
+            "update": "c",
+            "updates": [{"q": {"tier": "gold"},
+                         "u": {"$set": {"flag": True}}, "multi": True}]})
+        assert reply == {"n": 2, "nModified": 2, "ok": 1.0}
+
+    def test_update_command_requires_updates(self, engine):
+        with pytest.raises(CommandError):
+            engine.run_command("db", {"update": "c"})
+
+
+class TestDistinct:
+    def test_values(self, engine):
+        assert sorted(engine.distinct("db", "c", "tier")) == [
+            "gold", "silver"]
+
+    def test_with_query(self, engine):
+        assert engine.distinct("db", "c", "tier",
+                               {"visits": {"$lte": 2}}) == ["gold"]
+
+    def test_missing_key_excluded(self, engine):
+        assert engine.distinct("db", "c", "nothere") == []
+
+    def test_command_shape(self, engine):
+        reply = engine.run_command("db", {"distinct": "c",
+                                          "key": "tier"})
+        assert sorted(reply["values"]) == ["gold", "silver"]
+        with pytest.raises(CommandError):
+            engine.run_command("db", {"distinct": "c"})

@@ -1,0 +1,113 @@
+"""Tests for the synthetic address space and AS registry."""
+
+import ipaddress
+
+import pytest
+
+from repro.netsim.address_space import AddressSpace
+from repro.netsim.asdb import ASDatabase, ASType
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    space = AddressSpace()
+    space.register_as(64500, "HOSTCO", "Germany", ASType.HOSTING)
+    space.register_as(64501, "TELECOM-NL", "Netherlands", ASType.TELECOM)
+    return space
+
+
+def test_each_as_gets_distinct_slash16(space):
+    prefixes = [system.prefix for system in space.systems()]
+    assert len(set(prefixes)) == 2
+    assert all(prefix.prefixlen == 16 for prefix in prefixes)
+    assert prefixes[0].network_address != prefixes[1].network_address
+
+
+def test_allocation_is_sequential_and_unique(space):
+    first = space.allocate(64500)
+    second = space.allocate(64500)
+    assert int(second) == int(first) + 1
+    assert first in space.system(64500).prefix
+
+
+def test_allocation_records_country_and_asn(space):
+    ip = space.allocate(64500, country="Russia")
+    assert space.lookup_country(ip) == "Russia"
+    assert space.lookup_asn(ip) == 64500
+
+
+def test_allocation_defaults_to_registration_country(space):
+    ip = space.allocate(64501)
+    assert space.lookup_country(ip) == "Netherlands"
+
+
+def test_lookup_unallocated_returns_none(space):
+    assert space.lookup_asn("198.51.100.1") is None
+    assert space.lookup_country("198.51.100.1") is None
+
+
+def test_allocate_unknown_as_raises(space):
+    with pytest.raises(KeyError):
+        space.allocate(65999)
+
+
+def test_idempotent_reregistration(space):
+    system = space.register_as(64500, "HOSTCO", "Germany", ASType.HOSTING)
+    assert system.asn == 64500
+    assert len(space.systems()) == 2
+
+
+def test_conflicting_reregistration_raises(space):
+    with pytest.raises(ValueError):
+        space.register_as(64500, "OTHER", "Germany", ASType.HOSTING)
+
+
+def test_allocated_counts_all_allocations(space):
+    for _ in range(5):
+        space.allocate(64500)
+    space.allocate(64501)
+    assert space.allocated() == 6
+
+
+def test_prefix_exhaustion_raises():
+    space = AddressSpace()
+    space.register_as(64502, "TINY", "X", ASType.UNKNOWN)
+    space._next_host[64502] = (1 << 16) - 1
+    with pytest.raises(RuntimeError):
+        space.allocate(64502)
+
+
+def test_avoids_reserved_low_ranges(space):
+    ip = space.allocate(64500)
+    assert int(ip) >= int(ipaddress.IPv4Address("20.0.0.0"))
+
+
+class TestASDatabase:
+    def test_classify_registered(self):
+        db = ASDatabase()
+        db.register(1, ASType.SECURITY)
+        assert db.classify(1) is ASType.SECURITY
+
+    def test_classify_unregistered_is_unknown(self):
+        assert ASDatabase().classify(99) is ASType.UNKNOWN
+
+    def test_classify_none_is_unknown(self):
+        assert ASDatabase().classify(None) is ASType.UNKNOWN
+
+    def test_conflicting_registration_raises(self):
+        db = ASDatabase()
+        db.register(1, ASType.SECURITY)
+        with pytest.raises(ValueError):
+            db.register(1, ASType.HOSTING)
+
+    def test_repeat_registration_same_type_ok(self):
+        db = ASDatabase()
+        db.register(1, ASType.SECURITY)
+        db.register(1, ASType.SECURITY)
+        assert len(db) == 1
+
+    def test_contains(self):
+        db = ASDatabase()
+        db.register(7, ASType.TELECOM)
+        assert 7 in db
+        assert 8 not in db

@@ -1,0 +1,71 @@
+"""Tests for the simulated clock."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.netsim.clock import (EXPERIMENT_DAYS, EXPERIMENT_END,
+                                EXPERIMENT_START, SimClock)
+
+
+def test_defaults_to_experiment_start():
+    assert SimClock().now() == EXPERIMENT_START
+
+
+def test_experiment_window_is_twenty_days():
+    assert EXPERIMENT_DAYS == 20
+    assert EXPERIMENT_END - EXPERIMENT_START == timedelta(days=20)
+
+
+def test_advance_moves_time_forward():
+    clock = SimClock()
+    clock.advance(days=1, hours=2, minutes=3, seconds=4)
+    assert clock.elapsed() == timedelta(days=1, hours=2, minutes=3,
+                                        seconds=4)
+
+
+def test_advance_rejects_negative_offsets():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(seconds=-1)
+
+
+def test_seek_forward_and_refuse_backwards():
+    clock = SimClock()
+    target = EXPERIMENT_START + timedelta(hours=5)
+    clock.seek(target)
+    assert clock.now() == target
+    with pytest.raises(ValueError):
+        clock.seek(EXPERIMENT_START)
+
+
+def test_seek_to_current_time_is_allowed():
+    clock = SimClock()
+    clock.seek(clock.now())
+    assert clock.elapsed() == timedelta(0)
+
+
+def test_day_and_hour_indices():
+    clock = SimClock()
+    assert clock.day_index() == 0
+    assert clock.hour_index() == 0
+    clock.advance(days=2, hours=5)
+    assert clock.day_index() == 2
+    assert clock.hour_index() == 53
+
+
+def test_timestamp_is_posix():
+    clock = SimClock()
+    assert clock.timestamp() == EXPERIMENT_START.timestamp()
+
+
+def test_requires_timezone_aware_start():
+    with pytest.raises(ValueError):
+        SimClock(start=datetime(2024, 3, 22))
+
+
+def test_custom_start():
+    start = datetime(2025, 1, 1, tzinfo=timezone.utc)
+    clock = SimClock(start=start)
+    clock.advance(hours=1)
+    assert clock.now() == start + timedelta(hours=1)

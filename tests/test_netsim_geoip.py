@@ -1,0 +1,57 @@
+"""Tests for the GeoLite-style lookup database."""
+
+from repro.netsim.address_space import AddressSpace
+from repro.netsim.asdb import ASType
+from repro.netsim.geoip import GeoIPDatabase
+
+
+def build_space() -> AddressSpace:
+    space = AddressSpace()
+    space.register_as(64500, "HOSTCO", "Germany", ASType.HOSTING)
+    space.register_as(64501, "SECSCAN", "United States", ASType.SECURITY)
+    return space
+
+
+def test_snapshot_covers_allocated_addresses():
+    space = build_space()
+    ips = [space.allocate(64500) for _ in range(3)]
+    geoip = GeoIPDatabase.from_address_space(space)
+    assert len(geoip) == 3
+    record = geoip.lookup(ips[0])
+    assert record.country == "Germany"
+    assert record.asn == 64500
+    assert record.as_name == "HOSTCO"
+    assert record.as_type is ASType.HOSTING
+    assert record.known
+
+
+def test_lookup_respects_per_ip_country_override():
+    space = build_space()
+    ip = space.allocate(64500, country="Russia")
+    geoip = GeoIPDatabase.from_address_space(space)
+    assert geoip.lookup(ip).country == "Russia"
+    assert geoip.lookup(ip).asn == 64500
+
+
+def test_unmapped_address_yields_unknown_record():
+    geoip = GeoIPDatabase.from_address_space(build_space())
+    record = geoip.lookup("198.51.100.77")
+    assert record.country == "Unknown"
+    assert record.asn is None
+    assert record.as_type is ASType.UNKNOWN
+    assert not record.known
+
+
+def test_snapshot_is_frozen_against_later_allocations():
+    space = build_space()
+    space.allocate(64501)
+    geoip = GeoIPDatabase.from_address_space(space)
+    late = space.allocate(64501)
+    assert not geoip.lookup(late).known
+
+
+def test_lookup_accepts_string_and_address_objects():
+    space = build_space()
+    ip = space.allocate(64500)
+    geoip = GeoIPDatabase.from_address_space(space)
+    assert geoip.lookup(str(ip)) == geoip.lookup(ip)

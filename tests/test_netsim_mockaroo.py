@@ -1,0 +1,62 @@
+"""Tests for the fake-data generator."""
+
+import pytest
+
+from repro.netsim.mockaroo import MockarooGenerator, luhn_valid
+
+
+def test_customer_record_shape():
+    record = MockarooGenerator(seed=1).customer()
+    document = record.as_document()
+    assert set(document) == {"first_name", "last_name", "address",
+                             "phone", "credit_card"}
+    assert record.first_name
+    assert "," in record.address
+    assert record.phone.startswith("+")
+
+
+def test_credit_cards_are_luhn_valid():
+    generator = MockarooGenerator(seed=2)
+    for record in generator.customers(50):
+        assert luhn_valid(record.credit_card), record.credit_card
+        assert len(record.credit_card) == 16
+
+
+def test_luhn_rejects_corrupted_numbers():
+    generator = MockarooGenerator(seed=3)
+    card = generator.customer().credit_card
+    corrupted = card[:-1] + str((int(card[-1]) + 1) % 10)
+    assert not luhn_valid(corrupted)
+
+
+def test_luhn_rejects_non_digits():
+    assert not luhn_valid("4111-1111-1111-1111")
+    assert not luhn_valid("")
+
+
+def test_same_seed_same_records():
+    a = MockarooGenerator(seed=42).customers(10)
+    b = MockarooGenerator(seed=42).customers(10)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = MockarooGenerator(seed=1).customers(10)
+    b = MockarooGenerator(seed=2).customers(10)
+    assert a != b
+
+
+def test_login_entries_count_and_shape():
+    entries = MockarooGenerator(seed=5).login_entries(200)
+    assert len(entries) == 200
+    for entry in entries[:10]:
+        assert "." in entry.username
+        assert entry.password
+
+
+def test_negative_counts_rejected():
+    generator = MockarooGenerator()
+    with pytest.raises(ValueError):
+        generator.customers(-1)
+    with pytest.raises(ValueError):
+        generator.login_entries(-1)

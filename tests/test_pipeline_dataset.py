@@ -1,0 +1,107 @@
+"""Tests for the public dataset export (Appendix B)."""
+
+import json
+
+import pytest
+
+from repro.pipeline.dataset import (anonymize_hosts, export_dataset,
+                                    is_internal, load_dataset)
+from repro.pipeline.logstore import LogEvent, LogStore
+
+
+def make_event(**overrides) -> LogEvent:
+    base = dict(timestamp=1711065600.0, honeypot_id="low-mysql-multi-00",
+                honeypot_type="qeeqbox", dbms="mysql", interaction="low",
+                config="multi", src_ip="20.0.0.1", src_port=5555,
+                event_type="connect")
+    base.update(overrides)
+    return LogEvent(**base)
+
+
+class TestAnonymization:
+    def test_hosts_mapped_to_private_range(self):
+        events = [make_event(honeypot_id="hp-a"),
+                  make_event(honeypot_id="hp-b"),
+                  make_event(honeypot_id="hp-a")]
+        rows, mapping = anonymize_hosts(events)
+        assert mapping == {"hp-a": "192.168.0.1", "hp-b": "192.168.0.2"}
+        assert [row["dest_ip"] for row in rows] == [
+            "192.168.0.1", "192.168.0.2", "192.168.0.1"]
+
+    def test_honeypot_id_removed(self):
+        rows, _mapping = anonymize_hosts([make_event()])
+        assert "honeypot_id" not in rows[0]
+        assert rows[0]["src_ip"] == "20.0.0.1"
+
+
+class TestInternalFiltering:
+    def test_startup_messages_flagged(self):
+        assert is_internal(make_event(raw="honeypot-startup: listening"))
+        assert is_internal(make_event(raw="monitoring-probe ping"))
+        assert not is_internal(make_event(raw="SELECT 1"))
+        assert not is_internal(make_event())
+
+
+class TestExport:
+    def test_export_and_reload(self, tmp_path):
+        store = LogStore()
+        store.append(make_event())
+        store.append(make_event(dbms="redis", interaction="medium",
+                                config="default",
+                                honeypot_id="med-redis-0"))
+        store.append(make_event(raw="honeypot-startup: boot"))
+        manifest = export_dataset(store, tmp_path / "dataset")
+        assert manifest.events == 2          # startup entry excluded
+        assert manifest.anonymized_hosts == 2
+        assert "README.md" in manifest.files
+        assert "low-mysql-multi.jsonl" in manifest.files
+
+        records = load_dataset(manifest.directory)
+        assert len(records) == 2
+        assert all(record["dest_ip"].startswith("192.168.0.")
+                   for record in records)
+
+    def test_readme_documents_files(self, tmp_path):
+        store = LogStore()
+        store.append(make_event())
+        manifest = export_dataset(store, tmp_path / "d")
+        readme = (manifest.directory / "README.md").read_text()
+        assert "low-mysql-multi.jsonl" in readme
+        assert "192.168.0.x" in readme
+
+    def test_consolidation_merges_same_config(self, tmp_path):
+        store = LogStore()
+        for instance in range(5):
+            store.append(make_event(
+                honeypot_id=f"low-mysql-multi-{instance:02d}"))
+        manifest = export_dataset(store, tmp_path / "d")
+        jsonl_files = [name for name in manifest.files
+                       if name.endswith(".jsonl")]
+        assert jsonl_files == ["low-mysql-multi.jsonl"]
+        records = load_dataset(manifest.directory)
+        # Five hosts, one consolidated file.
+        assert len({record["dest_ip"] for record in records}) == 5
+
+    def test_records_are_valid_json_lines(self, tmp_path):
+        store = LogStore()
+        store.append(make_event(raw='payload with "quotes" and ünïcode'))
+        manifest = export_dataset(store, tmp_path / "d")
+        path = manifest.directory / "low-mysql-multi.jsonl"
+        for line in path.read_text(encoding="utf-8").splitlines():
+            json.loads(line)
+
+    def test_export_from_experiment(self, small_experiment, tmp_path):
+        # The raw-log pathway: export the real store shape produced by
+        # an experiment run (rebuilt from the low DB for brevity).
+        from repro.pipeline.convert import read_events
+
+        store = LogStore()
+        for row in list(read_events(small_experiment.low_db))[:500]:
+            store.append(make_event(
+                timestamp=row["timestamp"], dbms=row["dbms"],
+                interaction=row["interaction"], config=row["config"],
+                src_ip=row["src_ip"], src_port=row["src_port"],
+                event_type=row["event_type"],
+                honeypot_id=row["honeypot_id"]))
+        manifest = export_dataset(store, tmp_path / "ds")
+        assert manifest.events == 500

@@ -1,0 +1,131 @@
+"""Tests for the BSON codec."""
+
+from datetime import datetime, timezone
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.protocols import bson
+from repro.protocols.errors import ProtocolError
+
+
+def roundtrip(document: dict) -> dict:
+    encoded = bson.encode_document(document)
+    decoded, end = bson.decode_document(encoded)
+    assert end == len(encoded)
+    return decoded
+
+
+class TestScalarTypes:
+    def test_string(self):
+        assert roundtrip({"s": "héllo"}) == {"s": "héllo"}
+
+    def test_int32_and_int64(self):
+        assert roundtrip({"a": 1, "b": 1 << 40}) == {"a": 1, "b": 1 << 40}
+
+    def test_int64_boundaries(self):
+        edge = {"lo": -(1 << 63), "hi": (1 << 63) - 1}
+        assert roundtrip(edge) == edge
+
+    def test_oversized_int_rejected(self):
+        with pytest.raises(TypeError):
+            bson.encode_document({"x": 1 << 70})
+
+    def test_double(self):
+        assert roundtrip({"f": 2.5}) == {"f": 2.5}
+
+    def test_bool_distinct_from_int(self):
+        decoded = roundtrip({"t": True, "f": False, "i": 1})
+        assert decoded["t"] is True
+        assert decoded["f"] is False
+        assert decoded["i"] == 1 and decoded["i"] is not True
+
+    def test_null(self):
+        assert roundtrip({"n": None}) == {"n": None}
+
+    def test_binary(self):
+        assert roundtrip({"b": b"\x00\xff"}) == {"b": b"\x00\xff"}
+
+    def test_datetime_millisecond_precision(self):
+        when = datetime(2024, 3, 22, 12, 30, 45, 123000,
+                        tzinfo=timezone.utc)
+        assert roundtrip({"t": when}) == {"t": when}
+
+    def test_object_id(self):
+        oid = bson.ObjectId.from_counter(12345)
+        assert roundtrip({"_id": oid}) == {"_id": oid}
+        assert len(oid.hex()) == 24
+
+    def test_object_id_validates_length(self):
+        with pytest.raises(ValueError):
+            bson.ObjectId(b"short")
+
+
+class TestContainers:
+    def test_nested_document(self):
+        doc = {"outer": {"inner": {"deep": 1}}}
+        assert roundtrip(doc) == doc
+
+    def test_array(self):
+        doc = {"items": [1, "two", None, {"three": 3}]}
+        assert roundtrip(doc) == doc
+
+    def test_array_preserves_order_past_ten_elements(self):
+        doc = {"long": list(range(15))}
+        assert roundtrip(doc) == doc
+
+    def test_empty_document(self):
+        assert roundtrip({}) == {}
+
+
+class TestErrors:
+    def test_non_string_key_rejected(self):
+        with pytest.raises(TypeError):
+            bson.encode_document({1: "x"})
+
+    def test_unsupported_value_rejected(self):
+        with pytest.raises(TypeError):
+            bson.encode_document({"x": object()})
+
+    def test_truncated_document_raises(self):
+        encoded = bson.encode_document({"a": 1})
+        with pytest.raises(ProtocolError):
+            bson.decode_document(encoded[:-3])
+
+    def test_bad_length_raises(self):
+        with pytest.raises(ProtocolError):
+            bson.decode_document(b"\x00\x00\x00\x00\x00")
+
+    def test_unknown_element_type_raises(self):
+        encoded = bytearray(bson.encode_document({"a": 1}))
+        encoded[4] = 0x7F
+        with pytest.raises(ProtocolError):
+            bson.decode_document(bytes(encoded))
+
+
+_scalars = st.one_of(
+    st.integers(min_value=-(1 << 62), max_value=1 << 62),
+    st.text(max_size=24),
+    st.booleans(),
+    st.none(),
+    st.binary(max_size=24),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+
+_keys = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126,
+                           exclude_characters="$."),
+    min_size=1, max_size=12)
+
+_documents = st.dictionaries(
+    _keys,
+    st.one_of(_scalars,
+              st.lists(_scalars, max_size=3),
+              st.dictionaries(_keys, _scalars, max_size=3)),
+    max_size=5)
+
+
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(_documents)
+def test_roundtrip_property(document):
+    assert roundtrip(document) == document

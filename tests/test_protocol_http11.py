@@ -1,0 +1,112 @@
+"""Tests for the minimal HTTP/1.1 framing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocols import http11
+from repro.protocols.errors import ProtocolError
+
+
+class TestRequestParsing:
+    def test_simple_get(self):
+        parser = http11.HttpRequestParser()
+        (request,) = parser.feed(http11.build_request("GET", "/_nodes"))
+        assert request.method == "GET"
+        assert request.path == "/_nodes"
+        assert request.body == b""
+        assert request.headers["host"] == "localhost"
+
+    def test_query_string_parsing(self):
+        parser = http11.HttpRequestParser()
+        (request,) = parser.feed(
+            http11.build_request("GET", "/_search?q=*&size=10"))
+        assert request.path == "/_search"
+        assert request.query == {"q": ["*"], "size": ["10"]}
+        assert request.raw_query == "q=*&size=10"
+
+    def test_post_with_body(self):
+        parser = http11.HttpRequestParser()
+        (request,) = parser.feed(http11.build_request(
+            "POST", "/idx/_doc", body=b'{"a":1}'))
+        assert request.method == "POST"
+        assert request.body == b'{"a":1}'
+
+    def test_partial_requests_buffer(self):
+        parser = http11.HttpRequestParser()
+        data = http11.build_request("POST", "/x", body=b"12345")
+        assert parser.feed(data[:10]) == []
+        assert parser.feed(data[10:-2]) == []
+        (request,) = parser.feed(data[-2:])
+        assert request.body == b"12345"
+
+    def test_pipelined_requests(self):
+        parser = http11.HttpRequestParser()
+        data = (http11.build_request("GET", "/a")
+                + http11.build_request("GET", "/b"))
+        requests = parser.feed(data)
+        assert [r.target for r in requests] == ["/a", "/b"]
+
+    def test_malformed_request_line_raises(self):
+        with pytest.raises(ProtocolError):
+            http11.HttpRequestParser().feed(b"NOT HTTP\r\n\r\n")
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ProtocolError):
+            http11.HttpRequestParser().feed(
+                b"BREW /pot HTTP/1.1\r\n\r\n")
+
+    def test_bad_content_length_raises(self):
+        with pytest.raises(ProtocolError):
+            http11.HttpRequestParser().feed(
+                b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+
+    def test_header_case_insensitive(self):
+        parser = http11.HttpRequestParser()
+        (request,) = parser.feed(
+            b"GET / HTTP/1.1\r\nX-Custom: Hi\r\n\r\n")
+        assert request.headers["x-custom"] == "Hi"
+
+
+class TestResponse:
+    def test_roundtrip(self):
+        raw = http11.build_response(200, '{"ok":true}')
+        response = http11.parse_response(raw)
+        assert response.status == 200
+        assert response.reason == "OK"
+        assert response.body == b'{"ok":true}'
+        assert response.headers["content-type"] == "application/json"
+
+    def test_status_reasons(self):
+        assert b"404 Not Found" in http11.build_response(404)
+        assert b"201 Created" in http11.build_response(201)
+
+    def test_custom_content_type(self):
+        raw = http11.build_response(200, "text", content_type="text/plain")
+        assert http11.parse_response(raw).headers[
+            "content-type"] == "text/plain"
+
+    def test_truncated_body_raises(self):
+        raw = http11.build_response(200, "full body")
+        with pytest.raises(ProtocolError):
+            http11.parse_response(raw[:-3])
+
+    def test_incomplete_head_raises(self):
+        with pytest.raises(ProtocolError):
+            http11.parse_response(b"HTTP/1.1 200 OK\r\n")
+
+
+@given(st.sampled_from(["GET", "POST", "PUT", "DELETE"]),
+       st.binary(max_size=128))
+def test_request_roundtrip_property(method, body):
+    parser = http11.HttpRequestParser()
+    (request,) = parser.feed(http11.build_request(method, "/p", body=body))
+    assert request.method == method
+    assert request.body == body
+
+
+@given(st.integers(min_value=100, max_value=599),
+       st.binary(max_size=128))
+def test_response_roundtrip_property(status, body):
+    response = http11.parse_response(http11.build_response(status, body))
+    assert response.status == status
+    assert response.body == body

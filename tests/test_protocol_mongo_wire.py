@@ -1,0 +1,73 @@
+"""Tests for the MongoDB wire protocol codec."""
+
+import pytest
+
+from repro.protocols import mongo_wire as wire
+from repro.protocols.errors import ProtocolError
+
+
+class TestOpMsg:
+    def test_roundtrip(self):
+        reader = wire.MessageReader()
+        (message,) = reader.feed(wire.build_msg(
+            7, {"find": "users", "$db": "app"}))
+        assert isinstance(message, wire.MsgMessage)
+        assert message.header.request_id == 7
+        assert message.body == {"find": "users", "$db": "app"}
+
+    def test_response_to_propagates(self):
+        reader = wire.MessageReader()
+        (message,) = reader.feed(wire.build_msg(2, {"ok": 1.0},
+                                                response_to=9))
+        assert message.header.response_to == 9
+
+    def test_partial_messages_buffer(self):
+        reader = wire.MessageReader()
+        data = wire.build_msg(1, {"ping": 1})
+        assert reader.feed(data[:7]) == []
+        (message,) = reader.feed(data[7:])
+        assert message.body == {"ping": 1}
+
+    def test_multiple_messages(self):
+        reader = wire.MessageReader()
+        data = wire.build_msg(1, {"a": 1}) + wire.build_msg(2, {"b": 2})
+        messages = reader.feed(data)
+        assert [m.body for m in messages] == [{"a": 1}, {"b": 2}]
+
+
+class TestOpQueryReply:
+    def test_query_roundtrip(self):
+        reader = wire.MessageReader()
+        (message,) = reader.feed(wire.build_query(
+            3, "admin.$cmd", {"isMaster": 1}, number_to_return=-1))
+        assert isinstance(message, wire.QueryMessage)
+        assert message.collection == "admin.$cmd"
+        assert message.query == {"isMaster": 1}
+        assert message.number_to_return == -1
+
+    def test_reply_roundtrip(self):
+        reader = wire.MessageReader()
+        (message,) = reader.feed(wire.build_reply(
+            4, 3, [{"ok": 1.0}, {"extra": True}]))
+        assert isinstance(message, wire.ReplyMessage)
+        assert message.header.response_to == 3
+        assert message.documents == [{"ok": 1.0}, {"extra": True}]
+
+
+class TestErrors:
+    def test_bad_length_raises(self):
+        with pytest.raises(ProtocolError):
+            wire.MessageReader().feed(b"\x01\x00\x00\x00" + b"\x00" * 12)
+
+    def test_unknown_opcode_raises(self):
+        import struct
+        header = struct.pack("<iiii", 16, 1, 0, 9999)
+        with pytest.raises(ProtocolError):
+            wire.MessageReader().feed(header)
+
+    def test_msg_without_body_section_raises(self):
+        import struct
+        body = struct.pack("<I", 0)
+        header = struct.pack("<iiii", 16 + len(body), 1, 0, wire.OP_MSG)
+        with pytest.raises(ProtocolError):
+            wire.MessageReader().feed(header + body)

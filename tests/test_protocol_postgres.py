@@ -1,0 +1,125 @@
+"""Tests for the pgwire codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocols import postgres as pg
+from repro.protocols.errors import ProtocolError
+
+
+class TestStartupPhase:
+    def test_startup_roundtrip(self):
+        stream = pg.PgStream(expect_startup=True)
+        data = pg.build_startup_message("alice", "appdb",
+                                        application_name="psql")
+        (message,) = stream.feed(data)
+        assert isinstance(message, pg.StartupMessage)
+        assert message.user == "alice"
+        assert message.database == "appdb"
+        assert message.parameters["application_name"] == "psql"
+
+    def test_database_defaults_to_user(self):
+        stream = pg.PgStream(expect_startup=True)
+        (message,) = stream.feed(pg.build_startup_message("bob"))
+        assert message.database == "bob"
+
+    def test_ssl_request(self):
+        stream = pg.PgStream(expect_startup=True)
+        (message,) = stream.feed(pg.build_ssl_request())
+        assert isinstance(message, pg.SSLRequest)
+
+    def test_ssl_request_then_startup(self):
+        stream = pg.PgStream(expect_startup=True)
+        stream.feed(pg.build_ssl_request())
+        (message,) = stream.feed(pg.build_startup_message("u"))
+        assert isinstance(message, pg.StartupMessage)
+
+    def test_partial_startup_buffers(self):
+        stream = pg.PgStream(expect_startup=True)
+        data = pg.build_startup_message("carol")
+        assert stream.feed(data[:5]) == []
+        (message,) = stream.feed(data[5:])
+        assert message.user == "carol"
+
+    def test_non_pgwire_garbage_raises(self):
+        stream = pg.PgStream(expect_startup=True)
+        with pytest.raises(ProtocolError):
+            stream.feed(b"\x03\x00\x00+&\xe0\x00\x00Cookie: mstshash=x")
+
+    def test_unknown_version_raises(self):
+        import struct
+        stream = pg.PgStream(expect_startup=True)
+        with pytest.raises(ProtocolError):
+            stream.feed(struct.pack(">ii", 8, 12345))
+
+
+class TestTypedMessages:
+    def test_password_and_query(self):
+        stream = pg.PgStream(expect_startup=True)
+        stream.feed(pg.build_startup_message("u"))
+        messages = stream.feed(pg.build_password_message("s3cret")
+                               + pg.build_query("SELECT 1;")
+                               + pg.build_terminate())
+        assert [m.type_code for m in messages] == [b"p", b"Q", b"X"]
+        assert messages[0].payload == b"s3cret\x00"
+        assert messages[1].payload == b"SELECT 1;\x00"
+
+
+class TestBackendMessages:
+    def test_error_response_fields(self):
+        raw = pg.build_error_response("FATAL", "28P01", "no way")
+        (message,) = pg.parse_backend_messages(raw)
+        fields = pg.parse_error_fields(message.payload)
+        assert fields == {"S": "FATAL", "C": "28P01", "M": "no way"}
+
+    def test_auth_sequence_message_types(self):
+        raw = (pg.build_authentication_ok()
+               + pg.build_parameter_status("server_version", "12.7")
+               + pg.build_backend_key_data(1, 2)
+               + pg.build_ready_for_query())
+        types = [m.type_code for m in pg.parse_backend_messages(raw)]
+        assert types == [b"R", b"S", b"K", b"Z"]
+
+    def test_data_row_roundtrip(self):
+        raw = pg.build_data_row(["hello", None, ""])
+        (message,) = pg.parse_backend_messages(raw)
+        assert pg.parse_data_row(message.payload) == [b"hello", None, b""]
+
+    def test_row_description_and_command_complete(self):
+        raw = (pg.build_row_description(["a", "b"])
+               + pg.build_command_complete("SELECT 2"))
+        messages = pg.parse_backend_messages(raw)
+        assert messages[0].type_code == b"T"
+        assert messages[1].payload == b"SELECT 2\x00"
+
+    def test_ready_for_query_validates_status(self):
+        with pytest.raises(ValueError):
+            pg.build_ready_for_query(b"X")
+
+    def test_truncated_backend_stream_raises(self):
+        raw = pg.build_authentication_ok()
+        with pytest.raises(ProtocolError):
+            pg.parse_backend_messages(raw[:-2])
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+               min_size=1, max_size=24),
+       st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+               max_size=24))
+def test_startup_password_roundtrip(user, password):
+    stream = pg.PgStream(expect_startup=True)
+    (startup,) = stream.feed(pg.build_startup_message(user))
+    assert startup.user == user
+    (message,) = stream.feed(pg.build_password_message(password))
+    assert message.payload.rstrip(b"\x00").decode() == password.rstrip(
+        "\x00")
+
+
+@given(st.lists(st.one_of(st.none(),
+                          st.text(max_size=16)), max_size=6))
+def test_data_row_roundtrip_property(values):
+    raw = pg.build_data_row(values)
+    (message,) = pg.parse_backend_messages(raw)
+    decoded = pg.parse_data_row(message.payload)
+    expected = [None if v is None else v.encode() for v in values]
+    assert decoded == expected

@@ -1,0 +1,168 @@
+"""Tests for the RESP2 codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocols import resp
+from repro.protocols.errors import ProtocolError
+
+
+class TestEncode:
+    def test_simple_string(self):
+        assert resp.encode(resp.SimpleString("OK")) == b"+OK\r\n"
+
+    def test_simple_string_rejects_crlf(self):
+        with pytest.raises(TypeError):
+            resp.encode(resp.SimpleString("a\r\nb"))
+
+    def test_error(self):
+        assert resp.encode(resp.Error("ERR boom")) == b"-ERR boom\r\n"
+
+    def test_integer(self):
+        assert resp.encode(42) == b":42\r\n"
+
+    def test_negative_integer(self):
+        assert resp.encode(-7) == b":-7\r\n"
+
+    def test_bulk_string(self):
+        assert resp.encode(b"ab") == b"$2\r\nab\r\n"
+
+    def test_str_becomes_bulk(self):
+        assert resp.encode("hi") == b"$2\r\nhi\r\n"
+
+    def test_null(self):
+        assert resp.encode(None) == b"$-1\r\n"
+
+    def test_array(self):
+        assert resp.encode([1, b"x"]) == b"*2\r\n:1\r\n$1\r\nx\r\n"
+
+    def test_empty_array(self):
+        assert resp.encode([]) == b"*0\r\n"
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            resp.encode(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            resp.encode(object())
+
+
+class TestParser:
+    def test_partial_frames_buffer(self):
+        parser = resp.RespParser()
+        assert parser.feed(b"$5\r\nhel") == []
+        assert parser.feed(b"lo\r\n") == [b"hello"]
+        assert parser.pending() == 0
+
+    def test_byte_at_a_time(self):
+        parser = resp.RespParser()
+        values = []
+        for byte in resp.encode_command("SET", "k", "v"):
+            values += parser.feed(bytes([byte]))
+        assert values == [[b"SET", b"k", b"v"]]
+
+    def test_multiple_values_in_one_feed(self):
+        parser = resp.RespParser()
+        data = resp.encode(1) + resp.encode(b"x") + resp.encode(None)
+        assert parser.feed(data) == [1, b"x", None]
+
+    def test_inline_command(self):
+        parser = resp.RespParser()
+        assert parser.feed(b"CONFIG GET dir\r\n") == [
+            [b"CONFIG", b"GET", b"dir"]]
+
+    def test_inline_lf_only(self):
+        parser = resp.RespParser()
+        assert parser.feed(b"PING\n") == [[b"PING"]]
+
+    def test_blank_inline_lines_skipped(self):
+        parser = resp.RespParser()
+        assert parser.feed(b"\r\n\r\nPING\r\n") == [[b"PING"]]
+
+    def test_nested_arrays(self):
+        payload = resp.encode([[b"a"], [1, None]])
+        assert resp.RespParser().feed(payload) == [[[b"a"], [1, None]]]
+
+    def test_null_array(self):
+        assert resp.RespParser().feed(b"*-1\r\n") == [None]
+
+    def test_bad_bulk_length_raises(self):
+        with pytest.raises(ProtocolError):
+            resp.RespParser().feed(b"$-5\r\n")
+
+    def test_oversized_bulk_raises(self):
+        with pytest.raises(ProtocolError):
+            resp.RespParser().feed(b"$999999999999\r\n")
+
+    def test_missing_bulk_terminator_raises(self):
+        with pytest.raises(ProtocolError):
+            resp.RespParser().feed(b"$2\r\nabXX")
+
+    def test_non_integer_length_raises(self):
+        with pytest.raises(ProtocolError):
+            resp.RespParser().feed(b"$xx\r\n")
+
+    def test_take_pending_returns_and_clears(self):
+        parser = resp.RespParser()
+        parser.feed(b"JDWP-Handshake")
+        assert parser.take_pending() == b"JDWP-Handshake"
+        assert parser.pending() == 0
+
+
+class TestCommandTokens:
+    def test_accepts_bulk_array(self):
+        assert resp.command_tokens([b"GET", b"k"]) == [b"GET", b"k"]
+
+    def test_rejects_non_command(self):
+        with pytest.raises(ProtocolError):
+            resp.command_tokens(42)
+
+    def test_rejects_mixed_array(self):
+        with pytest.raises(ProtocolError):
+            resp.command_tokens([b"GET", 1])
+
+
+class TestHelpers:
+    def test_encode_command_requires_args(self):
+        with pytest.raises(ValueError):
+            resp.encode_command()
+
+    def test_encode_inline_rejects_newlines(self):
+        with pytest.raises(ValueError):
+            resp.encode_inline_command("a\nb")
+
+
+@given(st.lists(st.one_of(
+    st.integers(min_value=-2**60, max_value=2**60),
+    st.binary(max_size=64),
+    st.none(),
+), max_size=8))
+def test_roundtrip_arrays(items):
+    parser = resp.RespParser()
+    values = parser.feed(resp.encode(items))
+    assert values == [items]
+    assert parser.pending() == 0
+
+
+@given(st.lists(st.binary(min_size=1, max_size=32), min_size=1,
+                max_size=6))
+def test_roundtrip_commands(args):
+    encoded = resp.encode_command(*args)
+    values = resp.RespParser().feed(encoded)
+    assert resp.command_tokens(values[0]) == args
+
+
+@given(st.binary(max_size=256), st.integers(min_value=1, max_value=7))
+def test_parser_never_loses_data_across_chunk_boundaries(payload, step):
+    whole = resp.RespParser()
+    chunked = resp.RespParser()
+    try:
+        expected = whole.feed(resp.encode(payload))
+    except ProtocolError:
+        return
+    got = []
+    encoded = resp.encode(payload)
+    for start in range(0, len(encoded), step):
+        got += chunked.feed(encoded[start:start + step])
+    assert got == expected

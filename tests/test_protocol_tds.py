@@ -1,0 +1,117 @@
+"""Tests for the TDS (MSSQL) codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocols import tds
+from repro.protocols.errors import ProtocolError
+
+
+class TestFraming:
+    def test_frame_and_read(self):
+        reader = tds.PacketReader()
+        packets = reader.feed(tds.frame(tds.PKT_PRELOGIN, b"x"))
+        assert packets == [(tds.PKT_PRELOGIN, b"x")]
+
+    def test_partial_packets_buffer(self):
+        reader = tds.PacketReader()
+        data = tds.frame(tds.PKT_LOGIN7, b"abcdef")
+        assert reader.feed(data[:4]) == []
+        assert reader.feed(data[4:]) == [(tds.PKT_LOGIN7, b"abcdef")]
+
+    def test_multi_packet_message_reassembled(self):
+        part1 = tds.frame(tds.PKT_LOGIN7, b"aaa", status=0)
+        part2 = tds.frame(tds.PKT_LOGIN7, b"bbb", status=tds.STATUS_EOM)
+        reader = tds.PacketReader()
+        assert reader.feed(part1) == []
+        assert reader.feed(part2) == [(tds.PKT_LOGIN7, b"aaabbb")]
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(ProtocolError):
+            tds.PacketReader().feed(b"\x10\x01\x00\x02\x00\x00\x01\x00")
+
+
+class TestPrelogin:
+    def test_roundtrip_default(self):
+        options = tds.parse_prelogin(tds.build_prelogin())
+        assert tds.PRELOGIN_VERSION in options
+        assert options[tds.PRELOGIN_ENCRYPTION] == bytes(
+            [tds.ENCRYPT_NOT_SUP])
+
+    def test_roundtrip_custom(self):
+        raw = tds.build_prelogin({tds.PRELOGIN_MARS: b"\x00",
+                                  tds.PRELOGIN_THREADID: b"\x01\x02"})
+        options = tds.parse_prelogin(raw)
+        assert options == {tds.PRELOGIN_MARS: b"\x00",
+                           tds.PRELOGIN_THREADID: b"\x01\x02"}
+
+    def test_unterminated_option_list_raises(self):
+        with pytest.raises(ProtocolError):
+            tds.parse_prelogin(b"\x00\x00\x06\x00\x01")
+
+
+class TestPasswordObfuscation:
+    def test_roundtrip(self):
+        assert tds.deobfuscate_password(
+            tds.obfuscate_password("P@ssw0rd!")) == "P@ssw0rd!"
+
+    def test_empty(self):
+        assert tds.obfuscate_password("") == b""
+
+    @given(st.text(max_size=64))
+    def test_roundtrip_property(self, password):
+        assert tds.deobfuscate_password(
+            tds.obfuscate_password(password)) == password
+
+
+class TestLogin7:
+    def test_roundtrip(self):
+        raw = tds.build_login7("sa", "123", hostname="WIN-1",
+                               app_name="sqlcmd", database="master")
+        parsed = tds.parse_login7(raw)
+        assert parsed.username == "sa"
+        assert parsed.password == "123"
+        assert parsed.hostname == "WIN-1"
+        assert parsed.app_name == "sqlcmd"
+        assert parsed.database == "master"
+        assert parsed.tds_version == tds.TDS_VERSION_74
+
+    def test_empty_password(self):
+        parsed = tds.parse_login7(tds.build_login7("hbv7", ""))
+        assert parsed.username == "hbv7"
+        assert parsed.password == ""
+
+    def test_truncated_raises(self):
+        raw = tds.build_login7("sa", "x")
+        with pytest.raises(ProtocolError):
+            tds.parse_login7(raw[:20])
+
+    @given(st.text(alphabet=st.characters(min_codepoint=33,
+                                          max_codepoint=0x2FF),
+                   min_size=1, max_size=20),
+           st.text(alphabet=st.characters(min_codepoint=32,
+                                          max_codepoint=0x2FF),
+                   max_size=30))
+    def test_credentials_roundtrip_property(self, username, password):
+        parsed = tds.parse_login7(tds.build_login7(username, password))
+        assert parsed.username == username
+        assert parsed.password == password
+
+
+class TestTokens:
+    def test_error_token_roundtrip(self):
+        raw = tds.build_error_token(
+            tds.MSSQL_LOGIN_FAILED, "Login failed for user 'sa'.")
+        (token,) = tds.parse_tokens(raw)
+        assert token.number == tds.MSSQL_LOGIN_FAILED
+        assert "Login failed" in token.message
+        assert token.severity == 14
+
+    def test_loginack_and_done(self):
+        raw = tds.build_loginack_token() + tds.build_done_token()
+        tokens = tds.parse_tokens(raw)
+        assert tokens == ["LOGINACK", "DONE"]
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(ProtocolError):
+            tds.parse_tokens(b"\x42\x00\x00")

@@ -1,0 +1,142 @@
+"""Tests for the in-memory Redis keyspace."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.redis_engine import RedisEngine, WrongTypeError
+
+
+@pytest.fixture
+def engine() -> RedisEngine:
+    return RedisEngine()
+
+
+class TestStrings:
+    def test_set_get(self, engine):
+        engine.set(b"k", b"v")
+        assert engine.get(b"k") == b"v"
+
+    def test_get_missing_is_none(self, engine):
+        assert engine.get(b"nope") is None
+
+    def test_set_overwrites(self, engine):
+        engine.set(b"k", b"v1")
+        engine.set(b"k", b"v2")
+        assert engine.get(b"k") == b"v2"
+
+    def test_set_replaces_hash(self, engine):
+        engine.hset(b"k", {b"f": b"v"})
+        engine.set(b"k", b"v")
+        assert engine.type(b"k") == "string"
+
+
+class TestHashes:
+    def test_hset_hgetall(self, engine):
+        added = engine.hset(b"h", {b"a": b"1", b"b": b"2"})
+        assert added == 2
+        assert engine.hgetall(b"h") == {b"a": b"1", b"b": b"2"}
+
+    def test_hset_counts_only_new_fields(self, engine):
+        engine.hset(b"h", {b"a": b"1"})
+        assert engine.hset(b"h", {b"a": b"2", b"b": b"3"}) == 1
+
+    def test_wrong_type_errors(self, engine):
+        engine.set(b"s", b"v")
+        with pytest.raises(WrongTypeError):
+            engine.hset(b"s", {b"f": b"v"})
+        engine.hset(b"h", {b"f": b"v"})
+        with pytest.raises(WrongTypeError):
+            engine.get(b"h")
+
+
+class TestKeyspace:
+    def test_delete(self, engine):
+        engine.set(b"a", b"1")
+        engine.hset(b"b", {b"f": b"v"})
+        assert engine.delete([b"a", b"b", b"missing"]) == 2
+        assert engine.dbsize() == 0
+
+    def test_exists(self, engine):
+        engine.set(b"a", b"1")
+        assert engine.exists(b"a")
+        assert not engine.exists(b"b")
+
+    def test_keys_glob(self, engine):
+        for key in (b"user:1", b"user:2", b"other"):
+            engine.set(key, b"x")
+        assert engine.keys(b"user:*") == [b"user:1", b"user:2"]
+        assert len(engine.keys()) == 3
+
+    def test_type(self, engine):
+        engine.set(b"s", b"v")
+        engine.hset(b"h", {b"f": b"v"})
+        assert engine.type(b"s") == "string"
+        assert engine.type(b"h") == "hash"
+        assert engine.type(b"missing") == "none"
+
+    def test_flushdb(self, engine):
+        engine.set(b"a", b"1")
+        engine.flushdb()
+        assert engine.dbsize() == 0
+
+
+class TestConfig:
+    def test_defaults(self, engine):
+        assert engine.config_get("dir") == {"dir": "/var/lib/redis"}
+        assert engine.config_get("dbfilename") == {
+            "dbfilename": "dump.rdb"}
+
+    def test_set_and_get(self, engine):
+        engine.config_set("dir", "/var/spool/cron")
+        assert engine.config_get("dir") == {"dir": "/var/spool/cron"}
+
+    def test_unknown_parameters_accepted(self, engine):
+        engine.config_set("stop-writes-on-bgsave-error", "no")
+        assert engine.config_get("stop-writes-on-bgsave-error") == {
+            "stop-writes-on-bgsave-error": "no"}
+
+    def test_glob_pattern(self, engine):
+        found = engine.config_get("db*")
+        assert "dbfilename" in found
+
+
+class TestReplicationAndModules:
+    def test_slaveof_and_role(self, engine):
+        assert engine.replication.role == "master"
+        engine.slaveof("10.0.0.1", 6380)
+        assert engine.replication.role == "slave"
+        engine.slaveof(None, None)
+        assert engine.replication.role == "master"
+
+    def test_module_load_unload(self, engine):
+        engine.module_load("/tmp/exp.so")
+        assert engine.loaded_modules == ["/tmp/exp.so"]
+        assert engine.module_unload("exp")
+        assert engine.loaded_modules == []
+        assert not engine.module_unload("exp")
+
+    def test_info_reflects_state(self, engine):
+        engine.set(b"k", b"v")
+        engine.slaveof("1.2.3.4", 1234)
+        info = engine.info()
+        assert "role:slave" in info
+        assert "db0:keys=1" in info
+        assert f"redis_version:{engine.version}" in info
+
+    def test_save_resets_dirty(self, engine):
+        engine.set(b"k", b"v")
+        assert engine.dirty == 1
+        engine.save()
+        assert engine.dirty == 0
+
+
+@given(st.dictionaries(st.binary(min_size=1, max_size=8),
+                       st.binary(max_size=16), max_size=20))
+def test_set_get_consistency_property(entries):
+    engine = RedisEngine()
+    for key, value in entries.items():
+        engine.set(key, value)
+    for key, value in entries.items():
+        assert engine.get(key) == value
+    assert engine.dbsize() == len(entries)
+    assert sorted(engine.keys()) == sorted(entries)

@@ -1,0 +1,164 @@
+"""Tests for the extended Redis engine surface (expiry, counters,
+lists) at both the engine and honeypot layers."""
+
+import pytest
+
+from repro.honeypots import RedisHoneypot
+from repro.honeypots.base import MemoryWire
+from repro.protocols import resp
+from repro.redis_engine import RedisEngine, WrongTypeError
+
+
+@pytest.fixture
+def engine() -> RedisEngine:
+    return RedisEngine()
+
+
+class TestExpiry:
+    def test_expire_and_ttl(self, engine):
+        engine.set(b"k", b"v")
+        assert engine.expire(b"k", 10, now=100.0)
+        assert engine.ttl(b"k", now=105.0) == 5
+        assert engine.ttl(b"k", now=100.0) == 10
+
+    def test_expired_key_vanishes(self, engine):
+        engine.set(b"k", b"v", ex=10, now=100.0)
+        assert engine.get(b"k", now=109.0) == b"v"
+        assert engine.get(b"k", now=110.0) is None
+        assert not engine.exists(b"k")
+
+    def test_ttl_semantics(self, engine):
+        assert engine.ttl(b"missing") == -2
+        engine.set(b"k", b"v")
+        assert engine.ttl(b"k") == -1
+
+    def test_persist_removes_expiry(self, engine):
+        engine.set(b"k", b"v", ex=10, now=0.0)
+        assert engine.persist(b"k", now=5.0)
+        assert engine.ttl(b"k", now=999.0) == -1
+        assert not engine.persist(b"k")
+
+    def test_expire_missing_key_false(self, engine):
+        assert not engine.expire(b"missing", 10, now=0.0)
+
+    def test_set_clears_old_expiry(self, engine):
+        engine.set(b"k", b"v", ex=10, now=0.0)
+        engine.set(b"k", b"w")
+        assert engine.ttl(b"k", now=999.0) == -1
+
+    def test_delete_clears_expiry(self, engine):
+        engine.set(b"k", b"v", ex=10, now=0.0)
+        engine.delete([b"k"])
+        engine.set(b"k", b"w")
+        assert engine.get(b"k", now=999.0) == b"w"
+
+
+class TestCounters:
+    def test_incr_from_missing(self, engine):
+        assert engine.incrby(b"n", 1) == 1
+        assert engine.incrby(b"n", 5) == 6
+        assert engine.incrby(b"n", -2) == 4
+
+    def test_incr_non_integer_raises(self, engine):
+        engine.set(b"s", b"hello")
+        with pytest.raises(ValueError):
+            engine.incrby(b"s", 1)
+
+    def test_append(self, engine):
+        assert engine.append(b"a", b"foo") == 3
+        assert engine.append(b"a", b"bar") == 6
+        assert engine.get(b"a") == b"foobar"
+
+
+class TestLists:
+    def test_push_and_range(self, engine):
+        assert engine.rpush(b"l", [b"a", b"b"]) == 2
+        assert engine.lpush(b"l", [b"z"]) == 3
+        assert engine.lrange(b"l", 0, -1) == [b"z", b"a", b"b"]
+        assert engine.lrange(b"l", 1, 1) == [b"a"]
+        assert engine.llen(b"l") == 3
+
+    def test_lpop(self, engine):
+        engine.rpush(b"l", [b"x", b"y"])
+        assert engine.lpop(b"l") == b"x"
+        assert engine.lpop(b"l") == b"y"
+        assert engine.lpop(b"l") is None
+        assert not engine.exists(b"l")
+
+    def test_type_and_keys_include_lists(self, engine):
+        engine.rpush(b"l", [b"x"])
+        assert engine.type(b"l") == "list"
+        assert engine.keys() == [b"l"]
+        assert engine.dbsize() == 1
+
+    def test_wrong_type_guards(self, engine):
+        engine.set(b"s", b"v")
+        with pytest.raises(WrongTypeError):
+            engine.rpush(b"s", [b"x"])
+        engine.rpush(b"l", [b"x"])
+        with pytest.raises(WrongTypeError):
+            engine.get(b"l")
+
+    def test_negative_range_bounds(self, engine):
+        engine.rpush(b"l", [b"a", b"b", b"c", b"d"])
+        assert engine.lrange(b"l", -2, -1) == [b"c", b"d"]
+        assert engine.lrange(b"l", 0, -5) == []
+
+
+class TestHoneypotDispatch:
+    @pytest.fixture
+    def wire(self, session_context):
+        wire = MemoryWire(RedisHoneypot("hp"), session_context)
+        wire.connect()
+        return wire
+
+    def decode(self, data):
+        (value,) = resp.RespParser().feed(data)
+        return value
+
+    def test_setex_ttl_roundtrip(self, wire, clock):
+        assert self.decode(wire.send(
+            resp.encode_command("SETEX", "k", "60", "v"))).value == "OK"
+        ttl = self.decode(wire.send(resp.encode_command("TTL", "k")))
+        assert 0 < ttl <= 60
+        clock.advance(seconds=61)
+        assert self.decode(wire.send(
+            resp.encode_command("GET", "k"))) is None
+
+    def test_set_with_ex_option(self, wire, clock):
+        wire.send(resp.encode_command("SET", "k", "v", "EX", "30"))
+        ttl = self.decode(wire.send(resp.encode_command("TTL", "k")))
+        assert 0 < ttl <= 30
+
+    def test_set_bad_option_errors(self, wire):
+        reply = self.decode(wire.send(
+            resp.encode_command("SET", "k", "v", "BOGUS")))
+        assert isinstance(reply, resp.Error)
+
+    def test_incr_decr(self, wire):
+        assert self.decode(wire.send(
+            resp.encode_command("INCR", "n"))) == 1
+        assert self.decode(wire.send(
+            resp.encode_command("INCRBY", "n", "10"))) == 11
+        assert self.decode(wire.send(
+            resp.encode_command("DECR", "n"))) == 10
+
+    def test_list_commands(self, wire):
+        wire.send(resp.encode_command("RPUSH", "q", "a", "b"))
+        wire.send(resp.encode_command("LPUSH", "q", "z"))
+        assert self.decode(wire.send(
+            resp.encode_command("LRANGE", "q", "0", "-1"))) == [
+            b"z", b"a", b"b"]
+        assert self.decode(wire.send(
+            resp.encode_command("LLEN", "q"))) == 3
+        assert self.decode(wire.send(
+            resp.encode_command("LPOP", "q"))) == b"z"
+        assert self.decode(wire.send(
+            resp.encode_command("TYPE", "q"))).value == "list"
+
+    def test_persist_command(self, wire):
+        wire.send(resp.encode_command("SETEX", "k", "60", "v"))
+        assert self.decode(wire.send(
+            resp.encode_command("PERSIST", "k"))) == 1
+        assert self.decode(wire.send(
+            resp.encode_command("TTL", "k"))) == -1

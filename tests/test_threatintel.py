@@ -1,0 +1,87 @@
+"""Tests for the threat-intelligence snapshots and cross-referencing."""
+
+from repro.threatintel import (AbuseIPDBSnapshot, FeodoTracker,
+                               GreynoiseSnapshot, TeamCymruSnapshot,
+                               ThreatIntelWorld, crossref)
+from repro.threatintel.platforms import (AbuseReport, CymruRecord,
+                                         GreynoiseRecord)
+
+
+class TestGreynoise:
+    def test_lookup_and_classification(self):
+        snapshot = GreynoiseSnapshot()
+        snapshot.add(GreynoiseRecord("1.1.1.1", "malicious",
+                                     tags=("MSSQL bruteforcer",)))
+        snapshot.add(GreynoiseRecord("2.2.2.2", "benign"))
+        assert snapshot.is_malicious("1.1.1.1")
+        assert not snapshot.is_malicious("2.2.2.2")
+        assert not snapshot.is_malicious("3.3.3.3")
+        assert snapshot.lookup("3.3.3.3") is None
+        assert snapshot.lookup("1.1.1.1").tags == ("MSSQL bruteforcer",)
+
+
+class TestAbuseIPDB:
+    def test_report_recency_window(self):
+        snapshot = AbuseIPDBSnapshot()
+        snapshot.add(AbuseReport("1.1.1.1", "port scan", age_days=30))
+        snapshot.add(AbuseReport("1.1.1.1", "brute-force", age_days=300))
+        assert snapshot.recently_reported("1.1.1.1")
+        recent = snapshot.reports("1.1.1.1", within_days=180)
+        assert len(recent) == 1
+        assert recent[0].category == "port scan"
+        assert not snapshot.recently_reported("1.1.1.1", within_days=10)
+
+    def test_unreported_ip(self):
+        assert not AbuseIPDBSnapshot().recently_reported("9.9.9.9")
+
+
+class TestCymruAndFeodo:
+    def test_cymru_suspicious(self):
+        snapshot = TeamCymruSnapshot()
+        snapshot.add(CymruRecord("1.1.1.1", "suspicious",
+                                 tags=("redis scanner",)))
+        snapshot.add(CymruRecord("2.2.2.2", "no rating"))
+        assert snapshot.is_suspicious("1.1.1.1")
+        assert not snapshot.is_suspicious("2.2.2.2")
+        assert not snapshot.is_suspicious("3.3.3.3")
+
+    def test_feodo(self):
+        tracker = FeodoTracker()
+        tracker.add("6.6.6.6")
+        assert tracker.is_c2("6.6.6.6")
+        assert not tracker.is_c2("7.7.7.7")
+
+
+class TestCrossref:
+    def build_world(self) -> ThreatIntelWorld:
+        world = ThreatIntelWorld()
+        world.greynoise.add(GreynoiseRecord("1.1.1.1", "malicious"))
+        world.abuseipdb.add(AbuseReport("1.1.1.1", "port scan", 5))
+        world.abuseipdb.add(AbuseReport("2.2.2.2", "brute-force", 5))
+        world.teamcymru.add(CymruRecord("3.3.3.3", "suspicious"))
+        return world
+
+    def test_coverage_counts(self):
+        report = crossref(["1.1.1.1", "2.2.2.2", "3.3.3.3", "4.4.4.4"],
+                          self.build_world())
+        assert report.population == 4
+        assert report.greynoise_malicious == 1
+        assert report.abuseipdb_reported == 2
+        assert report.cymru_suspicious == 1
+        assert report.feodo_c2 == 0
+
+    def test_duplicates_deduplicated(self):
+        report = crossref(["1.1.1.1", "1.1.1.1"], self.build_world())
+        assert report.population == 1
+
+    def test_rates_and_rows(self):
+        report = crossref(["1.1.1.1", "2.2.2.2"], self.build_world())
+        assert report.rate(report.abuseipdb_reported) == 1.0
+        rows = report.rows()
+        assert len(rows) == 4
+        assert rows[0][0].startswith("Greynoise")
+
+    def test_empty_population(self):
+        report = crossref([], ThreatIntelWorld())
+        assert report.population == 0
+        assert report.rate(0) == 0.0
