@@ -6,6 +6,11 @@ the paper from its SQLite databases, times the analysis step via
 pytest-benchmark, prints the regenerated rows, and writes them to
 ``benchmarks/_output/`` (the source for EXPERIMENTS.md).
 
+The experiment runs with telemetry enabled and its ``run_report.json``
+manifest is snapshotted to ``benchmarks/_output/BENCH_telemetry.json``
+-- the performance baseline subsequent optimisation PRs compare against
+(phase wall-times, event volumes, bytes exchanged, peak RSS).
+
 Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` -- login-volume scale factor (default 0.002,
@@ -15,7 +20,9 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from pathlib import Path
 
 import pytest
@@ -36,13 +43,33 @@ def bench_scale() -> float:
 
 @pytest.fixture(scope="session")
 def experiment(tmp_path_factory):
-    """The shared experiment run."""
+    """The shared experiment run (telemetry on; see module docstring)."""
     output = tmp_path_factory.mktemp("bench-experiment")
     config = ExperimentConfig(
         seed=int(os.environ.get("REPRO_BENCH_SEED", "2024")),
         volume_scale=bench_scale(),
-        output_dir=output)
-    return run_experiment(config)
+        output_dir=output,
+        telemetry=True)
+    result = run_experiment(config)
+    _write_telemetry_baseline(result)
+    return result
+
+
+def _write_telemetry_baseline(result) -> None:
+    """Snapshot the run manifest as the ``BENCH_telemetry.json`` baseline."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    snapshot = {
+        "bench": {
+            "scale": bench_scale(),
+            "seed": result.config.seed,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "report": result.report,
+    }
+    path = OUTPUT_DIR / "BENCH_telemetry.json"
+    path.write_text(json.dumps(snapshot, indent=2) + "\n",
+                    encoding="utf-8")
 
 
 @pytest.fixture(scope="session")

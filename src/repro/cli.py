@@ -6,10 +6,15 @@ Subcommands:
   databases (and optionally the raw logs / public dataset),
 * ``report``         -- regenerate the paper's key tables from an
   existing run,
+* ``stats``          -- pretty-print the ``run_report.json`` telemetry
+  manifest of a previous ``repro run --telemetry``,
 * ``serve``          -- start live TCP honeypots on loopback and print
   captured events until interrupted,
 * ``export-dataset`` -- run a deployment and export the anonymized
   Appendix-B dataset.
+
+Exit codes: 0 success, 1 missing input (e.g. no database / manifest at
+``--output``), 2 bad arguments.
 """
 
 from __future__ import annotations
@@ -27,10 +32,23 @@ from repro.core.temporal import hourly_series
 from repro.deployment import ExperimentConfig, run_experiment
 
 
+def _package_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Decoy Databases reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {_package_version()}")
     subcommands = parser.add_subparsers(dest="command", required=True)
 
     run_cmd = subcommands.add_parser(
@@ -44,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write consolidated JSONL raw logs")
     run_cmd.add_argument("--dataset", action="store_true",
                          help="also export the anonymized dataset")
+    run_cmd.add_argument("--telemetry", action="store_true",
+                         help="instrument the run and write "
+                              "run_report.json next to the databases")
+    run_cmd.add_argument("--trace-out", type=Path, default=None,
+                         help="with --telemetry, export the span trace "
+                              "here (.jsonl for JSON-lines, else Chrome "
+                              "chrome://tracing format)")
 
     report_cmd = subcommands.add_parser(
         "report", help="print the key tables of an existing run")
@@ -54,9 +79,20 @@ def build_parser() -> argparse.ArgumentParser:
                             help="scale used by that run (for "
                                  "extrapolation)")
 
+    stats_cmd = subcommands.add_parser(
+        "stats", help="pretty-print the run_report.json of a previous "
+                      "`repro run --telemetry`")
+    stats_cmd.add_argument("--output", type=Path,
+                           default=Path("experiment-output"),
+                           help="directory of a previous "
+                                "`repro run --telemetry`")
+
     serve_cmd = subcommands.add_parser(
         "serve", help="serve live honeypots on loopback TCP ports")
     serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port-base", type=int, default=None,
+                           help="assign sequential ports starting here "
+                                "instead of OS-picked ephemeral ports")
 
     dataset_cmd = subcommands.add_parser(
         "export-dataset", help="run a deployment and export the "
@@ -69,10 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.trace_out is not None and not args.telemetry:
+        print("error: --trace-out requires --telemetry", file=sys.stderr)
+        return 2
     result = run_experiment(ExperimentConfig(
         seed=args.seed, volume_scale=args.scale,
         output_dir=args.output, write_raw_logs=args.raw_logs,
-        export_dataset=args.dataset))
+        export_dataset=args.dataset, telemetry=args.telemetry,
+        trace_out=args.trace_out))
     print(f"visits:   {result.visits_total:,}")
     print(f"events:   {result.events_total:,}")
     print(f"low DB:   {result.low_db}")
@@ -81,10 +121,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"raw logs: {result.raw_log_dir}")
     if result.dataset_dir:
         print(f"dataset:  {result.dataset_dir}")
+    if result.report_path:
+        print(f"report:   {result.report_path}")
+    if result.trace_path:
+        print(f"trace:    {result.trace_path}")
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    if args.scale <= 0:
+        print(f"error: --scale must be positive, got {args.scale}",
+              file=sys.stderr)
+        return 2
+    if args.output.exists() and not args.output.is_dir():
+        print(f"error: {args.output} is not a directory", file=sys.stderr)
+        return 2
     low_db = args.output / "low.sqlite"
     midhigh_db = args.output / "midhigh.sqlite"
     for path in (low_db, midhigh_db):
@@ -128,6 +179,24 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.report import (REPORT_FILENAME, format_summary,
+                                  load_report)
+
+    path = args.output / REPORT_FILENAME
+    if not path.exists():
+        print(f"error: {path} not found "
+              f"(run `repro run --telemetry` first)", file=sys.stderr)
+        return 1
+    try:
+        manifest = load_report(path)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(format_summary(manifest))
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -152,7 +221,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             MongoHoneypot("serve-mongodb"),
         ]
         servers = await serve_honeypots(honeypots, clock, store.append,
-                                        host=args.host)
+                                        host=args.host,
+                                        port_base=args.port_base)
         print("honeypots listening:")
         for server in servers:
             print(f"  {server.honeypot.dbms:15s} "
@@ -193,6 +263,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": cmd_run,
         "report": cmd_report,
+        "stats": cmd_stats,
         "serve": cmd_serve,
         "export-dataset": cmd_export_dataset,
     }

@@ -14,9 +14,12 @@ ablation benches.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro import obs
 
 _LINKAGES = ("ward", "single", "complete", "average")
 
@@ -47,6 +50,8 @@ def linkage(matrix: np.ndarray, method: str = "ward") -> np.ndarray:
     matrix = np.asarray(matrix, dtype=float)
     if matrix.ndim != 2 or len(matrix) < 2:
         raise ValueError("linkage needs a 2-D matrix with >= 2 rows")
+    telemetry = obs.current()
+    start = time.perf_counter()
     n = len(matrix)
     distances = pairwise_sq_euclidean(matrix)
     if method != "ward":
@@ -81,6 +86,12 @@ def linkage(matrix: np.ndarray, method: str = "ward") -> np.ndarray:
     # Reducibility guarantees non-decreasing heights up to float noise;
     # sort to normalize, remapping ids to the new merge order.
     order = np.argsort(result[:, 2], kind="stable")
+    elapsed = time.perf_counter() - start
+    telemetry.metrics.inc("clustering.linkage_calls", method=method)
+    telemetry.metrics.inc("clustering.merges", len(merges), method=method)
+    telemetry.metrics.observe("clustering.linkage_seconds", elapsed,
+                              method=method)
+    telemetry.metrics.observe("clustering.leaves", n, method=method)
     return _reorder(result, order, n)
 
 
@@ -214,6 +225,8 @@ class AgglomerativeClustering:
         self.labels_ = cut_tree(self.merges_, len(matrix),
                                 n_clusters=self.n_clusters,
                                 distance_threshold=self.distance_threshold)
+        obs.current().metrics.observe("clustering.n_clusters",
+                                      self.n_clusters_, method=self.method)
         return self
 
     def fit_predict(self, matrix: np.ndarray) -> np.ndarray:

@@ -6,23 +6,34 @@ step enriches them with GeoIP/ASN/institutional metadata and writes
 SQLite databases -- one for the low-interaction tier (Section 5) and one
 for the medium/high tier (Section 6), which is how the paper analyzes
 them.
+
+With ``ExperimentConfig.telemetry`` enabled the run is fully
+instrumented -- per-phase wall times, per-visit spans, event counts per
+type/DBMS/interaction/honeypot, bytes exchanged, DB row counts, peak
+RSS -- and a ``run_report.json`` manifest is written next to the SQLite
+databases (``repro stats`` pretty-prints it).  Disabled (the default),
+every hook is a no-op.
 """
 
 from __future__ import annotations
 
 import random
+import time
+from collections import Counter
 from dataclasses import dataclass
 from datetime import timedelta
 from pathlib import Path
 
+from repro import obs
 from repro.agents.base import Visit, VisitContext
 from repro.agents.population import World, build_world
 from repro.clients.wire import Wire, WireError
 from repro.deployment.plan import DeploymentPlan, build_plan
 from repro.honeypots.base import MemoryWire, SessionContext
 from repro.netsim.clock import EXPERIMENT_START, SimClock
-from repro.pipeline.convert import convert_to_sqlite
-from repro.pipeline.logstore import LogStore
+from repro.obs import report as obs_report
+from repro.pipeline.convert import convert_to_sqlite, count_events
+from repro.pipeline.logstore import LogEvent, LogStore
 
 
 @dataclass(frozen=True)
@@ -37,6 +48,11 @@ class ExperimentConfig:
     write_raw_logs: bool = False
     #: Also export the anonymized public dataset (Appendix B).
     export_dataset: bool = False
+    #: Instrument the run and write ``run_report.json`` (see module doc).
+    telemetry: bool = False
+    #: With telemetry, also export the span trace here (``.jsonl`` for
+    #: JSON-lines, anything else for Chrome trace-event format).
+    trace_out: Path | None = None
 
 
 @dataclass
@@ -52,6 +68,10 @@ class ExperimentResult:
     visits_total: int
     raw_log_dir: Path | None = None
     dataset_dir: Path | None = None
+    #: The telemetry manifest (and its path), when enabled.
+    report: dict | None = None
+    report_path: Path | None = None
+    trace_path: Path | None = None
 
 
 @dataclass
@@ -76,59 +96,168 @@ class _DriverWire:
 def run_experiment(config: ExperimentConfig = ExperimentConfig()
                    ) -> ExperimentResult:
     """Run the full deployment window and produce the SQLite databases."""
-    plan = build_plan(config.seed)
-    world = build_world(config.seed, config.volume_scale)
+    telemetry = obs.Telemetry(enabled=config.telemetry)
+    with obs.install(telemetry):
+        return _run_instrumented(config, telemetry)
+
+
+def _run_instrumented(config: ExperimentConfig,
+                      telemetry: obs.Telemetry) -> ExperimentResult:
+    wall_start = time.perf_counter()
+    phases = telemetry.phases
+    span = telemetry.tracer.span
+
+    with phases.phase("build_plan"):
+        plan = build_plan(config.seed)
+    with phases.phase("build_world"):
+        world = build_world(config.seed, config.volume_scale)
     clock = SimClock()
     store = LogStore()
-    visits = _compile_visits(world, plan, config.seed)
+    with phases.phase("compile_visits"):
+        visits = _compile_visits(world, plan, config.seed)
     open_wires: list[MemoryWire] = []
+    bytes_in = 0
+    bytes_out = 0
 
-    for offset, actor_ip, sequence, visit in visits:
-        clock.seek(EXPERIMENT_START + timedelta(seconds=offset))
-        rng = random.Random(f"{config.seed}:{actor_ip}:{sequence}")
+    with phases.phase("replay"):
+        for offset, actor_ip, sequence, visit in visits:
+            clock.seek(EXPERIMENT_START + timedelta(seconds=offset))
+            rng = random.Random(f"{config.seed}:{actor_ip}:{sequence}")
 
-        def opener(target_key: str, *, _ip=actor_ip, _rng=rng) -> Wire:
-            target = plan.by_key(target_key)
-            context = SessionContext(
-                src_ip=_ip, src_port=_rng.randint(1024, 65535),
-                clock=clock, sink=store.append)
-            wire = MemoryWire(target.honeypot, context)
-            open_wires.append(wire)
-            return _DriverWire(wire)
+            def opener(target_key: str, *, _ip=actor_ip, _rng=rng) -> Wire:
+                target = plan.by_key(target_key)
+                context = SessionContext(
+                    src_ip=_ip, src_port=_rng.randint(1024, 65535),
+                    clock=clock, sink=store.append)
+                wire = MemoryWire(target.honeypot, context)
+                open_wires.append(wire)
+                return _DriverWire(wire)
 
-        visit.script(VisitContext(opener=opener,
-                                  target_key=visit.target_key, rng=rng))
-        # Close any connection the script left dangling.
-        for wire in open_wires:
-            wire.close()
-        open_wires.clear()
+            with span("replay.visit", actor=actor_ip,
+                      target=visit.target_key, seq=sequence):
+                visit.script(VisitContext(opener=opener,
+                                          target_key=visit.target_key,
+                                          rng=rng))
+            # Close any connection the script left dangling, and fold the
+            # per-session byte counters into the run totals.
+            for wire in open_wires:
+                wire.close()
+                bytes_in += wire.context.bytes_in
+                bytes_out += wire.context.bytes_out
+            open_wires.clear()
 
     output_dir = Path(config.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
     raw_log_dir = None
     if config.write_raw_logs:
-        raw_log_dir = output_dir / "raw-logs"
-        store.write_consolidated(raw_log_dir)
+        with phases.phase("write_raw_logs"), span("write_raw_logs"):
+            raw_log_dir = output_dir / "raw-logs"
+            store.write_consolidated(raw_log_dir)
     dataset_dir = None
     if config.export_dataset:
-        from repro.pipeline.dataset import export_dataset
+        with phases.phase("export_dataset"), span("export_dataset"):
+            from repro.pipeline.dataset import export_dataset
 
-        dataset_dir = output_dir / "dataset"
-        export_dataset(store, dataset_dir)
+            dataset_dir = output_dir / "dataset"
+            export_dataset(store, dataset_dir)
 
-    low_events = [event for event in store if event.interaction == "low"]
-    midhigh_events = [event for event in store
-                      if event.interaction != "low"]
-    low_db = convert_to_sqlite(low_events, output_dir / "low.sqlite",
-                               world.geoip, world.scanners)
-    midhigh_db = convert_to_sqlite(midhigh_events,
-                                   output_dir / "midhigh.sqlite",
-                                   world.geoip, world.scanners)
-    return ExperimentResult(
+    with phases.phase("split"):
+        low_events, midhigh_events, event_counts = _split_events(
+            store, count=telemetry.enabled)
+    with phases.phase("convert"):
+        with span("convert", tier="low"):
+            low_db = convert_to_sqlite(low_events,
+                                       output_dir / "low.sqlite",
+                                       world.geoip, world.scanners)
+        with span("convert", tier="midhigh"):
+            midhigh_db = convert_to_sqlite(midhigh_events,
+                                           output_dir / "midhigh.sqlite",
+                                           world.geoip, world.scanners)
+
+    result = ExperimentResult(
         config=config, plan=plan, world=world, low_db=low_db,
         midhigh_db=midhigh_db, events_total=len(store),
         visits_total=len(visits), raw_log_dir=raw_log_dir,
         dataset_dir=dataset_dir)
+    if telemetry.enabled:
+        wall_time = time.perf_counter() - wall_start
+        _finalize_report(config, telemetry, result, event_counts,
+                         split={"low": len(low_events),
+                                "midhigh": len(midhigh_events)},
+                         bytes_io={"in": bytes_in, "out": bytes_out},
+                         wall_time=wall_time, output_dir=output_dir)
+    return result
+
+
+def _split_events(store: LogStore, *, count: bool
+                  ) -> tuple[list[LogEvent], list[LogEvent],
+                             dict[str, Counter] | None]:
+    """Partition the store into low vs mid/high tiers in a single pass,
+    tallying the manifest breakdowns along the way when asked to."""
+    low_events: list[LogEvent] = []
+    midhigh_events: list[LogEvent] = []
+    counts: dict[str, Counter] | None = None
+    if count:
+        counts = {"event_type": Counter(), "dbms": Counter(),
+                  "interaction": Counter(), "honeypot_id": Counter()}
+    for event in store:
+        if event.interaction == "low":
+            low_events.append(event)
+        else:
+            midhigh_events.append(event)
+        if counts is not None:
+            counts["event_type"][event.event_type] += 1
+            counts["dbms"][event.dbms] += 1
+            counts["interaction"][event.interaction] += 1
+            counts["honeypot_id"][event.honeypot_id] += 1
+    return low_events, midhigh_events, counts
+
+
+def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
+                     result: ExperimentResult,
+                     event_counts: dict[str, Counter] | None,
+                     split: dict[str, int], bytes_io: dict[str, int],
+                     wall_time: float, output_dir: Path) -> None:
+    """Export the trace (if requested) and write ``run_report.json``."""
+    trace_path = None
+    if config.trace_out is not None:
+        trace_path = Path(config.trace_out)
+        if trace_path.suffix == ".jsonl":
+            telemetry.tracer.export_jsonl(trace_path)
+        else:
+            telemetry.tracer.export_chrome(trace_path)
+    event_counts = event_counts or {}
+    manifest = {
+        "schema": obs_report.SCHEMA,
+        "generated_at": obs_report.utc_now_iso(),
+        "config": {
+            "seed": config.seed,
+            "volume_scale": config.volume_scale,
+            "output_dir": str(config.output_dir),
+            "write_raw_logs": config.write_raw_logs,
+            "export_dataset": config.export_dataset,
+        },
+        "wall_time_seconds": wall_time,
+        "phases": telemetry.phases.as_dict(),
+        "visits_total": result.visits_total,
+        "events_total": result.events_total,
+        "events_by_type": dict(event_counts.get("event_type", {})),
+        "events_by_dbms": dict(event_counts.get("dbms", {})),
+        "events_by_interaction": dict(event_counts.get("interaction", {})),
+        "events_by_honeypot": dict(event_counts.get("honeypot_id", {})),
+        "split": split,
+        "db_rows": {"low": count_events(result.low_db),
+                    "midhigh": count_events(result.midhigh_db)},
+        "bytes": bytes_io,
+        "peak_rss_bytes": obs_report.peak_rss_bytes(),
+        "metrics": telemetry.metrics.snapshot(),
+        "trace": {"spans": len(telemetry.tracer.spans),
+                  "path": str(trace_path) if trace_path else None},
+    }
+    result.report = manifest
+    result.report_path = obs_report.write_report(
+        manifest, output_dir / obs_report.REPORT_FILENAME)
+    result.trace_path = trace_path
 
 
 def _compile_visits(world: World, plan: DeploymentPlan,

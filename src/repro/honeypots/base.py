@@ -23,12 +23,22 @@ from repro.pipeline.logstore import (EventSink, EventType, LogEvent,
 
 @dataclass
 class SessionContext:
-    """Everything a session needs to observe its peer and log events."""
+    """Everything a session needs to observe its peer and log events.
+
+    The trailing fields are per-session telemetry counters, maintained
+    by the transports (:class:`MemoryWire`, the TCP server) and
+    :meth:`HoneypotSession.log`; drivers fold them into run totals.
+    """
 
     src_ip: str
     src_port: int
     clock: SimClock
     sink: EventSink
+    #: Bytes received from / sent to the client on this session.
+    bytes_in: int = 0
+    bytes_out: int = 0
+    #: Log events emitted by this session.
+    events: int = 0
 
 
 @dataclass(frozen=True)
@@ -103,6 +113,7 @@ class HoneypotSession(abc.ABC):
             username: str | None = None, password: str | None = None,
             raw: bytes | str | None = None) -> None:
         """Emit one :class:`LogEvent` for this session."""
+        self.context.events += 1
         self.context.sink(LogEvent(
             timestamp=self.context.clock.timestamp(),
             honeypot_id=self.info.honeypot_id,
@@ -168,13 +179,17 @@ class MemoryWire:
             raise RuntimeError("wire already connected")
         self._session = self.honeypot.new_session(self.context)
         self._greeting = self._session.connect()
+        self.context.bytes_out += len(self._greeting)
         return self._greeting
 
     def send(self, data: bytes) -> bytes:
         """Send bytes; returns whatever the server replies."""
         if self._session is None:
             raise RuntimeError("wire not connected")
-        return self._session.receive(data)
+        self.context.bytes_in += len(data)
+        reply = self._session.receive(data)
+        self.context.bytes_out += len(reply)
+        return reply
 
     @property
     def server_closed(self) -> bool:

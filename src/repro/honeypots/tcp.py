@@ -11,6 +11,7 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass
 
+from repro import obs
 from repro.honeypots.base import Honeypot, SessionContext
 from repro.netsim.clock import SimClock
 from repro.pipeline.logstore import EventSink
@@ -49,23 +50,33 @@ class TcpHoneypotServer:
         context = SessionContext(src_ip=peer[0], src_port=peer[1],
                                  clock=self.clock, sink=self.sink)
         session = self.honeypot.new_session(context)
+        metrics = obs.current().metrics
+        dbms = self.honeypot.dbms
+        metrics.inc("tcp.connections", dbms=dbms)
+        metrics.add_gauge("tcp.open_connections", 1, dbms=dbms)
         try:
             greeting = session.connect()
             if greeting:
+                context.bytes_out += len(greeting)
                 writer.write(greeting)
                 await writer.drain()
             while not session.closed:
                 data = await reader.read(65536)
                 if not data:
                     break
+                context.bytes_in += len(data)
                 reply = session.receive(data)
                 if reply:
+                    context.bytes_out += len(reply)
                     writer.write(reply)
                     await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
-            pass
+            metrics.inc("tcp.connection_errors", dbms=dbms)
         finally:
             session.disconnect()
+            metrics.add_gauge("tcp.open_connections", -1, dbms=dbms)
+            metrics.inc("tcp.bytes_in", context.bytes_in, dbms=dbms)
+            metrics.inc("tcp.bytes_out", context.bytes_out, dbms=dbms)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -75,12 +86,20 @@ class TcpHoneypotServer:
 
 
 async def serve_honeypots(honeypots: list[Honeypot], clock: SimClock,
-                          sink: EventSink,
-                          host: str = "127.0.0.1") -> list[TcpHoneypotServer]:
-    """Start one TCP server per honeypot on ephemeral ports."""
+                          sink: EventSink, host: str = "127.0.0.1",
+                          port_base: int | None = None,
+                          ) -> list[TcpHoneypotServer]:
+    """Start one TCP server per honeypot.
+
+    With ``port_base`` set, honeypots get the sequential ports
+    ``port_base, port_base + 1, ...``; otherwise the OS picks ephemeral
+    ports.
+    """
     servers = []
-    for honeypot in honeypots:
-        server = TcpHoneypotServer(honeypot, clock, sink, host=host)
+    for index, honeypot in enumerate(honeypots):
+        port = 0 if port_base is None else port_base + index
+        server = TcpHoneypotServer(honeypot, clock, sink, host=host,
+                                   port=port)
         await server.start()
         servers.append(server)
     return servers

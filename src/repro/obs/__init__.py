@@ -1,0 +1,73 @@
+"""Observability: metrics, spans, phase timers, and run manifests.
+
+The subsystem is bundled behind one object, :class:`Telemetry`::
+
+    telemetry = Telemetry(enabled=True)
+    with obs.install(telemetry):          # visible via obs.current()
+        with telemetry.phases.phase("replay"):
+            with telemetry.tracer.span("replay.visit", actor=ip):
+                ...
+        telemetry.metrics.inc("events", dbms="redis")
+
+Layers that are not handed a telemetry object explicitly (log store,
+clustering, converter) report into ``obs.current()``, which defaults to
+:data:`NULL_TELEMETRY` -- a bundle of no-op implementations -- so
+instrumentation is free unless a driver installs a live bundle.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.metrics import (Histogram, MetricsRegistry,
+                               NullMetricsRegistry)
+from repro.obs.timing import NullPhaseTimer, PhaseTimer, Stopwatch
+from repro.obs.tracing import NullTracer, Tracer
+
+__all__ = [
+    "Histogram", "MetricsRegistry", "NullMetricsRegistry",
+    "NullPhaseTimer", "NullTracer", "PhaseTimer", "Stopwatch",
+    "Telemetry", "Tracer", "NULL_TELEMETRY", "current", "install",
+]
+
+
+class Telemetry:
+    """One run's metrics registry + tracer + phase timer."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        if enabled:
+            self.metrics: MetricsRegistry = MetricsRegistry()
+            self.tracer: Tracer | NullTracer = Tracer()
+            self.phases: PhaseTimer = PhaseTimer()
+        else:
+            self.metrics = NullMetricsRegistry()
+            self.tracer = NullTracer()
+            self.phases = NullPhaseTimer()
+
+    def __repr__(self) -> str:
+        return f"Telemetry(enabled={self.enabled})"
+
+
+#: The always-available no-op bundle.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+_current: Telemetry = NULL_TELEMETRY
+
+
+def current() -> Telemetry:
+    """The installed telemetry bundle (no-op unless a run installed one)."""
+    return _current
+
+
+@contextmanager
+def install(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Make ``telemetry`` the process-wide :func:`current` bundle."""
+    global _current
+    previous = _current
+    _current = telemetry
+    try:
+        yield telemetry
+    finally:
+        _current = previous

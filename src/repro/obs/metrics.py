@@ -1,0 +1,170 @@
+"""Thread-safe in-process metrics: counters, gauges, histograms.
+
+Pure stdlib.  A :class:`MetricsRegistry` stores labeled counters,
+gauges, and log-scale histograms behind one lock; every mutation is a
+single dict update, so instrumented hot paths stay cheap.  The
+:class:`NullMetricsRegistry` turns every mutation into a no-op -- it is
+the default, so un-instrumented runs pay nothing beyond an attribute
+lookup and an empty method call.
+
+Histograms use log-scale (power-of-two) buckets: an observation ``v``
+lands in the bucket with the smallest upper bound ``2**k >= v``.  That
+gives constant memory for value ranges spanning many orders of
+magnitude (microseconds to minutes, single bytes to megabytes).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+#: Labels are passed as keyword arguments and normalized to a sorted
+#: tuple of (key, value) pairs so that label order never matters.
+LabelKey = tuple[str, tuple[tuple[str, object], ...]]
+
+
+def _key(name: str, labels: dict[str, object]) -> LabelKey:
+    return (name, tuple(sorted(labels.items())))
+
+
+class Histogram:
+    """One log-scale histogram series (not thread-safe on its own;
+    the registry serializes access)."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: Upper bucket bound (``2**k``, or ``0.0`` for values <= 0)
+        #: mapped to the number of observations it absorbed.
+        self.buckets: dict[float, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            bound = 0.0
+        else:
+            bound = 2.0 ** math.ceil(math.log2(value))
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": [{"le": bound, "count": count}
+                        for bound, count in sorted(self.buckets.items())],
+        }
+
+
+class MetricsRegistry:
+    """Labeled counters, gauges, and histograms behind one lock."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[LabelKey, float] = {}
+        self._gauges: dict[LabelKey, float] = {}
+        self._histograms: dict[LabelKey, Histogram] = {}
+
+    # -- mutation ---------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels: object) -> None:
+        """Add ``value`` to the counter ``name{labels}``."""
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set the gauge ``name{labels}`` to ``value``."""
+        with self._lock:
+            self._gauges[_key(name, labels)] = value
+
+    def add_gauge(self, name: str, delta: float, **labels: object) -> None:
+        """Move the gauge ``name{labels}`` by ``delta`` (from 0)."""
+        key = _key(name, labels)
+        with self._lock:
+            self._gauges[key] = self._gauges.get(key, 0) + delta
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record ``value`` into the histogram ``name{labels}``."""
+        key = _key(name, labels)
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = Histogram()
+            histogram.observe(value)
+
+    # -- reads ------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Current value of one exact counter series (0 if unseen)."""
+        with self._lock:
+            return self._counters.get(_key(name, labels), 0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all of its label sets."""
+        with self._lock:
+            return sum(value for (metric, _), value
+                       in self._counters.items() if metric == name)
+
+    def gauge_value(self, name: str, **labels: object) -> float:
+        with self._lock:
+            return self._gauges.get(_key(name, labels), 0)
+
+    def histogram(self, name: str, **labels: object) -> Histogram | None:
+        with self._lock:
+            return self._histograms.get(_key(name, labels))
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every series, sorted by name."""
+        with self._lock:
+            return {
+                "counters": [
+                    {"name": name, "labels": dict(labels), "value": value}
+                    for (name, labels), value
+                    in sorted(self._counters.items())],
+                "gauges": [
+                    {"name": name, "labels": dict(labels), "value": value}
+                    for (name, labels), value
+                    in sorted(self._gauges.items())],
+                "histograms": [
+                    {"name": name, "labels": dict(labels),
+                     **histogram.snapshot()}
+                    for (name, labels), histogram
+                    in sorted(self._histograms.items())],
+            }
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """A registry that drops everything -- the zero-cost default."""
+
+    enabled = False
+
+    def inc(self, name: str, value: float = 1, **labels: object) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def add_gauge(self, name: str, delta: float, **labels: object) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        pass

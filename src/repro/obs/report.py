@@ -1,0 +1,164 @@
+"""Run manifests (``run_report.json``) and their human-readable summary.
+
+A manifest is a plain JSON document describing one experiment run:
+phase wall-times, event counts broken down by type / DBMS / interaction
+/ honeypot, visits replayed, bytes exchanged, database row counts, and
+peak RSS.  :func:`write_report` / :func:`load_report` round-trip it;
+:func:`format_summary` renders the table shown by ``repro stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: Manifest schema identifier; bump the suffix on breaking changes.
+SCHEMA = "repro.run_report/1"
+
+#: Default manifest file name, written next to the SQLite databases.
+REPORT_FILENAME = "run_report.json"
+
+
+def peak_rss_bytes() -> int | None:
+    """Peak resident set size of this process, or ``None`` if unknown."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return rss if sys.platform == "darwin" else rss * 1024
+
+
+def write_report(manifest: dict, path: str | Path) -> Path:
+    """Serialize ``manifest`` to ``path`` as pretty-printed JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    """Load and validate a manifest written by :func:`write_report`.
+
+    Raises
+    ------
+    ValueError
+        If the file is not a run-report manifest.
+    """
+    with open(path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    schema = manifest.get("schema", "") if isinstance(manifest, dict) else ""
+    if not str(schema).startswith("repro.run_report/"):
+        raise ValueError(f"{path} is not a run_report manifest "
+                         f"(schema={schema!r})")
+    return manifest
+
+
+def utc_now_iso() -> str:
+    """Current wall-clock time as an ISO-8601 UTC string."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Minimal fixed-width table (kept local: obs must stay stdlib-only
+    and not pull in the numpy-backed analysis layer)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [max(len(header), *(len(row[i]) for row in cells))
+              if cells else len(header)
+              for i, header in enumerate(headers)]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    lines += ["  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+              for row in cells]
+    return "\n".join(lines)
+
+
+def _format_bytes(count: object) -> str:
+    try:
+        count = float(count)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return "?"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return (f"{count:.0f} {unit}" if unit == "B"
+                    else f"{count:.1f} {unit}")
+        count /= 1024
+    return "?"  # pragma: no cover
+
+
+def format_summary(manifest: dict) -> str:
+    """Render a manifest as the human-readable ``repro stats`` report."""
+    sections: list[str] = []
+    config = manifest.get("config", {})
+    sections.append(
+        f"run report ({manifest.get('generated_at', 'unknown time')})\n"
+        f"  seed={config.get('seed')}  scale={config.get('volume_scale')}"
+        f"  output={config.get('output_dir')}")
+
+    wall = manifest.get("wall_time_seconds")
+    phases = manifest.get("phases", {})
+    if phases:
+        total = sum(phases.values()) or 1.0
+        reference = wall if wall else total
+        rows = [[name, f"{seconds:.3f}",
+                 f"{100.0 * seconds / reference:.1f}%"]
+                for name, seconds in phases.items()]
+        rows.append(["(total)", f"{sum(phases.values()):.3f}", ""])
+        if wall is not None:
+            rows.append(["(wall)", f"{wall:.3f}", "100.0%"])
+        sections.append("phases\n" + _format_table(
+            ["phase", "seconds", "share"], rows))
+
+    totals = [
+        ["visits", manifest.get("visits_total", "?")],
+        ["events", manifest.get("events_total", "?")],
+    ]
+    split = manifest.get("split", {})
+    if split:
+        totals.append(["events (low tier)", split.get("low", "?")])
+        totals.append(["events (mid/high tier)", split.get("midhigh", "?")])
+    db_rows = manifest.get("db_rows", {})
+    if db_rows:
+        totals.append(["db rows (low)", db_rows.get("low", "?")])
+        totals.append(["db rows (midhigh)", db_rows.get("midhigh", "?")])
+    io = manifest.get("bytes", {})
+    if io:
+        totals.append(["bytes in",
+                       f"{io.get('in', '?')} ({_format_bytes(io.get('in'))})"])
+        totals.append(["bytes out",
+                       f"{io.get('out', '?')} "
+                       f"({_format_bytes(io.get('out'))})"])
+    rss = manifest.get("peak_rss_bytes")
+    if rss is not None:
+        totals.append(["peak RSS", _format_bytes(rss)])
+    sections.append("totals\n" + _format_table(["metric", "value"], totals))
+
+    for key, title in (("events_by_type", "events by type"),
+                       ("events_by_dbms", "events by dbms"),
+                       ("events_by_interaction", "events by interaction")):
+        counts = manifest.get(key)
+        if counts:
+            rows = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+            sections.append(title + "\n" + _format_table(
+                ["key", "count"], [[k, v] for k, v in rows]))
+
+    by_honeypot = manifest.get("events_by_honeypot")
+    if by_honeypot:
+        rows = sorted(by_honeypot.items(), key=lambda kv: (-kv[1], kv[0]))
+        shown = rows[:15]
+        table = _format_table(["honeypot", "count"],
+                              [[k, v] for k, v in shown])
+        if len(rows) > len(shown):
+            table += f"\n... and {len(rows) - len(shown)} more honeypots"
+        sections.append("busiest honeypots\n" + table)
+
+    trace = manifest.get("trace", {})
+    if trace.get("spans"):
+        where = trace.get("path") or "(not exported; pass --trace-out)"
+        sections.append(f"trace: {trace['spans']} spans  {where}")
+    return "\n\n".join(sections)

@@ -1,0 +1,103 @@
+"""``perf_counter``-based phase stopwatches.
+
+:class:`PhaseTimer` accumulates wall time per named phase::
+
+    timer = PhaseTimer()
+    with timer.phase("build_world"):
+        ...
+    timer.as_dict()  # {"build_world": 0.42}
+
+Re-entering a phase name accumulates (useful for per-batch loops).
+:class:`Stopwatch` is the single-interval variant.  The null versions
+make both free when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class _Phase:
+    __slots__ = ("_timer", "_name", "_start")
+
+    def __init__(self, timer: "PhaseTimer", name: str):
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self) -> "_Phase":
+        self._start = self._timer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._timer.add(self._name, self._timer._clock() - self._start)
+        return False
+
+
+class PhaseTimer:
+    """Accumulates elapsed seconds per named phase, insertion-ordered."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock if clock is not None else time.perf_counter
+        self._phases: dict[str, float] = {}
+
+    def phase(self, name: str) -> _Phase:
+        """Context manager timing one pass through phase ``name``."""
+        return _Phase(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into phase ``name`` directly."""
+        self._phases[name] = self._phases.get(name, 0.0) + seconds
+
+    def total(self) -> float:
+        """Sum of all phase times."""
+        return sum(self._phases.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """Phase -> accumulated seconds, in first-seen order."""
+        return dict(self._phases)
+
+
+class _NullPhase:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class NullPhaseTimer(PhaseTimer):
+    """Times nothing -- the zero-cost default."""
+
+    enabled = False
+
+    def phase(self, name: str) -> _NullPhase:  # type: ignore[override]
+        return _NULL_PHASE
+
+    def add(self, name: str, seconds: float) -> None:
+        pass
+
+
+class Stopwatch:
+    """Single-interval timer: ``with Stopwatch() as w: ...; w.elapsed``."""
+
+    __slots__ = ("_clock", "_start", "elapsed")
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock if clock is not None else time.perf_counter
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.elapsed = self._clock() - self._start
+        return False

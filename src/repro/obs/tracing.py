@@ -1,0 +1,175 @@
+"""Lightweight spans with parent/child nesting.
+
+``tracer.span("convert.enrich", db="low")`` is a context manager; spans
+opened while another span is active on the same thread become its
+children.  Completed spans are recorded as plain dicts and can be
+exported as JSONL (one span per line) or in the Chrome trace-event
+format readable by ``chrome://tracing`` / https://ui.perfetto.dev.
+
+The clock is injectable so tests can produce deterministic traces; the
+default is :func:`time.perf_counter`.  All recorded times are seconds
+relative to the tracer's construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Callable
+
+
+class _SpanContext:
+    """One active span; records itself into the tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
+                 "start", "thread")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_SpanContext":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = next(tracer._ids)
+        self.thread = threading.get_ident()
+        self.start = tracer._clock()
+        stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        end = tracer._clock()
+        stack = tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        tracer._record({
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start - tracer.epoch,
+            "dur": end - self.start,
+            "thread": self.thread,
+            "attrs": self.attrs,
+        })
+        return False
+
+
+class Tracer:
+    """Collects completed spans as dicts (see module docstring)."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock if clock is not None else time.perf_counter
+        self._lock = threading.Lock()
+        self._locals = threading.local()
+        self._ids = itertools.count(1)
+        self.epoch = self._clock()
+        self.spans: list[dict] = []
+
+    def span(self, name: str, **attrs: object) -> _SpanContext:
+        """Open a span; use as ``with tracer.span("phase.step"): ...``."""
+        return _SpanContext(self, name, attrs)
+
+    def _stack(self) -> list:
+        stack = getattr(self._locals, "stack", None)
+        if stack is None:
+            stack = self._locals.stack = []
+        return stack
+
+    def _record(self, span: dict) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    # -- export -----------------------------------------------------------
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write one JSON object per completed span; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            spans = list(self.spans)
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in sorted(spans, key=lambda s: (s["start"], s["id"])):
+                handle.write(json.dumps(span, separators=(",", ":"),
+                                        sort_keys=True) + "\n")
+        return path
+
+    def export_chrome(self, path: str | Path) -> Path:
+        """Write a ``chrome://tracing`` trace-event JSON file.
+
+        Thread idents are remapped to small ``tid`` integers in
+        first-seen order so traces are stable across runs.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            spans = list(self.spans)
+        tids: dict[int, int] = {}
+        events = []
+        for span in sorted(spans, key=lambda s: (s["start"], s["id"])):
+            tid = tids.setdefault(span["thread"], len(tids))
+            args = dict(span["attrs"])
+            args["span_id"] = span["id"]
+            if span["parent"] is not None:
+                args["parent_id"] = span["parent"]
+            events.append({
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(span["start"] * 1e6, 3),
+                "dur": round(span["dur"] * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            })
+        document = {"traceEvents": events, "displayTimeUnit": "ms"}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        return path
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Discards every span -- the zero-cost default."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.spans: list[dict] = []
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("", encoding="utf-8")
+        return path
+
+    def export_chrome(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"displayTimeUnit": "ms", "traceEvents": []}\n',
+                        encoding="utf-8")
+        return path

@@ -10,9 +10,11 @@ collection and analysis.
 from __future__ import annotations
 
 import sqlite3
+import time
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro import obs
 from repro.netsim.geoip import GeoIPDatabase
 from repro.pipeline.enrich import EnrichedEvent, enrich_events
 from repro.pipeline.institutional import InstitutionalScannerList
@@ -63,6 +65,7 @@ def convert_to_sqlite(events: Iterable[LogEvent], db_path: str | Path,
     An existing database at ``db_path`` is replaced.
     Returns the database path.
     """
+    telemetry = obs.current()
     db_path = Path(db_path)
     db_path.parent.mkdir(parents=True, exist_ok=True)
     if db_path.exists():
@@ -70,10 +73,22 @@ def convert_to_sqlite(events: Iterable[LogEvent], db_path: str | Path,
     connection = sqlite3.connect(db_path)
     try:
         connection.executescript(_SCHEMA)
-        rows = (_row(enriched)
-                for enriched in enrich_events(events, geoip, scanners))
-        connection.executemany(_INSERT, rows)
-        connection.commit()
+        with telemetry.tracer.span("convert.enrich", db=db_path.name):
+            start = time.perf_counter()
+            enriched = enrich_events(events, geoip, scanners)
+            telemetry.metrics.observe("convert.enrich_seconds",
+                                      time.perf_counter() - start,
+                                      db=db_path.name)
+        with telemetry.tracer.span("convert.insert", db=db_path.name):
+            start = time.perf_counter()
+            connection.executemany(
+                _INSERT, (_row(event) for event in enriched))
+            connection.commit()
+            telemetry.metrics.observe("convert.insert_seconds",
+                                      time.perf_counter() - start,
+                                      db=db_path.name)
+        telemetry.metrics.inc("convert.rows_written", len(enriched),
+                              db=db_path.name)
     finally:
         connection.close()
     return db_path

@@ -14,6 +14,8 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
+from repro import obs
+
 
 class EventType(str, enum.Enum):
     """Kinds of honeypot observations."""
@@ -94,12 +96,22 @@ MAX_RAW = 2048
 
 
 def truncate_raw(raw: bytes | str | None) -> str | None:
-    """Clamp a raw payload for logging, decoding bytes leniently."""
+    """Clamp a raw payload for logging, decoding bytes leniently.
+
+    Actual clippings are counted in the installed telemetry registry
+    (``logstore.raw_truncated`` / ``logstore.raw_truncated_bytes``) so a
+    run manifest can show how much payload the capture dropped.
+    """
     if raw is None:
         return None
     if isinstance(raw, bytes):
         raw = raw.decode("utf-8", "replace")
-    return raw[:MAX_RAW]
+    if len(raw) > MAX_RAW:
+        metrics = obs.current().metrics
+        metrics.inc("logstore.raw_truncated")
+        metrics.inc("logstore.raw_truncated_chars", len(raw) - MAX_RAW)
+        return raw[:MAX_RAW]
+    return raw
 
 
 class LogStore:

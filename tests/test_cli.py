@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -15,6 +18,8 @@ class TestParser:
         assert args.seed == 2024
         assert args.scale == 0.002
         assert not args.raw_logs
+        assert not args.telemetry
+        assert args.trace_out is None
 
     def test_run_options(self, tmp_path):
         args = build_parser().parse_args(
@@ -23,6 +28,28 @@ class TestParser:
         assert args.seed == 7
         assert args.scale == 0.0005
         assert args.dataset and args.raw_logs
+
+    def test_run_telemetry_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "--telemetry", "--trace-out",
+             str(tmp_path / "t.json")])
+        assert args.telemetry
+        assert args.trace_out == tmp_path / "t.json"
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_serve_port_base(self):
+        args = build_parser().parse_args(["serve", "--port-base", "4000"])
+        assert args.port_base == 4000
+        assert build_parser().parse_args(["serve"]).port_base is None
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.output == Path("experiment-output")
 
 
 class TestCommands:
@@ -50,6 +77,63 @@ class TestCommands:
         code = main(["report", "--output", str(tmp_path / "nope")])
         assert code == 1
         assert "not found" in capsys.readouterr().err
+
+    def test_report_bad_scale_is_distinct_exit_code(self, tmp_path,
+                                                    capsys):
+        code = main(["report", "--output", str(tmp_path),
+                     "--scale", "-0.5"])
+        assert code == 2
+        assert "--scale" in capsys.readouterr().err
+
+    def test_report_output_not_a_directory(self, tmp_path, capsys):
+        bogus = tmp_path / "file.txt"
+        bogus.write_text("hi")
+        code = main(["report", "--output", str(bogus)])
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_run_telemetry_then_stats(self, tmp_path, capsys):
+        output = tmp_path / "exp"
+        trace = output / "trace.json"
+        code = main(["run", "--seed", "5", "--scale", "0.0001",
+                     "--output", str(output), "--telemetry",
+                     "--trace-out", str(trace)])
+        assert code == 0
+        run_out = capsys.readouterr().out
+        assert "report:" in run_out
+
+        manifest_path = output / "run_report.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        assert manifest["events_total"] > 0
+        assert manifest["events_total"] == \
+            sum(manifest["events_by_type"].values())
+        assert trace.exists()
+
+        code = main(["stats", "--output", str(output)])
+        assert code == 0
+        stats_out = capsys.readouterr().out
+        assert "phases" in stats_out
+        assert "replay" in stats_out
+        assert f"{manifest['events_total']}" in stats_out
+
+    def test_trace_out_without_telemetry_is_bad_arguments(self, tmp_path,
+                                                          capsys):
+        code = main(["run", "--output", str(tmp_path), "--trace-out",
+                     str(tmp_path / "t.json")])
+        assert code == 2
+        assert "--telemetry" in capsys.readouterr().err
+
+    def test_stats_missing_manifest_errors(self, tmp_path, capsys):
+        code = main(["stats", "--output", str(tmp_path)])
+        assert code == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_stats_rejects_foreign_json(self, tmp_path, capsys):
+        (tmp_path / "run_report.json").write_text('{"x": 1}',
+                                                  encoding="utf-8")
+        code = main(["stats", "--output", str(tmp_path)])
+        assert code == 1
+        assert "not a run_report" in capsys.readouterr().err
 
     def test_export_dataset_command(self, tmp_path, capsys):
         output = tmp_path / "exp"

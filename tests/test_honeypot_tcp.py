@@ -7,6 +7,7 @@ work against real network clients.
 
 import asyncio
 import threading
+import time
 
 import pytest
 
@@ -122,6 +123,61 @@ def test_mongo_over_tcp(harness):
     documents = client.find_all("customers", "records", batch=3)
     client.close()
     assert len(documents) == 3
+
+
+def test_serve_honeypots_port_base_assigns_sequential_ports():
+    import socket
+
+    from repro.honeypots.tcp import serve_honeypots
+
+    # Find a free region: bind an ephemeral port and use it as the base
+    # (the OS will not hand out nearby ephemeral ports immediately).
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    base = probe.getsockname()[1]
+    probe.close()
+
+    async def scenario():
+        store = LogStore()
+        servers = await serve_honeypots(
+            [RedisHoneypot("pb-redis"), Elasticpot("pb-es")],
+            SimClock(), store.append, port_base=base)
+        try:
+            return [server.port for server in servers]
+        finally:
+            for server in servers:
+                await server.stop()
+
+    ports = asyncio.run(scenario())
+    assert ports == [base, base + 1]
+
+
+def test_tcp_connections_counted_when_telemetry_installed():
+    from repro import obs
+
+    telemetry = obs.Telemetry(enabled=True)
+    metrics = telemetry.metrics
+    with obs.install(telemetry):
+        h = ServerHarness(RedisHoneypot("tcp-redis-metrics"))
+        try:
+            client = RedisClient(TcpWire("127.0.0.1", h.port))
+            client.connect()
+            client.command("PING")
+            client.close()
+            # The handler finalizes its counters asynchronously.
+            deadline = time.monotonic() + 5
+            while (metrics.gauge_value("tcp.open_connections",
+                                       dbms="redis") != 0
+                   or metrics.counter_value("tcp.bytes_out",
+                                            dbms="redis") == 0):
+                assert time.monotonic() < deadline, "handler never closed"
+                time.sleep(0.01)
+        finally:
+            h.stop()
+    assert metrics.counter_value("tcp.connections", dbms="redis") == 1
+    assert metrics.gauge_value("tcp.open_connections", dbms="redis") == 0
+    assert metrics.counter_value("tcp.bytes_in", dbms="redis") > 0
+    assert metrics.counter_value("tcp.bytes_out", dbms="redis") > 0
 
 
 def test_concurrent_sessions_do_not_interleave(harness):

@@ -9,7 +9,8 @@ from repro.pipeline.convert import (convert_to_sqlite, count_events,
                                     open_database, read_events)
 from repro.pipeline.enrich import enrich_events
 from repro.pipeline.institutional import InstitutionalScannerList
-from repro.pipeline.logstore import LogEvent, LogStore, truncate_raw
+from repro.pipeline.logstore import (MAX_RAW, LogEvent, LogStore,
+                                     truncate_raw)
 
 
 def make_event(**overrides) -> LogEvent:
@@ -60,6 +61,50 @@ class TestLogStore:
         assert truncate_raw(None) is None
         assert truncate_raw(b"\xff\xfe") == "��"
         assert len(truncate_raw("x" * 99999)) == 2048
+
+    def test_jsonl_roundtrip_preserves_every_field(self, tmp_path):
+        events = [
+            make_event(event_type="login_attempt", action="login",
+                       username="sa", password="pä55 ☃", raw="SELECT 1;",
+                       timestamp=1711065601.25),
+            make_event(event_type="query", action="KEYS", username=None,
+                       password=None, raw=None, src_port=1),
+        ]
+        store = LogStore()
+        store.extend(events)
+        store.write_consolidated(tmp_path)
+        loaded = LogStore.read_consolidated(tmp_path)
+        assert loaded.events() == events
+
+    def test_truncate_raw_str_passthrough_below_limit(self):
+        assert truncate_raw("short") == "short"
+
+    def test_truncate_raw_exactly_at_limit_untouched(self):
+        payload = "y" * MAX_RAW
+        assert truncate_raw(payload) is payload
+        assert len(truncate_raw("y" * (MAX_RAW + 1))) == MAX_RAW
+
+    def test_truncate_raw_bytes_exactly_at_limit(self):
+        assert truncate_raw(b"z" * MAX_RAW) == "z" * MAX_RAW
+
+    def test_truncate_raw_non_utf8_bytes(self):
+        # Invalid UTF-8 decodes via replacement, then clamps.
+        decoded = truncate_raw(b"\x80\x81ok\xff")
+        assert decoded == "��ok�"
+        long_bad = b"\xff" * (MAX_RAW + 10)
+        assert truncate_raw(long_bad) == "�" * MAX_RAW
+
+    def test_truncation_is_counted_when_telemetry_installed(self):
+        from repro import obs
+
+        telemetry = obs.Telemetry(enabled=True)
+        with obs.install(telemetry):
+            truncate_raw("a" * MAX_RAW)        # not clipped
+            truncate_raw("b" * (MAX_RAW + 7))  # clipped by 7
+        assert telemetry.metrics.counter_value(
+            "logstore.raw_truncated") == 1
+        assert telemetry.metrics.counter_value(
+            "logstore.raw_truncated_chars") == 7
 
 
 class TestEnrichment:
