@@ -8,10 +8,13 @@ Subcommands:
   existing run,
 * ``stats``          -- pretty-print the ``run_report.json`` telemetry
   manifest of a previous ``repro run --telemetry``,
-* ``serve``          -- start live TCP honeypots on loopback and print
-  captured events until interrupted,
+* ``serve``          -- start live TCP honeypots on loopback (supervised,
+  with idle/byte limits) and print captured events until interrupted,
 * ``export-dataset`` -- run a deployment and export the anonymized
-  Appendix-B dataset.
+  Appendix-B dataset,
+* ``chaos``          -- run the deployment under a deterministic
+  fault-injection plan and verify the conservation invariant
+  ``events_generated == events_stored + events_quarantined``.
 
 Exit codes: 0 success, 1 missing input (e.g. no database / manifest at
 ``--output``), 2 bad arguments.
@@ -93,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--port-base", type=int, default=None,
                            help="assign sequential ports starting here "
                                 "instead of OS-picked ephemeral ports")
+    serve_cmd.add_argument("--idle-timeout", type=float, default=300.0,
+                           help="close connections idle for this many "
+                                "seconds (0 disables)")
+    serve_cmd.add_argument("--max-session-bytes", type=int,
+                           default=1 << 20,
+                           help="close connections after this many "
+                                "received bytes (0 disables)")
 
     dataset_cmd = subcommands.add_parser(
         "export-dataset", help="run a deployment and export the "
@@ -101,6 +111,21 @@ def build_parser() -> argparse.ArgumentParser:
     dataset_cmd.add_argument("--scale", type=float, default=0.001)
     dataset_cmd.add_argument("--output", type=Path,
                              default=Path("experiment-output"))
+
+    chaos_cmd = subcommands.add_parser(
+        "chaos", help="run the deployment under a fault-injection plan "
+                      "and verify zero event loss")
+    chaos_cmd.add_argument("--plan", default="all",
+                           help="builtin plan name (see --list-plans) or "
+                                "a JSON file {site: {probability, "
+                                "max_fires, start_after}}")
+    chaos_cmd.add_argument("--seed", type=int, default=2024)
+    chaos_cmd.add_argument("--scale", type=float, default=0.0005,
+                           help="login-volume scale factor")
+    chaos_cmd.add_argument("--output", type=Path,
+                           default=Path("chaos-output"))
+    chaos_cmd.add_argument("--list-plans", action="store_true",
+                           help="list the builtin fault plans and exit")
     return parser
 
 
@@ -206,6 +231,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.honeypots.tcp import serve_honeypots
     from repro.netsim.clock import SimClock
     from repro.pipeline.logstore import LogStore
+    from repro.resilience import ServerSupervisor
 
     async def serve() -> None:
         clock = SimClock()
@@ -220,10 +246,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             Elasticpot("serve-elasticsearch"),
             MongoHoneypot("serve-mongodb"),
         ]
-        servers = await serve_honeypots(honeypots, clock, store.append,
-                                        host=args.host,
-                                        port_base=args.port_base)
-        print("honeypots listening:")
+        servers = await serve_honeypots(
+            honeypots, clock, store.append, host=args.host,
+            port_base=args.port_base,
+            idle_timeout=args.idle_timeout or None,
+            max_session_bytes=args.max_session_bytes or None)
+        supervisor = ServerSupervisor(servers)
+        await supervisor.start()
+        print("honeypots listening (supervised):")
         for server in servers:
             print(f"  {server.honeypot.dbms:15s} "
                   f"{args.host}:{server.port}")
@@ -239,6 +269,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except asyncio.CancelledError:
             pass
         finally:
+            await supervisor.stop()
             for server in servers:
                 await server.stop()
 
@@ -247,6 +278,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nstopped")
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience import faults
+
+    if args.list_plans:
+        for name in sorted(faults.BUILTIN_PLANS):
+            sites = sorted(faults.BUILTIN_PLANS[name]) or ["(no faults)"]
+            print(f"{name:15s} {', '.join(sites)}")
+        return 0
+    try:
+        plan = faults.load_plan(args.plan, seed=args.seed)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    result = run_experiment(ExperimentConfig(
+        seed=args.seed, volume_scale=args.scale, output_dir=args.output,
+        telemetry=True, fault_plan=plan))
+
+    print(f"plan:        {plan.name} (seed {args.seed})")
+    for site, stats in sorted(plan.snapshot().items()):
+        print(f"  {site:18s} fired {stats['fires']:,} / "
+              f"{stats['evaluations']:,} evaluations")
+    print(f"generated:   {result.events_generated:,} events")
+    print(f"stored:      {result.events_total:,} events")
+    print(f"quarantined: {result.events_quarantined:,} events "
+          f"in {result.quarantined_visits:,} visits")
+    if result.quarantine_path:
+        print(f"dead letter: {result.quarantine_path}")
+    if result.report_path:
+        print(f"report:      {result.report_path}")
+    if result.conservation_ok:
+        print("conservation: OK "
+              "(generated == stored + quarantined)")
+        return 0
+    print("conservation: VIOLATED "
+          f"({result.events_generated:,} != {result.events_total:,} + "
+          f"{result.events_quarantined:,})", file=sys.stderr)
+    return 1
 
 
 def cmd_export_dataset(args: argparse.Namespace) -> int:
@@ -266,6 +337,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": cmd_stats,
         "serve": cmd_serve,
         "export-dataset": cmd_export_dataset,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -34,6 +34,12 @@ from repro.netsim.clock import EXPERIMENT_START, SimClock
 from repro.obs import report as obs_report
 from repro.pipeline.convert import convert_to_sqlite, count_events
 from repro.pipeline.logstore import LogEvent, LogStore
+from repro.resilience import faults
+from repro.resilience.deadletter import DeadLetterWriter
+
+#: Dead-letter file for quarantined visits, written under the run's
+#: output directory (only when something was actually quarantined).
+QUARANTINE_FILENAME = "quarantine.jsonl"
 
 
 @dataclass(frozen=True)
@@ -53,6 +59,9 @@ class ExperimentConfig:
     #: With telemetry, also export the span trace here (``.jsonl`` for
     #: JSON-lines, anything else for Chrome trace-event format).
     trace_out: Path | None = None
+    #: Fault plan to install for the run (chaos mode); ``None`` runs
+    #: clean.  See :mod:`repro.resilience.faults`.
+    fault_plan: faults.FaultPlan | None = None
 
 
 @dataclass
@@ -72,6 +81,18 @@ class ExperimentResult:
     report: dict | None = None
     report_path: Path | None = None
     trace_path: Path | None = None
+    #: Conservation accounting: every generated event is either stored
+    #: (``events_total``) or quarantined with its crashed visit.
+    events_generated: int = 0
+    events_quarantined: int = 0
+    quarantined_visits: int = 0
+    quarantine_path: Path | None = None
+
+    @property
+    def conservation_ok(self) -> bool:
+        """``events_generated == events_stored + events_quarantined``."""
+        return (self.events_generated
+                == self.events_total + self.events_quarantined)
 
 
 @dataclass
@@ -87,6 +108,9 @@ class _DriverWire:
     def send(self, data: bytes) -> bytes:
         if self.inner.server_closed:
             raise WireError("connection closed by server")
+        faults.current().maybe_raise(
+            "wire.disconnect",
+            lambda: WireError("connection reset by peer (injected)"))
         return self.inner.send(data)
 
     def close(self) -> None:
@@ -97,7 +121,7 @@ def run_experiment(config: ExperimentConfig = ExperimentConfig()
                    ) -> ExperimentResult:
     """Run the full deployment window and produce the SQLite databases."""
     telemetry = obs.Telemetry(enabled=config.telemetry)
-    with obs.install(telemetry):
+    with obs.install(telemetry), faults.install(config.fault_plan):
         return _run_instrumented(config, telemetry)
 
 
@@ -118,6 +142,11 @@ def _run_instrumented(config: ExperimentConfig,
     open_wires: list[MemoryWire] = []
     bytes_in = 0
     bytes_out = 0
+    metrics = telemetry.metrics
+    dead_letters = DeadLetterWriter(
+        Path(config.output_dir) / QUARANTINE_FILENAME)
+    quarantined_visits = 0
+    events_quarantined = 0
 
     with phases.phase("replay"):
         for offset, actor_ip, sequence, visit in visits:
@@ -133,18 +162,43 @@ def _run_instrumented(config: ExperimentConfig,
                 open_wires.append(wire)
                 return _DriverWire(wire)
 
-            with span("replay.visit", actor=actor_ip,
-                      target=visit.target_key, seq=sequence):
-                visit.script(VisitContext(opener=opener,
-                                          target_key=visit.target_key,
-                                          rng=rng))
+            # Crash containment: a session/script exception quarantines
+            # this one visit (its events go to the dead letter, with the
+            # reason) and the replay continues -- one poisoned session
+            # must never abort the whole deployment window.
+            mark = len(store)
+            failure: Exception | None = None
+            try:
+                with span("replay.visit", actor=actor_ip,
+                          target=visit.target_key, seq=sequence):
+                    faults.current().maybe_raise("visit.crash")
+                    visit.script(VisitContext(opener=opener,
+                                              target_key=visit.target_key,
+                                              rng=rng))
+            except Exception as error:
+                failure = error
             # Close any connection the script left dangling, and fold the
             # per-session byte counters into the run totals.
             for wire in open_wires:
-                wire.close()
+                try:
+                    wire.close()
+                except Exception:
+                    metrics.inc("resilience.close_errors")
                 bytes_in += wire.context.bytes_in
                 bytes_out += wire.context.bytes_out
             open_wires.clear()
+            if failure is not None:
+                events = store.drain_from(mark)
+                dead_letters.quarantine(
+                    "visit", f"{type(failure).__name__}: {failure}",
+                    actor=actor_ip, seq=sequence,
+                    target=visit.target_key, offset=offset,
+                    events=events)
+                metrics.inc("resilience.quarantined")
+                metrics.inc("resilience.events_quarantined", len(events))
+                quarantined_visits += 1
+                events_quarantined += len(events)
+    dead_letters.close()
 
     output_dir = Path(config.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
@@ -178,7 +232,12 @@ def _run_instrumented(config: ExperimentConfig,
         config=config, plan=plan, world=world, low_db=low_db,
         midhigh_db=midhigh_db, events_total=len(store),
         visits_total=len(visits), raw_log_dir=raw_log_dir,
-        dataset_dir=dataset_dir)
+        dataset_dir=dataset_dir,
+        events_generated=store.total_appended,
+        events_quarantined=events_quarantined,
+        quarantined_visits=quarantined_visits,
+        quarantine_path=(dead_letters.path if dead_letters.count
+                         else None))
     if telemetry.enabled:
         wall_time = time.perf_counter() - wall_start
         _finalize_report(config, telemetry, result, event_counts,
@@ -250,6 +309,18 @@ def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
                     "midhigh": count_events(result.midhigh_db)},
         "bytes": bytes_io,
         "peak_rss_bytes": obs_report.peak_rss_bytes(),
+        "resilience": {
+            "events_generated": result.events_generated,
+            "events_stored": result.events_total,
+            "events_quarantined": result.events_quarantined,
+            "quarantined_visits": result.quarantined_visits,
+            "conservation_ok": result.conservation_ok,
+            "dead_letter": (str(result.quarantine_path)
+                            if result.quarantine_path else None),
+            "fault_plan": (config.fault_plan.name
+                           if config.fault_plan else None),
+            "faults": faults.current().snapshot(),
+        },
         "metrics": telemetry.metrics.snapshot(),
         "trace": {"spans": len(telemetry.tracer.spans),
                   "path": str(trace_path) if trace_path else None},

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.netsim.clock import SimClock
 from repro.pipeline.logstore import (EventSink, EventType, LogEvent,
                                      truncate_raw)
+from repro.resilience import faults
 
 
 @dataclass
@@ -183,9 +184,15 @@ class MemoryWire:
         return self._greeting
 
     def send(self, data: bytes) -> bytes:
-        """Send bytes; returns whatever the server replies."""
+        """Send bytes; returns whatever the server replies.
+
+        The ambient fault plan may corrupt or truncate the payload in
+        flight (``wire.corrupt`` / ``wire.truncate``) -- the in-memory
+        analogue of a hostile or lossy network path.
+        """
         if self._session is None:
             raise RuntimeError("wire not connected")
+        data = faults.current().mangle("wire", data)
         self.context.bytes_in += len(data)
         reply = self._session.receive(data)
         self.context.bytes_out += len(reply)

@@ -4,6 +4,13 @@ Used by the live examples and the integration tests: the exact same
 session objects that power the fast in-memory simulation are bound to
 ``asyncio`` stream servers here, so a real ``redis-cli`` or ``psql``
 could talk to them.
+
+This layer is the one that faces abusive clients directly, so it is
+hardened accordingly: any session/parser exception is contained (the
+connection closes cleanly and the server keeps serving), idle
+connections are reaped after ``idle_timeout``, and a session that has
+pushed more than ``max_session_bytes`` at us is cut off -- the
+slow-loris and flood defenses a real database server would have.
 """
 
 from __future__ import annotations
@@ -26,6 +33,10 @@ class TcpHoneypotServer:
     sink: EventSink
     host: str = "127.0.0.1"
     port: int = 0
+    #: Close connections idle for this many seconds (``None`` = never).
+    idle_timeout: float | None = None
+    #: Close connections after this many received bytes (``None`` = no cap).
+    max_session_bytes: int | None = None
 
     def __post_init__(self) -> None:
         self._server: asyncio.AbstractServer | None = None
@@ -44,6 +55,11 @@ class TcpHoneypotServer:
             await self._server.wait_closed()
             self._server = None
 
+    @property
+    def is_serving(self) -> bool:
+        """Whether the listener is up (supervisors poll this)."""
+        return self._server is not None and self._server.is_serving()
+
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         peer = writer.get_extra_info("peername") or ("0.0.0.0", 0)
@@ -61,10 +77,22 @@ class TcpHoneypotServer:
                 writer.write(greeting)
                 await writer.drain()
             while not session.closed:
-                data = await reader.read(65536)
+                if self.idle_timeout is not None:
+                    try:
+                        data = await asyncio.wait_for(
+                            reader.read(65536), self.idle_timeout)
+                    except asyncio.TimeoutError:
+                        metrics.inc("tcp.idle_timeouts", dbms=dbms)
+                        break
+                else:
+                    data = await reader.read(65536)
                 if not data:
                     break
                 context.bytes_in += len(data)
+                if (self.max_session_bytes is not None
+                        and context.bytes_in > self.max_session_bytes):
+                    metrics.inc("tcp.overlimit_closes", dbms=dbms)
+                    break
                 reply = session.receive(data)
                 if reply:
                     context.bytes_out += len(reply)
@@ -72,8 +100,16 @@ class TcpHoneypotServer:
                     await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             metrics.inc("tcp.connection_errors", dbms=dbms)
+        except Exception:
+            # A session/parser bug must never escape into asyncio's
+            # default handler and leave the peer hanging on a dead
+            # socket: contain it, count it, close cleanly below.
+            metrics.inc("tcp.session_errors", dbms=dbms)
         finally:
-            session.disconnect()
+            try:
+                session.disconnect()
+            except Exception:
+                metrics.inc("tcp.session_errors", dbms=dbms)
             metrics.add_gauge("tcp.open_connections", -1, dbms=dbms)
             metrics.inc("tcp.bytes_in", context.bytes_in, dbms=dbms)
             metrics.inc("tcp.bytes_out", context.bytes_out, dbms=dbms)
@@ -88,18 +124,28 @@ class TcpHoneypotServer:
 async def serve_honeypots(honeypots: list[Honeypot], clock: SimClock,
                           sink: EventSink, host: str = "127.0.0.1",
                           port_base: int | None = None,
+                          idle_timeout: float | None = None,
+                          max_session_bytes: int | None = None,
                           ) -> list[TcpHoneypotServer]:
     """Start one TCP server per honeypot.
 
     With ``port_base`` set, honeypots get the sequential ports
     ``port_base, port_base + 1, ...``; otherwise the OS picks ephemeral
-    ports.
+    ports.  If any ``start()`` fails (e.g. a port already bound), the
+    servers started so far are stopped before the error propagates, so
+    a partial farm never leaks listeners.
     """
-    servers = []
+    servers: list[TcpHoneypotServer] = []
     for index, honeypot in enumerate(honeypots):
         port = 0 if port_base is None else port_base + index
         server = TcpHoneypotServer(honeypot, clock, sink, host=host,
-                                   port=port)
-        await server.start()
+                                   port=port, idle_timeout=idle_timeout,
+                                   max_session_bytes=max_session_bytes)
+        try:
+            await server.start()
+        except Exception:
+            for started in servers:
+                await started.stop()
+            raise
         servers.append(server)
     return servers

@@ -138,6 +138,28 @@ def format_summary(manifest: dict) -> str:
         totals.append(["peak RSS", _format_bytes(rss)])
     sections.append("totals\n" + _format_table(["metric", "value"], totals))
 
+    resilience = manifest.get("resilience", {})
+    if resilience:
+        rows = [
+            ["events generated", resilience.get("events_generated", "?")],
+            ["events stored", resilience.get("events_stored", "?")],
+            ["events quarantined",
+             resilience.get("events_quarantined", "?")],
+            ["quarantined visits",
+             resilience.get("quarantined_visits", "?")],
+            ["conservation",
+             "OK" if resilience.get("conservation_ok") else "VIOLATED"],
+        ]
+        if resilience.get("fault_plan"):
+            rows.append(["fault plan", resilience["fault_plan"]])
+        for site, stats in sorted(resilience.get("faults", {}).items()):
+            rows.append([f"fault {site}",
+                         f"{stats.get('fires', '?')} fires"])
+        if resilience.get("dead_letter"):
+            rows.append(["dead letter", resilience["dead_letter"]])
+        sections.append("resilience\n" + _format_table(
+            ["metric", "value"], rows))
+
     for key, title in (("events_by_type", "events by type"),
                        ("events_by_dbms", "events by dbms"),
                        ("events_by_interaction", "events by interaction")):

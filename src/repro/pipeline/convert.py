@@ -9,6 +9,7 @@ collection and analysis.
 
 from __future__ import annotations
 
+import random
 import sqlite3
 import time
 from pathlib import Path
@@ -19,6 +20,8 @@ from repro.netsim.geoip import GeoIPDatabase
 from repro.pipeline.enrich import EnrichedEvent, enrich_events
 from repro.pipeline.institutional import InstitutionalScannerList
 from repro.pipeline.logstore import LogEvent
+from repro.resilience import faults
+from repro.resilience.retry import sqlite_busy_retry
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS events (
@@ -81,9 +84,23 @@ def convert_to_sqlite(events: Iterable[LogEvent], db_path: str | Path,
                                       db=db_path.name)
         with telemetry.tracer.span("convert.insert", db=db_path.name):
             start = time.perf_counter()
-            connection.executemany(
-                _INSERT, (_row(event) for event in enriched))
-            connection.commit()
+            rows = [_row(event) for event in enriched]
+
+            def insert() -> None:
+                # Transient lock (a concurrent writer, or the injected
+                # `sqlite.locked` fault) must not abort a whole replay:
+                # the insert is one transaction, rolled back and retried
+                # with exponential backoff.
+                faults.current().maybe_raise(
+                    "sqlite.locked",
+                    lambda: sqlite3.OperationalError("database is locked"))
+                connection.executemany(_INSERT, rows)
+                connection.commit()
+
+            sqlite_busy_retry(
+                insert, reset=connection.rollback,
+                rng=random.Random(f"sqlite-retry:{db_path.name}"),
+                db=db_path.name)
             telemetry.metrics.observe("convert.insert_seconds",
                                       time.perf_counter() - start,
                                       db=db_path.name)

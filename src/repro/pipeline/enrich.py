@@ -10,9 +10,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro import obs
+from repro.netsim.asdb import ASType
 from repro.netsim.geoip import GeoIPDatabase
 from repro.pipeline.institutional import InstitutionalScannerList
 from repro.pipeline.logstore import LogEvent
+from repro.resilience import faults
+
+#: Metadata applied when a lookup fails: the event is kept, attributed
+#: to an unknown origin, rather than dropped.
+_FALLBACK = ("Unknown", None, "Unknown", ASType.UNKNOWN.value, False)
 
 
 @dataclass(frozen=True)
@@ -41,11 +48,19 @@ def enrich_events(events: Iterable[LogEvent], geoip: GeoIPDatabase,
     for event in events:
         metadata = cache.get(event.src_ip)
         if metadata is None:
-            record = geoip.lookup(event.src_ip)
-            metadata = (record.country, record.asn, record.as_name,
-                        record.as_type.value,
-                        scanners.is_institutional(event.src_ip, record.asn))
-            cache[event.src_ip] = metadata
+            try:
+                faults.current().maybe_raise("enrich.lookup")
+                record = geoip.lookup(event.src_ip)
+                metadata = (record.country, record.asn, record.as_name,
+                            record.as_type.value,
+                            scanners.is_institutional(event.src_ip,
+                                                      record.asn))
+                # Only successes are cached: a transient failure must
+                # not pin an IP to "Unknown" for the rest of the run.
+                cache[event.src_ip] = metadata
+            except Exception:
+                obs.current().metrics.inc("resilience.enrich_fallbacks")
+                metadata = _FALLBACK
         country, asn, as_name, as_type, institutional = metadata
         enriched.append(EnrichedEvent(event, country, asn, as_name,
                                       as_type, institutional))

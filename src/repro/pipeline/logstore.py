@@ -124,14 +124,35 @@ class LogStore:
 
     def __init__(self) -> None:
         self._events: list[LogEvent] = []
+        #: Lifetime append count -- unlike ``len()``, never reduced by
+        #: :meth:`drain_from`, so ``total_appended == len(store) +
+        #: quarantined`` is the store-level conservation invariant.
+        self.total_appended = 0
+        #: Malformed JSONL lines skipped by :meth:`read_consolidated`,
+        #: as ``{"path", "line", "raw"}`` records.
+        self.skipped_lines: list[dict] = []
 
     def append(self, event: LogEvent) -> None:
         """Record one event (usable directly as an :data:`EventSink`)."""
         self._events.append(event)
+        self.total_appended += 1
 
     def extend(self, events: Iterable[LogEvent]) -> None:
         """Record many events."""
+        before = len(self._events)
         self._events.extend(events)
+        self.total_appended += len(self._events) - before
+
+    def drain_from(self, start: int) -> list[LogEvent]:
+        """Remove and return every event from index ``start`` on.
+
+        Crash containment uses this to pull a quarantined visit's
+        events back out of the store; :attr:`total_appended` still
+        counts them as generated.
+        """
+        drained = self._events[start:]
+        del self._events[start:]
+        return drained
 
     def events(self) -> list[LogEvent]:
         """All recorded events, in arrival order."""
@@ -165,12 +186,26 @@ class LogStore:
 
     @classmethod
     def read_consolidated(cls, directory: str | Path) -> "LogStore":
-        """Load every ``.jsonl`` file under ``directory``."""
+        """Load every ``.jsonl`` file under ``directory``.
+
+        Malformed lines (truncated writes, disk corruption) are skipped
+        and quarantined into :attr:`skipped_lines` -- counted as
+        ``logstore.malformed_lines`` in the installed metrics -- so one
+        damaged file never blocks converting the rest of a capture.
+        """
         store = cls()
         for path in sorted(Path(directory).glob("*.jsonl")):
             with open(path, encoding="utf-8") as handle:
-                for line in handle:
+                for lineno, line in enumerate(handle, 1):
                     line = line.strip()
-                    if line:
+                    if not line:
+                        continue
+                    try:
                         store.append(LogEvent.from_json(line))
+                    except (TypeError, ValueError):
+                        store.skipped_lines.append(
+                            {"path": str(path), "line": lineno,
+                             "raw": line[:200]})
+                        obs.current().metrics.inc(
+                            "logstore.malformed_lines")
         return store

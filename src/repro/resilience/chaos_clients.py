@@ -1,0 +1,105 @@
+"""Abusive TCP clients: the hostile half of the chaos toolkit.
+
+These are the client behaviors that killed real honeypot deployments --
+slow-loris dribbles that pin a connection slot forever, and abrupt RST
+teardowns that surface ``ConnectionResetError`` in whatever await
+happens to be in flight.  The TCP robustness tests (and anyone chaosing
+a live ``repro serve``) aim them at :class:`TcpHoneypotServer` to prove
+the idle-timeout / byte-cap / containment hardening holds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+
+async def slow_loris(host: str, port: int, *, chunks: int = 8,
+                     interval: float = 0.25,
+                     payload: bytes = b"\x00") -> int:
+    """Dribble ``payload`` every ``interval`` seconds, never completing
+    a request; returns how many chunks the server accepted before it
+    (rightly) hung up on us."""
+    reader, writer = await asyncio.open_connection(host, port)
+    sent = 0
+    try:
+        for _ in range(chunks):
+            writer.write(payload)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                break
+            sent += 1
+            # Bail out as soon as the server closes its end.
+            try:
+                data = await asyncio.wait_for(reader.read(65536), interval)
+            except asyncio.TimeoutError:
+                continue
+            if not data:
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    return sent
+
+
+async def abrupt_reset(host: str, port: int, *,
+                       payload: bytes = b"\x16\x03\x01") -> None:
+    """Send a partial payload, then tear the connection down with an RST
+    (SO_LINGER 0) instead of a clean FIN."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(payload)
+    await writer.drain()
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0))
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+
+
+async def flood(host: str, port: int, *, total_bytes: int = 1 << 20,
+                chunk_size: int = 65536) -> int:
+    """Shovel ``total_bytes`` of garbage at the server as fast as the
+    socket allows; returns bytes written before the server cut us off.
+    Exercises the ``max_session_bytes`` cap."""
+    reader, writer = await asyncio.open_connection(host, port)
+    # Flush through to the OS on every drain, so a server that cut us
+    # off is noticed immediately instead of after a megabyte of
+    # user-space buffering.
+    writer.transport.set_write_buffer_limits(0)
+    chunk = b"\xff" * chunk_size
+    written = 0
+    try:
+        while written < total_bytes:
+            writer.write(chunk[:total_bytes - written])
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                break
+            written += min(chunk_size, total_bytes - written)
+            # Probe for the server hanging up: loopback kernel buffers
+            # can swallow megabytes before a write ever fails, so an
+            # explicit EOF check is the only prompt close signal.
+            try:
+                data = await asyncio.wait_for(reader.read(65536), 0.001)
+                if not data:
+                    break
+            except asyncio.TimeoutError:
+                pass
+            except (ConnectionResetError, BrokenPipeError):
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    return written

@@ -1,0 +1,74 @@
+"""Dead-letter JSONL sink for quarantined work.
+
+When crash containment pulls a poisoned visit (or any other unit of
+work) out of the main data path, its events and failure reason land
+here instead of vanishing -- the file is the audit trail that makes the
+conservation invariant ``generated == stored + quarantined`` checkable,
+and each record carries enough context to replay the failure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro import obs
+
+
+class DeadLetterWriter:
+    """Append-only writer of one JSON object per quarantined record.
+
+    The file is created lazily on the first quarantine, so clean runs
+    leave no empty dead-letter file behind.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.count = 0
+        self._handle: IO[str] | None = None
+
+    def quarantine(self, kind: str, reason: str, *,
+                   events: Iterable[object] = (),
+                   **context: object) -> dict:
+        """Record one quarantined unit; returns the record written."""
+        record = {
+            "kind": kind,
+            "reason": reason,
+            **context,
+            "events": [asdict(event) if is_dataclass(event) else event
+                       for event in events],
+        }
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write(json.dumps(record, separators=(",", ":"),
+                                      ensure_ascii=False) + "\n")
+        self._handle.flush()
+        self.count += 1
+        obs.current().metrics.inc("resilience.dead_letters", kind=kind)
+        return record
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "DeadLetterWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_dead_letters(path: str | Path) -> list[dict]:
+    """Load every record of a dead-letter file (for tests and triage)."""
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

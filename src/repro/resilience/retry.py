@@ -1,0 +1,93 @@
+"""Retry with exponential backoff + deterministic jitter.
+
+The converter's SQLite writes are the main consumer: a locked database
+(another process holding the write lock, or an injected
+``sqlite.locked`` fault) is transient, so the correct response is to
+back off and try again -- not to abort a 20-day replay at the final
+step.  Retry counts flow into the ambient metrics registry so the run
+manifest shows how hard the run had to fight.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro import obs
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shape of one backoff schedule.
+
+    Delays double from ``base_delay`` up to ``max_delay``; each sleep is
+    stretched by up to ``jitter * delay`` drawn from the caller's rng,
+    so lock-step retry storms de-synchronize while a seeded rng keeps
+    the schedule reproducible.
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    jitter: float = 0.5
+
+
+def run_with_retry(action: Callable[[], T], *,
+                   is_retryable: Callable[[BaseException], bool],
+                   policy: RetryPolicy = RetryPolicy(),
+                   rng: random.Random | None = None,
+                   sleep: Callable[[float], None] = time.sleep,
+                   reset: Callable[[], None] | None = None,
+                   metric: str = "resilience.retries",
+                   **labels: object) -> T:
+    """Run ``action``, retrying failures ``is_retryable`` accepts.
+
+    ``reset`` (e.g. ``connection.rollback``) runs before each retry to
+    undo partial effects.  The final attempt's exception propagates;
+    non-retryable exceptions propagate immediately.  Each retry
+    increments ``metric{labels}``.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    metrics = obs.current().metrics
+    delay = policy.base_delay
+    for attempt in range(1, policy.attempts + 1):
+        try:
+            return action()
+        except Exception as error:
+            if attempt >= policy.attempts or not is_retryable(error):
+                raise
+            metrics.inc(metric, **labels)
+            if reset is not None:
+                try:
+                    reset()
+                except Exception:
+                    pass
+            sleep(min(delay * (1.0 + policy.jitter * rng.random()),
+                      policy.max_delay))
+            delay *= 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def is_sqlite_busy(error: BaseException) -> bool:
+    """Whether ``error`` is SQLite's transient lock/busy condition."""
+    if not isinstance(error, sqlite3.OperationalError):
+        return False
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
+
+
+def sqlite_busy_retry(action: Callable[[], T], *,
+                      policy: RetryPolicy = RetryPolicy(),
+                      rng: random.Random | None = None,
+                      sleep: Callable[[float], None] = time.sleep,
+                      reset: Callable[[], None] | None = None,
+                      **labels: object) -> T:
+    """Retry ``action`` over ``database is locked`` / ``busy`` errors."""
+    return run_with_retry(action, is_retryable=is_sqlite_busy,
+                          policy=policy, rng=rng, sleep=sleep, reset=reset,
+                          metric="resilience.sqlite_retries", **labels)

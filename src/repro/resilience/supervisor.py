@@ -1,0 +1,103 @@
+"""Supervised TCP honeypot servers: restart on crash, bounded backoff.
+
+Alata et al.'s lesson from long-running honeypot deployments is that
+the *farm* must outlive any single listener: a crashed server that
+stays down both loses data and fingerprints the deployment (a real
+database would be restarted by its init system).  The supervisor
+watches a set of servers and restarts any that stop serving, with
+exponential backoff and a restart budget so a hard-broken listener
+cannot flap forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro import obs
+
+if TYPE_CHECKING:  # duck-typed at runtime to avoid an import cycle
+    from repro.honeypots.tcp import TcpHoneypotServer
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Restart discipline for one supervisor."""
+
+    #: How often to probe server liveness, seconds.
+    check_interval: float = 0.5
+    #: First restart delay; doubles per consecutive restart of a server.
+    base_backoff: float = 0.1
+    max_backoff: float = 5.0
+    #: Give up on a server after this many restarts.
+    max_restarts: int = 5
+
+
+class ServerSupervisor:
+    """Watches :class:`TcpHoneypotServer` objects and restarts dead ones."""
+
+    def __init__(self, servers: "Sequence[TcpHoneypotServer]",
+                 policy: SupervisorPolicy = SupervisorPolicy()):
+        self.servers = list(servers)
+        self.policy = policy
+        self.restarts: dict[int, int] = {}
+        self.abandoned: set[int] = set()
+        self._task: asyncio.Task | None = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Begin watching (servers must already be started)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._watch())
+
+    async def stop(self) -> None:
+        """Stop watching; the servers themselves are left to the caller."""
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    # -- reads ------------------------------------------------------------
+
+    def restarts_total(self) -> int:
+        """Restarts performed across all supervised servers."""
+        return sum(self.restarts.values())
+
+    # -- internals --------------------------------------------------------
+
+    async def _watch(self) -> None:
+        while True:
+            await asyncio.sleep(self.policy.check_interval)
+            for index, server in enumerate(self.servers):
+                if index in self.abandoned or server.is_serving:
+                    continue
+                await self._restart(index, server)
+
+    async def _restart(self, index: int,
+                       server: "TcpHoneypotServer") -> None:
+        metrics = obs.current().metrics
+        dbms = server.honeypot.dbms
+        count = self.restarts.get(index, 0) + 1
+        self.restarts[index] = count
+        if count > self.policy.max_restarts:
+            self.abandoned.add(index)
+            metrics.inc("resilience.servers_abandoned", dbms=dbms)
+            return
+        await asyncio.sleep(min(
+            self.policy.base_backoff * 2 ** (count - 1),
+            self.policy.max_backoff))
+        try:
+            await server.stop()  # release any half-dead listener first
+            await server.start()
+        except OSError:
+            # Port still unavailable; the next tick tries again (and
+            # burns another unit of the restart budget).
+            metrics.inc("resilience.server_restart_failures", dbms=dbms)
+            return
+        metrics.inc("resilience.server_restarts", dbms=dbms)

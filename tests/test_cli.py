@@ -51,6 +51,20 @@ class TestParser:
         args = build_parser().parse_args(["stats"])
         assert args.output == Path("experiment-output")
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.plan == "all"
+        assert args.seed == 2024
+        assert args.scale == 0.0005
+        assert not args.list_plans
+
+    def test_serve_limit_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--idle-timeout", "10", "--max-session-bytes",
+             "4096"])
+        assert args.idle_timeout == 10.0
+        assert args.max_session_bytes == 4096
+
 
 class TestCommands:
     def test_run_then_report(self, tmp_path, capsys):
@@ -134,6 +148,33 @@ class TestCommands:
         code = main(["stats", "--output", str(tmp_path)])
         assert code == 1
         assert "not a run_report" in capsys.readouterr().err
+
+    def test_chaos_list_plans(self, capsys):
+        code = main(["chaos", "--list-plans"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("none", "wire-corrupt", "sqlite-lock", "all"):
+            assert name in out
+
+    def test_chaos_unknown_plan_is_bad_arguments(self, tmp_path, capsys):
+        code = main(["chaos", "--plan", "no-such-plan",
+                     "--output", str(tmp_path)])
+        assert code == 2
+        assert "no-such-plan" in capsys.readouterr().err
+
+    def test_chaos_run_conserves_events(self, tmp_path, capsys):
+        output = tmp_path / "chaos"
+        code = main(["chaos", "--plan", "all", "--scale", "0.0002",
+                     "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "conservation: OK" in out
+        manifest = json.loads(
+            (output / "run_report.json").read_text(encoding="utf-8"))
+        section = manifest["resilience"]
+        assert section["conservation_ok"] is True
+        assert section["events_generated"] == \
+            section["events_stored"] + section["events_quarantined"]
 
     def test_export_dataset_command(self, tmp_path, capsys):
         output = tmp_path / "exp"

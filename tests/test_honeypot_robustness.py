@@ -6,6 +6,8 @@ session ever raises on any byte sequence, the connect/disconnect pair
 is always logged, and a session reports closed-state consistently.
 """
 
+import random
+
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
@@ -88,3 +90,53 @@ def test_single_byte_dribble(index):
     # lost state).
     payload = b"PING\r\nGET / HTTP/1.1\r\n\r\n\x00\x01\x02"
     drive(FACTORIES[index], [bytes([b]) for b in payload])
+
+
+GARBAGE_PREFIXES = [
+    b"",
+    b"\x16\x03\x01\x02\x00",            # TLS client hello fragment
+    b"GET /shell?cd+/tmp HTTP/1.1\r\n",  # Mozi-style HTTP probe
+    b"\x00\x00\x00\x00",
+    b"\xff\xfe\xfd",
+    b"SSH-2.0-Go\r\n",
+]
+
+PROTOCOLISH_TAILS = [
+    b"PING\r\n*1\r\n$4\r\nINFO\r\n",
+    b"\x03\x00\x00\x0b\x06\xe0\x00\x00\x00\x00\x00",
+    b'{"query": {"match_all": {}}}\r\n\r\n',
+    b"\x00\x00\x00\x24\x00\x00\x00\x00\xd4\x07\x00\x00",
+    b"LOGIN sa 123456\r\n",
+]
+
+
+def random_splits(rng, payload):
+    """Cut ``payload`` into 1..6 chunks at random byte boundaries."""
+    if len(payload) < 2:
+        return [payload] if payload else []
+    cuts = sorted(rng.sample(range(1, len(payload)),
+                             min(rng.randint(0, 5), len(payload) - 1)))
+    return [payload[a:b]
+            for a, b in zip([0] + cuts, cuts + [len(payload)])]
+
+
+@pytest.mark.parametrize("index", range(len(FACTORIES)))
+def test_seeded_fuzz_byte_splits_and_garbage_prefixes(index):
+    # Deterministic fuzz pass (satellite of the fault-injection PR):
+    # garbage prefixes glued to protocol-ish bytes, re-chunked at random
+    # boundaries.  No exception may escape, and every event the session
+    # does emit must be well-formed (JSON round-trip preserves it).
+    rng = random.Random(f"fuzz:{index}")
+    for round_number in range(12):
+        payload = (rng.choice(GARBAGE_PREFIXES)
+                   + rng.choice(PROTOCOLISH_TAILS)
+                   + bytes(rng.randrange(256)
+                           for _ in range(rng.randint(0, 40))))
+        store = drive(FACTORIES[index], random_splits(rng, payload))
+        for event in store:
+            from repro.pipeline.logstore import LogEvent
+
+            assert LogEvent.from_json(event.to_json()) == event
+            assert event.event_type in {
+                "connect", "disconnect", "login_attempt", "command",
+                "query", "http_request", "malformed"}

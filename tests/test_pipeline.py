@@ -94,6 +94,40 @@ class TestLogStore:
         long_bad = b"\xff" * (MAX_RAW + 10)
         assert truncate_raw(long_bad) == "�" * MAX_RAW
 
+    def test_read_consolidated_skips_malformed_lines(self, tmp_path):
+        from repro import obs
+
+        store = LogStore()
+        store.append(make_event())
+        store.append(make_event(src_port=5556))
+        [path] = store.write_consolidated(tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines.insert(1, "{not json at all")
+        lines.insert(2, '{"valid_json": "but not a LogEvent"}')
+        lines.append("")  # blank lines are fine, not malformed
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        telemetry = obs.Telemetry(enabled=True)
+        with obs.install(telemetry):
+            loaded = LogStore.read_consolidated(tmp_path)
+        # Both good events survive; both bad lines are counted, with
+        # enough context to find them again.
+        assert len(loaded) == 2
+        assert len(loaded.skipped_lines) == 2
+        assert {s["line"] for s in loaded.skipped_lines} == {2, 3}
+        assert all(s["path"].endswith(".jsonl")
+                   for s in loaded.skipped_lines)
+        assert telemetry.metrics.counter_value(
+            "logstore.malformed_lines") == 2
+
+    def test_drain_from_keeps_total_appended(self):
+        store = LogStore()
+        store.extend([make_event(src_port=p) for p in range(4)])
+        drained = store.drain_from(2)
+        assert len(drained) == 2
+        assert len(store) == 2
+        assert store.total_appended == 4
+
     def test_truncation_is_counted_when_telemetry_installed(self):
         from repro import obs
 

@@ -1,0 +1,273 @@
+"""Unit tests for the resilience subsystem: fault plans, retry with
+backoff, and the dead-letter writer."""
+
+import json
+import random
+import sqlite3
+
+import pytest
+
+from repro import obs
+from repro.resilience import faults
+from repro.resilience.deadletter import DeadLetterWriter, read_dead_letters
+from repro.resilience.faults import (BUILTIN_PLANS, NULL_PLAN, FaultPlan,
+                                     FaultSpec, InjectedFault)
+from repro.resilience.retry import (RetryPolicy, is_sqlite_busy,
+                                    run_with_retry, sqlite_busy_retry)
+
+
+class TestFaultPlan:
+    def test_unknown_site_never_fires(self):
+        plan = FaultPlan([FaultSpec("a", probability=1.0)], seed=1)
+        assert not plan.should_fire("b")
+        assert plan.should_fire("a")
+
+    def test_probability_bounds(self):
+        always = FaultPlan([FaultSpec("s", probability=1.0)], seed=3)
+        never = FaultPlan([FaultSpec("s", probability=0.0)], seed=3)
+        assert all(always.should_fire("s") for _ in range(50))
+        assert not any(never.should_fire("s") for _ in range(50))
+
+    def test_deterministic_for_fixed_seed(self):
+        def decisions(seed):
+            plan = FaultPlan([FaultSpec("s", probability=0.3)], seed=seed)
+            return [plan.should_fire("s") for _ in range(200)]
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+        assert any(decisions(7)) and not all(decisions(7))
+
+    def test_max_fires_caps_activations(self):
+        plan = FaultPlan([FaultSpec("s", probability=1.0, max_fires=3)],
+                         seed=0)
+        fired = [plan.should_fire("s") for _ in range(10)]
+        assert fired == [True] * 3 + [False] * 7
+        assert plan.fires("s") == 3
+
+    def test_start_after_skips_initial_evaluations(self):
+        plan = FaultPlan([FaultSpec("s", probability=1.0, start_after=4)],
+                         seed=0)
+        fired = [plan.should_fire("s") for _ in range(6)]
+        assert fired == [False] * 4 + [True] * 2
+
+    def test_maybe_raise_default_and_custom_error(self):
+        plan = FaultPlan([FaultSpec("s")], seed=0)
+        with pytest.raises(InjectedFault, match="s"):
+            plan.maybe_raise("s")
+        with pytest.raises(KeyError):
+            plan.maybe_raise("s", lambda: KeyError("boom"))
+        plan.maybe_raise("unconfigured")  # no-op
+
+    def test_mangle_corrupts_and_truncates(self):
+        plan = FaultPlan([FaultSpec("wire.corrupt", probability=1.0)],
+                         seed=0)
+        data = b"HELLO WORLD"
+        mangled = plan.mangle("wire", data)
+        assert mangled != data and len(mangled) == len(data)
+
+        plan = FaultPlan([FaultSpec("wire.truncate", probability=1.0)],
+                         seed=0)
+        mangled = plan.mangle("wire", data)
+        assert 1 <= len(mangled) < len(data)
+        assert data.startswith(mangled)
+
+    def test_mangle_leaves_empty_payload_alone(self):
+        plan = FaultPlan([FaultSpec("wire.corrupt"),
+                          FaultSpec("wire.truncate")], seed=0)
+        assert plan.mangle("wire", b"") == b""
+        # A 1-byte payload may be corrupted but never truncated away.
+        assert len(plan.mangle("wire", b"x")) == 1
+
+    def test_snapshot_counts_evaluations_and_fires(self):
+        plan = FaultPlan([FaultSpec("s", probability=1.0, max_fires=1)],
+                         seed=0)
+        plan.should_fire("s")
+        plan.should_fire("s")
+        assert plan.snapshot() == {"s": {"evaluations": 2, "fires": 1}}
+        assert plan.fires_total() == 1
+
+    def test_fires_counted_into_installed_metrics(self):
+        telemetry = obs.Telemetry(enabled=True)
+        plan = FaultPlan([FaultSpec("s")], seed=0)
+        with obs.install(telemetry):
+            plan.should_fire("s")
+        assert telemetry.metrics.counter_value("faults.injected",
+                                               site="s") == 1
+
+
+class TestAmbientPlan:
+    def test_default_is_null_plan(self):
+        assert faults.current() is NULL_PLAN
+        assert not NULL_PLAN.should_fire("anything")
+        assert NULL_PLAN.mangle("wire", b"data") == b"data"
+        NULL_PLAN.maybe_raise("anything")
+
+    def test_install_and_restore(self):
+        plan = FaultPlan([FaultSpec("s")], seed=0)
+        with faults.install(plan) as installed:
+            assert installed is plan
+            assert faults.current() is plan
+        assert faults.current() is NULL_PLAN
+
+    def test_install_none_is_null(self):
+        with faults.install(None):
+            assert faults.current() is NULL_PLAN
+
+
+class TestNamedPlans:
+    def test_builtin_all_superset(self):
+        all_sites = set(BUILTIN_PLANS["all"])
+        for name, sites in BUILTIN_PLANS.items():
+            if name != "all":
+                assert set(sites) <= all_sites
+
+    def test_load_builtin_plan(self):
+        plan = faults.load_plan("sqlite-lock", seed=9)
+        assert plan.name == "sqlite-lock"
+        assert plan.seed == 9
+        assert plan.sites == ["sqlite.locked"]
+
+    def test_load_unknown_plan_raises(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            faults.load_plan("no-such-plan")
+
+    def test_load_json_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"wire.corrupt": {"probability": 0.5, "max_fires": 10}}))
+        plan = faults.load_plan(str(path), seed=1)
+        assert plan.name == "plan"
+        assert plan.sites == ["wire.corrupt"]
+
+    def test_load_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            faults.load_plan(str(path))
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            faults.load_plan(str(path))
+
+    def test_plan_from_dict_rejects_unknown_options(self):
+        with pytest.raises(ValueError, match="unknown option"):
+            faults.plan_from_dict({"s": {"probabilty": 0.5}})
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+        sleeps = []
+
+        def action():
+            calls.append(1)
+            if len(calls) < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "done"
+
+        result = sqlite_busy_retry(action, sleep=sleeps.append,
+                                   rng=random.Random(0))
+        assert result == "done"
+        assert len(calls) == 3
+        assert len(sleeps) == 2
+        assert sleeps[1] > sleeps[0]  # exponential backoff
+
+    def test_exhausted_attempts_reraise(self):
+        def action():
+            raise sqlite3.OperationalError("database is locked")
+
+        policy = RetryPolicy(attempts=3, base_delay=0.0)
+        with pytest.raises(sqlite3.OperationalError):
+            sqlite_busy_retry(action, policy=policy, sleep=lambda _: None)
+
+    def test_non_retryable_raises_immediately(self):
+        calls = []
+
+        def action():
+            calls.append(1)
+            raise sqlite3.OperationalError("no such table: events")
+
+        with pytest.raises(sqlite3.OperationalError):
+            sqlite_busy_retry(action, sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_reset_runs_between_attempts(self):
+        resets = []
+        calls = []
+
+        def action():
+            calls.append(1)
+            if len(calls) == 1:
+                raise sqlite3.OperationalError("database is busy")
+            return "ok"
+
+        assert sqlite_busy_retry(action, reset=lambda: resets.append(1),
+                                 sleep=lambda _: None) == "ok"
+        assert resets == [1]
+
+    def test_retries_counted_into_installed_metrics(self):
+        telemetry = obs.Telemetry(enabled=True)
+        calls = []
+
+        def action():
+            calls.append(1)
+            if len(calls) < 2:
+                raise sqlite3.OperationalError("database is locked")
+
+        with obs.install(telemetry):
+            sqlite_busy_retry(action, sleep=lambda _: None, db="low")
+        assert telemetry.metrics.counter_value(
+            "resilience.sqlite_retries", db="low") == 1
+
+    def test_is_sqlite_busy_matcher(self):
+        assert is_sqlite_busy(sqlite3.OperationalError("database is locked"))
+        assert is_sqlite_busy(sqlite3.OperationalError("database is busy"))
+        assert not is_sqlite_busy(sqlite3.OperationalError("syntax error"))
+        assert not is_sqlite_busy(ValueError("locked"))
+
+    def test_run_with_retry_custom_predicate(self):
+        calls = []
+
+        def action():
+            calls.append(1)
+            if len(calls) < 2:
+                raise LookupError("transient")
+            return 42
+
+        assert run_with_retry(
+            action, is_retryable=lambda e: isinstance(e, LookupError),
+            sleep=lambda _: None) == 42
+
+
+class TestDeadLetter:
+    def test_lazy_file_creation(self, tmp_path):
+        writer = DeadLetterWriter(tmp_path / "sub" / "dead.jsonl")
+        assert not writer.path.exists()
+        writer.close()
+        assert not writer.path.exists()
+        assert writer.count == 0
+
+    def test_quarantine_writes_jsonl_records(self, tmp_path):
+        from repro.pipeline.logstore import LogEvent
+
+        event = LogEvent(timestamp=1.0, honeypot_id="hp", honeypot_type="q",
+                         dbms="mysql", interaction="low", config="multi",
+                         src_ip="1.2.3.4", src_port=9, event_type="connect")
+        with DeadLetterWriter(tmp_path / "dead.jsonl") as writer:
+            writer.quarantine("visit", "RuntimeError: boom",
+                              actor="1.2.3.4", seq=0, events=[event])
+            writer.quarantine("line", "bad json", path="x.jsonl")
+            assert writer.count == 2
+        records = read_dead_letters(tmp_path / "dead.jsonl")
+        assert [r["kind"] for r in records] == ["visit", "line"]
+        assert records[0]["reason"] == "RuntimeError: boom"
+        assert records[0]["events"][0]["src_ip"] == "1.2.3.4"
+        assert records[1]["events"] == []
+
+    def test_quarantine_counts_into_installed_metrics(self, tmp_path):
+        telemetry = obs.Telemetry(enabled=True)
+        with obs.install(telemetry):
+            writer = DeadLetterWriter(tmp_path / "dead.jsonl")
+            writer.quarantine("visit", "boom")
+            writer.close()
+        assert telemetry.metrics.counter_value(
+            "resilience.dead_letters", kind="visit") == 1

@@ -1,0 +1,155 @@
+"""Chaos integration: the full experiment under fault injection.
+
+The conservation invariant ``events_generated == events_stored +
+events_quarantined`` must hold under every fault class, runs must be
+deterministic for a fixed seed, and a clean run must be bit-identical
+to one that never imported the resilience machinery.
+"""
+
+import json
+
+import pytest
+
+from repro.deployment import ExperimentConfig, run_experiment
+from repro.pipeline.convert import count_events
+from repro.resilience import faults, read_dead_letters
+
+SCALE = 0.0002
+
+
+def chaos_config(tmp_path, plan_name, seed=2024, **overrides):
+    plan = faults.load_plan(plan_name, seed=seed)
+    defaults = dict(seed=seed, volume_scale=SCALE, output_dir=tmp_path,
+                    telemetry=True, fault_plan=plan)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def clean_run(tmp_path_factory):
+    return run_experiment(ExperimentConfig(
+        seed=2024, volume_scale=SCALE,
+        output_dir=tmp_path_factory.mktemp("clean")))
+
+
+class TestConservation:
+    def test_all_faults_zero_loss(self, tmp_path):
+        result = run_experiment(chaos_config(tmp_path, "all"))
+        assert result.conservation_ok
+        assert result.events_generated > 0
+        assert result.config.fault_plan.fires_total() > 0
+        # Faults actually altered the run.
+        assert result.quarantined_visits > 0
+
+    def test_clean_run_has_trivial_conservation(self, clean_run):
+        assert clean_run.conservation_ok
+        assert clean_run.events_quarantined == 0
+        assert clean_run.quarantined_visits == 0
+        assert clean_run.quarantine_path is None
+        assert clean_run.events_generated == clean_run.events_total
+
+    def test_no_quarantine_file_on_clean_run(self, clean_run):
+        assert not (clean_run.config.output_dir
+                    / "quarantine.jsonl").exists()
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self, tmp_path):
+        first = run_experiment(chaos_config(tmp_path / "a", "all"))
+        second = run_experiment(chaos_config(tmp_path / "b", "all"))
+        assert first.events_total == second.events_total
+        assert first.events_generated == second.events_generated
+        assert first.events_quarantined == second.events_quarantined
+        assert first.quarantined_visits == second.quarantined_visits
+        assert (first.config.fault_plan.snapshot()
+                == second.config.fault_plan.snapshot())
+
+    def test_different_seed_different_faults(self, tmp_path):
+        first = run_experiment(chaos_config(tmp_path / "a", "wire-corrupt",
+                                            seed=1))
+        second = run_experiment(chaos_config(tmp_path / "b", "wire-corrupt",
+                                             seed=2))
+        assert (first.config.fault_plan.snapshot()
+                != second.config.fault_plan.snapshot())
+
+
+class TestQuarantine:
+    def test_crashed_visits_reach_dead_letter(self, tmp_path):
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("visit.crash", probability=0.05)], seed=5,
+            name="crashy")
+        result = run_experiment(ExperimentConfig(
+            seed=2024, volume_scale=SCALE, output_dir=tmp_path,
+            telemetry=True, fault_plan=plan))
+        assert result.quarantined_visits > 0
+        assert result.conservation_ok
+        records = read_dead_letters(result.quarantine_path)
+        assert len(records) == result.quarantined_visits
+        assert all(r["kind"] == "visit" for r in records)
+        assert all("InjectedFault" in r["reason"] for r in records)
+        assert {"actor", "seq", "target", "offset"} <= set(records[0])
+
+    def test_mid_session_crash_quarantines_its_events(self, tmp_path):
+        # Disconnect faults surface as WireError inside scripts; scripts
+        # that don't swallow them crash mid-visit, so their already
+        # emitted events must move to the dead letter, not the DB.
+        plan = faults.FaultPlan(
+            [faults.FaultSpec("wire.disconnect", probability=0.10)],
+            seed=3, name="droppy")
+        result = run_experiment(ExperimentConfig(
+            seed=2024, volume_scale=SCALE, output_dir=tmp_path,
+            telemetry=True, fault_plan=plan))
+        assert result.conservation_ok
+        stored = (count_events(result.low_db)
+                  + count_events(result.midhigh_db))
+        assert stored == result.events_total
+
+
+class TestHardeningUnderFaults:
+    def test_sqlite_lock_survived_by_retry(self, tmp_path):
+        result = run_experiment(chaos_config(tmp_path, "sqlite-lock"))
+        assert result.conservation_ok
+        metrics = result.report["metrics"]
+        retries = [c for c in metrics["counters"]
+                   if c["name"] == "resilience.sqlite_retries"]
+        assert sum(c["value"] for c in retries) == 2
+        assert count_events(result.low_db) > 0
+        assert count_events(result.midhigh_db) > 0
+
+    def test_enrich_failures_fall_back_not_drop(self, tmp_path):
+        result = run_experiment(chaos_config(tmp_path, "enrich-fail"))
+        assert result.conservation_ok
+        fired = result.config.fault_plan.fires("enrich.lookup")
+        assert fired > 0
+        counters = {c["name"]: c["value"]
+                    for c in result.report["metrics"]["counters"]
+                    if not c["labels"]}
+        assert counters["resilience.enrich_fallbacks"] == fired
+        # Every event still made it into the databases.
+        stored = (count_events(result.low_db)
+                  + count_events(result.midhigh_db))
+        assert stored == result.events_total
+
+
+class TestManifest:
+    def test_resilience_section(self, tmp_path):
+        result = run_experiment(chaos_config(tmp_path, "all"))
+        section = result.report["resilience"]
+        assert section["conservation_ok"] is True
+        assert section["events_generated"] == result.events_generated
+        assert section["events_stored"] == result.events_total
+        assert section["events_quarantined"] == result.events_quarantined
+        assert section["fault_plan"] == "all"
+        assert set(section["faults"]) == set(faults.BUILTIN_PLANS["all"])
+        # The manifest on disk round-trips.
+        manifest = json.loads(result.report_path.read_text())
+        assert manifest["resilience"]["conservation_ok"] is True
+
+    def test_clean_telemetry_run_reports_empty_faults(self, tmp_path):
+        result = run_experiment(ExperimentConfig(
+            seed=2024, volume_scale=SCALE, output_dir=tmp_path,
+            telemetry=True))
+        section = result.report["resilience"]
+        assert section["fault_plan"] is None
+        assert section["faults"] == {}
+        assert section["conservation_ok"] is True
