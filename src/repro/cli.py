@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --telemetry, export the span trace "
                               "here (.jsonl for JSON-lines, else Chrome "
                               "chrome://tracing format)")
+    run_cmd.add_argument("--workers", type=int, default=1,
+                         help="replay workers: 1 replays serially, N > 1 "
+                              "shards the visit schedule by target "
+                              "honeypot across N workers (same events, "
+                              "same order)")
 
     report_cmd = subcommands.add_parser(
         "report", help="print the key tables of an existing run")
@@ -126,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
                            default=Path("chaos-output"))
     chaos_cmd.add_argument("--list-plans", action="store_true",
                            help="list the builtin fault plans and exit")
+    chaos_cmd.add_argument("--workers", type=int, default=1,
+                           help="replay workers (see `repro run "
+                                "--workers`); conservation must hold "
+                                "under sharding too")
     return parser
 
 
@@ -133,11 +142,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.trace_out is not None and not args.telemetry:
         print("error: --trace-out requires --telemetry", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
     result = run_experiment(ExperimentConfig(
         seed=args.seed, volume_scale=args.scale,
         output_dir=args.output, write_raw_logs=args.raw_logs,
         export_dataset=args.dataset, telemetry=args.telemetry,
-        trace_out=args.trace_out))
+        trace_out=args.trace_out, workers=args.workers))
+    if args.workers > 1:
+        print(f"replay:   sharded across {args.workers} workers")
     print(f"visits:   {result.visits_total:,}")
     print(f"events:   {result.events_total:,}")
     print(f"low DB:   {result.low_db}")
@@ -294,11 +309,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
     result = run_experiment(ExperimentConfig(
         seed=args.seed, volume_scale=args.scale, output_dir=args.output,
-        telemetry=True, fault_plan=plan))
+        telemetry=True, fault_plan=plan, workers=args.workers))
 
     print(f"plan:        {plan.name} (seed {args.seed})")
+    if args.workers > 1:
+        print(f"replay:      sharded across {args.workers} workers")
     for site, stats in sorted(plan.snapshot().items()):
         print(f"  {site:18s} fired {stats['fires']:,} / "
               f"{stats['evaluations']:,} evaluations")

@@ -1,13 +1,20 @@
 """Experiment deployment and orchestration.
 
 :mod:`repro.deployment.plan` encodes Table 4 (the 278-instance honeypot
-deployment); :mod:`repro.deployment.experiment` replays the 20-day
-collection window against a synthetic actor population and runs the data
-pipeline, producing the SQLite databases the analysis layer consumes.
+deployment); :mod:`repro.deployment.replay` turns the compiled visit
+schedule into an ordered outcome stream (serially, or sharded by actor
+IP across workers); :mod:`repro.deployment.experiment` drives the
+20-day collection window against a synthetic actor population and runs
+the data pipeline, producing the SQLite databases the analysis layer
+consumes.
 """
 
 from repro.deployment.plan import (DeploymentPlan, DeploymentTarget,
                                    build_plan)
+from repro.deployment.replay import (ReplayEngine, SerialExecutor,
+                                     ShardedExecutor, VisitOutcome,
+                                     build_engine, compile_visits,
+                                     shard_of)
 from repro.deployment.experiment import (ExperimentConfig, ExperimentResult,
                                          run_experiment)
 
@@ -17,5 +24,12 @@ __all__ = [
     "build_plan",
     "ExperimentConfig",
     "ExperimentResult",
+    "ReplayEngine",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "VisitOutcome",
+    "build_engine",
+    "compile_visits",
     "run_experiment",
+    "shard_of",
 ]

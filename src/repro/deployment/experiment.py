@@ -7,39 +7,51 @@ SQLite databases -- one for the low-interaction tier (Section 5) and one
 for the medium/high tier (Section 6), which is how the paper analyzes
 them.
 
+The driver is a thin loop over two abstractions:
+
+* a :class:`~repro.deployment.replay.ReplayEngine` (serial, or sharded
+  across ``config.workers`` workers) produces visit outcomes in
+  canonical ``(offset, ip, seq)`` order, and
+* a sink pipeline (:mod:`repro.pipeline.sinks`) consumes each stored
+  event exactly once -- tier split, SQLite conversions (each on its own
+  writer thread, so both run concurrently), raw logs, dataset buffer,
+  manifest tallies.
+
+Crashed visits never reach the pipeline: their buffered events go to
+the dead letter with the failure reason, preserving the conservation
+invariant ``events_generated == events_stored + events_quarantined``.
+
 With ``ExperimentConfig.telemetry`` enabled the run is fully
 instrumented -- per-phase wall times, per-visit spans, event counts per
 type/DBMS/interaction/honeypot, bytes exchanged, DB row counts, peak
-RSS -- and a ``run_report.json`` manifest is written next to the SQLite
-databases (``repro stats`` pretty-prints it).  Disabled (the default),
-every hook is a no-op.
+RSS, replay-shard statistics -- and a ``run_report.json`` manifest is
+written next to the SQLite databases (``repro stats`` pretty-prints
+it).  Disabled (the default), every hook is a no-op.
 """
 
 from __future__ import annotations
 
-import random
 import time
-from collections import Counter
 from dataclasses import dataclass
-from datetime import timedelta
 from pathlib import Path
 
 from repro import obs
-from repro.agents.base import Visit, VisitContext
 from repro.agents.population import World, build_world
-from repro.clients.wire import Wire, WireError
 from repro.deployment.plan import DeploymentPlan, build_plan
-from repro.honeypots.base import MemoryWire, SessionContext
-from repro.netsim.clock import EXPERIMENT_START, SimClock
+from repro.deployment.replay import (ReplayEngine, build_engine,
+                                     compile_visits)
 from repro.obs import report as obs_report
-from repro.pipeline.convert import convert_to_sqlite, count_events
-from repro.pipeline.logstore import LogEvent, LogStore
+from repro.pipeline.convert import count_events
+from repro.pipeline.sinks import (BufferSink, CountingSink, RawLogSink,
+                                  SQLiteWriterSink, TeeSink, TierSplitSink)
 from repro.resilience import faults
 from repro.resilience.deadletter import DeadLetterWriter
 
 #: Dead-letter file for quarantined visits, written under the run's
 #: output directory (only when something was actually quarantined).
 QUARANTINE_FILENAME = "quarantine.jsonl"
+
+_DONE = object()
 
 
 @dataclass(frozen=True)
@@ -62,6 +74,13 @@ class ExperimentConfig:
     #: Fault plan to install for the run (chaos mode); ``None`` runs
     #: clean.  See :mod:`repro.resilience.faults`.
     fault_plan: faults.FaultPlan | None = None
+    #: Replay parallelism: 1 replays serially, N > 1 shards the visit
+    #: schedule by target honeypot across N workers (same events, same
+    #: order; see :mod:`repro.deployment.replay`).
+    workers: int = 1
+    #: Replay engine: ``"auto"`` (serial for 1 worker, sharded
+    #: otherwise), ``"serial"``, or ``"sharded"``.
+    executor: str = "auto"
 
 
 @dataclass
@@ -95,28 +114,6 @@ class ExperimentResult:
                 == self.events_total + self.events_quarantined)
 
 
-@dataclass
-class _DriverWire:
-    """A MemoryWire that stamps each connection with a fresh client port
-    and closes honeypot-side sessions even when scripts forget."""
-
-    inner: MemoryWire
-
-    def connect(self) -> bytes:
-        return self.inner.connect()
-
-    def send(self, data: bytes) -> bytes:
-        if self.inner.server_closed:
-            raise WireError("connection closed by server")
-        faults.current().maybe_raise(
-            "wire.disconnect",
-            lambda: WireError("connection reset by peer (injected)"))
-        return self.inner.send(data)
-
-    def close(self) -> None:
-        self.inner.close()
-
-
 def run_experiment(config: ExperimentConfig = ExperimentConfig()
                    ) -> ExperimentResult:
     """Run the full deployment window and produce the SQLite databases."""
@@ -135,146 +132,127 @@ def _run_instrumented(config: ExperimentConfig,
         plan = build_plan(config.seed)
     with phases.phase("build_world"):
         world = build_world(config.seed, config.volume_scale)
-    clock = SimClock()
-    store = LogStore()
     with phases.phase("compile_visits"):
-        visits = _compile_visits(world, plan, config.seed)
-    open_wires: list[MemoryWire] = []
-    bytes_in = 0
-    bytes_out = 0
-    metrics = telemetry.metrics
-    dead_letters = DeadLetterWriter(
-        Path(config.output_dir) / QUARANTINE_FILENAME)
-    quarantined_visits = 0
-    events_quarantined = 0
-
-    with phases.phase("replay"):
-        for offset, actor_ip, sequence, visit in visits:
-            clock.seek(EXPERIMENT_START + timedelta(seconds=offset))
-            rng = random.Random(f"{config.seed}:{actor_ip}:{sequence}")
-
-            def opener(target_key: str, *, _ip=actor_ip, _rng=rng) -> Wire:
-                target = plan.by_key(target_key)
-                context = SessionContext(
-                    src_ip=_ip, src_port=_rng.randint(1024, 65535),
-                    clock=clock, sink=store.append)
-                wire = MemoryWire(target.honeypot, context)
-                open_wires.append(wire)
-                return _DriverWire(wire)
-
-            # Crash containment: a session/script exception quarantines
-            # this one visit (its events go to the dead letter, with the
-            # reason) and the replay continues -- one poisoned session
-            # must never abort the whole deployment window.
-            mark = len(store)
-            failure: Exception | None = None
-            try:
-                with span("replay.visit", actor=actor_ip,
-                          target=visit.target_key, seq=sequence):
-                    faults.current().maybe_raise("visit.crash")
-                    visit.script(VisitContext(opener=opener,
-                                              target_key=visit.target_key,
-                                              rng=rng))
-            except Exception as error:
-                failure = error
-            # Close any connection the script left dangling, and fold the
-            # per-session byte counters into the run totals.
-            for wire in open_wires:
-                try:
-                    wire.close()
-                except Exception:
-                    metrics.inc("resilience.close_errors")
-                bytes_in += wire.context.bytes_in
-                bytes_out += wire.context.bytes_out
-            open_wires.clear()
-            if failure is not None:
-                events = store.drain_from(mark)
-                dead_letters.quarantine(
-                    "visit", f"{type(failure).__name__}: {failure}",
-                    actor=actor_ip, seq=sequence,
-                    target=visit.target_key, offset=offset,
-                    events=events)
-                metrics.inc("resilience.quarantined")
-                metrics.inc("resilience.events_quarantined", len(events))
-                quarantined_visits += 1
-                events_quarantined += len(events)
-    dead_letters.close()
+        schedule = compile_visits(world, plan, config.seed)
 
     output_dir = Path(config.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
-    raw_log_dir = None
+
+    # -- the sink pipeline: every stored event flows through once ------
+    tier = TierSplitSink(
+        SQLiteWriterSink(output_dir / "low.sqlite",
+                         world.geoip, world.scanners),
+        SQLiteWriterSink(output_dir / "midhigh.sqlite",
+                         world.geoip, world.scanners))
+    sinks: list = [tier]
+    counting = None
+    if telemetry.enabled:
+        counting = CountingSink()
+        sinks.append(counting)
+    raw_sink = None
     if config.write_raw_logs:
-        with phases.phase("write_raw_logs"), span("write_raw_logs"):
-            raw_log_dir = output_dir / "raw-logs"
-            store.write_consolidated(raw_log_dir)
-    dataset_dir = None
+        raw_sink = RawLogSink(output_dir / "raw-logs")
+        sinks.append(raw_sink)
+    dataset_buffer = None
     if config.export_dataset:
+        dataset_buffer = BufferSink()
+        sinks.append(dataset_buffer)
+    pipeline = TeeSink(*sinks)
+
+    engine = build_engine(config.workers, config.executor)
+    dead_letters = DeadLetterWriter(output_dir / QUARANTINE_FILENAME)
+    metrics = telemetry.metrics
+    bytes_in = 0
+    bytes_out = 0
+    events_generated = 0
+    events_quarantined = 0
+    quarantined_visits = 0
+    visits_total = len(schedule)
+
+    # The replay engine and the sink pipeline interleave on this
+    # thread, so the loop splits its time manually: pulling the next
+    # outcome is "replay", feeding its events through the sinks is
+    # "split" (sharded engines do all pool work inside the first pull).
+    mark = time.perf_counter()
+    stream = iter(engine.replay(schedule, plan, config.seed, telemetry))
+    while True:
+        outcome = next(stream, _DONE)
+        now = time.perf_counter()
+        phases.add("replay", now - mark)
+        mark = now
+        if outcome is _DONE:
+            break
+        events_generated += len(outcome.events)
+        bytes_in += outcome.bytes_in
+        bytes_out += outcome.bytes_out
+        if outcome.failure is not None:
+            # Quarantine: the crashed visit's events travel to the
+            # dead letter, with the reason, instead of the pipeline.
+            dead_letters.quarantine(
+                "visit", outcome.failure, actor=outcome.actor_ip,
+                seq=outcome.sequence, target=outcome.target_key,
+                offset=outcome.offset, events=outcome.events)
+            metrics.inc("resilience.quarantined")
+            metrics.inc("resilience.events_quarantined",
+                        len(outcome.events))
+            quarantined_visits += 1
+            events_quarantined += len(outcome.events)
+            mark = time.perf_counter()
+            continue
+        for event in outcome.events:
+            pipeline(event)
+        now = time.perf_counter()
+        phases.add("split", now - mark)
+        mark = now
+    dead_letters.close()
+
+    raw_log_dir = None
+    if raw_sink is not None:
+        with phases.phase("write_raw_logs"), span("write_raw_logs"):
+            raw_sink.close()
+            raw_log_dir = raw_sink.directory
+    dataset_dir = None
+    if dataset_buffer is not None:
         with phases.phase("export_dataset"), span("export_dataset"):
             from repro.pipeline.dataset import export_dataset
 
             dataset_dir = output_dir / "dataset"
-            export_dataset(store, dataset_dir)
+            export_dataset(dataset_buffer, dataset_dir)
 
-    with phases.phase("split"):
-        low_events, midhigh_events, event_counts = _split_events(
-            store, count=telemetry.enabled)
+    # Both writer threads have been converting since their first event;
+    # "convert" is the time left waiting for them to finish.
     with phases.phase("convert"):
         with span("convert", tier="low"):
-            low_db = convert_to_sqlite(low_events,
-                                       output_dir / "low.sqlite",
-                                       world.geoip, world.scanners)
+            low_db = tier.low.close()
         with span("convert", tier="midhigh"):
-            midhigh_db = convert_to_sqlite(midhigh_events,
-                                           output_dir / "midhigh.sqlite",
-                                           world.geoip, world.scanners)
+            midhigh_db = tier.midhigh.close()
 
+    events_total = tier.low_count + tier.midhigh_count
     result = ExperimentResult(
         config=config, plan=plan, world=world, low_db=low_db,
-        midhigh_db=midhigh_db, events_total=len(store),
-        visits_total=len(visits), raw_log_dir=raw_log_dir,
+        midhigh_db=midhigh_db, events_total=events_total,
+        visits_total=visits_total, raw_log_dir=raw_log_dir,
         dataset_dir=dataset_dir,
-        events_generated=store.total_appended,
+        events_generated=events_generated,
         events_quarantined=events_quarantined,
         quarantined_visits=quarantined_visits,
         quarantine_path=(dead_letters.path if dead_letters.count
                          else None))
     if telemetry.enabled:
         wall_time = time.perf_counter() - wall_start
-        _finalize_report(config, telemetry, result, event_counts,
-                         split={"low": len(low_events),
-                                "midhigh": len(midhigh_events)},
+        _finalize_report(config, telemetry, result, engine,
+                         event_counts=(counting.counts if counting
+                                       else None),
+                         split={"low": tier.low_count,
+                                "midhigh": tier.midhigh_count},
                          bytes_io={"in": bytes_in, "out": bytes_out},
                          wall_time=wall_time, output_dir=output_dir)
     return result
 
 
-def _split_events(store: LogStore, *, count: bool
-                  ) -> tuple[list[LogEvent], list[LogEvent],
-                             dict[str, Counter] | None]:
-    """Partition the store into low vs mid/high tiers in a single pass,
-    tallying the manifest breakdowns along the way when asked to."""
-    low_events: list[LogEvent] = []
-    midhigh_events: list[LogEvent] = []
-    counts: dict[str, Counter] | None = None
-    if count:
-        counts = {"event_type": Counter(), "dbms": Counter(),
-                  "interaction": Counter(), "honeypot_id": Counter()}
-    for event in store:
-        if event.interaction == "low":
-            low_events.append(event)
-        else:
-            midhigh_events.append(event)
-        if counts is not None:
-            counts["event_type"][event.event_type] += 1
-            counts["dbms"][event.dbms] += 1
-            counts["interaction"][event.interaction] += 1
-            counts["honeypot_id"][event.honeypot_id] += 1
-    return low_events, midhigh_events, counts
-
-
 def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
-                     result: ExperimentResult,
-                     event_counts: dict[str, Counter] | None,
+                     result: ExperimentResult, engine: ReplayEngine,
+                     event_counts: dict | None,
                      split: dict[str, int], bytes_io: dict[str, int],
                      wall_time: float, output_dir: Path) -> None:
     """Export the trace (if requested) and write ``run_report.json``."""
@@ -295,6 +273,13 @@ def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
             "output_dir": str(config.output_dir),
             "write_raw_logs": config.write_raw_logs,
             "export_dataset": config.export_dataset,
+            "telemetry": config.telemetry,
+            "trace_out": (str(config.trace_out)
+                          if config.trace_out else None),
+            "fault_plan": (config.fault_plan.name
+                           if config.fault_plan else None),
+            "workers": config.workers,
+            "executor": config.executor,
         },
         "wall_time_seconds": wall_time,
         "phases": telemetry.phases.as_dict(),
@@ -309,6 +294,7 @@ def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
                     "midhigh": count_events(result.midhigh_db)},
         "bytes": bytes_io,
         "peak_rss_bytes": obs_report.peak_rss_bytes(),
+        "replay": engine.stats,
         "resilience": {
             "events_generated": result.events_generated,
             "events_stored": result.events_total,
@@ -329,14 +315,3 @@ def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
     result.report_path = obs_report.write_report(
         manifest, output_dir / obs_report.REPORT_FILENAME)
     result.trace_path = trace_path
-
-
-def _compile_visits(world: World, plan: DeploymentPlan,
-                    seed: int) -> list[tuple[float, str, int, Visit]]:
-    """Expand all actors into one time-ordered visit schedule."""
-    schedule: list[tuple[float, str, int, Visit]] = []
-    for actor in world.actors:
-        for sequence, visit in enumerate(actor.compile(plan, seed)):
-            schedule.append((visit.time_offset, actor.ip, sequence, visit))
-    schedule.sort(key=lambda item: (item[0], item[1], item[2]))
-    return schedule

@@ -1,0 +1,372 @@
+"""Replay engines: serial and sharded execution of the visit schedule.
+
+The compiled schedule is a time-ordered list of
+``(offset, actor_ip, sequence, Visit)`` tuples.  A replay engine turns
+it into an ordered stream of :class:`VisitOutcome` objects -- one per
+visit, carrying the events the visit emitted, its byte counters, and
+its failure (if the visit crashed and was quarantined).  The driver
+consumes that stream once, feeding events straight into the sink
+pipeline.
+
+Two engines:
+
+* :class:`SerialExecutor` -- one thread, visits in schedule order; the
+  exact behavior of the original monolithic loop.
+* :class:`ShardedExecutor` -- partitions the schedule by *target
+  honeypot* (``crc32(target_key) % workers``), replays each shard on
+  its own worker, and merges the per-shard outcome streams back into
+  canonical ``(offset, ip, seq)`` order.
+
+Partitioning by target is what makes the parallel run *deterministic*
+with respect to the serial one.  The actor side is stateless across
+visits: every per-visit random stream derives from
+``{seed}:{ip}:{seq}`` (visit RNGs) or ``{seed}:{site}:{ip}:{seq}``
+(keyed fault decisions such as ``visit.crash``), so a visit's behavior
+does not depend on where or when its actor's other visits run.  The
+honeypot side is *stateful* across sessions -- attacks wipe keyspaces,
+drop ransom notes, load modules, and later visitors (e.g. the
+fake-data-aware scouts that ``TYPE`` every surviving key) react to
+what they find -- so correctness requires that each honeypot see
+exactly the serial session sequence.  Keeping every visit to a target
+on one worker, replayed in canonical ``(offset, ip, seq)`` order,
+gives each honeypot the same session history as the serial engine;
+with both sides pinned, shard assignment cannot change any visit's
+outcome and the merged stream is element-for-element the serial
+stream.
+
+Workers prefer a ``fork``-context process pool (each worker inherits
+the already-built plan and schedule copy-on-write, replays its shard,
+and ships its outcomes back); where ``fork`` is unavailable the engine
+falls back to threads, whose per-shard runtime contexts install
+thread-locally (see :mod:`repro.runtime`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import random
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from datetime import timedelta
+from typing import Callable, Iterator, Sequence
+
+from repro import obs
+from repro.agents.base import Visit, VisitContext
+from repro.agents.population import World
+from repro.clients.wire import Wire, WireError
+from repro.deployment.plan import DeploymentPlan
+from repro.honeypots.base import MemoryWire, SessionContext
+from repro.netsim.clock import EXPERIMENT_START, SimClock
+from repro.pipeline.logstore import LogEvent
+from repro.resilience import faults
+from repro.runtime import worker_context
+
+__all__ = [
+    "ScheduledVisit", "VisitOutcome", "ReplayEngine", "SerialExecutor",
+    "ShardedExecutor", "build_engine", "compile_visits", "shard_of",
+]
+
+#: One schedule entry: (time offset, actor IP, per-actor sequence, visit).
+ScheduledVisit = tuple[float, str, int, Visit]
+
+
+def compile_visits(world: World, plan: DeploymentPlan,
+                   seed: int) -> list[ScheduledVisit]:
+    """Expand all actors into one time-ordered visit schedule."""
+    schedule: list[ScheduledVisit] = []
+    for actor in world.actors:
+        for sequence, visit in enumerate(actor.compile(plan, seed)):
+            schedule.append((visit.time_offset, actor.ip, sequence, visit))
+    schedule.sort(key=lambda item: (item[0], item[1], item[2]))
+    return schedule
+
+
+def shard_of(target_key: str, workers: int) -> int:
+    """Deterministic shard assignment (stable across processes/runs).
+
+    Keyed on the visit's target honeypot: honeypots carry cross-session
+    state, so all sessions of one honeypot must replay on one worker
+    (see the module docstring's determinism argument).
+    """
+    return zlib.crc32(target_key.encode("utf-8")) % workers
+
+
+@dataclass
+class VisitOutcome:
+    """Everything one replayed visit produced."""
+
+    offset: float
+    actor_ip: str
+    sequence: int
+    target_key: str
+    events: list[LogEvent]
+    bytes_in: int = 0
+    bytes_out: int = 0
+    #: ``"ExceptionType: message"`` when the visit crashed (its events
+    #: then belong in the dead letter, not the pipeline).
+    failure: str | None = None
+
+    @property
+    def key(self) -> tuple[float, str, int]:
+        return (self.offset, self.actor_ip, self.sequence)
+
+
+@dataclass
+class _DriverWire:
+    """A MemoryWire wrapper that surfaces server-side closes and the
+    ``wire.disconnect`` injection site to the visiting script."""
+
+    inner: MemoryWire
+
+    def connect(self) -> bytes:
+        return self.inner.connect()
+
+    def send(self, data: bytes) -> bytes:
+        if self.inner.server_closed:
+            raise WireError("connection closed by server")
+        faults.current().maybe_raise(
+            "wire.disconnect",
+            lambda: WireError("connection reset by peer (injected)"))
+        return self.inner.send(data)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+def _replay_visit(plan: DeploymentPlan, clock: SimClock, seed: int,
+                  offset: float, actor_ip: str, sequence: int,
+                  visit: Visit, span: Callable) -> VisitOutcome:
+    """Replay one visit into a private buffer; never raises.
+
+    Crash containment: a session/script exception marks the outcome
+    failed (its events travel with it, for the dead letter) and the
+    replay continues -- one poisoned session must never abort the whole
+    deployment window.
+    """
+    clock.seek(EXPERIMENT_START + timedelta(seconds=offset))
+    rng = random.Random(f"{seed}:{actor_ip}:{sequence}")
+    events: list[LogEvent] = []
+    open_wires: list[MemoryWire] = []
+    metrics = obs.current().metrics
+
+    def opener(target_key: str, *, _ip=actor_ip, _rng=rng) -> Wire:
+        target = plan.by_key(target_key)
+        context = SessionContext(
+            src_ip=_ip, src_port=_rng.randint(1024, 65535),
+            clock=clock, sink=events.append)
+        wire = MemoryWire(target.honeypot, context)
+        open_wires.append(wire)
+        return _DriverWire(wire)
+
+    failure: str | None = None
+    try:
+        with span("replay.visit", actor=actor_ip,
+                  target=visit.target_key, seq=sequence):
+            faults.current().maybe_raise(
+                "visit.crash", key=f"{actor_ip}:{sequence}")
+            visit.script(VisitContext(opener=opener,
+                                      target_key=visit.target_key,
+                                      rng=rng))
+    except Exception as error:
+        failure = f"{type(error).__name__}: {error}"
+    # Close any connection the script left dangling, and fold the
+    # per-session byte counters into the visit totals.
+    bytes_in = 0
+    bytes_out = 0
+    for wire in open_wires:
+        try:
+            wire.close()
+        except Exception:
+            metrics.inc("resilience.close_errors")
+        bytes_in += wire.context.bytes_in
+        bytes_out += wire.context.bytes_out
+    return VisitOutcome(offset=offset, actor_ip=actor_ip,
+                        sequence=sequence, target_key=visit.target_key,
+                        events=events, bytes_in=bytes_in,
+                        bytes_out=bytes_out, failure=failure)
+
+
+class ReplayEngine:
+    """Turns a compiled schedule into an ordered outcome stream."""
+
+    name = "abstract"
+    workers = 1
+    #: Populated by :meth:`replay` with the manifest's ``replay``
+    #: section (shard sizes, per-shard wall times, merge time).
+    stats: dict | None = None
+
+    def replay(self, schedule: Sequence[ScheduledVisit],
+               plan: DeploymentPlan, seed: int,
+               telemetry: obs.Telemetry) -> Iterator[VisitOutcome]:
+        raise NotImplementedError
+
+
+class SerialExecutor(ReplayEngine):
+    """Single-threaded replay in schedule order (the reference engine)."""
+
+    name = "serial"
+
+    def replay(self, schedule: Sequence[ScheduledVisit],
+               plan: DeploymentPlan, seed: int,
+               telemetry: obs.Telemetry) -> Iterator[VisitOutcome]:
+        self.stats = {"executor": self.name, "workers": 1}
+        clock = SimClock()
+        span = telemetry.tracer.span
+        for offset, actor_ip, sequence, visit in schedule:
+            yield _replay_visit(plan, clock, seed, offset, actor_ip,
+                                sequence, visit, span)
+
+
+@dataclass
+class _ShardResult:
+    """What one worker ships back to the driver."""
+
+    shard: int
+    outcomes: list[VisitOutcome]
+    wall_seconds: float
+    #: :meth:`repro.runtime.RunContext.report` of the worker.
+    report: dict
+
+
+#: Copy-on-write state for fork-pool workers, set by the parent
+#: immediately before the pool is created (workers inherit it).
+_FORK_STATE: dict | None = None
+
+
+def _replay_shard(plan: DeploymentPlan, shard: int,
+                  schedule: Sequence[ScheduledVisit], seed: int,
+                  telemetry_enabled: bool,
+                  fault_payload: dict | None) -> _ShardResult:
+    """Replay one shard under its own thread-local runtime context."""
+    context = worker_context(telemetry_enabled, fault_payload)
+    start = time.perf_counter()
+    outcomes = []
+    with context.activate_local():
+        span = context.telemetry.tracer.span
+        clock = SimClock()
+        for offset, actor_ip, sequence, visit in schedule:
+            outcomes.append(_replay_visit(plan, clock, seed, offset,
+                                          actor_ip, sequence, visit, span))
+    return _ShardResult(shard=shard, outcomes=outcomes,
+                        wall_seconds=time.perf_counter() - start,
+                        report=context.report())
+
+
+def _replay_shard_forked(shard: int) -> _ShardResult:
+    state = _FORK_STATE
+    assert state is not None, "fork state not set before pool creation"
+    return _replay_shard(state["plan"], shard, state["shards"][shard],
+                         state["seed"], state["telemetry_enabled"],
+                         state["fault_payload"])
+
+
+class ShardedExecutor(ReplayEngine):
+    """Partition-by-actor replay on a worker pool, merged canonically.
+
+    ``pool`` selects the worker flavor: ``"fork"`` (process pool,
+    copy-on-write state -- the default where available), ``"thread"``
+    (in-process, useful where fork is not), or ``"auto"``.
+    """
+
+    name = "sharded"
+
+    def __init__(self, workers: int, *, pool: str = "auto"):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if pool not in ("auto", "fork", "thread"):
+            raise ValueError(f"unknown pool {pool!r}")
+        if pool == "auto":
+            pool = ("fork" if "fork"
+                    in multiprocessing.get_all_start_methods()
+                    else "thread")
+        self.workers = workers
+        self.pool = pool
+
+    def replay(self, schedule: Sequence[ScheduledVisit],
+               plan: DeploymentPlan, seed: int,
+               telemetry: obs.Telemetry) -> Iterator[VisitOutcome]:
+        shards = [[] for _ in range(self.workers)]
+        for entry in schedule:
+            shards[shard_of(entry[3].target_key, self.workers)].append(entry)
+        fault_payload = None
+        driver_plan = faults.current()
+        if driver_plan is not faults.NULL_PLAN:
+            fault_payload = driver_plan.payload()
+
+        results = self._run_shards(plan, shards, seed, telemetry.enabled,
+                                   fault_payload)
+
+        # Fold each worker's metrics and fault counters back into the
+        # driver's ambient runtime so run-wide accounting stays exact.
+        for result in results:
+            metrics = result.report.get("metrics")
+            if metrics:
+                telemetry.metrics.merge(metrics)
+            fault_counts = result.report.get("faults")
+            if fault_counts:
+                driver_plan.absorb(fault_counts)
+
+        merge_start = time.perf_counter()
+        merged = list(heapq.merge(*(result.outcomes for result in results),
+                                  key=lambda outcome: outcome.key))
+        merge_seconds = time.perf_counter() - merge_start
+        self.stats = {
+            "executor": self.name,
+            "workers": self.workers,
+            "pool": self.pool,
+            "merge_seconds": merge_seconds,
+            "shards": [{
+                "shard": result.shard,
+                "visits": len(result.outcomes),
+                "events": sum(len(outcome.events)
+                              for outcome in result.outcomes),
+                "quarantined_visits": sum(
+                    1 for outcome in result.outcomes if outcome.failure),
+                "wall_seconds": result.wall_seconds,
+            } for result in sorted(results, key=lambda r: r.shard)],
+        }
+        return iter(merged)
+
+    def _run_shards(self, plan, shards, seed, telemetry_enabled,
+                    fault_payload) -> list[_ShardResult]:
+        global _FORK_STATE
+        if self.pool == "thread":
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                futures = [
+                    pool.submit(_replay_shard, plan, index, shard, seed,
+                                telemetry_enabled, fault_payload)
+                    for index, shard in enumerate(shards)]
+                return [future.result() for future in futures]
+        # Fork pool: workers inherit plan + shards copy-on-write, so
+        # nothing is rebuilt and only outcomes cross the process
+        # boundary.  Each worker replays against its own (inherited,
+        # fresh) honeypot fleet.
+        _FORK_STATE = {"plan": plan, "shards": shards, "seed": seed,
+                       "telemetry_enabled": telemetry_enabled,
+                       "fault_payload": fault_payload}
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(max_workers=self.workers,
+                                     mp_context=context) as pool:
+                futures = [pool.submit(_replay_shard_forked, index)
+                           for index in range(len(shards))]
+                return [future.result() for future in futures]
+        finally:
+            _FORK_STATE = None
+
+
+def build_engine(workers: int, executor: str = "auto") -> ReplayEngine:
+    """Resolve ``ExperimentConfig.workers``/``executor`` into an engine."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if executor == "auto":
+        executor = "sharded" if workers > 1 else "serial"
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "sharded":
+        return ShardedExecutor(workers)
+    raise ValueError(f"unknown executor {executor!r} "
+                     "(expected auto, serial, or sharded)")

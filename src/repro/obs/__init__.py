@@ -17,6 +17,7 @@ instrumentation is free unless a driver installs a live bundle.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -29,6 +30,7 @@ __all__ = [
     "Histogram", "MetricsRegistry", "NullMetricsRegistry",
     "NullPhaseTimer", "NullTracer", "PhaseTimer", "Stopwatch",
     "Telemetry", "Tracer", "NULL_TELEMETRY", "current", "install",
+    "install_local",
 ]
 
 
@@ -55,10 +57,20 @@ NULL_TELEMETRY = Telemetry(enabled=False)
 
 _current: Telemetry = NULL_TELEMETRY
 
+#: Per-thread override of the process-wide bundle, used by sharded
+#: replay workers so each shard reports into its own registry without
+#: clobbering the driver's.
+_local = threading.local()
+
 
 def current() -> Telemetry:
-    """The installed telemetry bundle (no-op unless a run installed one)."""
-    return _current
+    """The installed telemetry bundle (no-op unless a run installed one).
+
+    A thread-local bundle installed via :func:`install_local` shadows
+    the process-wide one on its thread.
+    """
+    override = getattr(_local, "current", None)
+    return override if override is not None else _current
 
 
 @contextmanager
@@ -71,3 +83,15 @@ def install(telemetry: Telemetry) -> Iterator[Telemetry]:
         yield telemetry
     finally:
         _current = previous
+
+
+@contextmanager
+def install_local(telemetry: Telemetry) -> Iterator[Telemetry]:
+    """Make ``telemetry`` the :func:`current` bundle on *this thread*
+    only -- other threads keep seeing the process-wide bundle."""
+    previous = getattr(_local, "current", None)
+    _local.current = telemetry
+    try:
+        yield telemetry
+    finally:
+        _local.current = previous

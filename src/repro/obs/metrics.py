@@ -60,6 +60,23 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` of another histogram into this one."""
+        count = snapshot.get("count", 0)
+        if not count:
+            return
+        self.count += count
+        self.total += snapshot.get("sum", 0.0)
+        minimum = snapshot.get("min")
+        if minimum is not None and minimum < self.min:
+            self.min = minimum
+        maximum = snapshot.get("max")
+        if maximum is not None and maximum > self.max:
+            self.max = maximum
+        for bucket in snapshot.get("buckets", []):
+            bound = bucket["le"]
+            self.buckets[bound] = self.buckets.get(bound, 0) + bucket["count"]
+
     def snapshot(self) -> dict:
         return {
             "count": self.count,
@@ -132,6 +149,35 @@ class MetricsRegistry:
         with self._lock:
             return self._histograms.get(_key(name, labels))
 
+    def merge(self, other: "MetricsRegistry | dict") -> None:
+        """Fold another registry (or one of its :meth:`snapshot` dumps)
+        into this one.
+
+        Counters add, histograms combine (count/sum/min/max/buckets),
+        and gauges keep the maximum of the two sides -- the only merge
+        that is order-independent, which is what folding per-shard
+        registries back into a run-wide one requires.
+        """
+        snapshot = (other.snapshot() if isinstance(other, MetricsRegistry)
+                    else other)
+        with self._lock:
+            for entry in snapshot.get("counters", []):
+                key = _key(entry["name"], entry["labels"])
+                self._counters[key] = (self._counters.get(key, 0)
+                                       + entry["value"])
+            for entry in snapshot.get("gauges", []):
+                key = _key(entry["name"], entry["labels"])
+                current = self._gauges.get(key)
+                value = entry["value"]
+                self._gauges[key] = (value if current is None
+                                     else max(current, value))
+            for entry in snapshot.get("histograms", []):
+                key = _key(entry["name"], entry["labels"])
+                histogram = self._histograms.get(key)
+                if histogram is None:
+                    histogram = self._histograms[key] = Histogram()
+                histogram.merge(entry)
+
     def snapshot(self) -> dict:
         """JSON-serializable dump of every series, sorted by name."""
         with self._lock:
@@ -167,4 +213,7 @@ class NullMetricsRegistry(MetricsRegistry):
         pass
 
     def observe(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def merge(self, other: "MetricsRegistry | dict") -> None:
         pass

@@ -95,10 +95,13 @@ def format_summary(manifest: dict) -> str:
     """Render a manifest as the human-readable ``repro stats`` report."""
     sections: list[str] = []
     config = manifest.get("config", {})
-    sections.append(
+    header = (
         f"run report ({manifest.get('generated_at', 'unknown time')})\n"
         f"  seed={config.get('seed')}  scale={config.get('volume_scale')}"
         f"  output={config.get('output_dir')}")
+    if config.get("workers", 1) != 1:
+        header += f"  workers={config.get('workers')}"
+    sections.append(header)
 
     wall = manifest.get("wall_time_seconds")
     phases = manifest.get("phases", {})
@@ -137,6 +140,21 @@ def format_summary(manifest: dict) -> str:
     if rss is not None:
         totals.append(["peak RSS", _format_bytes(rss)])
     sections.append("totals\n" + _format_table(["metric", "value"], totals))
+
+    replay = manifest.get("replay") or {}
+    if replay.get("shards"):
+        rows = [[shard.get("shard", "?"), shard.get("visits", "?"),
+                 shard.get("events", "?"),
+                 f"{shard.get('wall_seconds', 0.0):.3f}"]
+                for shard in replay["shards"]]
+        table = _format_table(["shard", "visits", "events", "seconds"],
+                              rows)
+        merge = replay.get("merge_seconds")
+        if merge is not None:
+            table += f"\nmerge: {merge:.3f}s ({replay.get('pool', '?')} pool)"
+        sections.append(
+            f"replay ({replay.get('executor', '?')}, "
+            f"{replay.get('workers', '?')} workers)\n" + table)
 
     resilience = manifest.get("resilience", {})
     if resilience:

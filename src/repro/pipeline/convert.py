@@ -5,10 +5,21 @@ database.  The paper chose SQLite "for convenience"; the analysis layer
 (:mod:`repro.core`) reads exclusively from these databases, never from
 the traffic generator -- preserving the paper's separation between data
 collection and analysis.
+
+The conversion is streaming: ``events`` may be any iterable (including
+a queue-fed generator from a
+:class:`~repro.pipeline.sinks.SQLiteWriterSink`), consumed in chunks of
+:data:`CHUNK_ROWS` -- each chunk is enriched (one shared lookup cache
+across chunks), inserted via ``executemany`` in its own retried
+transaction, and released, so memory stays bounded by the chunk size
+rather than the run size.  The database is opened with write-oriented
+pragmas (in-memory journal, ``synchronous=OFF``); the file is private
+and rebuilt from scratch, so durability mid-conversion buys nothing.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 import sqlite3
 import time
@@ -17,11 +28,20 @@ from typing import Iterable, Iterator
 
 from repro import obs
 from repro.netsim.geoip import GeoIPDatabase
-from repro.pipeline.enrich import EnrichedEvent, enrich_events
+from repro.pipeline.enrich import EnrichedEvent, enrich_events, enrich_iter
 from repro.pipeline.institutional import InstitutionalScannerList
 from repro.pipeline.logstore import LogEvent
 from repro.resilience import faults
 from repro.resilience.retry import sqlite_busy_retry
+
+#: Events enriched + inserted per transaction.
+CHUNK_ROWS = 4096
+
+_PRAGMAS = """
+PRAGMA journal_mode = MEMORY;
+PRAGMA synchronous = OFF;
+PRAGMA temp_store = MEMORY;
+"""
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS events (
@@ -59,14 +79,24 @@ VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
 """
 
 
+def _chunks(iterable: Iterable, size: int) -> Iterator[list]:
+    iterator = iter(iterable)
+    while True:
+        chunk = list(itertools.islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
 def convert_to_sqlite(events: Iterable[LogEvent], db_path: str | Path,
                       geoip: GeoIPDatabase,
                       scanners: InstitutionalScannerList | None = None,
-                      ) -> Path:
+                      *, chunk_rows: int = CHUNK_ROWS) -> Path:
     """Enrich ``events`` and write them to a SQLite database.
 
-    An existing database at ``db_path`` is replaced.
-    Returns the database path.
+    ``events`` is consumed lazily, one :data:`CHUNK_ROWS` batch at a
+    time (see module docstring).  An existing database at ``db_path``
+    is replaced.  Returns the database path.
     """
     telemetry = obs.current()
     db_path = Path(db_path)
@@ -74,37 +104,45 @@ def convert_to_sqlite(events: Iterable[LogEvent], db_path: str | Path,
     if db_path.exists():
         db_path.unlink()
     connection = sqlite3.connect(db_path)
+    enrich_seconds = 0.0
+    insert_seconds = 0.0
+    rows_written = 0
+    lookup_cache: dict = {}
+    retry_rng = random.Random(f"sqlite-retry:{db_path.name}")
     try:
-        connection.executescript(_SCHEMA)
-        with telemetry.tracer.span("convert.enrich", db=db_path.name):
-            start = time.perf_counter()
-            enriched = enrich_events(events, geoip, scanners)
-            telemetry.metrics.observe("convert.enrich_seconds",
-                                      time.perf_counter() - start,
-                                      db=db_path.name)
-        with telemetry.tracer.span("convert.insert", db=db_path.name):
-            start = time.perf_counter()
-            rows = [_row(event) for event in enriched]
+        connection.executescript(_PRAGMAS + _SCHEMA)
+        for chunk in _chunks(events, chunk_rows):
+            with telemetry.tracer.span("convert.enrich", db=db_path.name):
+                start = time.perf_counter()
+                rows = [_row(enriched) for enriched
+                        in enrich_iter(chunk, geoip, scanners,
+                                       cache=lookup_cache)]
+                enrich_seconds += time.perf_counter() - start
+            with telemetry.tracer.span("convert.insert", db=db_path.name):
+                start = time.perf_counter()
 
-            def insert() -> None:
-                # Transient lock (a concurrent writer, or the injected
-                # `sqlite.locked` fault) must not abort a whole replay:
-                # the insert is one transaction, rolled back and retried
-                # with exponential backoff.
-                faults.current().maybe_raise(
-                    "sqlite.locked",
-                    lambda: sqlite3.OperationalError("database is locked"))
-                connection.executemany(_INSERT, rows)
-                connection.commit()
+                def insert() -> None:
+                    # Transient lock (a concurrent writer, or the
+                    # injected `sqlite.locked` fault) must not abort a
+                    # whole replay: each chunk is one transaction,
+                    # rolled back and retried with exponential backoff.
+                    faults.current().maybe_raise(
+                        "sqlite.locked",
+                        lambda: sqlite3.OperationalError(
+                            "database is locked"))
+                    connection.executemany(_INSERT, rows)
+                    connection.commit()
 
-            sqlite_busy_retry(
-                insert, reset=connection.rollback,
-                rng=random.Random(f"sqlite-retry:{db_path.name}"),
-                db=db_path.name)
-            telemetry.metrics.observe("convert.insert_seconds",
-                                      time.perf_counter() - start,
-                                      db=db_path.name)
-        telemetry.metrics.inc("convert.rows_written", len(enriched),
+                sqlite_busy_retry(
+                    insert, reset=connection.rollback,
+                    rng=retry_rng, db=db_path.name)
+                insert_seconds += time.perf_counter() - start
+            rows_written += len(rows)
+        telemetry.metrics.observe("convert.enrich_seconds",
+                                  enrich_seconds, db=db_path.name)
+        telemetry.metrics.observe("convert.insert_seconds",
+                                  insert_seconds, db=db_path.name)
+        telemetry.metrics.inc("convert.rows_written", rows_written,
                               db=db_path.name)
     finally:
         connection.close()

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
-from repro.pipeline.logstore import LogEvent, LogStore
+from repro.pipeline.logstore import LogEvent
 
 #: Markers of honeypot startup / internal monitoring entries that the
 #: published dataset excludes.
@@ -66,9 +66,14 @@ def is_internal(event: LogEvent) -> bool:
     return any(marker in event.raw for marker in INTERNAL_MARKERS)
 
 
-def export_dataset(store: LogStore, directory: str | Path
+def export_dataset(store: Iterable[LogEvent], directory: str | Path
                    ) -> DatasetManifest:
-    """Write the anonymized, consolidated dataset to ``directory``."""
+    """Write the anonymized, consolidated dataset to ``directory``.
+
+    ``store`` is any iterable of events -- a
+    :class:`~repro.pipeline.logstore.LogStore`, a
+    :class:`~repro.pipeline.sinks.BufferSink`, or a plain list.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     public = [event for event in store if not is_internal(event)]

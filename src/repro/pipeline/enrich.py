@@ -8,7 +8,7 @@ to a known institutional scanner.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro import obs
 from repro.netsim.asdb import ASType
@@ -34,22 +34,30 @@ class EnrichedEvent:
     institutional: bool
 
 
-def enrich_events(events: Iterable[LogEvent], geoip: GeoIPDatabase,
-                  scanners: InstitutionalScannerList | None = None,
-                  ) -> list[EnrichedEvent]:
-    """Annotate ``events`` with GeoIP/ASN/institutional metadata.
+def enrich_iter(events: Iterable[LogEvent], geoip: GeoIPDatabase,
+                scanners: InstitutionalScannerList | None = None,
+                cache: dict | None = None) -> Iterator[EnrichedEvent]:
+    """Lazily annotate ``events`` with GeoIP/ASN/institutional metadata.
 
     Lookups are cached per source IP, as the pipeline processes millions
-    of events from a few thousand sources.
+    of events from a few thousand sources.  Pass ``cache`` to share the
+    lookup cache across several calls (the chunked SQLite converter
+    enriches one chunk at a time but must not re-resolve every IP per
+    chunk).
     """
     scanners = scanners or InstitutionalScannerList()
-    cache: dict[str, tuple[str, int | None, str, str, bool]] = {}
-    enriched = []
+    if cache is None:
+        cache = {}
     for event in events:
         metadata = cache.get(event.src_ip)
         if metadata is None:
             try:
-                faults.current().maybe_raise("enrich.lookup")
+                # Keyed by IP so the decision is independent of lookup
+                # order: the low and mid/high conversions enrich on
+                # concurrent writer threads, and an order-seeded draw
+                # would make the fault schedule a race.
+                faults.current().maybe_raise("enrich.lookup",
+                                             key=event.src_ip)
                 record = geoip.lookup(event.src_ip)
                 metadata = (record.country, record.asn, record.as_name,
                             record.as_type.value,
@@ -62,6 +70,12 @@ def enrich_events(events: Iterable[LogEvent], geoip: GeoIPDatabase,
                 obs.current().metrics.inc("resilience.enrich_fallbacks")
                 metadata = _FALLBACK
         country, asn, as_name, as_type, institutional = metadata
-        enriched.append(EnrichedEvent(event, country, asn, as_name,
-                                      as_type, institutional))
-    return enriched
+        yield EnrichedEvent(event, country, asn, as_name, as_type,
+                            institutional)
+
+
+def enrich_events(events: Iterable[LogEvent], geoip: GeoIPDatabase,
+                  scanners: InstitutionalScannerList | None = None,
+                  ) -> list[EnrichedEvent]:
+    """Eager variant of :func:`enrich_iter` (kept for small batches)."""
+    return list(enrich_iter(events, geoip, scanners))

@@ -1,0 +1,226 @@
+"""Composable event sinks: the streaming half of the pipeline.
+
+The paper's pipeline (Figure 1) is collection -> raw logs -> SQLite.
+The original driver ran it as separate fully-buffered passes: collect
+every event into a :class:`~repro.pipeline.logstore.LogStore`, re-walk
+it to split tiers, then convert each tier.  The sinks here let events
+flow through the whole pipeline *once*: a sink is any callable
+``sink(event) -> None`` (the :data:`~repro.pipeline.logstore.EventSink`
+contract honeypot sessions already emit into), optionally with a
+``close()`` finalizer, and sinks compose::
+
+    TeeSink(
+        CountingSink(),                      # manifest breakdowns
+        TierSplitSink(                       # low vs medium/high
+            SQLiteWriterSink("low.sqlite", ...),     # own writer thread
+            SQLiteWriterSink("midhigh.sqlite", ...), # own writer thread
+        ),
+        RawLogSink("raw-logs/"),             # consolidated JSONL
+    )
+
+:class:`SQLiteWriterSink` hands its events to a dedicated writer
+thread running the chunked :func:`~repro.pipeline.convert.convert_to_sqlite`,
+so the low and medium/high conversions proceed concurrently while the
+replay engine is still producing events.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import Counter
+from pathlib import Path
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.pipeline.logstore import LogEvent
+
+__all__ = [
+    "BufferSink", "CountingSink", "EventSinkProtocol", "RawLogSink",
+    "SQLiteWriterSink", "TeeSink", "TierSplitSink", "close_sink",
+]
+
+
+@runtime_checkable
+class EventSinkProtocol(Protocol):
+    """Structural type of a sink: a callable consuming one event."""
+
+    def __call__(self, event: LogEvent) -> None: ...
+
+
+def close_sink(sink: object) -> object:
+    """Call ``sink.close()`` if the sink has one; returns its result."""
+    close = getattr(sink, "close", None)
+    return close() if callable(close) else None
+
+
+class TeeSink:
+    """Fans every event out to each child sink, in order."""
+
+    def __init__(self, *sinks: EventSinkProtocol):
+        self.sinks = sinks
+
+    def __call__(self, event: LogEvent) -> None:
+        for sink in self.sinks:
+            sink(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            close_sink(sink)
+
+
+class TierSplitSink:
+    """Routes events to a low-tier or medium/high-tier sink by the
+    event's interaction level, counting each side."""
+
+    def __init__(self, low: EventSinkProtocol, midhigh: EventSinkProtocol):
+        self.low = low
+        self.midhigh = midhigh
+        self.low_count = 0
+        self.midhigh_count = 0
+
+    def __call__(self, event: LogEvent) -> None:
+        if event.interaction == "low":
+            self.low_count += 1
+            self.low(event)
+        else:
+            self.midhigh_count += 1
+            self.midhigh(event)
+
+    def close(self) -> None:
+        close_sink(self.low)
+        close_sink(self.midhigh)
+
+
+class CountingSink:
+    """Tallies the manifest breakdowns (type/DBMS/interaction/honeypot)
+    in the same single pass that feeds the writers."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.counts: dict[str, Counter] = {
+            "event_type": Counter(), "dbms": Counter(),
+            "interaction": Counter(), "honeypot_id": Counter()}
+
+    def __call__(self, event: LogEvent) -> None:
+        self.total += 1
+        self.counts["event_type"][event.event_type] += 1
+        self.counts["dbms"][event.dbms] += 1
+        self.counts["interaction"][event.interaction] += 1
+        self.counts["honeypot_id"][event.honeypot_id] += 1
+
+
+class BufferSink:
+    """Collects events into a list (dataset export needs a full pass)."""
+
+    def __init__(self) -> None:
+        self.events: list[LogEvent] = []
+
+    def __call__(self, event: LogEvent) -> None:
+        self.events.append(event)
+
+    def __iter__(self) -> Iterator[LogEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class RawLogSink:
+    """Streams consolidated JSONL raw logs (Figure 1, step 2).
+
+    Writes the same one-file-per-``(interaction, dbms, config)`` layout
+    as :meth:`LogStore.write_consolidated`, but incrementally: each
+    group's file handle opens on the group's first event and every
+    event is appended as it arrives.
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._handles: dict[str, object] = {}
+
+    def __call__(self, event: LogEvent) -> None:
+        name = f"{event.interaction}-{event.dbms}-{event.config}.jsonl"
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = self._handles[name] = open(
+                self.directory / name, "w", encoding="utf-8")
+        handle.write(event.to_json() + "\n")
+
+    def close(self) -> list[Path]:
+        """Close every group file; returns the paths written, sorted."""
+        for handle in self._handles.values():
+            handle.close()
+        paths = sorted(self.directory / name for name in self._handles)
+        self._handles = {}
+        return paths
+
+
+class SQLiteWriterSink:
+    """Streams events into a SQLite conversion on a dedicated thread.
+
+    The writer thread (started lazily on the first event, so a sharded
+    driver can still fork cleanly before any event flows) drains an
+    unbounded queue through
+    :func:`~repro.pipeline.convert.convert_to_sqlite`; :meth:`close`
+    sends the end-of-stream sentinel, joins the thread, and re-raises
+    any conversion failure in the caller.  Two writer sinks -- one per
+    tier -- is what lets both database conversions run concurrently
+    with each other and with the replay itself.
+    """
+
+    _SENTINEL = object()
+
+    def __init__(self, db_path: str | Path, geoip, scanners=None):
+        self.db_path = Path(db_path)
+        self._geoip = geoip
+        self._scanners = scanners
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+        self.path: Path | None = None
+
+    def __call__(self, event: LogEvent) -> None:
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name=f"sqlite-writer-{self.db_path.name}",
+                daemon=True)
+            self._thread.start()
+        self._queue.put(event)
+
+    def _drain(self) -> Iterator[LogEvent]:
+        while True:
+            item = self._queue.get()
+            if item is self._SENTINEL:
+                return
+            yield item
+
+    def _run(self) -> None:
+        from repro.pipeline.convert import convert_to_sqlite
+
+        try:
+            self.path = convert_to_sqlite(self._drain(), self.db_path,
+                                          self._geoip, self._scanners)
+        except BaseException as error:  # re-raised by close()
+            self._error = error
+
+    def close(self) -> Path:
+        """Finish the conversion; returns the database path (idempotent)."""
+        if self._error is not None:
+            raise self._error
+        if self.path is not None and self._thread is None:
+            return self.path
+        if self._thread is None:
+            # No events ever arrived: still produce the (empty) database.
+            from repro.pipeline.convert import convert_to_sqlite
+
+            self.path = convert_to_sqlite([], self.db_path, self._geoip,
+                                          self._scanners)
+            return self.path
+        self._queue.put(self._SENTINEL)
+        self._thread.join()
+        self._thread = None
+        if self._error is not None:
+            raise self._error
+        assert self.path is not None
+        return self.path

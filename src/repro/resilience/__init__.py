@@ -23,7 +23,8 @@ from repro.resilience.chaos_clients import abrupt_reset, flood, slow_loris
 from repro.resilience.deadletter import DeadLetterWriter, read_dead_letters
 from repro.resilience.faults import (BUILTIN_PLANS, NULL_PLAN, FaultPlan,
                                      FaultSpec, InjectedFault, current,
-                                     install, load_plan, plan_from_dict)
+                                     from_payload, install, install_local,
+                                     load_plan, plan_from_dict)
 from repro.resilience.retry import (RetryPolicy, is_sqlite_busy,
                                     run_with_retry, sqlite_busy_retry)
 from repro.resilience.supervisor import ServerSupervisor, SupervisorPolicy
@@ -32,7 +33,7 @@ __all__ = [
     "BUILTIN_PLANS", "DeadLetterWriter", "FaultPlan", "FaultSpec",
     "InjectedFault", "NULL_PLAN", "RetryPolicy", "ServerSupervisor",
     "SupervisorPolicy", "abrupt_reset", "current", "flood",
-    "install", "is_sqlite_busy", "load_plan", "plan_from_dict",
-    "read_dead_letters", "run_with_retry", "slow_loris",
-    "sqlite_busy_retry",
+    "from_payload", "install", "install_local", "is_sqlite_busy",
+    "load_plan", "plan_from_dict", "read_dead_letters", "run_with_retry",
+    "slow_loris", "sqlite_busy_retry",
 ]

@@ -97,8 +97,20 @@ class FaultPlan:
             rng = self._rngs[site] = random.Random(f"{self.seed}:{site}")
         return rng
 
-    def should_fire(self, site: str) -> bool:
-        """Decide (and record) whether the fault at ``site`` fires now."""
+    def should_fire(self, site: str, *, key: str | None = None) -> bool:
+        """Decide (and record) whether the fault at ``site`` fires now.
+
+        Without ``key``, the decision is drawn from the site's shared
+        sequential RNG, so the fault schedule depends on evaluation
+        order.  With ``key`` the draw comes from a stateless RNG seeded
+        ``{plan.seed}:{site}:{key}`` instead: the decision for a given
+        unit of work (e.g. one visit, keyed ``{ip}:{seq}``) is the same
+        no matter which worker evaluates it or in what order -- the
+        property that keeps chaos runs identical between the serial and
+        sharded replay engines.  ``start_after``/``max_fires`` budgets
+        still consume the shared counters, so order-sensitive specs are
+        only stable under serial execution.
+        """
         spec = self._specs.get(site)
         if spec is None:
             return False
@@ -110,16 +122,21 @@ class FaultPlan:
             fired = self._fires.get(site, 0)
             if spec.max_fires is not None and fired >= spec.max_fires:
                 return False
-            if self._rng(site).random() >= spec.probability:
+            if key is not None:
+                draw = random.Random(f"{self.seed}:{site}:{key}").random()
+            else:
+                draw = self._rng(site).random()
+            if draw >= spec.probability:
                 return False
             self._fires[site] = fired + 1
         obs.current().metrics.inc("faults.injected", site=site)
         return True
 
     def maybe_raise(self, site: str,
-                    error: Callable[[], BaseException] | None = None) -> None:
+                    error: Callable[[], BaseException] | None = None,
+                    *, key: str | None = None) -> None:
         """Raise the site's fault if it fires; no-op otherwise."""
-        if self.should_fire(site):
+        if self.should_fire(site, key=key):
             raise error() if error is not None else InjectedFault(
                 f"injected fault at {site}")
 
@@ -161,6 +178,29 @@ class FaultPlan:
                            "fires": self._fires.get(site, 0)}
                     for site in sorted(self._specs)}
 
+    # -- sharding support -------------------------------------------------
+
+    def payload(self) -> dict:
+        """Picklable description of this plan (specs + seed + name),
+        without the runtime counters -- ship it to a worker and rebuild
+        with :func:`from_payload`."""
+        return {"specs": dict(self._specs), "seed": self.seed,
+                "name": self.name}
+
+    def clone(self) -> "FaultPlan":
+        """A fresh plan with the same specs/seed and zeroed counters."""
+        return from_payload(self.payload())
+
+    def absorb(self, snapshot: Mapping[str, Mapping[str, int]]) -> None:
+        """Fold a worker plan's :meth:`snapshot` counters into this
+        plan, so one plan object accounts for the whole sharded run."""
+        with self._lock:
+            for site, stats in snapshot.items():
+                self._evaluations[site] = (self._evaluations.get(site, 0)
+                                           + stats.get("evaluations", 0))
+                self._fires[site] = (self._fires.get(site, 0)
+                                     + stats.get("fires", 0))
+
     def __repr__(self) -> str:
         return (f"FaultPlan(name={self.name!r}, seed={self.seed}, "
                 f"sites={self.sites})")
@@ -172,15 +212,21 @@ class NullFaultPlan(FaultPlan):
     def __init__(self) -> None:
         super().__init__({}, name="none")
 
-    def should_fire(self, site: str) -> bool:
+    def should_fire(self, site: str, *, key: str | None = None) -> bool:
         return False
 
     def maybe_raise(self, site: str,
-                    error: Callable[[], BaseException] | None = None) -> None:
+                    error: Callable[[], BaseException] | None = None,
+                    *, key: str | None = None) -> None:
         pass
 
     def mangle(self, family: str, data: bytes) -> bytes:
         return data
+
+    def absorb(self, snapshot: Mapping[str, Mapping[str, int]]) -> None:
+        # NULL_PLAN is a shared module-level singleton; never let a
+        # stray merge accumulate state on it.
+        pass
 
 
 #: The always-available no-op plan.
@@ -188,10 +234,19 @@ NULL_PLAN = NullFaultPlan()
 
 _current: FaultPlan = NULL_PLAN
 
+#: Per-thread override, mirroring :mod:`repro.obs` -- sharded replay
+#: workers install their own plan clone without touching the driver's.
+_local = threading.local()
+
 
 def current() -> FaultPlan:
-    """The installed fault plan (no-op unless a chaos run installed one)."""
-    return _current
+    """The installed fault plan (no-op unless a chaos run installed one).
+
+    A plan installed via :func:`install_local` shadows the process-wide
+    plan on its thread.
+    """
+    override = getattr(_local, "current", None)
+    return override if override is not None else _current
 
 
 @contextmanager
@@ -205,6 +260,23 @@ def install(plan: FaultPlan | None) -> Iterator[FaultPlan]:
         yield _current
     finally:
         _current = previous
+
+
+@contextmanager
+def install_local(plan: FaultPlan | None) -> Iterator[FaultPlan]:
+    """Make ``plan`` the :func:`current` plan on *this thread* only."""
+    previous = getattr(_local, "current", None)
+    _local.current = plan if plan is not None else NULL_PLAN
+    try:
+        yield _local.current
+    finally:
+        _local.current = previous
+
+
+def from_payload(payload: Mapping) -> FaultPlan:
+    """Rebuild a plan from :meth:`FaultPlan.payload` (fresh counters)."""
+    return FaultPlan(dict(payload["specs"]), seed=payload["seed"],
+                     name=payload["name"])
 
 
 # -- named plans ----------------------------------------------------------

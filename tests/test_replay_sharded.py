@@ -1,0 +1,189 @@
+"""Sharded replay must be observationally identical to serial replay.
+
+The whole point of :class:`ShardedExecutor` is that ``--workers N`` is
+purely an execution detail: same seed in, same events out, same
+databases, same chaos accounting.  These tests pin that guarantee at
+three levels -- raw outcome streams, full experiment artifacts, and
+fault-injected runs -- plus the static shard-assignment properties the
+guarantee rests on.
+"""
+
+import hashlib
+import sqlite3
+
+import pytest
+
+from repro import obs
+from repro.agents.population import build_world
+from repro.deployment import ExperimentConfig, run_experiment
+from repro.deployment.plan import build_plan
+from repro.deployment.replay import (SerialExecutor, ShardedExecutor,
+                                     build_engine, compile_visits,
+                                     shard_of)
+from repro.resilience import faults
+
+SCALE = 0.0002
+SEED = 2024
+
+
+def table_digests(db_path) -> dict[str, str]:
+    """Order-insensitive content digest per table, ignoring the
+    autoincrement ``id`` (insertion order is pipeline-arrival order,
+    which sharding is allowed to change -- content is not)."""
+    digests = {}
+    with sqlite3.connect(db_path) as connection:
+        tables = [row[0] for row in connection.execute(
+            "SELECT name FROM sqlite_master WHERE type='table'"
+            " AND name NOT LIKE 'sqlite_%'")]
+        for table in tables:
+            columns = [row[1] for row in connection.execute(
+                f"PRAGMA table_info({table})") if row[1] != "id"]
+            selected = ", ".join(columns)
+            rows = sorted(
+                repr(row) for row in connection.execute(
+                    f"SELECT {selected} FROM {table}"))
+            digest = hashlib.sha256()
+            for row in rows:
+                digest.update(row.encode("utf-8"))
+            digests[table] = digest.hexdigest()
+    return digests
+
+
+def run(tmp_path, *, workers=1, fault_plan=None, seed=SEED):
+    return run_experiment(ExperimentConfig(
+        seed=seed, volume_scale=SCALE, output_dir=tmp_path,
+        telemetry=True, workers=workers, fault_plan=fault_plan))
+
+
+@pytest.fixture(scope="module")
+def serial(tmp_path_factory):
+    return run(tmp_path_factory.mktemp("serial"))
+
+
+@pytest.fixture(scope="module")
+def sharded(tmp_path_factory):
+    return run(tmp_path_factory.mktemp("sharded"), workers=4)
+
+
+class TestShardAssignment:
+    def test_stable_and_in_range(self):
+        keys = [f"vm-multi-{i:02d}:mysql" for i in range(50)]
+        first = [shard_of(key, 4) for key in keys]
+        second = [shard_of(key, 4) for key in keys]
+        assert first == second
+        assert all(0 <= shard < 4 for shard in first)
+        # All shards actually receive work.
+        assert set(first) == {0, 1, 2, 3}
+
+    def test_single_worker_maps_everything_to_shard_zero(self):
+        assert shard_of("anything", 1) == 0
+
+    def test_engine_resolution(self):
+        assert isinstance(build_engine(1), SerialExecutor)
+        engine = build_engine(4)
+        assert isinstance(engine, ShardedExecutor)
+        assert engine.workers == 4
+        assert isinstance(build_engine(4, "serial"), SerialExecutor)
+        with pytest.raises(ValueError):
+            build_engine(0)
+        with pytest.raises(ValueError):
+            build_engine(2, "gpu")
+
+
+class TestOutcomeStreamEquality:
+    def test_sharded_stream_matches_serial_exactly(self):
+        # Engine-level check at a tiny scale: the merged sharded stream
+        # must equal serial replay outcome-for-outcome, events included
+        # (LogEvent is a frozen dataclass, so == is full field equality).
+        telemetry = obs.NULL_TELEMETRY
+
+        # Fresh plan/world per run: honeypots mutate during replay.
+        def fresh():
+            plan = build_plan(seed=SEED)
+            world = build_world(seed=SEED, volume_scale=0.0001)
+            return plan, compile_visits(world, plan, SEED)
+
+        plan, schedule = fresh()
+        reference = list(SerialExecutor().replay(schedule, plan, SEED,
+                                                 telemetry))
+        plan, schedule = fresh()
+        merged = list(ShardedExecutor(2, pool="thread").replay(
+            schedule, plan, SEED, telemetry))
+
+        assert [o.key for o in merged] == [o.key for o in reference]
+        assert [o.events for o in merged] == [o.events for o in reference]
+        assert ([(o.bytes_in, o.bytes_out, o.failure) for o in merged]
+                == [(o.bytes_in, o.bytes_out, o.failure)
+                    for o in reference])
+
+
+class TestExperimentEquality:
+    def test_same_event_totals(self, serial, sharded):
+        assert sharded.events_total == serial.events_total
+        assert sharded.events_generated == serial.events_generated
+        assert sharded.visits_total == serial.visits_total
+
+    def test_identical_databases_both_tiers(self, serial, sharded):
+        assert (table_digests(sharded.low_db)
+                == table_digests(serial.low_db))
+        assert (table_digests(sharded.midhigh_db)
+                == table_digests(serial.midhigh_db))
+
+    def test_manifest_records_shards(self, sharded):
+        replay = sharded.report["replay"]
+        assert replay["executor"] == "sharded"
+        assert replay["workers"] == 4
+        assert len(replay["shards"]) == 4
+        assert (sum(shard["visits"] for shard in replay["shards"])
+                == sharded.visits_total)
+        assert (sum(shard["events"] for shard in replay["shards"])
+                == sharded.events_generated)
+        assert sharded.report["config"]["workers"] == 4
+
+    def test_serial_manifest_records_engine_too(self, serial):
+        replay = serial.report["replay"]
+        assert replay["executor"] == "serial"
+        assert replay["workers"] == 1
+        assert serial.report["config"]["workers"] == 1
+
+
+class TestChaosEquality:
+    @pytest.fixture(scope="class")
+    def chaos_pair(self, tmp_path_factory):
+        serial = run(tmp_path_factory.mktemp("chaos-serial"),
+                     fault_plan=faults.load_plan("visit-crash", seed=SEED))
+        sharded = run(tmp_path_factory.mktemp("chaos-sharded"), workers=4,
+                      fault_plan=faults.load_plan("visit-crash", seed=SEED))
+        return serial, sharded
+
+    def test_identical_chaos_accounting(self, chaos_pair):
+        serial, sharded = chaos_pair
+        assert sharded.quarantined_visits > 0
+        assert sharded.events_total == serial.events_total
+        assert sharded.events_generated == serial.events_generated
+        assert sharded.events_quarantined == serial.events_quarantined
+        assert sharded.quarantined_visits == serial.quarantined_visits
+        assert sharded.conservation_ok and serial.conservation_ok
+
+    def test_identical_fault_decisions(self, chaos_pair):
+        serial, sharded = chaos_pair
+        assert (sharded.config.fault_plan.snapshot()
+                == serial.config.fault_plan.snapshot())
+
+    def test_same_visits_reach_the_dead_letter(self, chaos_pair):
+        serial, sharded = chaos_pair
+        from repro.resilience import read_dead_letters
+
+        def quarantined(result):
+            return sorted((r["actor"], r["seq"], r["target"])
+                          for r in read_dead_letters(
+                              result.quarantine_path))
+
+        assert quarantined(sharded) == quarantined(serial)
+
+    def test_identical_databases_under_chaos(self, chaos_pair):
+        serial, sharded = chaos_pair
+        assert (table_digests(sharded.low_db)
+                == table_digests(serial.low_db))
+        assert (table_digests(sharded.midhigh_db)
+                == table_digests(serial.midhigh_db))

@@ -1,0 +1,159 @@
+"""Tests for the composable event-sink pipeline."""
+
+import pytest
+
+from repro.netsim.address_space import AddressSpace
+from repro.netsim.asdb import ASType
+from repro.netsim.geoip import GeoIPDatabase
+from repro.pipeline.convert import count_events, read_events
+from repro.pipeline.institutional import InstitutionalScannerList
+from repro.pipeline.logstore import LogEvent, LogStore
+from repro.pipeline.sinks import (BufferSink, CountingSink,
+                                  EventSinkProtocol, RawLogSink,
+                                  SQLiteWriterSink, TeeSink, TierSplitSink,
+                                  close_sink)
+
+
+def make_event(**overrides) -> LogEvent:
+    base = dict(timestamp=1711065600.0, honeypot_id="hp-1",
+                honeypot_type="qeeqbox", dbms="mysql", interaction="low",
+                config="multi", src_ip="20.0.0.1", src_port=5555,
+                event_type="connect")
+    base.update(overrides)
+    return LogEvent(**base)
+
+
+@pytest.fixture
+def world():
+    space = AddressSpace()
+    space.register_as(64500, "HOSTCO", "Germany", ASType.HOSTING)
+    ip = str(space.allocate(64500))
+    geoip = GeoIPDatabase.from_address_space(space)
+    return geoip, InstitutionalScannerList(), ip
+
+
+class TestBasicSinks:
+    def test_plain_callable_satisfies_protocol(self):
+        assert isinstance(LogStore().append, EventSinkProtocol)
+
+    def test_close_sink_tolerates_closeless_sinks(self):
+        events = []
+        assert close_sink(events.append) is None
+
+    def test_tee_fans_out_in_order(self):
+        seen = []
+        tee = TeeSink(lambda e: seen.append(("a", e)),
+                      lambda e: seen.append(("b", e)))
+        event = make_event()
+        tee(event)
+        assert seen == [("a", event), ("b", event)]
+
+    def test_tee_close_closes_children(self):
+        raw = BufferSink()
+        counting = CountingSink()
+        closed = []
+
+        class Closeable:
+            def __call__(self, event):
+                pass
+
+            def close(self):
+                closed.append(True)
+
+        TeeSink(raw, counting, Closeable()).close()
+        assert closed == [True]
+
+    def test_tier_split_routes_by_interaction(self):
+        low, midhigh = BufferSink(), BufferSink()
+        split = TierSplitSink(low, midhigh)
+        split(make_event(interaction="low"))
+        split(make_event(interaction="medium"))
+        split(make_event(interaction="high"))
+        assert (split.low_count, split.midhigh_count) == (1, 2)
+        assert [e.interaction for e in low] == ["low"]
+        assert [e.interaction for e in midhigh] == ["medium", "high"]
+
+    def test_counting_sink_tallies_breakdowns(self):
+        counting = CountingSink()
+        counting(make_event(event_type="connect", dbms="redis"))
+        counting(make_event(event_type="command", dbms="redis",
+                            interaction="medium"))
+        assert counting.total == 2
+        assert counting.counts["event_type"] == {"connect": 1,
+                                                 "command": 1}
+        assert counting.counts["dbms"] == {"redis": 2}
+        assert counting.counts["interaction"] == {"low": 1, "medium": 1}
+
+    def test_buffer_sink_iterates_and_sizes(self):
+        buffer = BufferSink()
+        events = [make_event(src_port=p) for p in (1, 2, 3)]
+        for event in events:
+            buffer(event)
+        assert len(buffer) == 3
+        assert list(buffer) == events
+
+
+class TestRawLogSink:
+    def test_matches_logstore_consolidated_layout(self, tmp_path):
+        events = [make_event(),
+                  make_event(dbms="redis", interaction="medium",
+                             config="default"),
+                  make_event(src_port=6000)]
+        store = LogStore()
+        sink = RawLogSink(tmp_path / "streamed")
+        for event in events:
+            store.append(event)
+            sink(event)
+        store_paths = store.write_consolidated(tmp_path / "buffered")
+        sink_paths = sink.close()
+        assert [p.name for p in sink_paths] == \
+            [p.name for p in store_paths]
+        for streamed, buffered in zip(sink_paths, store_paths):
+            assert streamed.read_text() == buffered.read_text()
+
+    def test_close_is_resettable(self, tmp_path):
+        sink = RawLogSink(tmp_path)
+        sink(make_event())
+        assert len(sink.close()) == 1
+        assert sink.close() == []
+
+
+class TestSQLiteWriterSink:
+    def test_streams_events_to_database(self, tmp_path, world):
+        geoip, scanners, ip = world
+        sink = SQLiteWriterSink(tmp_path / "out.sqlite", geoip, scanners)
+        for port in (1000, 2000, 3000):
+            sink(make_event(src_ip=ip, src_port=port))
+        path = sink.close()
+        assert count_events(path) == 3
+        assert {row["src_port"] for row in read_events(path)} == \
+            {1000, 2000, 3000}
+
+    def test_close_is_idempotent(self, tmp_path, world):
+        geoip, scanners, ip = world
+        sink = SQLiteWriterSink(tmp_path / "out.sqlite", geoip, scanners)
+        sink(make_event(src_ip=ip))
+        assert sink.close() == sink.close()
+
+    def test_no_events_still_creates_empty_database(self, tmp_path, world):
+        geoip, scanners, _ip = world
+        sink = SQLiteWriterSink(tmp_path / "empty.sqlite", geoip, scanners)
+        path = sink.close()
+        assert path.exists()
+        assert count_events(path) == 0
+
+    def test_conversion_error_surfaces_in_close(self, tmp_path, world):
+        geoip, scanners, ip = world
+        # The database path is an existing directory: the conversion
+        # thread fails, and close() must re-raise in the caller instead
+        # of swallowing the loss.
+        bad = tmp_path / "taken.sqlite"
+        bad.mkdir()
+        sink = SQLiteWriterSink(bad, geoip, scanners)
+        sink(make_event(src_ip=ip))
+        with pytest.raises(Exception):
+            sink.close()
+        # Still raising on a second close -- never "recovers" into
+        # silently pretending the data was written.
+        with pytest.raises(Exception):
+            sink.close()
