@@ -1,0 +1,147 @@
+"""Analysis-store throughput: cold vs. warm full report suite.
+
+Three timed configurations over the same converted databases:
+
+* **baseline** -- the pre-PR shape: every builder takes a database
+  *path*, so each one opens its own connection and re-scans the events
+  table (profiles are loaded once, as ``repro report`` used to).
+* **cold** -- everything routed through :class:`AnalysisStore` with an
+  empty cache: one columnar scan per database, derived artifacts built
+  once and persisted.
+* **warm** -- fresh stores over the now-populated cache: zero scans,
+  every artifact deserialized from disk.
+
+Writes ``benchmarks/_output/BENCH_analysis.json`` with wall times, the
+cold per-stage breakdown (scan / profile build / TF / linkage), cache
+hit counts, and the two speedups the acceptance criteria gate on:
+warm >= 3x cold, cold no slower than baseline.  Also asserts the cold
+and warm report texts are byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from benchmarks.conftest import CLUSTER_THRESHOLD, OUTPUT_DIR, bench_scale
+from repro.cli import report_text
+from repro.core.bruteforce import credential_stats, logins_by_country
+from repro.core.campaigns import campaign_summary
+from repro.core.loading import load_ip_profiles
+from repro.core.reports import (as_type_logins, asn_table,
+                                classification_table, config_effect,
+                                institutional_probing, single_vs_multi)
+from repro.core.retention import retention_by_dbms, retention_overall
+from repro.core.store import AnalysisStore
+from repro.core.temporal import hourly_series, per_dbms_series
+
+
+def _run_suite(low, midhigh, profiles):
+    """The full report suite against path-or-store sources.
+
+    ``profiles`` is the mid/high profile map -- loaded once for the
+    baseline (as the pre-PR ``repro report`` did), served from the
+    store's cache in the store configurations.
+    """
+    results = [
+        hourly_series(low),
+        per_dbms_series(low),
+        logins_by_country(low, top=10),
+        credential_stats(low, "mssql"),
+        asn_table(low, top=10),
+        as_type_logins(low),
+        single_vs_multi(low),
+        config_effect(low),
+        classification_table(
+            midhigh if isinstance(midhigh, AnalysisStore) else profiles,
+            distance_threshold=CLUSTER_THRESHOLD),
+        campaign_summary(profiles),
+        retention_by_dbms(profiles),
+        retention_overall(profiles),
+        institutional_probing(profiles),
+    ]
+    return results
+
+
+def _timed_suite(low, midhigh):
+    start = time.perf_counter()
+    if isinstance(midhigh, AnalysisStore):
+        profiles = midhigh.profiles()
+    else:
+        profiles = load_ip_profiles(midhigh)
+    _run_suite(low, midhigh, profiles)
+    text = (report_text(low, midhigh, bench_scale())
+            if isinstance(low, AnalysisStore) else None)
+    return time.perf_counter() - start, text
+
+
+def test_analysis_store_throughput(experiment, emit):
+    low_db, mid_db = experiment.low_db, experiment.midhigh_db
+
+    # Pre-PR shape: per-builder connections and scans off the raw paths.
+    baseline_seconds, _ = _timed_suite(low_db, mid_db)
+
+    # Cold: empty cache, one scan per database, artifacts persisted.
+    with AnalysisStore(low_db) as low, AnalysisStore(mid_db) as midhigh:
+        low.clear_cache(), midhigh.clear_cache()
+        cold_seconds, cold_text = _timed_suite(low, midhigh)
+        cold_stats = {"low": dict(low.stats), "midhigh": dict(midhigh.stats)}
+        assert low.stats["scans"] + midhigh.stats["scans"] <= 3, \
+            "cold run should scan each database about once"
+
+    # Warm: fresh stores, populated cache, zero scans.
+    with AnalysisStore(low_db) as low, AnalysisStore(mid_db) as midhigh:
+        warm_seconds, warm_text = _timed_suite(low, midhigh)
+        warm_stats = {"low": dict(low.stats), "midhigh": dict(midhigh.stats)}
+        assert low.stats["scans"] == midhigh.stats["scans"] == 0, \
+            "warm run must not scan the events table"
+
+    assert warm_text == cold_text, \
+        "cold and warm report outputs must be byte-identical"
+
+    stages = {"scan": sum(s["scan_seconds"]
+                          for s in cold_stats.values())}
+    for stage, kind in (("profile_build", "profiles"), ("tf", "tf"),
+                        ("linkage", "linkage")):
+        stages[stage] = sum(s["build_seconds"].get(kind, 0.0)
+                            for s in cold_stats.values())
+
+    snapshot = {
+        "bench": {
+            "scale": bench_scale(),
+            "seed": experiment.config.seed,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "events_total": experiment.events_total,
+        "baseline_seconds": baseline_seconds,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup_warm_vs_cold": cold_seconds / warm_seconds,
+        "speedup_cold_vs_baseline": baseline_seconds / cold_seconds,
+        "cold_stage_seconds": stages,
+        "cache": {"cold": cold_stats, "warm": warm_stats},
+        "outputs_identical": True,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "BENCH_analysis.json"
+    path.write_text(json.dumps(snapshot, indent=2) + "\n",
+                    encoding="utf-8")
+
+    emit("analysis_throughput", "\n".join([
+        f"baseline (per-builder scans): {baseline_seconds:8.3f}s",
+        f"cold (store, empty cache):    {cold_seconds:8.3f}s "
+        f"({snapshot['speedup_cold_vs_baseline']:.2f}x baseline)",
+        f"warm (store, cached):         {warm_seconds:8.3f}s "
+        f"({snapshot['speedup_warm_vs_cold']:.2f}x cold)",
+        "cold stages: " + ", ".join(
+            f"{name}={seconds:.3f}s" for name, seconds in stages.items()),
+    ]))
+
+    # The acceptance gates: warm >= 3x cold; cold no slower than the
+    # per-builder-scan baseline (small tolerance for timer noise).
+    assert warm_seconds * 3 <= cold_seconds, snapshot
+    assert cold_seconds <= baseline_seconds * 1.05, snapshot

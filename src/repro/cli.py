@@ -28,11 +28,12 @@ from pathlib import Path
 
 from repro.core.bruteforce import credential_stats, logins_by_country
 from repro.core.campaigns import campaign_summary
-from repro.core.loading import load_ip_profiles
 from repro.core.reports import (classification_table, extrapolate,
                                 format_table)
+from repro.core.store import AnalysisStore
 from repro.core.temporal import hourly_series
-from repro.deployment import ExperimentConfig, run_experiment
+from repro.deployment import (ExperimentConfig, resolve_workers,
+                              run_experiment)
 
 
 def _package_version() -> str:
@@ -72,11 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --telemetry, export the span trace "
                               "here (.jsonl for JSON-lines, else Chrome "
                               "chrome://tracing format)")
-    run_cmd.add_argument("--workers", type=int, default=1,
+    run_cmd.add_argument("--workers", default="1",
                          help="replay workers: 1 replays serially, N > 1 "
                               "shards the visit schedule by target "
                               "honeypot across N workers (same events, "
-                              "same order)")
+                              "same order); 'auto' matches the host's "
+                              "core count")
 
     report_cmd = subcommands.add_parser(
         "report", help="print the key tables of an existing run")
@@ -86,6 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument("--scale", type=float, default=0.002,
                             help="scale used by that run (for "
                                  "extrapolation)")
+    report_cmd.add_argument("--no-cache", action="store_true",
+                            help="clear the analysis cache next to the "
+                                 "databases and rebuild everything from "
+                                 "a fresh scan")
 
     stats_cmd = subcommands.add_parser(
         "stats", help="pretty-print the run_report.json of a previous "
@@ -131,10 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
                            default=Path("chaos-output"))
     chaos_cmd.add_argument("--list-plans", action="store_true",
                            help="list the builtin fault plans and exit")
-    chaos_cmd.add_argument("--workers", type=int, default=1,
+    chaos_cmd.add_argument("--workers", default="1",
                            help="replay workers (see `repro run "
-                                "--workers`); conservation must hold "
-                                "under sharding too")
+                                "--workers`, including 'auto'); "
+                                "conservation must hold under "
+                                "sharding too")
     return parser
 
 
@@ -142,17 +149,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.trace_out is not None and not args.telemetry:
         print("error: --trace-out requires --telemetry", file=sys.stderr)
         return 2
-    if args.workers < 1:
-        print(f"error: --workers must be >= 1, got {args.workers}",
-              file=sys.stderr)
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     result = run_experiment(ExperimentConfig(
         seed=args.seed, volume_scale=args.scale,
         output_dir=args.output, write_raw_logs=args.raw_logs,
         export_dataset=args.dataset, telemetry=args.telemetry,
-        trace_out=args.trace_out, workers=args.workers))
-    if args.workers > 1:
-        print(f"replay:   sharded across {args.workers} workers")
+        trace_out=args.trace_out, workers=workers))
+    if workers > 1:
+        print(f"replay:   sharded across {workers} workers")
     print(f"visits:   {result.visits_total:,}")
     print(f"events:   {result.events_total:,}")
     print(f"low DB:   {result.low_db}")
@@ -166,6 +174,50 @@ def cmd_run(args: argparse.Namespace) -> int:
     if result.trace_path:
         print(f"trace:    {result.trace_path}")
     return 0
+
+
+def report_text(low: AnalysisStore, midhigh: AnalysisStore,
+                scale: float) -> str:
+    """Render the `repro report` tables from two analysis stores.
+
+    Every derived artifact (profiles, TF matrices, linkage) is served
+    through the stores, so a cold run performs one scan per database
+    and a warm run zero; the rendered text is byte-identical either
+    way.
+    """
+    series = hourly_series(low)
+    sections = [
+        f"Figure 2: {series.total_unique} unique low-tier IPs, "
+        f"{series.mean_clients_per_hour():.1f} clients/hour, "
+        f"{series.mean_new_per_hour():.1f} new/hour\n",
+        "Table 5: top countries by login attempts",
+        format_table(
+            ["Country", "#Logins", "extrapolated", "#IP/Total"],
+            [[r.country, r.logins, f"{extrapolate(r.logins, scale):,}",
+              f"{r.login_ips}/{r.total_ips}"]
+             for r in logins_by_country(low, top=10)]),
+    ]
+
+    stats = credential_stats(low, "mssql")
+    sections += [
+        "\nTable 12: top MSSQL credentials",
+        format_table(["Username", "Password", "#"],
+                     [[u, p or '""', c]
+                      for (u, p), c in stats.top_pairs[:5]]),
+        "\nTable 8: medium/high classification",
+        format_table(
+            ["DBMS", "#IP", "Scan", "Scout", "Exploit", "#Cls"],
+            [[r.dbms, r.total_ips, r.scanning, r.scouting, r.exploiting,
+              r.clusters]
+             for r in classification_table(midhigh,
+                                           distance_threshold=0.1)]),
+        "\nTable 9: attack campaigns",
+        format_table(
+            ["Category", "DBMS", "Attack", "#IP"],
+            [[r.category, r.dbms, r.tag, r.ip_count]
+             for r in campaign_summary(midhigh.profiles())]),
+    ]
+    return "\n".join(sections)
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -184,38 +236,22 @@ def cmd_report(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
 
-    series = hourly_series(low_db)
-    print(f"Figure 2: {series.total_unique} unique low-tier IPs, "
-          f"{series.mean_clients_per_hour():.1f} clients/hour, "
-          f"{series.mean_new_per_hour():.1f} new/hour\n")
-
-    print("Table 5: top countries by login attempts")
-    rows = logins_by_country(low_db, top=10)
-    print(format_table(
-        ["Country", "#Logins", "extrapolated", "#IP/Total"],
-        [[r.country, r.logins, f"{extrapolate(r.logins, args.scale):,}",
-          f"{r.login_ips}/{r.total_ips}"] for r in rows]))
-
-    stats = credential_stats(low_db, "mssql")
-    print(f"\nTable 12: top MSSQL credentials")
-    print(format_table(["Username", "Password", "#"],
-                       [[u, p or '""', c]
-                        for (u, p), c in stats.top_pairs[:5]]))
-
-    profiles = load_ip_profiles(midhigh_db)
-    print("\nTable 8: medium/high classification")
-    print(format_table(
-        ["DBMS", "#IP", "Scan", "Scout", "Exploit", "#Cls"],
-        [[r.dbms, r.total_ips, r.scanning, r.scouting, r.exploiting,
-          r.clusters]
-         for r in classification_table(profiles,
-                                       distance_threshold=0.1)]))
-
-    print("\nTable 9: attack campaigns")
-    print(format_table(
-        ["Category", "DBMS", "Attack", "#IP"],
-        [[r.category, r.dbms, r.tag, r.ip_count]
-         for r in campaign_summary(profiles)]))
+    use_cache = not args.no_cache
+    with AnalysisStore(low_db, use_cache=use_cache) as low, \
+            AnalysisStore(midhigh_db, use_cache=use_cache) as midhigh:
+        if args.no_cache:
+            removed = low.clear_cache() + midhigh.clear_cache()
+            if removed:
+                print(f"analysis cache: cleared {removed} artifacts",
+                      file=sys.stderr)
+        print(report_text(low, midhigh, args.scale))
+        # Cache accounting goes to stderr so cold and warm runs emit
+        # byte-identical reports on stdout (asserted in CI).
+        for name, store in (("low", low), ("midhigh", midhigh)):
+            stats = store.stats
+            print(f"analysis cache [{name}]: {stats['hits']} hits, "
+                  f"{stats['misses']} misses, {stats['scans']} scans",
+                  file=sys.stderr)
     return 0
 
 
@@ -234,7 +270,25 @@ def cmd_stats(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(format_summary(manifest))
+    for line in _cache_summary(args.output):
+        print(line)
     return 0
+
+
+def _cache_summary(output_dir: Path) -> list[str]:
+    """One line per populated analysis cache next to the run's databases."""
+    lines = []
+    for db_name in ("low.sqlite", "midhigh.sqlite"):
+        cache_dir = output_dir / f"{db_name}.cache"
+        artifacts = sorted(cache_dir.glob("*.pkl")) if cache_dir.is_dir() \
+            else []
+        if not artifacts:
+            continue
+        total = sum(path.stat().st_size for path in artifacts)
+        lines.append(f"analysis cache [{db_name}]: {len(artifacts)} "
+                     f"artifacts, {total / 1e6:.1f} MB "
+                     f"(clear with `repro report --no-cache`)")
+    return lines
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -309,17 +363,18 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    if args.workers < 1:
-        print(f"error: --workers must be >= 1, got {args.workers}",
-              file=sys.stderr)
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     result = run_experiment(ExperimentConfig(
         seed=args.seed, volume_scale=args.scale, output_dir=args.output,
-        telemetry=True, fault_plan=plan, workers=args.workers))
+        telemetry=True, fault_plan=plan, workers=workers))
 
     print(f"plan:        {plan.name} (seed {args.seed})")
-    if args.workers > 1:
-        print(f"replay:      sharded across {args.workers} workers")
+    if workers > 1:
+        print(f"replay:      sharded across {workers} workers")
     for site, stats in sorted(plan.snapshot().items()):
         print(f"  {site:18s} fired {stats['fires']:,} / "
               f"{stats['evaluations']:,} evaluations")

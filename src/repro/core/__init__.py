@@ -4,6 +4,8 @@ Everything in this package consumes only the SQLite databases produced
 by :mod:`repro.pipeline` -- never the traffic generator -- mirroring the
 paper's separation between collection and analysis:
 
+* :mod:`repro.core.store` -- the columnar analysis store: one scan,
+  content-keyed caching of every derived artifact,
 * :mod:`repro.core.loading` -- per-IP event/action-sequence extraction,
 * :mod:`repro.core.classification` -- scanning / scouting / exploiting,
 * :mod:`repro.core.tf` -- term-frequency feature vectors,
@@ -28,8 +30,14 @@ from repro.core.intersections import upset_intersections
 from repro.core.bruteforce import credential_stats, logins_by_country
 from repro.core.campaigns import campaign_summary, tag_profile
 from repro.core.reports import classification_table, cluster_dbms
+from repro.core.review import review_clusters, review_dbms
+from repro.core.store import AnalysisStore, borrow_store
 
 __all__ = [
+    "AnalysisStore",
+    "borrow_store",
+    "review_clusters",
+    "review_dbms",
     "BehaviorClass",
     "classify_ips",
     "AgglomerativeClustering",

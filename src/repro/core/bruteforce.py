@@ -3,14 +3,23 @@
 Per-country login volumes, top credential pairs, and the unique
 username / password / combination counts that characterize how much
 effort database brute-forcers invest.
+
+Each builder accepts either a converted database path (opening an
+ephemeral connection, as before) or an
+:class:`~repro.core.store.AnalysisStore`, in which case the store's
+single shared connection serves the aggregate queries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-from repro.pipeline.convert import open_database
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import AnalysisStore
+
+Source = "str | Path | AnalysisStore"
 
 
 @dataclass(frozen=True)
@@ -24,29 +33,28 @@ class CountryLoginRow:
     by_dbms: dict[str, int]
 
 
-def logins_by_country(db_path: str | Path,
+def logins_by_country(db_path: "str | Path | AnalysisStore",
                       top: int = 10) -> list[CountryLoginRow]:
     """Table 5: top countries by login attempts."""
-    connection = open_database(db_path)
-    try:
-        totals = dict(connection.execute(
+    from repro.core.store import borrow_store
+
+    with borrow_store(db_path) as store:
+        totals = dict(store.rows(
             "SELECT country, COUNT(DISTINCT src_ip) FROM events "
             "GROUP BY country"))
         rows: dict[str, dict] = {}
-        cursor = connection.execute(
+        per_dbms = store.rows(
             "SELECT country, dbms, COUNT(*) AS logins, "
             "COUNT(DISTINCT src_ip) AS ips FROM events "
             "WHERE event_type = 'login_attempt' "
             "GROUP BY country, dbms")
-        for country, dbms, logins, _ips in cursor:
+        for country, dbms, logins, _ips in per_dbms:
             entry = rows.setdefault(country, {"logins": 0, "by_dbms": {}})
             entry["logins"] += logins
             entry["by_dbms"][dbms] = logins
-        login_ips = dict(connection.execute(
+        login_ips = dict(store.rows(
             "SELECT country, COUNT(DISTINCT src_ip) FROM events "
             "WHERE event_type = 'login_attempt' GROUP BY country"))
-    finally:
-        connection.close()
     result = [CountryLoginRow(country, entry["logins"],
                               login_ips.get(country, 0),
                               totals.get(country, 0), entry["by_dbms"])
@@ -69,12 +77,13 @@ class CredentialStats:
     top_pairs: list[tuple[tuple[str, str], int]]
 
 
-def credential_stats(db_path: str | Path, dbms: str,
+def credential_stats(db_path: "str | Path | AnalysisStore", dbms: str,
                      top: int = 10) -> CredentialStats:
     """Table 12 plus the uniqueness counts for one DBMS."""
-    connection = open_database(db_path)
-    try:
-        cursor = connection.execute(
+    from repro.core.store import borrow_store
+
+    with borrow_store(db_path) as store:
+        pair_rows = store.rows(
             "SELECT username, password, COUNT(*) FROM events "
             "WHERE event_type = 'login_attempt' AND dbms = ? "
             "GROUP BY username, password", (dbms,))
@@ -82,15 +91,13 @@ def credential_stats(db_path: str | Path, dbms: str,
         passwords: dict[str, int] = {}
         pairs: dict[tuple[str, str], int] = {}
         total = 0
-        for username, password, count in cursor:
+        for username, password, count in pair_rows:
             username = username or ""
             password = password or ""
             total += count
             usernames[username] = usernames.get(username, 0) + count
             passwords[password] = passwords.get(password, 0) + count
             pairs[(username, password)] = count
-    finally:
-        connection.close()
     return CredentialStats(
         dbms=dbms,
         total_attempts=total,
@@ -105,27 +112,26 @@ def credential_stats(db_path: str | Path, dbms: str,
     )
 
 
-def brute_force_ips(db_path: str | Path) -> set[str]:
+def brute_force_ips(db_path: "str | Path | AnalysisStore") -> set[str]:
     """Sources with at least one login attempt (the paper's definition
     of a brute-force attacker in Section 5)."""
-    connection = open_database(db_path)
-    try:
-        return {row[0] for row in connection.execute(
+    from repro.core.store import borrow_store
+
+    with borrow_store(db_path) as store:
+        return {row[0] for row in store.rows(
             "SELECT DISTINCT src_ip FROM events "
             "WHERE event_type = 'login_attempt'")}
-    finally:
-        connection.close()
 
 
-def average_attempts_per_client(db_path: str | Path) -> float:
+def average_attempts_per_client(db_path: "str | Path | AnalysisStore",
+                                ) -> float:
     """Average login attempts over *all* observed clients."""
-    connection = open_database(db_path)
-    try:
-        (logins,) = connection.execute(
+    from repro.core.store import borrow_store
+
+    with borrow_store(db_path) as store:
+        [(logins,)] = store.rows(
             "SELECT COUNT(*) FROM events "
-            "WHERE event_type = 'login_attempt'").fetchone()
-        (clients,) = connection.execute(
-            "SELECT COUNT(DISTINCT src_ip) FROM events").fetchone()
-    finally:
-        connection.close()
+            "WHERE event_type = 'login_attempt'")
+        [(clients,)] = store.rows(
+            "SELECT COUNT(DISTINCT src_ip) FROM events")
     return logins / clients if clients else 0.0

@@ -10,6 +10,13 @@ do exactly that).
 
 Single, complete, and average linkage are also provided for the
 ablation benches.
+
+Distances are held in **condensed** (upper-triangle) form -- half the
+memory of the previous full (n, n) matrix, and the full matrix is never
+materialized (the condensed array is filled row-block by row-block).
+Retired and diagonal entries read as ``inf``, so the chain step's
+nearest-neighbor search is a single ``argmin`` over a reused scratch
+row: no per-step row copy, no masked writes.
 """
 
 from __future__ import annotations
@@ -33,6 +40,87 @@ def pairwise_sq_euclidean(matrix: np.ndarray) -> np.ndarray:
     return distances
 
 
+def condensed_sq_euclidean(matrix: np.ndarray) -> np.ndarray:
+    """Upper-triangle squared-Euclidean distances, row-major.
+
+    Entry ``(i, j)`` (``i < j``) lives at
+    ``i * n - i * (i + 1) // 2 + (j - i - 1)``.  Built one row block at
+    a time, so peak memory is the condensed array itself -- half the
+    full matrix -- plus one row.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    n = len(matrix)
+    norms = np.einsum("ij,ij->i", matrix, matrix)
+    out = np.empty(n * (n - 1) // 2)
+    start = 0
+    for i in range(n - 1):
+        stop = start + n - i - 1
+        block = out[start:stop]
+        np.dot(matrix[i + 1:], matrix[i], out=block)
+        block *= -2.0
+        block += norms[i]
+        block += norms[i + 1:]
+        start = stop
+    np.maximum(out, 0.0, out=out)
+    return out
+
+
+class _CondensedMatrix:
+    """Mutable condensed distance matrix with inf-retired entries.
+
+    Row reads land in a preallocated scratch buffer, so the chain loop
+    performs zero per-step allocations: the right part of a row is a
+    contiguous slice of the condensed array and the left part is a
+    strided gather through a reused index buffer.
+    """
+
+    __slots__ = ("n", "data", "_starts", "_row", "_idx")
+
+    def __init__(self, data: np.ndarray, n: int):
+        self.n = n
+        self.data = data
+        indices = np.arange(n, dtype=np.int64)
+        # index(i, j) for i < j is _starts[i] + j.
+        self._starts = indices * n - indices * (indices + 1) // 2 - indices - 1
+        self._row = np.empty(n)
+        self._idx = np.empty(n, dtype=np.int64)
+
+    def get(self, i: int, j: int) -> float:
+        if i > j:
+            i, j = j, i
+        return self.data[self._starts[i] + j]
+
+    def row(self, r: int) -> np.ndarray:
+        """Distances from ``r`` to every node (``inf`` at ``r`` itself),
+        written into the scratch buffer and returned."""
+        row, n, data = self._row, self.n, self.data
+        if r:
+            idx = self._idx[:r]
+            np.add(self._starts[:r], r, out=idx)
+            np.take(data, idx, out=row[:r])
+        row[r] = np.inf
+        if r + 1 < n:
+            start = self._starts[r] + r + 1
+            row[r + 1:] = data[start:start + n - r - 1]
+        return row
+
+    def indices_to(self, r: int, nodes: np.ndarray) -> np.ndarray:
+        """Condensed indices of the pairs ``(r, node)``."""
+        return np.where(nodes < r, self._starts[nodes] + r,
+                        self._starts[r] + nodes)
+
+    def retire(self, r: int) -> None:
+        """Set every distance involving ``r`` to ``inf``."""
+        n, data = self.n, self.data
+        if r:
+            idx = self._idx[:r]
+            np.add(self._starts[:r], r, out=idx)
+            data[idx] = np.inf
+        if r + 1 < n:
+            start = self._starts[r] + r + 1
+            data[start:start + n - r - 1] = np.inf
+
+
 def linkage(matrix: np.ndarray, method: str = "ward") -> np.ndarray:
     """Compute the agglomeration dendrogram of ``matrix`` rows.
 
@@ -53,10 +141,10 @@ def linkage(matrix: np.ndarray, method: str = "ward") -> np.ndarray:
     telemetry = obs.current()
     start = time.perf_counter()
     n = len(matrix)
-    distances = pairwise_sq_euclidean(matrix)
+    condensed = condensed_sq_euclidean(matrix)
     if method != "ward":
-        np.sqrt(distances, out=distances)
-    np.fill_diagonal(distances, np.inf)
+        np.sqrt(condensed, out=condensed)
+    distances = _CondensedMatrix(condensed, n)
 
     size = np.ones(n)
     active = np.ones(n, dtype=bool)
@@ -69,11 +157,11 @@ def linkage(matrix: np.ndarray, method: str = "ward") -> np.ndarray:
         if not chain:
             chain.append(int(np.argmax(active)))
         top = chain[-1]
-        row = distances[top].copy()
-        row[~active] = np.inf
-        row[top] = np.inf
+        # Retired entries and the diagonal already read as inf, so the
+        # scratch row needs no copy or masking before the argmin.
+        row = distances.row(top)
         nearest = int(np.argmin(row))
-        if len(chain) > 1 and distances[top, chain[-2]] <= row[nearest]:
+        if len(chain) > 1 and distances.get(top, chain[-2]) <= row[nearest]:
             nearest = chain.pop(-2)
             chain.pop()  # remove `top`
             merges.append(_merge(distances, size, active, cluster_id,
@@ -95,37 +183,35 @@ def linkage(matrix: np.ndarray, method: str = "ward") -> np.ndarray:
     return _reorder(result, order, n)
 
 
-def _merge(distances: np.ndarray, size: np.ndarray, active: np.ndarray,
-           cluster_id: np.ndarray, a: int, b: int, next_id: int,
-           method: str) -> tuple[float, float, float, float]:
-    d_ab = distances[a, b]
+def _merge(distances: _CondensedMatrix, size: np.ndarray,
+           active: np.ndarray, cluster_id: np.ndarray, a: int, b: int,
+           next_id: int, method: str) -> tuple[float, float, float, float]:
+    d_ab = distances.get(a, b)
     n_a, n_b = size[a], size[b]
-    others = active.copy()
-    others[a] = others[b] = False
+    others = np.flatnonzero(active)
+    others = others[(others != a) & (others != b)]
+    indices_a = distances.indices_to(a, others)
+    d_a = distances.data[indices_a]
+    d_b = distances.data[distances.indices_to(b, others)]
     if method == "ward":
         n_k = size[others]
-        updated = ((n_a + n_k) * distances[a, others]
-                   + (n_b + n_k) * distances[b, others]
+        updated = ((n_a + n_k) * d_a + (n_b + n_k) * d_b
                    - n_k * d_ab) / (n_a + n_b + n_k)
         height = float(np.sqrt(d_ab))
     elif method == "single":
-        updated = np.minimum(distances[a, others], distances[b, others])
+        updated = np.minimum(d_a, d_b)
         height = float(d_ab)
     elif method == "complete":
-        updated = np.maximum(distances[a, others], distances[b, others])
+        updated = np.maximum(d_a, d_b)
         height = float(d_ab)
     else:  # average
-        updated = (n_a * distances[a, others]
-                   + n_b * distances[b, others]) / (n_a + n_b)
+        updated = (n_a * d_a + n_b * d_b) / (n_a + n_b)
         height = float(d_ab)
     record = (float(cluster_id[a]), float(cluster_id[b]), height,
               float(n_a + n_b))
     # The merged cluster takes slot ``a``; slot ``b`` is retired.
-    distances[a, others] = updated
-    distances[others, a] = updated
-    distances[a, a] = np.inf
-    distances[b, :] = np.inf
-    distances[:, b] = np.inf
+    distances.data[indices_a] = updated
+    distances.retire(b)
     size[a] = n_a + n_b
     active[b] = False
     cluster_id[a] = next_id
@@ -211,17 +297,30 @@ class AgglomerativeClustering:
     n_clusters: int | None = None
     distance_threshold: float | None = None
     method: str = "ward"
-    labels_: np.ndarray = field(default=None, repr=False)  # type: ignore
-    merges_: np.ndarray = field(default=None, repr=False)  # type: ignore
+    labels_: np.ndarray | None = field(default=None, repr=False)
+    merges_: np.ndarray | None = field(default=None, repr=False)
 
-    def fit(self, matrix: np.ndarray) -> "AgglomerativeClustering":
-        """Cluster the rows of ``matrix``."""
+    def fit(self, matrix: np.ndarray, *,
+            linkage_matrix: np.ndarray | None = None,
+            ) -> "AgglomerativeClustering":
+        """Cluster the rows of ``matrix``.
+
+        ``linkage_matrix`` injects a precomputed dendrogram for these
+        rows (e.g. from the :class:`repro.core.store.AnalysisStore`
+        linkage cache); the O(n^2) agglomeration is then skipped and
+        the hit is recorded under ``clustering.linkage_cache_hits``.
+        """
         matrix = np.asarray(matrix, dtype=float)
         if len(matrix) == 1:
             self.merges_ = np.empty((0, 4))
             self.labels_ = np.zeros(1, dtype=int)
             return self
-        self.merges_ = linkage(matrix, self.method)
+        if linkage_matrix is not None:
+            obs.current().metrics.inc("clustering.linkage_cache_hits",
+                                      method=self.method)
+            self.merges_ = linkage_matrix
+        else:
+            self.merges_ = linkage(matrix, self.method)
         self.labels_ = cut_tree(self.merges_, len(matrix),
                                 n_clusters=self.n_clusters,
                                 distance_threshold=self.distance_threshold)

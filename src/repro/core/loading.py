@@ -7,16 +7,24 @@ The analysis operates on two shapes of data:
   for classification and clustering;
 * raw event iteration for the table builders in
   :mod:`repro.core.reports`.
+
+Profiles are built from the columnar event form served by
+:class:`repro.core.store.AnalysisStore` -- one ordered scan of the
+database, shared by every downstream consumer.  :func:`load_ip_profiles`
+keeps the original path-based API: given a path it performs one private
+scan (no cache side effects); given a store it reuses the store's
+columnar load and digest-keyed artifact cache.
 """
 
 from __future__ import annotations
 
 import hashlib
-import sqlite3
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-from repro.pipeline.convert import open_database
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import AnalysisStore, ColumnarEvents
 
 #: Seconds per day, used to bucket timestamps into experiment days.
 DAY_SECONDS = 86400.0
@@ -58,7 +66,7 @@ class IpProfile:
         return bool(self.actions or self.login_attempts or self.malformed)
 
 
-def load_ip_profiles(db_path: str | Path, *,
+def load_ip_profiles(source: "str | Path | AnalysisStore", *,
                      interaction: str | None = None,
                      dbms: str | None = None,
                      start_ts: float | None = None,
@@ -67,92 +75,97 @@ def load_ip_profiles(db_path: str | Path, *,
 
     Parameters
     ----------
-    db_path:
-        SQLite database produced by the pipeline.
+    source:
+        SQLite database path produced by the pipeline, or an
+        :class:`~repro.core.store.AnalysisStore` (whose columnar load
+        and artifact cache are then reused).
     interaction / dbms:
-        Optional filters.
+        Optional filters, pushed down into the scan.
     start_ts:
         Experiment start timestamp for day bucketing; defaults to the
-        earliest event in the database.
+        earliest event in the (filtered) database.
     """
-    connection = open_database(db_path)
-    try:
-        where, params = _filters(interaction, dbms)
-        if start_ts is None:
-            row = connection.execute(
-                f"SELECT MIN(timestamp) FROM events{where}",
-                params).fetchone()
-            start_ts = row[0] if row and row[0] is not None else 0.0
-        profiles: dict[tuple[str, str], IpProfile] = {}
-        cursor = connection.execute(
-            "SELECT src_ip, dbms, country, asn, as_name, as_type, "
-            "institutional, event_type, action, raw, timestamp, config, "
-            "username, password "
-            f"FROM events{where} ORDER BY timestamp, id", params)
-        for row in cursor:
-            key = (row["src_ip"], row["dbms"])
-            profile = profiles.get(key)
-            if profile is None:
-                profile = IpProfile(
-                    src_ip=row["src_ip"], dbms=row["dbms"],
-                    country=row["country"], asn=row["asn"],
-                    as_name=row["as_name"], as_type=row["as_type"],
-                    institutional=bool(row["institutional"]))
-                profiles[key] = profile
-            _accumulate(profile, row, start_ts)
+    from repro.core.store import borrow_store
+
+    with borrow_store(source) as store:
+        return store.profiles(interaction=interaction, dbms=dbms,
+                              start_ts=start_ts)
+
+
+def build_profiles(columns: "ColumnarEvents", start_ts: float,
+                   ) -> dict[tuple[str, str], IpProfile]:
+    """Fold columnar events (ordered by timestamp, id) into profiles."""
+    profiles: dict[tuple[str, str], IpProfile] = {}
+    n = columns.n
+    if not n:
         return profiles
-    finally:
-        connection.close()
-
-
-def _accumulate(profile: IpProfile, row: sqlite3.Row,
-                start_ts: float) -> None:
-    timestamp = row["timestamp"]
-    profile.first_ts = min(profile.first_ts, timestamp)
-    profile.last_ts = max(profile.last_ts, timestamp)
-    profile.days_seen.add(int((timestamp - start_ts) // DAY_SECONDS))
-    profile.configs.add(row["config"])
-    event_type = row["event_type"]
-    if event_type == "connect":
-        profile.connects += 1
-    elif event_type == "login_attempt":
-        profile.login_attempts += 1
-        username = row["username"] or ""
-        profile.credentials.add((username, row["password"] or ""))
-        # The username is part of the clustering term: brute-force tools
-        # differ in the account lists they target, and that is what
-        # separates their clusters.
-        profile.actions.append(f"LOGIN {username}")
-    elif event_type in ("command", "query", "http_request"):
-        if row["action"]:
-            profile.actions.append(row["action"])
-        if row["raw"]:
-            profile.raws.append(row["raw"])
-    elif event_type == "malformed":
-        profile.malformed += 1
-        raw = row["raw"] or ""
-        if raw:
-            profile.raws.append(raw)
-        # A coarse content fingerprint keeps different probe families
-        # (RDP cookies vs JDWP handshakes vs TLS hellos) in different
-        # clustering terms while identical bot payloads still collide.
-        digest = hashlib.md5(raw.encode("utf-8", "replace")).hexdigest()
-        profile.actions.append(f"MALFORMED {digest[:6]}")
-
-
-def _filters(interaction: str | None,
-             dbms: str | None) -> tuple[str, list]:
-    clauses = []
-    params: list = []
-    if interaction is not None:
-        clauses.append("interaction = ?")
-        params.append(interaction)
-    if dbms is not None:
-        clauses.append("dbms = ?")
-        params.append(dbms)
-    if not clauses:
-        return "", params
-    return " WHERE " + " AND ".join(clauses), params
+    timestamps = columns.timestamps.tolist()
+    src_ips = columns.src_ip.decode()
+    dbms_values = columns.dbms.decode()
+    countries = columns.country.decode()
+    as_names = columns.as_name.decode()
+    as_types = columns.as_type.decode()
+    asns = [None if value != value else int(value)  # NaN-safe
+            for value in columns.asn.tolist()]
+    institutional = columns.institutional.tolist()
+    event_types = columns.event_type.decode()
+    actions = columns.action.decode()
+    usernames = columns.username.decode()
+    passwords = columns.password.decode()
+    raws = columns.raw.decode()
+    configs = columns.config.decode()
+    #: Raw payloads repeat heavily across bots; hash each distinct one
+    #: once instead of per malformed event.
+    digest_cache: dict[str, str] = {}
+    for i in range(n):
+        key = (src_ips[i], dbms_values[i])
+        profile = profiles.get(key)
+        if profile is None:
+            profile = IpProfile(
+                src_ip=src_ips[i], dbms=dbms_values[i],
+                country=countries[i], asn=asns[i],
+                as_name=as_names[i], as_type=as_types[i],
+                institutional=bool(institutional[i]))
+            profiles[key] = profile
+        timestamp = timestamps[i]
+        if timestamp < profile.first_ts:
+            profile.first_ts = timestamp
+        if timestamp > profile.last_ts:
+            profile.last_ts = timestamp
+        profile.days_seen.add(int((timestamp - start_ts) // DAY_SECONDS))
+        profile.configs.add(configs[i])
+        event_type = event_types[i]
+        if event_type == "connect":
+            profile.connects += 1
+        elif event_type == "login_attempt":
+            profile.login_attempts += 1
+            username = usernames[i] or ""
+            profile.credentials.add((username, passwords[i] or ""))
+            # The username is part of the clustering term: brute-force
+            # tools differ in the account lists they target, and that
+            # is what separates their clusters.
+            profile.actions.append(f"LOGIN {username}")
+        elif event_type in ("command", "query", "http_request"):
+            if actions[i]:
+                profile.actions.append(actions[i])
+            if raws[i]:
+                profile.raws.append(raws[i])
+        elif event_type == "malformed":
+            profile.malformed += 1
+            raw = raws[i] or ""
+            if raw:
+                profile.raws.append(raw)
+            # A coarse content fingerprint keeps different probe
+            # families (RDP cookies vs JDWP handshakes vs TLS hellos)
+            # in different clustering terms while identical bot
+            # payloads still collide.
+            digest = digest_cache.get(raw)
+            if digest is None:
+                digest = hashlib.md5(
+                    raw.encode("utf-8", "replace")).hexdigest()[:6]
+                digest_cache[raw] = digest
+            profile.actions.append(f"MALFORMED {digest}")
+    return profiles
 
 
 def action_sequences(profiles: dict[tuple[str, str], IpProfile],

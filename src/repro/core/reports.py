@@ -3,19 +3,29 @@
 Each function regenerates one table of the paper from a converted
 SQLite database (plus, for Table 8/9, the clustering output).  Pretty
 printers render the rows the way the benches report them.
+
+Every SQL-backed builder accepts either a database path (a private
+read-only connection, as before) or an
+:class:`~repro.core.store.AnalysisStore`, in which case the store's
+shared connection and digest-keyed artifact cache (profiles, TF
+matrices, linkage) are reused across builders -- the full report suite
+then scans the events table once cold and not at all warm.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from pathlib import Path
+from pathlib import Path  # noqa: F401 (documented Source alias)
 
 from repro.core.classification import (BehaviorClass, classify_ips,
                                        primary_counts)
 from repro.core.clustering import AgglomerativeClustering
 from repro.core.loading import IpProfile, action_sequences
+from repro.core.store import AnalysisStore, borrow_store
 from repro.core.tf import TfVectorizer
-from repro.pipeline.convert import open_database
+
+#: SQL-backed builders take a path or an AnalysisStore.
+Source = "str | Path | AnalysisStore"
 
 # -- Table 6: top ASN ----------------------------------------------------------
 
@@ -32,25 +42,22 @@ class AsnRow:
     by_dbms: dict[str, int]
 
 
-def asn_table(db_path: str | Path, top: int = 10) -> list[AsnRow]:
+def asn_table(db_path: Source, top: int = 10) -> list[AsnRow]:
     """Table 6: top ASNs by IP count, with login split."""
-    connection = open_database(db_path)
-    try:
-        (total_ips,) = connection.execute(
-            "SELECT COUNT(DISTINCT src_ip) FROM events").fetchone()
+    with borrow_store(db_path) as store:
+        [(total_ips,)] = store.rows(
+            "SELECT COUNT(DISTINCT src_ip) FROM events")
         ip_counts = {}
-        for asn, as_name, count in connection.execute(
+        for asn, as_name, count in store.rows(
                 "SELECT asn, as_name, COUNT(DISTINCT src_ip) FROM events "
                 "WHERE asn IS NOT NULL GROUP BY asn"):
             ip_counts[asn] = (as_name, count)
         login_counts: dict[int, dict[str, int]] = {}
-        for asn, dbms, count in connection.execute(
+        for asn, dbms, count in store.rows(
                 "SELECT asn, dbms, COUNT(*) FROM events "
                 "WHERE event_type = 'login_attempt' AND asn IS NOT NULL "
                 "GROUP BY asn, dbms"):
             login_counts.setdefault(asn, {})[dbms] = count
-    finally:
-        connection.close()
     rows = []
     for asn, (as_name, count) in ip_counts.items():
         by_dbms = login_counts.get(asn, {})
@@ -64,16 +71,13 @@ def asn_table(db_path: str | Path, top: int = 10) -> list[AsnRow]:
 # -- Table 7: AS types of login sources ------------------------------------------
 
 
-def as_type_logins(db_path: str | Path) -> dict[str, int]:
+def as_type_logins(db_path: Source) -> dict[str, int]:
     """Table 7: distinct IPs attempting logins, by AS type."""
-    connection = open_database(db_path)
-    try:
-        return dict(connection.execute(
+    with borrow_store(db_path) as store:
+        return dict(store.rows(
             "SELECT as_type, COUNT(DISTINCT src_ip) FROM events "
             "WHERE event_type = 'login_attempt' "
             "GROUP BY as_type ORDER BY 2 DESC"))
-    finally:
-        connection.close()
 
 
 # -- Section 5: single- vs multi-service hosts -------------------------------------
@@ -90,23 +94,20 @@ class SingleVsMulti:
     brute_multi_only: int
 
 
-def single_vs_multi(db_path: str | Path) -> SingleVsMulti:
+def single_vs_multi(db_path: Source) -> SingleVsMulti:
     """Compare the single-service control group with the multi-service
     deployment."""
-    connection = open_database(db_path)
-    try:
-        single = {row[0] for row in connection.execute(
+    with borrow_store(db_path) as store:
+        single = {row[0] for row in store.rows(
             "SELECT DISTINCT src_ip FROM events WHERE config = 'single'")}
-        multi = {row[0] for row in connection.execute(
+        multi = {row[0] for row in store.rows(
             "SELECT DISTINCT src_ip FROM events WHERE config = 'multi'")}
-        brute_single = {row[0] for row in connection.execute(
+        brute_single = {row[0] for row in store.rows(
             "SELECT DISTINCT src_ip FROM events WHERE config = 'single' "
             "AND event_type = 'login_attempt'")}
-        brute_multi = {row[0] for row in connection.execute(
+        brute_multi = {row[0] for row in store.rows(
             "SELECT DISTINCT src_ip FROM events WHERE config = 'multi' "
             "AND event_type = 'login_attempt'")}
-    finally:
-        connection.close()
     overlap = single & multi
     return SingleVsMulti(
         single_ips=len(single),
@@ -120,11 +121,15 @@ def single_vs_multi(db_path: str | Path) -> SingleVsMulti:
 # -- Table 10: exploiting countries ---------------------------------------------------
 
 
-def exploit_countries(profiles: dict[tuple[str, str], IpProfile],
+def exploit_countries(profiles: "dict[tuple[str, str], IpProfile] | AnalysisStore",
                       top: int = 10) -> list[tuple[str, int,
                                                    dict[str, int]]]:
     """Table 10: top countries by exploiting IPs, split per DBMS."""
-    classifications = classify_ips(profiles)
+    if isinstance(profiles, AnalysisStore):
+        classifications = profiles.classifications()
+        profiles = profiles.profiles()
+    else:
+        classifications = classify_ips(profiles)
     per_country: dict[str, dict[str, set[str]]] = {}
     for key, classification in classifications.items():
         if BehaviorClass.EXPLOITING not in classification.classes:
@@ -144,10 +149,14 @@ def exploit_countries(profiles: dict[tuple[str, str], IpProfile],
 # -- Table 11: AS type x behavior class ---------------------------------------------
 
 
-def as_type_behavior(profiles: dict[tuple[str, str], IpProfile],
+def as_type_behavior(profiles: "dict[tuple[str, str], IpProfile] | AnalysisStore",
                      ) -> dict[str, dict[BehaviorClass, int]]:
     """Table 11: unique IPs per (AS type, primary behavior class)."""
-    classifications = classify_ips(profiles)
+    if isinstance(profiles, AnalysisStore):
+        classifications = profiles.classifications()
+        profiles = profiles.profiles()
+    else:
+        classifications = classify_ips(profiles)
     severity = {BehaviorClass.SCANNING: 0, BehaviorClass.SCOUTING: 1,
                 BehaviorClass.EXPLOITING: 2}
     per_ip: dict[str, tuple[str, BehaviorClass]] = {}
@@ -178,13 +187,12 @@ class ConfigEffect:
     redis_fake_data_type_cmds: int
 
 
-def config_effect(db_path: str | Path) -> ConfigEffect:
+def config_effect(db_path: Source) -> ConfigEffect:
     """Compare honeypot configurations: login volume on open vs
     restricted PostgreSQL, TYPE probing on default vs fake-data Redis."""
-    connection = open_database(db_path)
-    try:
+    with borrow_store(db_path) as store:
         def count(sql: str, *params: str) -> int:
-            (value,) = connection.execute(sql, params).fetchone()
+            [(value,)] = store.rows(sql, params)
             return value
 
         return ConfigEffect(
@@ -202,8 +210,6 @@ def config_effect(db_path: str | Path) -> ConfigEffect:
                 "SELECT COUNT(*) FROM events WHERE dbms = 'redis' "
                 "AND config = 'fake_data' AND action = 'TYPE'"),
         )
-    finally:
-        connection.close()
 
 
 # -- Table 8: classification + clustering --------------------------------------------
@@ -221,14 +227,19 @@ class ClassificationRow:
     clusters: int
 
 
-def cluster_dbms(profiles: dict[tuple[str, str], IpProfile], dbms: str,
-                 *, distance_threshold: float = 0.18,
+def cluster_dbms(profiles: "dict[tuple[str, str], IpProfile] | AnalysisStore",
+                 dbms: str, *, distance_threshold: float = 0.18,
                  ) -> dict[tuple[str, str], int]:
     """Cluster one DBMS's interactive IPs by their TF action vectors.
 
     Returns (ip, dbms) -> cluster label.  Pure scanners (no actions)
-    are excluded, as in the paper.
+    are excluded, as in the paper.  With an
+    :class:`~repro.core.store.AnalysisStore`, the TF matrix and the
+    linkage come from the store's digest-keyed cache.
     """
+    if isinstance(profiles, AnalysisStore):
+        return profiles.cluster_labels(
+            dbms, distance_threshold=distance_threshold)
     sequences = action_sequences(profiles, dbms=dbms)
     if not sequences:
         return {}
@@ -241,17 +252,23 @@ def cluster_dbms(profiles: dict[tuple[str, str], IpProfile], dbms: str,
             for ip, label in zip(ips, model.labels_)}
 
 
-def classification_table(profiles: dict[tuple[str, str], IpProfile],
-                         *, distance_threshold: float = 0.18,
-                         ) -> list[ClassificationRow]:
+def classification_table(
+        profiles: "dict[tuple[str, str], IpProfile] | AnalysisStore",
+        *, distance_threshold: float = 0.18,
+        ) -> list[ClassificationRow]:
     """Table 8: per-DBMS class counts and cluster counts."""
-    classifications = classify_ips(profiles)
+    source = profiles
+    if isinstance(profiles, AnalysisStore):
+        classifications = profiles.classifications()
+        profiles = profiles.profiles()
+    else:
+        classifications = classify_ips(profiles)
     dbms_names = sorted({dbms for _ip, dbms in profiles})
     rows = []
     for dbms in dbms_names:
         counts = primary_counts(classifications, dbms)
         total = sum(counts.values())
-        labels = cluster_dbms(profiles, dbms,
+        labels = cluster_dbms(source, dbms,
                               distance_threshold=distance_threshold)
         clusters = len(set(labels.values()))
         rows.append(ClassificationRow(
@@ -292,10 +309,14 @@ _DEEP_ACTIONS: dict[str, frozenset[str]] = {
 }
 
 
-def institutional_probing(profiles: dict[tuple[str, str], IpProfile],
+def institutional_probing(profiles: "dict[tuple[str, str], IpProfile] | AnalysisStore",
                           ) -> list[InstitutionalProbing]:
     """Per-DBMS institutional scanner counts and deep-probing activity."""
-    classifications = classify_ips(profiles)
+    if isinstance(profiles, AnalysisStore):
+        classifications = profiles.classifications()
+        profiles = profiles.profiles()
+    else:
+        classifications = classify_ips(profiles)
     rows = []
     for dbms in sorted({key[1] for key in profiles}):
         deep_actions = _DEEP_ACTIONS.get(dbms, frozenset())

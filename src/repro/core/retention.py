@@ -9,9 +9,24 @@ exploiters turn out to be the most persistent.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.classification import BehaviorClass, Classification
 from repro.core.loading import IpProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import AnalysisStore
+
+Profiles = "dict[tuple[str, str], IpProfile] | AnalysisStore"
+
+
+def _as_profiles(profiles) -> dict[tuple[str, str], IpProfile]:
+    """Accept either a profile map or an :class:`AnalysisStore`."""
+    from repro.core.store import AnalysisStore
+
+    if isinstance(profiles, AnalysisStore):
+        return profiles.profiles()
+    return profiles
 
 
 @dataclass(frozen=True)
@@ -57,9 +72,10 @@ def _cdf(label: str, day_counts: list[int]) -> RetentionCdf:
     return RetentionCdf(label, tuple(points), total)
 
 
-def retention_by_dbms(profiles: dict[tuple[str, str], IpProfile],
+def retention_by_dbms(profiles: "dict[tuple[str, str], IpProfile] | AnalysisStore",
                       ) -> dict[str, RetentionCdf]:
     """Figure 3: one CDF per DBMS."""
+    profiles = _as_profiles(profiles)
     day_counts: dict[str, list[int]] = {}
     for (ip, dbms), profile in profiles.items():
         day_counts.setdefault(dbms, []).append(profile.active_days)
@@ -67,21 +83,23 @@ def retention_by_dbms(profiles: dict[tuple[str, str], IpProfile],
             for dbms, counts in sorted(day_counts.items())}
 
 
-def retention_overall(profiles: dict[tuple[str, str], IpProfile],
+def retention_overall(profiles: "dict[tuple[str, str], IpProfile] | AnalysisStore",
                       ) -> RetentionCdf:
     """Retention over unique IPs across all services."""
+    profiles = _as_profiles(profiles)
     per_ip: dict[str, set[int]] = {}
     for (ip, dbms), profile in profiles.items():
         per_ip.setdefault(ip, set()).update(profile.days_seen)
     return _cdf("all", [len(days) for days in per_ip.values()])
 
 
-def retention_by_class(profiles: dict[tuple[str, str], IpProfile],
+def retention_by_class(profiles: "dict[tuple[str, str], IpProfile] | AnalysisStore",
                        classifications: dict[tuple[str, str],
                                              Classification],
                        ) -> dict[BehaviorClass, RetentionCdf]:
     """Figure 5: one CDF per behavior class (by primary class, unique
     IPs)."""
+    profiles = _as_profiles(profiles)
     severity = {BehaviorClass.SCANNING: 0, BehaviorClass.SCOUTING: 1,
                 BehaviorClass.EXPLOITING: 2}
     per_ip_class: dict[str, BehaviorClass] = {}

@@ -15,10 +15,14 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.classification import (BehaviorClass, Classification,
                                        classify_ips)
 from repro.core.loading import IpProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import AnalysisStore
 
 
 @dataclass(frozen=True)
@@ -40,7 +44,10 @@ class ReviewResult:
 
 def review_clusters(profiles: dict[tuple[str, str], IpProfile],
                     labels: dict[tuple[str, str], int],
-                    dbms: str) -> ReviewResult:
+                    dbms: str, *,
+                    classifications: dict[tuple[str, str],
+                                          Classification] | None = None,
+                    ) -> ReviewResult:
     """Split class-inconsistent members out of their clusters.
 
     Parameters
@@ -51,8 +58,13 @@ def review_clusters(profiles: dict[tuple[str, str], IpProfile],
         Cluster labels from :func:`repro.core.reports.cluster_dbms`.
     dbms:
         The honeypot family under review.
+    classifications:
+        Precomputed classifications of ``profiles`` (e.g. from
+        :meth:`repro.core.store.AnalysisStore.classifications`);
+        computed here when omitted.
     """
-    classifications = classify_ips(profiles)
+    if classifications is None:
+        classifications = classify_ips(profiles)
     members: dict[int, list[tuple[str, str]]] = {}
     for key, label in labels.items():
         if key[1] == dbms:
@@ -79,6 +91,19 @@ def review_clusters(profiles: dict[tuple[str, str], IpProfile],
             reassigned.append(key[0])
     return ReviewResult(dbms=dbms, labels=new_labels,
                         reassigned=tuple(sorted(reassigned)))
+
+
+def review_dbms(store: "AnalysisStore", dbms: str, *,
+                distance_threshold: float = 0.18) -> ReviewResult:
+    """Cluster one DBMS through ``store`` and run the review pass.
+
+    Profiles, the TF matrix, and the linkage matrix are all served from
+    the store's cache, so repeated reviews cost no database scans.
+    """
+    labels = store.cluster_labels(dbms,
+                                  distance_threshold=distance_threshold)
+    return review_clusters(store.profiles(), labels, dbms,
+                           classifications=store.classifications())
 
 
 def _majority_class(keys: list[tuple[str, str]],

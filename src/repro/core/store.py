@@ -1,0 +1,603 @@
+"""Columnar analysis store with content-keyed caching.
+
+Every headline result of the paper (Tables 5-12, Figures 2-9, the
+Section 6 cluster review) is a derived view over one converted SQLite
+``events`` table.  Before this module existed, each of the ~30 report
+and figure builders independently re-scanned that table and rebuilt
+Python :class:`~repro.core.loading.IpProfile` objects from scratch.
+The :class:`AnalysisStore` replaces that with a three-level pipeline:
+
+1. **One scan.**  The events table is loaded once per store into a
+   compact columnar form (:class:`ColumnarEvents`): interned,
+   dictionary-encoded string columns plus numpy arrays for timestamps
+   and numeric fields.  Filtered slices (``interaction=...`` /
+   ``dbms=...``) are served from the in-memory columns by boolean mask
+   when the full table is already loaded, and otherwise *pushed down*
+   into SQL ``WHERE`` clauses that hit the converter's indexes instead
+   of filtering Python-side.
+
+2. **Derived-artifact caching.**  Expensive derived artifacts --
+   profile maps, TF matrices (:mod:`repro.core.tf`), linkage matrices
+   (:mod:`repro.core.clustering`) -- are memoized in memory and
+   persisted to disk, keyed by a SHA-256 **content digest** of the
+   database file plus the query/clustering parameters.  A modified
+   database yields a different digest, so stale artifacts are never
+   served; they are simply ignored on disk (and unreadable/corrupt
+   cache files are treated as misses, never errors).
+
+3. **Observability.**  Cache hits/misses, stale reads, scan time, and
+   per-kind build times are reported through :mod:`repro.obs` under the
+   ``analysis.*`` metrics family, and mirrored into the store's local
+   :attr:`AnalysisStore.stats` dict for callers without a telemetry
+   bundle installed.
+
+The cache lives in ``<database>.cache/`` next to the database by
+default; ``REPRO_ANALYSIS_CACHE_DIR`` relocates it and
+``REPRO_ANALYSIS_CACHE=0`` (or ``repro report --no-cache``) disables
+persistence entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro import obs
+from repro.core.classification import Classification, classify_ips
+from repro.core.clustering import AgglomerativeClustering
+from repro.core.loading import (IpProfile, action_sequences,
+                                build_profiles)
+from repro.core.tf import TfVectorizer
+from repro.pipeline.convert import open_database
+
+__all__ = [
+    "AnalysisStore", "ColumnarEvents", "StringColumn", "TfArtifact",
+    "CACHE_DIR_ENV", "CACHE_TOGGLE_ENV", "borrow_store",
+]
+
+#: Relocates the on-disk cache (a directory; one subdir per database).
+CACHE_DIR_ENV = "REPRO_ANALYSIS_CACHE_DIR"
+#: Set to ``0`` / ``off`` / ``false`` / ``no`` to disable persistence.
+CACHE_TOGGLE_ENV = "REPRO_ANALYSIS_CACHE"
+
+#: Bump when the columnar layout or artifact formats change; old cache
+#: files then simply stop matching and are ignored.
+_CACHE_VERSION = 1
+
+_SCAN_COLUMNS = (
+    "timestamp", "src_ip", "dbms", "interaction", "config", "country",
+    "asn", "as_name", "as_type", "institutional", "event_type",
+    "action", "username", "password", "raw",
+)
+
+
+@dataclass(frozen=True)
+class StringColumn:
+    """A dictionary-encoded string column.
+
+    ``codes[i]`` indexes into ``pool``; ``-1`` encodes SQL ``NULL``.
+    Pool strings are interned, so equal values share one object across
+    columns and across cache reloads.
+    """
+
+    codes: np.ndarray
+    pool: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def decode(self) -> list[str | None]:
+        """Materialize the column as a list of Python strings."""
+        pool = self.pool
+        return [pool[code] if code >= 0 else None
+                for code in self.codes.tolist()]
+
+    def take(self, indices: np.ndarray) -> "StringColumn":
+        """Row subset sharing this column's pool."""
+        return StringColumn(self.codes[indices], self.pool)
+
+    def eq_mask(self, value: str) -> np.ndarray:
+        """Boolean mask of rows equal to ``value``."""
+        try:
+            code = self.pool.index(value)
+        except ValueError:
+            return np.zeros(len(self.codes), dtype=bool)
+        return self.codes == code
+
+    def unique_values(self) -> list[str]:
+        """Distinct non-NULL values present (pool order)."""
+        present = np.unique(self.codes)
+        return [self.pool[code] for code in present.tolist() if code >= 0]
+
+
+def _encode(values: list) -> StringColumn:
+    index: dict[str, int] = {}
+    pool: list[str] = []
+    codes = np.empty(len(values), dtype=np.int32)
+    for position, value in enumerate(values):
+        if value is None:
+            codes[position] = -1
+            continue
+        code = index.get(value)
+        if code is None:
+            code = index[value] = len(pool)
+            pool.append(sys.intern(value))
+        codes[position] = code
+    return StringColumn(codes, tuple(pool))
+
+
+@dataclass(frozen=True)
+class ColumnarEvents:
+    """The events table in columnar form, ordered by (timestamp, id)."""
+
+    timestamps: np.ndarray  #: float64
+    src_ip: StringColumn
+    dbms: StringColumn
+    interaction: StringColumn
+    config: StringColumn
+    country: StringColumn
+    asn: np.ndarray  #: float64, NaN encodes NULL
+    as_name: StringColumn
+    as_type: StringColumn
+    institutional: np.ndarray  #: bool
+    event_type: StringColumn
+    action: StringColumn
+    username: StringColumn
+    password: StringColumn
+    raw: StringColumn
+
+    @property
+    def n(self) -> int:
+        return len(self.timestamps)
+
+    def select(self, mask: np.ndarray) -> "ColumnarEvents":
+        """Row subset by boolean mask (order preserved)."""
+        indices = np.flatnonzero(mask)
+        return ColumnarEvents(
+            timestamps=self.timestamps[indices],
+            src_ip=self.src_ip.take(indices),
+            dbms=self.dbms.take(indices),
+            interaction=self.interaction.take(indices),
+            config=self.config.take(indices),
+            country=self.country.take(indices),
+            asn=self.asn[indices],
+            as_name=self.as_name.take(indices),
+            as_type=self.as_type.take(indices),
+            institutional=self.institutional[indices],
+            event_type=self.event_type.take(indices),
+            action=self.action.take(indices),
+            username=self.username.take(indices),
+            password=self.password.take(indices),
+            raw=self.raw.take(indices),
+        )
+
+    def filter(self, *, interaction: str | None = None,
+               dbms: str | None = None) -> "ColumnarEvents":
+        """Filtered view; no-op when both filters are ``None``."""
+        if interaction is None and dbms is None:
+            return self
+        mask = np.ones(self.n, dtype=bool)
+        if interaction is not None:
+            mask &= self.interaction.eq_mask(interaction)
+        if dbms is not None:
+            mask &= self.dbms.eq_mask(dbms)
+        return self.select(mask)
+
+
+@dataclass(frozen=True)
+class TfArtifact:
+    """A fitted TF featurization of one DBMS's action sequences."""
+
+    ips: tuple[str, ...]
+    vocabulary: dict[str, int]
+    matrix: np.ndarray
+
+
+def _scan_columnar(connection, *, interaction: str | None,
+                   dbms: str | None) -> ColumnarEvents:
+    """One ordered scan of ``events`` with WHERE pushdown."""
+    clauses, params = [], []
+    if interaction is not None:
+        clauses.append("interaction = ?")
+        params.append(interaction)
+    if dbms is not None:
+        clauses.append("dbms = ?")
+        params.append(dbms)
+    where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+    cursor = connection.cursor()
+    cursor.row_factory = None  # plain tuples: fastest fetch path
+    rows = cursor.execute(
+        f"SELECT {', '.join(_SCAN_COLUMNS)} FROM events{where} "
+        "ORDER BY timestamp, id", params).fetchall()
+    if not rows:
+        empty = StringColumn(np.empty(0, dtype=np.int32), ())
+        return ColumnarEvents(
+            timestamps=np.empty(0), src_ip=empty, dbms=empty,
+            interaction=empty, config=empty, country=empty,
+            asn=np.empty(0), as_name=empty, as_type=empty,
+            institutional=np.empty(0, dtype=bool), event_type=empty,
+            action=empty, username=empty, password=empty, raw=empty)
+    (timestamps, src_ip, dbms_col, interaction_col, config, country,
+     asn, as_name, as_type, institutional, event_type, action,
+     username, password, raw) = map(list, zip(*rows))
+    return ColumnarEvents(
+        timestamps=np.array(timestamps, dtype=np.float64),
+        src_ip=_encode(src_ip),
+        dbms=_encode(dbms_col),
+        interaction=_encode(interaction_col),
+        config=_encode(config),
+        country=_encode(country),
+        asn=np.array([np.nan if value is None else float(value)
+                      for value in asn]),
+        as_name=_encode(as_name),
+        as_type=_encode(as_type),
+        institutional=np.array(institutional, dtype=bool),
+        event_type=_encode(event_type),
+        action=_encode(action),
+        username=_encode(username),
+        password=_encode(password),
+        raw=_encode(raw),
+    )
+
+
+def _cache_disabled_by_env() -> bool:
+    return os.environ.get(CACHE_TOGGLE_ENV, "").strip().lower() in (
+        "0", "off", "false", "no")
+
+
+class AnalysisStore:
+    """One converted database, loaded once, derived views cached.
+
+    Parameters
+    ----------
+    db_path:
+        A converted SQLite database (:mod:`repro.pipeline.convert`).
+    cache_dir:
+        Where derived artifacts persist; defaults to
+        ``<db_path>.cache/`` (or under :data:`CACHE_DIR_ENV`).
+    use_cache:
+        When false, nothing is read from or written to disk; the store
+        still memoizes in memory for its own lifetime.
+    """
+
+    def __init__(self, db_path: str | Path, *,
+                 cache_dir: str | Path | None = None,
+                 use_cache: bool = True):
+        self.db_path = Path(db_path)
+        self.use_cache = use_cache and not _cache_disabled_by_env()
+        if cache_dir is None:
+            base = os.environ.get(CACHE_DIR_ENV)
+            if base:
+                cache_dir = Path(base) / f"{self.db_path.name}.cache"
+            else:
+                cache_dir = self.db_path.with_name(
+                    f"{self.db_path.name}.cache")
+        self.cache_dir = Path(cache_dir)
+        self._digest: str | None = None
+        self._memory: dict = {}
+        self._connection = None
+        #: Local mirror of the ``analysis.*`` metrics, for callers
+        #: without an installed telemetry bundle (and the benchmarks).
+        self.stats: dict = {"hits": 0, "misses": 0, "stale": 0,
+                            "scans": 0, "scan_seconds": 0.0,
+                            "build_seconds": {}}
+
+    # -- plumbing ---------------------------------------------------------
+
+    @classmethod
+    def of(cls, source: "AnalysisStore | str | Path",
+           **kwargs) -> "AnalysisStore":
+        """Coerce a store-or-path into a store."""
+        if isinstance(source, cls):
+            return source
+        return cls(source, **kwargs)
+
+    def close(self) -> None:
+        """Close the shared read-only connection (a later query reopens)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "AnalysisStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def connection(self):
+        """The shared read-only connection (opened lazily)."""
+        if self._connection is None:
+            self._connection = open_database(self.db_path)
+        return self._connection
+
+    def query(self, sql: str, params=()):  # -> sqlite3.Cursor
+        """Run an ad-hoc SQL query on the shared connection."""
+        return self.connection.execute(sql, params)
+
+    def rows(self, sql: str, params=()) -> list[tuple]:
+        """Run an aggregate query, caching its rows by content digest.
+
+        The workhorse of the SQL-backed table builders: the result set
+        (a list of plain tuples) is keyed by the database digest plus
+        the statement and its parameters, so a warm report suite never
+        touches the events table at all -- not even for ``GROUP BY``
+        aggregates.
+        """
+        key = (sql, tuple(params))
+
+        def build() -> list[tuple]:
+            cursor = self.connection.cursor()
+            cursor.row_factory = None  # plain, picklable tuples
+            return cursor.execute(sql, params).fetchall()
+
+        return self._artifact("query", key, build)
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 content digest of the database file (cached)."""
+        if self._digest is None:
+            digest = hashlib.sha256()
+            with open(self.db_path, "rb") as handle:
+                for chunk in iter(lambda: handle.read(1 << 20), b""):
+                    digest.update(chunk)
+            self._digest = digest.hexdigest()
+        return self._digest
+
+    def clear_cache(self) -> int:
+        """Delete every persisted artifact; returns the file count."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        self._memory.clear()
+        return removed
+
+    # -- artifact cache ---------------------------------------------------
+
+    def _cache_path(self, kind: str, params: tuple) -> Path:
+        key = hashlib.sha256(
+            f"{_CACHE_VERSION}:{kind}:{self.digest}:{params!r}"
+            .encode("utf-8")).hexdigest()[:24]
+        return self.cache_dir / f"{kind}-{key}.pkl"
+
+    def _artifact(self, kind: str, params: tuple, build: Callable):
+        """Memory -> disk -> build, recording hit/miss metrics."""
+        metrics = obs.current().metrics
+        memo_key = (kind, params)
+        if memo_key in self._memory:
+            self.stats["hits"] += 1
+            metrics.inc("analysis.cache_hits", kind=kind, layer="memory")
+            return self._memory[memo_key]
+        if self.use_cache:
+            path = self._cache_path(kind, params)
+            value = self._load_artifact(path, kind)
+            if value is not None:
+                self.stats["hits"] += 1
+                metrics.inc("analysis.cache_hits", kind=kind,
+                            layer="disk")
+                self._memory[memo_key] = value[0]
+                return value[0]
+        self.stats["misses"] += 1
+        metrics.inc("analysis.cache_misses", kind=kind)
+        start = time.perf_counter()
+        result = build()
+        elapsed = time.perf_counter() - start
+        builds = self.stats["build_seconds"]
+        builds[kind] = builds.get(kind, 0.0) + elapsed
+        metrics.observe("analysis.build_seconds", elapsed, kind=kind)
+        if self.use_cache:
+            self._write_artifact(self._cache_path(kind, params), kind,
+                                 params, result)
+        self._memory[memo_key] = result
+        return result
+
+    def _load_artifact(self, path: Path, kind: str):
+        """Read one artifact; stale/corrupt files count as misses.
+
+        Returns a 1-tuple holding the value (so cached ``None`` would
+        remain distinguishable from a miss), or ``None`` on miss.
+        """
+        if not path.exists():
+            return None
+        try:
+            payload = pickle.loads(path.read_bytes())
+            if (payload["version"] != _CACHE_VERSION
+                    or payload["digest"] != self.digest):
+                raise ValueError("cache entry does not match database")
+            return (payload["value"],)
+        except Exception:
+            # A stale, truncated, or otherwise unreadable artifact is
+            # ignored (and rebuilt), never an error.
+            self.stats["stale"] += 1
+            obs.current().metrics.inc("analysis.cache_stale", kind=kind)
+            return None
+
+    def _write_artifact(self, path: Path, kind: str, params: tuple,
+                        value) -> None:
+        payload = {"version": _CACHE_VERSION, "digest": self.digest,
+                   "kind": kind, "params": params, "value": value}
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            scratch = path.with_suffix(f".tmp.{os.getpid()}")
+            scratch.write_bytes(
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+            os.replace(scratch, path)
+        except OSError:
+            # A read-only or full cache directory degrades to
+            # memory-only caching rather than failing the analysis.
+            obs.current().metrics.inc("analysis.cache_write_errors",
+                                      kind=kind)
+
+    # -- the one scan -----------------------------------------------------
+
+    def events(self, *, interaction: str | None = None,
+               dbms: str | None = None) -> ColumnarEvents:
+        """The events table (or a filtered slice) in columnar form.
+
+        The unfiltered table is scanned at most once per digest; when
+        it is already in memory, filtered slices are boolean-mask views
+        of it.  A filtered request with no full table loaded pushes the
+        filters down into SQL instead (one indexed, filtered scan).
+        """
+        params = (interaction, dbms)
+        if params != (None, None):
+            full = self._memory.get(("events", (None, None)))
+            if full is not None:
+                memo_key = ("events", params)
+                cached = self._memory.get(memo_key)
+                if cached is None:
+                    cached = self._memory[memo_key] = full.filter(
+                        interaction=interaction, dbms=dbms)
+                return cached
+        return self._artifact("events", params,
+                              lambda: self._scan(interaction, dbms))
+
+    def _scan(self, interaction: str | None,
+              dbms: str | None) -> ColumnarEvents:
+        telemetry = obs.current()
+        start = time.perf_counter()
+        with telemetry.tracer.span("analysis.scan", db=self.db_path.name):
+            columns = _scan_columnar(self.connection,
+                                     interaction=interaction, dbms=dbms)
+        elapsed = time.perf_counter() - start
+        self.stats["scans"] += 1
+        self.stats["scan_seconds"] += elapsed
+        telemetry.metrics.observe("analysis.scan_seconds", elapsed,
+                                  db=self.db_path.name)
+        telemetry.metrics.inc("analysis.scan_rows", columns.n,
+                              db=self.db_path.name)
+        return columns
+
+    # -- derived views ----------------------------------------------------
+
+    def profiles(self, *, interaction: str | None = None,
+                 dbms: str | None = None, start_ts: float | None = None,
+                 ) -> dict[tuple[str, str], IpProfile]:
+        """Per-(IP, DBMS) profiles (see :func:`load_ip_profiles`)."""
+        params = ("v1", interaction, dbms, start_ts)
+
+        def build() -> dict[tuple[str, str], IpProfile]:
+            columns = self.events(interaction=interaction, dbms=dbms)
+            base_ts = start_ts
+            if base_ts is None:
+                base_ts = (float(columns.timestamps[0])
+                           if columns.n else 0.0)
+            return build_profiles(columns, base_ts)
+
+        return self._artifact("profiles", params, build)
+
+    def classifications(self) -> dict[tuple[str, str], "Classification"]:
+        """Per-(IP, DBMS) behavior classifications (cached).
+
+        :func:`~repro.core.classification.classify_ips` is pure in the
+        profile map, so one digest-keyed artifact serves every consumer
+        (Table 8, Table 10/11, campaigns, the cluster review).
+        """
+        return self._artifact(
+            "classify", ("v1",),
+            lambda: classify_ips(self.profiles()))
+
+    def sequences(self, *, dbms: str | None = None,
+                  require_actions: bool = True) -> dict[str, list[str]]:
+        """Per-IP action sequences (the clustering documents)."""
+        return action_sequences(self.profiles(), dbms=dbms,
+                                require_actions=require_actions)
+
+    def tf(self, dbms: str) -> TfArtifact:
+        """Fitted TF matrix over ``dbms``'s interactive IPs (cached)."""
+        params = ("v1", dbms)
+
+        def build() -> TfArtifact:
+            sequences = self.sequences(dbms=dbms)
+            ips = tuple(sorted(sequences))
+            documents = [sequences[ip] for ip in ips]
+            vectorizer = TfVectorizer()
+            matrix = (vectorizer.fit_transform(documents) if documents
+                      else np.zeros((0, 0)))
+            return TfArtifact(ips=ips, vocabulary=vectorizer.vocabulary,
+                              matrix=matrix)
+
+        return self._artifact("tf", params, build)
+
+    def linkage(self, dbms: str, *, method: str = "ward") -> np.ndarray:
+        """Dendrogram over the TF matrix of ``dbms`` (cached)."""
+        from repro.core.clustering import linkage as linkage_fn
+
+        params = ("v1", dbms, method)
+
+        def build() -> np.ndarray:
+            artifact = self.tf(dbms)
+            if len(artifact.ips) < 2:
+                return np.empty((0, 4))
+            return linkage_fn(artifact.matrix, method)
+
+        return self._artifact("linkage", params, build)
+
+    def cluster_labels(self, dbms: str, *,
+                       distance_threshold: float = 0.18,
+                       method: str = "ward",
+                       ) -> dict[tuple[str, str], int]:
+        """(ip, dbms) -> cluster label, from the cached dendrogram.
+
+        Matches :func:`repro.core.reports.cluster_dbms` exactly: pure
+        scanners are excluded, clusters cut at ``distance_threshold``.
+        """
+        artifact = self.tf(dbms)
+        if not artifact.ips:
+            return {}
+        model = AgglomerativeClustering(
+            distance_threshold=distance_threshold, method=method)
+        model.fit(artifact.matrix,
+                  linkage_matrix=self.linkage(dbms, method=method))
+        return {(ip, dbms): int(label)
+                for ip, label in zip(artifact.ips, model.labels_)}
+
+    def hourly_series(self, *, interaction: str | None = None,
+                      dbms: str | None = None, label: str | None = None):
+        """Figure 2 series for one slice (see :mod:`repro.core.temporal`)."""
+        from repro.core.temporal import series_from_columns
+
+        columns = self.events(interaction=interaction, dbms=dbms)
+        if not columns.n:
+            return series_from_columns(columns, label or "empty")
+        return series_from_columns(columns, label or (dbms or "all"))
+
+    def per_dbms_series(self, *, interaction: str = "low") -> dict:
+        """Figures 6-9: one hourly series per DBMS."""
+        from repro.core.temporal import series_from_columns
+
+        sliced = self.events(interaction=interaction)
+        return {name: series_from_columns(
+                    sliced.filter(dbms=name), name)
+                for name in sorted(sliced.dbms.unique_values())}
+
+
+@contextmanager
+def borrow_store(source: AnalysisStore | str | Path, *,
+                 use_cache: bool = False) -> Iterator[AnalysisStore]:
+    """Yield ``source`` as a store; close it only if we created it.
+
+    Path-based callers get a private, uncached store (the pre-store
+    behavior: fresh connection, no cache side effects next to the
+    database); store-based callers share the caller's cache and
+    connection.
+    """
+    if isinstance(source, AnalysisStore):
+        yield source
+        return
+    store = AnalysisStore(source, use_cache=use_cache)
+    try:
+        yield store
+    finally:
+        store.close()

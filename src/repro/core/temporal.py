@@ -1,16 +1,22 @@
 """Temporal traffic series (Figures 2 and 6-9).
 
 Hourly client counts and the cumulative number of previously unseen
-source IPs over the deployment window, computed straight from the event
-timestamps of a converted database.
+source IPs over the deployment window, computed from the columnar event
+form served by :class:`repro.core.store.AnalysisStore` -- vectorized
+over the timestamp array and the dictionary-encoded source-IP column
+instead of a Python loop over raw rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-from repro.pipeline.convert import open_database
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.store import AnalysisStore, ColumnarEvents
 
 _HOUR = 3600.0
 
@@ -46,61 +52,53 @@ class TemporalSeries:
         return self.total_unique / len(self.cumulative_new)
 
 
-def hourly_series(db_path: str | Path, *, interaction: str | None = None,
+def series_from_columns(columns: "ColumnarEvents",
+                        label: str) -> TemporalSeries:
+    """Compute one hourly series from a columnar event slice."""
+    if not columns.n:
+        return TemporalSeries(label, (), ())
+    timestamps = columns.timestamps  # sorted ascending
+    start = float(timestamps[0])
+    hours = int((float(timestamps[-1]) - start) // _HOUR) + 1
+    hour = ((timestamps - start) // _HOUR).astype(np.int64)
+    codes = columns.src_ip.codes.astype(np.int64)
+    span = int(codes.max()) + 1
+    # Distinct IPs per hour: unique (hour, ip) pairs, bucketed by hour.
+    pairs = np.unique(hour * span + codes)
+    clients_per_hour = np.bincount(pairs // span, minlength=hours)
+    # Previously-unseen IPs per hour: each IP counts once, in the hour
+    # of its first occurrence (np.unique returns first-occurrence
+    # indices for the stream order because timestamps are sorted).
+    _, first_seen = np.unique(codes, return_index=True)
+    new_counts = np.bincount(hour[first_seen], minlength=hours)
+    return TemporalSeries(
+        label,
+        tuple(int(count) for count in clients_per_hour),
+        tuple(int(count) for count in np.cumsum(new_counts)))
+
+
+def hourly_series(source: "str | Path | AnalysisStore", *,
+                  interaction: str | None = None,
                   dbms: str | None = None,
                   label: str | None = None) -> TemporalSeries:
-    """Compute the Figure 2 series for one traffic slice."""
-    connection = open_database(db_path)
-    try:
-        clauses, params = [], []
-        if interaction is not None:
-            clauses.append("interaction = ?")
-            params.append(interaction)
-        if dbms is not None:
-            clauses.append("dbms = ?")
-            params.append(dbms)
-        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
-        row = connection.execute(
-            f"SELECT MIN(timestamp), MAX(timestamp) FROM events{where}",
-            params).fetchone()
-        if row[0] is None:
-            return TemporalSeries(label or "empty", (), ())
-        start, end = row
-        hours = int((end - start) // _HOUR) + 1
-        hourly_ips: list[set[str]] = [set() for _ in range(hours)]
-        seen: set[str] = set()
-        cumulative: list[int] = [0] * hours
-        cursor = connection.execute(
-            "SELECT timestamp, src_ip FROM events"
-            f"{where} ORDER BY timestamp", params)
-        new_counts = [0] * hours
-        for timestamp, src_ip in cursor:
-            hour = int((timestamp - start) // _HOUR)
-            hourly_ips[hour].add(src_ip)
-            if src_ip not in seen:
-                seen.add(src_ip)
-                new_counts[hour] += 1
-        running = 0
-        for hour in range(hours):
-            running += new_counts[hour]
-            cumulative[hour] = running
-        return TemporalSeries(
-            label or (dbms or "all"),
-            tuple(len(ips) for ips in hourly_ips),
-            tuple(cumulative))
-    finally:
-        connection.close()
+    """Compute the Figure 2 series for one traffic slice.
+
+    ``source`` is a converted database path or an
+    :class:`~repro.core.store.AnalysisStore`; filters are pushed down
+    into the scan (or served from the store's columnar load).
+    """
+    from repro.core.store import borrow_store
+
+    with borrow_store(source) as store:
+        return store.hourly_series(interaction=interaction, dbms=dbms,
+                                   label=label)
 
 
-def per_dbms_series(db_path: str | Path, *, interaction: str = "low",
+def per_dbms_series(source: "str | Path | AnalysisStore", *,
+                    interaction: str = "low",
                     ) -> dict[str, TemporalSeries]:
     """Figures 6-9: one series per DBMS."""
-    connection = open_database(db_path)
-    try:
-        names = [row[0] for row in connection.execute(
-            "SELECT DISTINCT dbms FROM events WHERE interaction = ? "
-            "ORDER BY dbms", (interaction,))]
-    finally:
-        connection.close()
-    return {name: hourly_series(db_path, interaction=interaction,
-                                dbms=name) for name in names}
+    from repro.core.store import borrow_store
+
+    with borrow_store(source) as store:
+        return store.per_dbms_series(interaction=interaction)

@@ -7,6 +7,12 @@ ordered sequence of actions is a document, each action a term, and
 
 is the feature value -- duplicates included, so a bot that issues
 ``CONFIG SET`` eight times looks different from one that issues it once.
+
+Matrix construction is vectorized: terms are mapped to column ids in
+one pass (unknown terms fall into a sentinel column that is dropped),
+and the per-document counts come from a single ``bincount`` over
+flattened (row, column) pairs instead of a Python-level accumulation
+loop per term.
 """
 
 from __future__ import annotations
@@ -24,10 +30,30 @@ class TfVectorizer:
 
     def fit(self, documents: list[list[str]]) -> "TfVectorizer":
         """Learn the vocabulary (sorted for determinism)."""
-        terms = sorted({term for document in documents
-                        for term in document})
+        terms = sorted(set().union(*documents) if documents else ())
         self.vocabulary = {term: index for index, term in enumerate(terms)}
         return self
+
+    def _counts(self, documents: list[list[str]]) -> np.ndarray:
+        """(n_docs, n_terms + 1) term counts; the last column collects
+        unknown terms and is sliced away by the callers."""
+        n_docs = len(documents)
+        n_terms = len(self.vocabulary)
+        lengths = np.fromiter((len(document) for document in documents),
+                              dtype=np.int64, count=n_docs)
+        total = int(lengths.sum())
+        width = n_terms + 1
+        if not total:
+            return np.zeros((n_docs, width))
+        unknown = n_terms
+        get = self.vocabulary.get
+        columns = np.fromiter(
+            (get(term, unknown) for document in documents
+             for term in document), dtype=np.int64, count=total)
+        rows = np.repeat(np.arange(n_docs, dtype=np.int64), lengths)
+        flat = np.bincount(rows * width + columns,
+                           minlength=n_docs * width)
+        return flat.reshape(n_docs, width).astype(float)
 
     def transform(self, documents: list[list[str]]) -> np.ndarray:
         """Vectorize ``documents`` into a dense (n_docs, n_terms) matrix.
@@ -42,15 +68,11 @@ class TfVectorizer:
         """
         if not self.vocabulary:
             raise RuntimeError("vectorizer must be fitted first")
-        matrix = np.zeros((len(documents), len(self.vocabulary)))
-        for row, document in enumerate(documents):
-            if not document:
-                continue
-            for term in document:
-                column = self.vocabulary.get(term)
-                if column is not None:
-                    matrix[row, column] += 1.0
-            matrix[row] /= len(document)
+        matrix = self._counts(documents)[:, :len(self.vocabulary)]
+        lengths = np.fromiter((len(document) for document in documents),
+                              dtype=np.float64, count=len(documents))
+        nonzero = lengths > 0
+        matrix[nonzero] /= lengths[nonzero, None]
         return matrix
 
     def fit_transform(self, documents: list[list[str]]) -> np.ndarray:
@@ -61,10 +83,5 @@ class TfVectorizer:
         """Set-of-actions (0/1) features -- the ablation baseline."""
         if not self.vocabulary:
             raise RuntimeError("vectorizer must be fitted first")
-        matrix = np.zeros((len(documents), len(self.vocabulary)))
-        for row, document in enumerate(documents):
-            for term in set(document):
-                column = self.vocabulary.get(term)
-                if column is not None:
-                    matrix[row, column] = 1.0
-        return matrix
+        counts = self._counts(documents)[:, :len(self.vocabulary)]
+        return (counts > 0).astype(float)

@@ -14,7 +14,7 @@ from repro.deployment.plan import (DeploymentPlan, DeploymentTarget,
 from repro.deployment.replay import (ReplayEngine, SerialExecutor,
                                      ShardedExecutor, VisitOutcome,
                                      build_engine, compile_visits,
-                                     shard_of)
+                                     resolve_workers, shard_of)
 from repro.deployment.experiment import (ExperimentConfig, ExperimentResult,
                                          run_experiment)
 
@@ -30,6 +30,7 @@ __all__ = [
     "VisitOutcome",
     "build_engine",
     "compile_visits",
+    "resolve_workers",
     "run_experiment",
     "shard_of",
 ]

@@ -45,7 +45,9 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
+import os
 import random
+import sys
 import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -356,6 +358,41 @@ class ShardedExecutor(ReplayEngine):
                 return [future.result() for future in futures]
         finally:
             _FORK_STATE = None
+
+
+def resolve_workers(requested: "int | str", *,
+                    cores: int | None = None) -> int:
+    """Resolve a ``--workers`` request into a concrete worker count.
+
+    ``"auto"`` resolves to ``min(requested_cores, cpu_count)`` -- i.e.
+    one worker per available core, and never more than the host can
+    actually run (on a single-core host that is serial replay, the
+    faster configuration there per ``BENCH_replay.json``).  An explicit
+    integer is honored verbatim, but when it shards on a single-core
+    host -- where sharding measured 0.75x serial -- a warning goes to
+    stderr and the ``replay.single_core_sharding`` counter, so users
+    do not silently pessimize their runs.
+    """
+    if cores is None:
+        cores = os.cpu_count() or 1
+    if requested == "auto":
+        return max(1, cores)
+    try:
+        workers = int(requested)
+    except (TypeError, ValueError):
+        raise ValueError(f"workers must be an integer >= 1 or 'auto', "
+                         f"got {requested!r}") from None
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1 or 'auto', "
+                         f"got {requested!r}")
+    if workers > 1 and cores == 1:
+        obs.current().metrics.inc("replay.single_core_sharding",
+                                  workers=workers)
+        print(f"warning: --workers {workers} shards the replay on a "
+              f"single-core host, which benchmarks slower than serial "
+              f"(see BENCH_replay.json); use --workers auto to match "
+              f"the hardware", file=sys.stderr)
+    return workers
 
 
 def build_engine(workers: int, executor: str = "auto") -> ReplayEngine:

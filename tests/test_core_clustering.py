@@ -140,3 +140,49 @@ def test_n_clusters_always_exact(n, seed):
     for k in range(1, n + 1):
         labels = cut_tree(Z, n, n_clusters=k)
         assert len(set(labels)) == k
+
+
+class TestCutTreeEdgeCases:
+    def test_threshold_exactly_at_merge_height(self):
+        # fcluster(criterion="distance") semantics: merges with height
+        # <= t are applied, so a threshold *equal* to a merge height
+        # includes that merge.
+        Z = np.array([[0.0, 1.0, 1.0, 2.0],
+                      [2.0, 3.0, 4.0, 3.0]])
+        at_first = cut_tree(Z, 3, distance_threshold=1.0)
+        assert at_first[0] == at_first[1] != at_first[2]
+        below_first = cut_tree(Z, 3, distance_threshold=0.999)
+        assert len(set(below_first)) == 3
+        at_last = cut_tree(Z, 3, distance_threshold=4.0)
+        assert len(set(at_last)) == 1
+
+    def test_single_leaf_empty_merges(self):
+        Z = np.empty((0, 4))
+        assert cut_tree(Z, 1, n_clusters=1).tolist() == [0]
+        assert cut_tree(Z, 1, distance_threshold=0.5).tolist() == [0]
+
+    def test_n_clusters_extremes_give_canonical_labels(self):
+        X = np.random.default_rng(7).normal(size=(6, 2))
+        Z = ward_linkage(X)
+        assert cut_tree(Z, 6, n_clusters=1).tolist() == [0] * 6
+        # n_clusters == n_leaves applies no merges: labels are assigned
+        # in leaf order.
+        assert cut_tree(Z, 6, n_clusters=6).tolist() == list(range(6))
+
+
+class TestPrecomputedLinkage:
+    def test_fit_with_linkage_matrix_skips_agglomeration(self):
+        from repro import obs
+
+        X = np.array([[0.0], [0.05], [5.0], [5.1]])
+        Z = ward_linkage(X)
+        telemetry = obs.Telemetry(enabled=True)
+        with obs.install(telemetry):
+            model = AgglomerativeClustering(distance_threshold=1.0)
+            model.fit(X, linkage_matrix=Z)
+        direct = AgglomerativeClustering(distance_threshold=1.0).fit(X)
+        assert np.array_equal(model.labels_, direct.labels_)
+        assert np.array_equal(model.merges_, Z)
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert any(entry["name"] == "clustering.linkage_cache_hits"
+                   for entry in counters)

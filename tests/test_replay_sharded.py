@@ -89,6 +89,29 @@ class TestShardAssignment:
         with pytest.raises(ValueError):
             build_engine(2, "gpu")
 
+    def test_resolve_workers_auto_matches_cores(self, capsys):
+        from repro.deployment import resolve_workers
+
+        assert resolve_workers("auto", cores=4) == 4
+        assert resolve_workers("auto", cores=1) == 1
+        assert resolve_workers("3", cores=8) == 3
+        assert resolve_workers(2, cores=2) == 2
+        assert capsys.readouterr().err == ""
+
+    def test_resolve_workers_warns_on_single_core_sharding(self, capsys):
+        from repro.deployment import resolve_workers
+
+        assert resolve_workers(4, cores=1) == 4  # honored, but warned
+        assert "single-core" in capsys.readouterr().err
+
+    def test_resolve_workers_rejects_garbage(self):
+        from repro.deployment import resolve_workers
+
+        with pytest.raises(ValueError):
+            resolve_workers("fast")
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
 
 class TestOutcomeStreamEquality:
     def test_sharded_stream_matches_serial_exactly(self):
