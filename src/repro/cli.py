@@ -23,6 +23,7 @@ Exit codes: 0 success, 1 missing input (e.g. no database / manifest at
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -79,6 +80,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "honeypot across N workers (same events, "
                               "same order); 'auto' matches the host's "
                               "core count")
+    run_cmd.add_argument("--live-port", type=int, default=None,
+                         help="with --telemetry, serve /metrics and "
+                              "/healthz on this loopback port for the "
+                              "duration of the run (0 picks a free port)")
+    run_cmd.add_argument("--live-interval", type=float, default=0.0,
+                         help="with --telemetry and --workers > 1, "
+                              "stream shard telemetry to the driver "
+                              "every this many seconds (progress lines "
+                              "+ incremental run_report.json snapshots; "
+                              "0 disables unless --live-port is given)")
 
     report_cmd = subcommands.add_parser(
         "report", help="print the key tables of an existing run")
@@ -100,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
                            default=Path("experiment-output"),
                            help="directory of a previous "
                                 "`repro run --telemetry`")
+    stats_cmd.add_argument("--json", action="store_true",
+                           help="print the raw manifest JSON instead of "
+                                "the human summary (for scripts/jq)")
 
     serve_cmd = subcommands.add_parser(
         "serve", help="serve live honeypots on loopback TCP ports")
@@ -114,6 +128,17 @@ def build_parser() -> argparse.ArgumentParser:
                            default=1 << 20,
                            help="close connections after this many "
                                 "received bytes (0 disables)")
+    serve_cmd.add_argument("--live-port", type=int, default=None,
+                           help="also serve /metrics (Prometheus text) "
+                                "and /healthz (per-listener state) on "
+                                "this loopback port (0 picks a free "
+                                "port)")
+    serve_cmd.add_argument("--report-out", type=Path, default=None,
+                           help="write a final metrics-snapshot JSON "
+                                "here on clean shutdown")
+    serve_cmd.add_argument("--duration", type=float, default=0.0,
+                           help="serve for this many seconds, then shut "
+                                "down cleanly (0 = until Ctrl-C)")
 
     dataset_cmd = subcommands.add_parser(
         "export-dataset", help="run a deployment and export the "
@@ -149,6 +174,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.trace_out is not None and not args.telemetry:
         print("error: --trace-out requires --telemetry", file=sys.stderr)
         return 2
+    if args.live_port is not None and not args.telemetry:
+        print("error: --live-port requires --telemetry", file=sys.stderr)
+        return 2
+    if args.live_interval < 0:
+        print(f"error: --live-interval must be >= 0, "
+              f"got {args.live_interval}", file=sys.stderr)
+        return 2
     try:
         workers = resolve_workers(args.workers)
     except ValueError as error:
@@ -158,7 +190,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed, volume_scale=args.scale,
         output_dir=args.output, write_raw_logs=args.raw_logs,
         export_dataset=args.dataset, telemetry=args.telemetry,
-        trace_out=args.trace_out, workers=workers))
+        trace_out=args.trace_out, workers=workers,
+        live_interval=args.live_interval, live_port=args.live_port))
     if workers > 1:
         print(f"replay:   sharded across {workers} workers")
     print(f"visits:   {result.visits_total:,}")
@@ -269,6 +302,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if args.json:
+        import json
+
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
     print(format_summary(manifest))
     for line in _cache_summary(args.output):
         print(line)
@@ -293,19 +331,29 @@ def _cache_summary(output_dir: Path) -> list[str]:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import time
 
+    from repro import obs
     from repro.honeypots import (Elasticpot, LowInteractionMSSQL,
                                  LowInteractionMySQL, MongoHoneypot,
                                  RedisHoneypot, StickyElephant)
     from repro.honeypots.tcp import serve_honeypots
     from repro.netsim.clock import SimClock
+    from repro.obs import live as obs_live
     from repro.pipeline.logstore import LogStore
     from repro.resilience import ServerSupervisor
+
+    # A live farm is always instrumented: its registry feeds /metrics
+    # and the optional shutdown snapshot; with neither requested the
+    # counters are still cheap enough to keep.
+    telemetry = obs.Telemetry(enabled=True)
 
     async def serve() -> None:
         clock = SimClock()
         store = LogStore()
         seen = 0
+        deadline = (time.monotonic() + args.duration
+                    if args.duration > 0 else None)
 
         honeypots = [
             LowInteractionMySQL("serve-mysql"),
@@ -322,13 +370,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_session_bytes=args.max_session_bytes or None)
         supervisor = ServerSupervisor(servers)
         await supervisor.start()
+        live_server = None
+        if args.live_port is not None:
+            live_server = obs_live.LiveOpsServer(
+                telemetry.metrics.snapshot, supervisor.health,
+                port=args.live_port)
+            live_server.start()
         print("honeypots listening (supervised):")
         for server in servers:
             print(f"  {server.honeypot.dbms:15s} "
                   f"{args.host}:{server.port}")
-        print("Ctrl-C to stop")
+        if live_server is not None:
+            print(f"  {'live ops':15s} {live_server.host}:"
+                  f"{live_server.port}  (/metrics, /healthz)")
+        telemetry.logger.info("serve.listening",
+                              listeners=len(servers),
+                              live_port=(live_server.port
+                                         if live_server else None))
+        print("Ctrl-C to stop" if deadline is None
+              else f"serving for {args.duration:g}s")
         try:
-            while True:
+            while deadline is None or time.monotonic() < deadline:
                 await asyncio.sleep(0.5)
                 events = store.events()
                 for event in events[seen:]:
@@ -338,12 +400,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except asyncio.CancelledError:
             pass
         finally:
+            # Health is sampled before teardown: the snapshot records
+            # the farm as it was serving, not the stopped listeners.
+            final_health = supervisor.health()
             await supervisor.stop()
             for server in servers:
                 await server.stop()
+            if live_server is not None:
+                live_server.close()
+            if args.report_out is not None:
+                import json
+
+                snapshot = {
+                    "kind": "repro.serve_snapshot",
+                    "events_captured": len(store.events()),
+                    "health": final_health,
+                    "metrics": telemetry.metrics.snapshot(),
+                }
+                args.report_out.parent.mkdir(parents=True,
+                                             exist_ok=True)
+                args.report_out.write_text(
+                    json.dumps(snapshot, indent=2, sort_keys=True)
+                    + "\n", encoding="utf-8")
+                print(f"snapshot: {args.report_out}")
 
     try:
-        asyncio.run(serve())
+        with obs.install(telemetry):
+            asyncio.run(serve())
     except KeyboardInterrupt:
         print("\nstopped")
     return 0
@@ -415,7 +498,15 @@ def main(argv: list[str] | None = None) -> int:
         "export-dataset": cmd_export_dataset,
         "chaos": cmd_chaos,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream pipe closed (e.g. `repro stats | head`); exit
+        # quietly instead of tracebacking, without touching the
+        # now-dead stdout.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

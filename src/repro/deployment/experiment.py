@@ -31,15 +31,19 @@ it).  Disabled (the default), every hook is a no-op.
 
 from __future__ import annotations
 
+import sys
 import time
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro import obs
 from repro.agents.population import World, build_world
 from repro.deployment.plan import DeploymentPlan, build_plan
-from repro.deployment.replay import (ReplayEngine, build_engine,
-                                     compile_visits)
+from repro.deployment.replay import (OpsOptions, ReplayEngine,
+                                     build_engine, compile_visits)
+from repro.obs import live as obs_live
+from repro.obs import logging as obs_logging
 from repro.obs import report as obs_report
 from repro.pipeline.convert import count_events
 from repro.pipeline.sinks import (BufferSink, CountingSink, RawLogSink,
@@ -50,6 +54,14 @@ from repro.resilience.deadletter import DeadLetterWriter
 #: Dead-letter file for quarantined visits, written under the run's
 #: output directory (only when something was actually quarantined).
 QUARANTINE_FILENAME = "quarantine.jsonl"
+
+#: Structured operational log (JSONL, correlation-id fields), written
+#: under the output directory of every telemetry run.
+OPS_LOG_FILENAME = "ops.jsonl"
+
+#: Crash flight-recorder dump of the driver process (only written when
+#: the run dies; replay workers write ``flight_shard<k>.jsonl``).
+FLIGHT_FILENAME = "flight_driver.jsonl"
 
 _DONE = object()
 
@@ -81,6 +93,13 @@ class ExperimentConfig:
     #: Replay engine: ``"auto"`` (serial for 1 worker, sharded
     #: otherwise), ``"serial"``, or ``"sharded"``.
     executor: str = "auto"
+    #: Seconds between live shard-telemetry emissions (0 disables the
+    #: metrics bus; requires telemetry and a sharded replay to matter).
+    live_interval: float = 0.0
+    #: Serve ``/metrics`` + ``/healthz`` on this loopback port for the
+    #: duration of the run (requires telemetry; implies a default
+    #: ``live_interval`` of 0.5s on sharded replays).
+    live_port: int | None = None
 
 
 @dataclass
@@ -118,15 +137,33 @@ def run_experiment(config: ExperimentConfig = ExperimentConfig()
                    ) -> ExperimentResult:
     """Run the full deployment window and produce the SQLite databases."""
     telemetry = obs.Telemetry(enabled=config.telemetry)
-    with obs.install(telemetry), faults.install(config.fault_plan):
-        return _run_instrumented(config, telemetry)
+    #: One correlation id per run, bound into every ops-log record the
+    #: run emits (driver and workers alike) and stamped into the
+    #: manifest.  Operational identity only -- nothing derived from it
+    #: touches the replayed event stream.
+    run_id = uuid.uuid4().hex[:12]
+    output_dir = Path(config.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    if telemetry.enabled:
+        telemetry.logger.attach_path(output_dir / OPS_LOG_FILENAME)
+    try:
+        with obs.install(telemetry), faults.install(config.fault_plan), \
+                obs_logging.bind(run_id=run_id), \
+                telemetry.flight.armed(output_dir / FLIGHT_FILENAME):
+            return _run_instrumented(config, telemetry, run_id)
+    finally:
+        telemetry.logger.close()
 
 
-def _run_instrumented(config: ExperimentConfig,
-                      telemetry: obs.Telemetry) -> ExperimentResult:
+def _run_instrumented(config: ExperimentConfig, telemetry: obs.Telemetry,
+                      run_id: str) -> ExperimentResult:
     wall_start = time.perf_counter()
     phases = telemetry.phases
     span = telemetry.tracer.span
+    logger = telemetry.logger
+    logger.info("run.start", seed=config.seed, scale=config.volume_scale,
+                workers=config.workers,
+                output=str(config.output_dir))
 
     with phases.phase("build_plan"):
         plan = build_plan(config.seed)
@@ -137,6 +174,56 @@ def _run_instrumented(config: ExperimentConfig,
 
     output_dir = Path(config.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
+
+    engine = build_engine(config.workers, config.executor)
+    visits_total = len(schedule)
+
+    # -- live operations plane -----------------------------------------
+    # The bus interval: an explicit config wins; exposing a port
+    # implies a default cadence so /metrics is never a whole-run
+    # staleness window behind.
+    live_interval = config.live_interval
+    if config.live_port is not None and live_interval <= 0:
+        live_interval = 0.5
+    live_on = telemetry.enabled and live_interval > 0 and engine.workers > 1
+    aggregator = obs_live.LiveAggregator() if live_on else None
+    reporter = None
+    if live_on:
+        reporter = _LiveReporter(output_dir / obs_report.REPORT_FILENAME,
+                                 run_id, visits_total, engine.workers)
+    ops = OpsOptions(
+        live=live_on, emit_interval=live_interval,
+        aggregator=aggregator, on_message=reporter,
+        trace_shards=config.trace_out is not None,
+        flight_dir=output_dir if telemetry.enabled else None,
+        run_id=run_id)
+    live_server = None
+    if config.live_port is not None and telemetry.enabled:
+        live_server = obs_live.LiveOpsServer(
+            lambda: _combined_snapshot(telemetry, aggregator),
+            lambda: _run_health(run_id, visits_total, engine, aggregator),
+            port=config.live_port)
+        live_server.start()
+        logger.info("live.listening", port=live_server.port)
+
+    try:
+        return _run_replay(config, telemetry, run_id, plan, world,
+                           schedule, engine, ops, output_dir,
+                           wall_start, live_server, reporter)
+    finally:
+        if live_server is not None:
+            live_server.close()
+
+
+def _run_replay(config: ExperimentConfig, telemetry: obs.Telemetry,
+                run_id: str, plan: DeploymentPlan, world: World,
+                schedule, engine: ReplayEngine, ops: OpsOptions,
+                output_dir: Path, wall_start: float,
+                live_server, reporter) -> ExperimentResult:
+    phases = telemetry.phases
+    span = telemetry.tracer.span
+    logger = telemetry.logger
+    visits_total = len(schedule)
 
     # -- the sink pipeline: every stored event flows through once ------
     tier = TierSplitSink(
@@ -159,7 +246,6 @@ def _run_instrumented(config: ExperimentConfig,
         sinks.append(dataset_buffer)
     pipeline = TeeSink(*sinks)
 
-    engine = build_engine(config.workers, config.executor)
     dead_letters = DeadLetterWriter(output_dir / QUARANTINE_FILENAME)
     metrics = telemetry.metrics
     bytes_in = 0
@@ -167,14 +253,14 @@ def _run_instrumented(config: ExperimentConfig,
     events_generated = 0
     events_quarantined = 0
     quarantined_visits = 0
-    visits_total = len(schedule)
 
     # The replay engine and the sink pipeline interleave on this
     # thread, so the loop splits its time manually: pulling the next
     # outcome is "replay", feeding its events through the sinks is
     # "split" (sharded engines do all pool work inside the first pull).
     mark = time.perf_counter()
-    stream = iter(engine.replay(schedule, plan, config.seed, telemetry))
+    stream = iter(engine.replay(schedule, plan, config.seed, telemetry,
+                                ops))
     while True:
         outcome = next(stream, _DONE)
         now = time.perf_counter()
@@ -238,6 +324,9 @@ def _run_instrumented(config: ExperimentConfig,
         quarantined_visits=quarantined_visits,
         quarantine_path=(dead_letters.path if dead_letters.count
                          else None))
+    logger.info("run.done", visits=visits_total,
+                events_stored=events_total,
+                events_quarantined=events_quarantined)
     if telemetry.enabled:
         wall_time = time.perf_counter() - wall_start
         _finalize_report(config, telemetry, result, engine,
@@ -246,15 +335,94 @@ def _run_instrumented(config: ExperimentConfig,
                          split={"low": tier.low_count,
                                 "midhigh": tier.midhigh_count},
                          bytes_io={"in": bytes_in, "out": bytes_out},
-                         wall_time=wall_time, output_dir=output_dir)
+                         wall_time=wall_time, output_dir=output_dir,
+                         run_id=run_id, live_server=live_server,
+                         reporter=reporter)
     return result
+
+
+def _combined_snapshot(telemetry: obs.Telemetry, aggregator) -> dict:
+    """What ``/metrics`` serves during a run: the driver's registry
+    folded with the live aggregate streamed from the shards."""
+    combined = obs.MetricsRegistry()
+    combined.merge(telemetry.metrics)
+    if aggregator is not None:
+        combined.merge(aggregator.registry)
+    return combined.snapshot()
+
+
+def _run_health(run_id: str, visits_total: int, engine: ReplayEngine,
+                aggregator) -> dict:
+    """What ``/healthz`` serves during a run."""
+    health = {"status": "ok", "mode": "run", "run_id": run_id,
+              "visits_total": visits_total, "workers": engine.workers,
+              "executor": engine.name}
+    if aggregator is not None:
+        health["progress"] = aggregator.progress()
+    return health
+
+
+class _LiveReporter:
+    """Bus callback: progress lines + incremental manifest snapshots.
+
+    Runs on the bus drainer thread.  Progress goes to stderr (stdout
+    stays byte-stable for scripts); the partial ``run_report.json``
+    carries ``"partial": true`` plus the live aggregate so an operator
+    -- or ``repro stats`` after a crash -- sees how far the run got.
+    The final manifest overwrites it on clean completion.
+    """
+
+    def __init__(self, path: Path, run_id: str, visits_total: int,
+                 workers: int, *, stream=None,
+                 line_interval: float = 1.0,
+                 snapshot_interval: float = 2.0,
+                 clock=time.perf_counter):
+        self.path = path
+        self.run_id = run_id
+        self.visits_total = visits_total
+        self.workers = workers
+        self.lines = 0
+        self.snapshots = 0
+        self._stream = stream if stream is not None else sys.stderr
+        self._line_interval = line_interval
+        self._snapshot_interval = snapshot_interval
+        self._clock = clock
+        self._last_line = -line_interval
+        self._last_snapshot = -snapshot_interval
+
+    def __call__(self, aggregator, message: dict) -> None:
+        now = self._clock()
+        done = bool(message.get("done"))
+        if done or now - self._last_line >= self._line_interval:
+            progress = aggregator.progress()
+            print(f"live: {progress['visits']:,}/"
+                  f"{self.visits_total:,} visits  "
+                  f"{progress['events']:,} events  "
+                  f"{progress['shards_done']}/{self.workers} "
+                  f"shards done", file=self._stream)
+            self._last_line = now
+            self.lines += 1
+        if done or now - self._last_snapshot >= self._snapshot_interval:
+            obs_report.write_report({
+                "schema": obs_report.SCHEMA,
+                "partial": True,
+                "run_id": self.run_id,
+                "generated_at": obs_report.utc_now_iso(),
+                "visits_total": self.visits_total,
+                "progress": aggregator.progress(),
+                "metrics": aggregator.snapshot(),
+            }, self.path)
+            self._last_snapshot = now
+            self.snapshots += 1
 
 
 def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
                      result: ExperimentResult, engine: ReplayEngine,
                      event_counts: dict | None,
                      split: dict[str, int], bytes_io: dict[str, int],
-                     wall_time: float, output_dir: Path) -> None:
+                     wall_time: float, output_dir: Path,
+                     run_id: str | None = None, live_server=None,
+                     reporter=None) -> None:
     """Export the trace (if requested) and write ``run_report.json``."""
     trace_path = None
     if config.trace_out is not None:
@@ -264,9 +432,20 @@ def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
         else:
             telemetry.tracer.export_chrome(trace_path)
     event_counts = event_counts or {}
+    live_stats = engine.stats.get("live")
+    live = None
+    if live_stats is not None or live_server is not None:
+        live = dict(live_stats or {})
+        live["port"] = live_server.port if live_server else None
+        live["http_requests"] = (live_server.requests
+                                 if live_server else 0)
+        if reporter is not None:
+            live["progress_lines"] = reporter.lines
+            live["partial_snapshots"] = reporter.snapshots
     manifest = {
         "schema": obs_report.SCHEMA,
         "generated_at": obs_report.utc_now_iso(),
+        "run_id": run_id,
         "config": {
             "seed": config.seed,
             "volume_scale": config.volume_scale,
@@ -280,6 +459,8 @@ def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
                            if config.fault_plan else None),
             "workers": config.workers,
             "executor": config.executor,
+            "live_interval": config.live_interval,
+            "live_port": config.live_port,
         },
         "wall_time_seconds": wall_time,
         "phases": telemetry.phases.as_dict(),
@@ -307,6 +488,10 @@ def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
                            if config.fault_plan else None),
             "faults": faults.current().snapshot(),
         },
+        "live": live,
+        "ops_log": OPS_LOG_FILENAME,
+        "flight": {"capacity": telemetry.flight.capacity,
+                   "records": len(telemetry.flight.records())},
         "metrics": telemetry.metrics.snapshot(),
         "trace": {"spans": len(telemetry.tracer.spans),
                   "path": str(trace_path) if trace_path else None},

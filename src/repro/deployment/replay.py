@@ -46,6 +46,7 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import os
+import queue as queue_module
 import random
 import sys
 import time
@@ -53,6 +54,7 @@ import zlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from datetime import timedelta
+from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
 from repro import obs
@@ -62,13 +64,16 @@ from repro.clients.wire import Wire, WireError
 from repro.deployment.plan import DeploymentPlan
 from repro.honeypots.base import MemoryWire, SessionContext
 from repro.netsim.clock import EXPERIMENT_START, SimClock
+from repro.obs import live as obs_live
+from repro.obs import logging as obs_logging
 from repro.pipeline.logstore import LogEvent
 from repro.resilience import faults
 from repro.runtime import worker_context
 
 __all__ = [
-    "ScheduledVisit", "VisitOutcome", "ReplayEngine", "SerialExecutor",
-    "ShardedExecutor", "build_engine", "compile_visits", "shard_of",
+    "OpsOptions", "ScheduledVisit", "VisitOutcome", "ReplayEngine",
+    "SerialExecutor", "ShardedExecutor", "build_engine",
+    "compile_visits", "shard_of",
 ]
 
 #: One schedule entry: (time offset, actor IP, per-actor sequence, visit).
@@ -191,6 +196,47 @@ def _replay_visit(plan: DeploymentPlan, clock: SimClock, seed: int,
                         bytes_out=bytes_out, failure=failure)
 
 
+@dataclass
+class OpsOptions:
+    """Driver-provided live-ops wiring for one replay.
+
+    Everything is optional and additive: with the default options a
+    replay behaves exactly as before (no bus, no shard tracing, no
+    flight dumps), so live telemetry can never perturb the event
+    stream -- it only *observes* the worker registries.
+    """
+
+    #: Stream shard metrics deltas to the parent over the bus.
+    live: bool = False
+    #: Seconds between shard delta emissions.
+    emit_interval: float = 0.5
+    #: Parent-side live aggregate (shared with ``/metrics``); the
+    #: executor builds one if live is on and none is given.
+    aggregator: "obs_live.LiveAggregator | None" = None
+    #: Runs on the bus drainer thread after each fold (progress lines,
+    #: incremental snapshots); exceptions are contained by the bus.
+    on_message: "Callable | None" = None
+    #: Give each shard a real tracer and stitch its spans back into
+    #: the driver timeline (shard-prefixed pids in the Chrome export).
+    trace_shards: bool = False
+    #: Directory for crash flight dumps (``flight_shard<k>.jsonl``).
+    flight_dir: Path | None = None
+    #: Correlation id bound into every worker ops-log record.
+    run_id: str | None = None
+
+
+@dataclass
+class _WorkerOps:
+    """The picklable slice of :class:`OpsOptions` a worker needs
+    (the bus queue rides separately: inherited over fork, passed by
+    reference to threads)."""
+
+    tracing: bool = False
+    emit_interval: float = 0.5
+    flight_dir: str | None = None
+    run_id: str | None = None
+
+
 class ReplayEngine:
     """Turns a compiled schedule into an ordered outcome stream."""
 
@@ -202,18 +248,26 @@ class ReplayEngine:
 
     def replay(self, schedule: Sequence[ScheduledVisit],
                plan: DeploymentPlan, seed: int,
-               telemetry: obs.Telemetry) -> Iterator[VisitOutcome]:
+               telemetry: obs.Telemetry,
+               ops: OpsOptions | None = None) -> Iterator[VisitOutcome]:
         raise NotImplementedError
 
 
 class SerialExecutor(ReplayEngine):
-    """Single-threaded replay in schedule order (the reference engine)."""
+    """Single-threaded replay in schedule order (the reference engine).
+
+    The driver's own registry *is* the live aggregate here -- metrics
+    land in it as visits replay -- so the bus is never needed; the ops
+    options only contribute the flight-dump coverage the driver
+    already arms process-wide.
+    """
 
     name = "serial"
 
     def replay(self, schedule: Sequence[ScheduledVisit],
                plan: DeploymentPlan, seed: int,
-               telemetry: obs.Telemetry) -> Iterator[VisitOutcome]:
+               telemetry: obs.Telemetry,
+               ops: OpsOptions | None = None) -> Iterator[VisitOutcome]:
         self.stats = {"executor": self.name, "workers": 1}
         clock = SimClock()
         span = telemetry.tracer.span
@@ -241,20 +295,66 @@ _FORK_STATE: dict | None = None
 def _replay_shard(plan: DeploymentPlan, shard: int,
                   schedule: Sequence[ScheduledVisit], seed: int,
                   telemetry_enabled: bool,
-                  fault_payload: dict | None) -> _ShardResult:
+                  fault_payload: dict | None,
+                  ops: _WorkerOps | None = None,
+                  bus_queue=None) -> _ShardResult:
     """Replay one shard under its own thread-local runtime context."""
-    context = worker_context(telemetry_enabled, fault_payload)
+    if ops is None:
+        ops = _WorkerOps()
+    context = worker_context(telemetry_enabled, fault_payload,
+                             tracing=ops.tracing)
+    telemetry = context.telemetry
+    emitter = None
+    if bus_queue is not None and telemetry_enabled:
+        emitter = obs_live.ShardEmitter(shard, telemetry.metrics,
+                                        bus_queue.put,
+                                        interval=ops.emit_interval)
+    correlation = {"shard": shard}
+    if ops.run_id is not None:
+        correlation["run_id"] = ops.run_id
+    flight_path = (Path(ops.flight_dir) / f"flight_shard{shard}.jsonl"
+                   if ops.flight_dir is not None and telemetry_enabled
+                   else None)
     start = time.perf_counter()
     outcomes = []
-    with context.activate_local():
-        span = context.telemetry.tracer.span
-        clock = SimClock()
-        for offset, actor_ip, sequence, visit in schedule:
-            outcomes.append(_replay_visit(plan, clock, seed, offset,
-                                          actor_ip, sequence, visit, span))
+    with context.activate_local(), obs_logging.bind(**correlation):
+        logger = telemetry.logger
+        logger.info("shard.start", visits=len(schedule))
+        with (telemetry.flight.armed(flight_path) if flight_path
+              else _NO_FLIGHT):
+            span = telemetry.tracer.span
+            clock = SimClock()
+            for offset, actor_ip, sequence, visit in schedule:
+                outcome = _replay_visit(plan, clock, seed, offset,
+                                        actor_ip, sequence, visit, span)
+                outcomes.append(outcome)
+                if outcome.failure is not None:
+                    logger.warning("visit.quarantined",
+                                   actor=actor_ip, seq=sequence,
+                                   target=visit.target_key,
+                                   failure=outcome.failure)
+                if emitter is not None:
+                    emitter.advance(len(outcome.events))
+        if emitter is not None:
+            emitter.flush()
+        logger.info("shard.done", visits=len(outcomes),
+                    events=sum(len(o.events) for o in outcomes))
     return _ShardResult(shard=shard, outcomes=outcomes,
                         wall_seconds=time.perf_counter() - start,
                         report=context.report())
+
+
+class _NoFlight:
+    """Placeholder context when no flight dump path is configured."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NO_FLIGHT = _NoFlight()
 
 
 def _replay_shard_forked(shard: int) -> _ShardResult:
@@ -262,7 +362,8 @@ def _replay_shard_forked(shard: int) -> _ShardResult:
     assert state is not None, "fork state not set before pool creation"
     return _replay_shard(state["plan"], shard, state["shards"][shard],
                          state["seed"], state["telemetry_enabled"],
-                         state["fault_payload"])
+                         state["fault_payload"], state["ops"],
+                         state["bus_queue"])
 
 
 class ShardedExecutor(ReplayEngine):
@@ -286,10 +387,14 @@ class ShardedExecutor(ReplayEngine):
                     else "thread")
         self.workers = workers
         self.pool = pool
+        #: Parent-side live bus of the most recent replay (``None``
+        #: unless :class:`OpsOptions` enabled streaming telemetry).
+        self.live_bus: "obs_live.LiveBus | None" = None
 
     def replay(self, schedule: Sequence[ScheduledVisit],
                plan: DeploymentPlan, seed: int,
-               telemetry: obs.Telemetry) -> Iterator[VisitOutcome]:
+               telemetry: obs.Telemetry,
+               ops: OpsOptions | None = None) -> Iterator[VisitOutcome]:
         shards = [[] for _ in range(self.workers)]
         for entry in schedule:
             shards[shard_of(entry[3].target_key, self.workers)].append(entry)
@@ -298,18 +403,74 @@ class ShardedExecutor(ReplayEngine):
         if driver_plan is not faults.NULL_PLAN:
             fault_payload = driver_plan.payload()
 
-        results = self._run_shards(plan, shards, seed, telemetry.enabled,
-                                   fault_payload)
+        bus = None
+        worker_ops = None
+        if ops is not None:
+            if ops.live and telemetry.enabled:
+                bus = obs_live.LiveBus(self._make_queue(),
+                                       aggregator=ops.aggregator,
+                                       on_message=ops.on_message)
+                bus.start()
+            worker_ops = _WorkerOps(
+                tracing=ops.trace_shards and telemetry.enabled,
+                emit_interval=ops.emit_interval,
+                flight_dir=(str(ops.flight_dir)
+                            if ops.flight_dir is not None else None),
+                run_id=ops.run_id)
+        self.live_bus = bus
+
+        try:
+            results = self._run_shards(plan, shards, seed,
+                                       telemetry.enabled, fault_payload,
+                                       worker_ops,
+                                       bus.queue if bus else None)
+        finally:
+            # Every worker's final flush was queued before its future
+            # resolved, so stopping here folds the complete stream.
+            if bus is not None:
+                bus.stop()
 
         # Fold each worker's metrics and fault counters back into the
         # driver's ambient runtime so run-wide accounting stays exact.
+        # (The live aggregate is display-side only; the end-of-run merge
+        # below stays the single source of truth for the manifest.)
+        merged_reports = obs.MetricsRegistry() if telemetry.enabled \
+            else None
         for result in results:
             metrics = result.report.get("metrics")
             if metrics:
                 telemetry.metrics.merge(metrics)
+                if merged_reports is not None:
+                    merged_reports.merge(metrics)
             fault_counts = result.report.get("faults")
             if fault_counts:
                 driver_plan.absorb(fault_counts)
+
+        stitched_spans = 0
+        if worker_ops is not None and worker_ops.tracing:
+            # Stitch per-shard traces into one timeline: the driver's
+            # spans stay on Chrome pid 1, each shard gets its own
+            # process lane.
+            telemetry.tracer.process_names.setdefault(1, "driver")
+            for result in sorted(results, key=lambda r: r.shard):
+                spans = result.report.get("spans") or []
+                stitched_spans += telemetry.tracer.absorb(
+                    spans, pid=result.shard + 2,
+                    name=f"shard {result.shard}")
+
+        live_stats = None
+        if bus is not None:
+            progress = bus.aggregator.progress()
+            live_stats = {
+                "emissions": progress["emissions"],
+                "callback_errors": bus.callback_errors,
+                # The delta-merge invariant, checked on every live run:
+                # folding the streamed deltas must reconstruct exactly
+                # the end-of-run merged registry (counters+histograms).
+                "equals_merged": obs_live.counters_equal(
+                    bus.aggregator.snapshot(),
+                    merged_reports.snapshot()),
+            }
 
         merge_start = time.perf_counter()
         merged = list(heapq.merge(*(result.outcomes for result in results),
@@ -320,6 +481,8 @@ class ShardedExecutor(ReplayEngine):
             "workers": self.workers,
             "pool": self.pool,
             "merge_seconds": merge_seconds,
+            "live": live_stats,
+            "stitched_spans": stitched_spans,
             "shards": [{
                 "shard": result.shard,
                 "visits": len(result.outcomes),
@@ -332,14 +495,23 @@ class ShardedExecutor(ReplayEngine):
         }
         return iter(merged)
 
+    def _make_queue(self):
+        """A bus queue workers of this pool flavor can reach: plain
+        in-process for threads, a fork-context pipe for processes."""
+        if self.pool == "thread":
+            return queue_module.Queue()
+        return multiprocessing.get_context("fork").SimpleQueue()
+
     def _run_shards(self, plan, shards, seed, telemetry_enabled,
-                    fault_payload) -> list[_ShardResult]:
+                    fault_payload, worker_ops=None,
+                    bus_queue=None) -> list[_ShardResult]:
         global _FORK_STATE
         if self.pool == "thread":
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 futures = [
                     pool.submit(_replay_shard, plan, index, shard, seed,
-                                telemetry_enabled, fault_payload)
+                                telemetry_enabled, fault_payload,
+                                worker_ops, bus_queue)
                     for index, shard in enumerate(shards)]
                 return [future.result() for future in futures]
         # Fork pool: workers inherit plan + shards copy-on-write, so
@@ -348,7 +520,8 @@ class ShardedExecutor(ReplayEngine):
         # fresh) honeypot fleet.
         _FORK_STATE = {"plan": plan, "shards": shards, "seed": seed,
                        "telemetry_enabled": telemetry_enabled,
-                       "fault_payload": fault_payload}
+                       "fault_payload": fault_payload,
+                       "ops": worker_ops, "bus_queue": bus_queue}
         try:
             context = multiprocessing.get_context("fork")
             with ProcessPoolExecutor(max_workers=self.workers,
@@ -388,6 +561,8 @@ def resolve_workers(requested: "int | str", *,
     if workers > 1 and cores == 1:
         obs.current().metrics.inc("replay.single_core_sharding",
                                   workers=workers)
+        obs.current().logger.warning("replay.single_core_sharding",
+                                     workers=workers, cores=cores)
         print(f"warning: --workers {workers} shards the replay on a "
               f"single-core host, which benchmarks slower than serial "
               f"(see BENCH_replay.json); use --workers auto to match "

@@ -16,11 +16,13 @@ slow-loris and flood defenses a real database server would have.
 from __future__ import annotations
 
 import asyncio
+import itertools
 from dataclasses import dataclass
 
 from repro import obs
 from repro.honeypots.base import Honeypot, SessionContext
 from repro.netsim.clock import SimClock
+from repro.obs import logging as obs_logging
 from repro.pipeline.logstore import EventSink
 
 
@@ -40,6 +42,10 @@ class TcpHoneypotServer:
 
     def __post_init__(self) -> None:
         self._server: asyncio.AbstractServer | None = None
+        #: Per-server session counter; combined with the honeypot id it
+        #: becomes the ``session_id`` correlation field on every ops-log
+        #: record a connection emits.
+        self._session_ids = itertools.count(1)
 
     async def start(self) -> int:
         """Bind and start serving; returns the bound port."""
@@ -62,14 +68,26 @@ class TcpHoneypotServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        session_id = (f"{self.honeypot.info.honeypot_id}"
+                      f"-{next(self._session_ids)}")
+        with obs_logging.bind(session_id=session_id):
+            await self._handle_session(reader, writer)
+
+    async def _handle_session(self, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> None:
         peer = writer.get_extra_info("peername") or ("0.0.0.0", 0)
         context = SessionContext(src_ip=peer[0], src_port=peer[1],
                                  clock=self.clock, sink=self.sink)
         session = self.honeypot.new_session(context)
-        metrics = obs.current().metrics
+        telemetry = obs.current()
+        metrics = telemetry.metrics
+        logger = telemetry.logger
         dbms = self.honeypot.dbms
         metrics.inc("tcp.connections", dbms=dbms)
         metrics.add_gauge("tcp.open_connections", 1, dbms=dbms)
+        logger.info("conn.open", src=peer[0], src_port=peer[1],
+                    dbms=dbms)
+        close_cause = "eof"
         try:
             greeting = session.connect()
             if greeting:
@@ -83,6 +101,7 @@ class TcpHoneypotServer:
                             reader.read(65536), self.idle_timeout)
                     except asyncio.TimeoutError:
                         metrics.inc("tcp.idle_timeouts", dbms=dbms)
+                        close_cause = "idle_timeout"
                         break
                 else:
                     data = await reader.read(65536)
@@ -92,6 +111,7 @@ class TcpHoneypotServer:
                 if (self.max_session_bytes is not None
                         and context.bytes_in > self.max_session_bytes):
                     metrics.inc("tcp.overlimit_closes", dbms=dbms)
+                    close_cause = "overlimit"
                     break
                 reply = session.receive(data)
                 if reply:
@@ -100,11 +120,15 @@ class TcpHoneypotServer:
                     await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             metrics.inc("tcp.connection_errors", dbms=dbms)
-        except Exception:
+            close_cause = "connection_error"
+        except Exception as error:
             # A session/parser bug must never escape into asyncio's
             # default handler and leave the peer hanging on a dead
             # socket: contain it, count it, close cleanly below.
             metrics.inc("tcp.session_errors", dbms=dbms)
+            close_cause = "session_error"
+            logger.error("conn.session_error", dbms=dbms,
+                         error=f"{type(error).__name__}: {error}")
         finally:
             try:
                 session.disconnect()
@@ -113,6 +137,10 @@ class TcpHoneypotServer:
             metrics.add_gauge("tcp.open_connections", -1, dbms=dbms)
             metrics.inc("tcp.bytes_in", context.bytes_in, dbms=dbms)
             metrics.inc("tcp.bytes_out", context.bytes_out, dbms=dbms)
+            logger.info("conn.close", cause=close_cause, dbms=dbms,
+                        bytes_in=context.bytes_in,
+                        bytes_out=context.bytes_out,
+                        events=context.events)
             writer.close()
             try:
                 await writer.wait_closed()

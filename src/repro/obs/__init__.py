@@ -21,32 +21,49 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.flight import FlightRecorder, NullFlightRecorder
+from repro.obs.logging import NullOpsLogger, OpsLogger
 from repro.obs.metrics import (Histogram, MetricsRegistry,
                                NullMetricsRegistry)
 from repro.obs.timing import NullPhaseTimer, PhaseTimer, Stopwatch
 from repro.obs.tracing import NullTracer, Tracer
 
 __all__ = [
-    "Histogram", "MetricsRegistry", "NullMetricsRegistry",
-    "NullPhaseTimer", "NullTracer", "PhaseTimer", "Stopwatch",
-    "Telemetry", "Tracer", "NULL_TELEMETRY", "current", "install",
-    "install_local",
+    "FlightRecorder", "Histogram", "MetricsRegistry",
+    "NullFlightRecorder", "NullMetricsRegistry", "NullOpsLogger",
+    "NullPhaseTimer", "NullTracer", "OpsLogger", "PhaseTimer",
+    "Stopwatch", "Telemetry", "Tracer", "NULL_TELEMETRY", "current",
+    "install", "install_local",
 ]
 
 
 class Telemetry:
-    """One run's metrics registry + tracer + phase timer."""
+    """One run's metrics registry + tracer + phase timer + ops plane.
 
-    def __init__(self, enabled: bool = True):
+    The operational half (structured :attr:`logger`, :attr:`flight`
+    recorder) is wired so every log record lands in the flight ring
+    and every completed span leaves a summary there -- the last N
+    operational facts are always available for a crash dump, whether
+    or not a log file was attached.
+    """
+
+    def __init__(self, enabled: bool = True, *,
+                 flight_capacity: int = 512):
         self.enabled = enabled
         if enabled:
             self.metrics: MetricsRegistry = MetricsRegistry()
-            self.tracer: Tracer | NullTracer = Tracer()
+            self.flight: FlightRecorder = FlightRecorder(flight_capacity)
+            self.tracer: Tracer | NullTracer = Tracer(
+                observer=self.flight.record_span)
             self.phases: PhaseTimer = PhaseTimer()
+            self.logger: OpsLogger = OpsLogger()
+            self.logger.attach_recorder(self.flight.record)
         else:
             self.metrics = NullMetricsRegistry()
+            self.flight = NullFlightRecorder()
             self.tracer = NullTracer()
             self.phases = NullPhaseTimer()
+            self.logger = NullOpsLogger()
 
     def __repr__(self) -> str:
         return f"Telemetry(enabled={self.enabled})"

@@ -1,0 +1,141 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry` snapshot.
+
+Renders the registry's counters, gauges, and log-scale histograms in
+the Prometheus text format (version 0.0.4) so a live run can be
+scraped at ``/metrics``.  Pure stdlib and pure function: the renderer
+takes either a registry or one of its :meth:`MetricsRegistry.snapshot`
+dumps, so it works equally on the driver's own registry and on the
+live aggregate folded from shard deltas.
+
+Mapping rules:
+
+* metric names are namespaced and sanitized -- ``tcp.bytes_in`` becomes
+  ``repro_tcp_bytes_in``; counters additionally get the conventional
+  ``_total`` suffix;
+* labels are rendered sorted by key, values escaped per the exposition
+  spec (backslash, double quote, newline);
+* histograms become the conventional ``_bucket``/``_sum``/``_count``
+  triplet with *cumulative* bucket counts and a terminal ``+Inf``
+  bucket equal to ``_count`` (the registry stores per-bound counts;
+  the renderer accumulates).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["render_prometheus"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, namespace: str) -> str:
+    """``tcp.bytes_in`` -> ``repro_tcp_bytes_in`` (always spec-valid)."""
+    flat = _NAME_BAD_CHARS.sub("_", f"{namespace}_{name}" if namespace
+                               else name)
+    if not _NAME_OK.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _label_name(name: str) -> str:
+    flat = _NAME_BAD_CHARS.sub("_", name).replace(":", "_")
+    if not flat or flat[0].isdigit():
+        flat = "_" + flat
+    return flat
+
+
+def _escape_label_value(value: object) -> str:
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_value(value: float) -> str:
+    """Spec-friendly number rendering (integers without the ``.0``)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: dict[str, object],
+                   extra: list[tuple[str, str]] | None = None) -> str:
+    pairs = [(_label_name(key), _escape_label_value(value))
+             for key, value in sorted(labels.items())]
+    if extra:
+        pairs += extra
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(source: "MetricsRegistry | dict", *,
+                      namespace: str = "repro") -> str:
+    """Render a registry (or snapshot dict) as Prometheus text.
+
+    Series of one metric are grouped under a single ``# TYPE`` header;
+    metrics are emitted sorted by exposition name, series sorted by
+    label set, so the output is deterministic for a given snapshot.
+    """
+    snapshot = (source.snapshot() if isinstance(source, MetricsRegistry)
+                else source)
+    families: dict[str, tuple[str, list[str]]] = {}
+
+    def family(name: str, kind: str) -> list[str]:
+        entry = families.get(name)
+        if entry is None:
+            entry = families[name] = (kind, [])
+        return entry[1]
+
+    for entry in snapshot.get("counters", []):
+        name = _metric_name(entry["name"], namespace) + "_total"
+        family(name, "counter").append(
+            f"{name}{_render_labels(entry['labels'])} "
+            f"{_format_value(entry['value'])}")
+
+    for entry in snapshot.get("gauges", []):
+        name = _metric_name(entry["name"], namespace)
+        family(name, "gauge").append(
+            f"{name}{_render_labels(entry['labels'])} "
+            f"{_format_value(entry['value'])}")
+
+    for entry in snapshot.get("histograms", []):
+        name = _metric_name(entry["name"], namespace)
+        lines = family(name, "histogram")
+        labels = entry["labels"]
+        cumulative = 0
+        for bucket in sorted(entry.get("buckets", []),
+                             key=lambda b: b["le"]):
+            cumulative += bucket["count"]
+            lines.append(
+                f"{name}_bucket"
+                f"{_render_labels(labels, [('le', _format_value(float(bucket['le'])))])}"
+                f" {_format_value(cumulative)}")
+        lines.append(
+            f"{name}_bucket{_render_labels(labels, [('le', '+Inf')])} "
+            f"{_format_value(entry.get('count', 0))}")
+        lines.append(f"{name}_sum{_render_labels(labels)} "
+                     f"{_format_value(entry.get('sum', 0.0))}")
+        lines.append(f"{name}_count{_render_labels(labels)} "
+                     f"{_format_value(entry.get('count', 0))}")
+
+    out: list[str] = []
+    for name in sorted(families):
+        kind, lines = families[name]
+        help_name = name[:-len("_total")] if kind == "counter" else name
+        out.append(f"# HELP {name} repro metric {help_name}")
+        out.append(f"# TYPE {name} {kind}")
+        out.extend(sorted(lines) if kind != "histogram" else lines)
+    return "\n".join(out) + ("\n" if out else "")

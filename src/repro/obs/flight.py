@@ -1,0 +1,149 @@
+"""Crash flight recorder: a bounded ring of recent telemetry records.
+
+Long-running honeypot fleets die in ways the final manifest never
+sees -- the manifest is only written on clean completion.  The flight
+recorder keeps the last N operational records (structured log records,
+completed spans, anything a subsystem cares to :meth:`record`) in a
+bounded in-memory ring, and dumps them to a JSONL file when the
+process is about to die: on an exception escaping the :meth:`armed`
+block, or on SIGTERM.  Post-mortems of a quarantined visit or a
+crashed shard then have the immediate context (which sessions were
+open, which phase was running, the last faults fired) without paying
+for full logging during normal operation.
+
+The dump file starts with one header line (``kind: "flight_header"``,
+the reason, pid, and record count) followed by the ring's records,
+oldest first.  :class:`NullFlightRecorder` is the zero-cost default.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["FlightRecorder", "NullFlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent records, dumpable on crash."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 512,
+                 clock=None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._clock = clock if clock is not None else time.time
+        self._lock = threading.Lock()
+        self._ring: collections.deque[dict] = collections.deque(
+            maxlen=capacity)
+        #: Total records ever seen (>= len(ring) once it wraps).
+        self.recorded = 0
+        #: Dumps performed (normally 0; 1 after a crash/SIGTERM).
+        self.dumps = 0
+
+    # -- recording --------------------------------------------------------
+
+    def record(self, payload: dict) -> None:
+        """Append one record (any JSON-serializable dict)."""
+        with self._lock:
+            self.recorded += 1
+            self._ring.append(payload)
+
+    def record_span(self, span: dict) -> None:
+        """Tracer observer hook: keep a compact span summary."""
+        self.record({"kind": "span", "name": span.get("name"),
+                     "start": span.get("start"), "dur": span.get("dur"),
+                     "attrs": span.get("attrs")})
+
+    def records(self) -> list[dict]:
+        """Copy of the ring, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    # -- dumping ----------------------------------------------------------
+
+    def dump(self, path: str | Path, *, reason: str) -> Path:
+        """Write the ring to ``path`` as JSONL, header line first."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            records = list(self._ring)
+            recorded = self.recorded
+            self.dumps += 1
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"kind": "flight_header", "reason": reason,
+                 "pid": os.getpid(), "dumped_at": self._clock(),
+                 "records": len(records), "recorded_total": recorded,
+                 "capacity": self.capacity},
+                separators=(",", ":"), default=str) + "\n")
+            for record in records:
+                handle.write(json.dumps(record, separators=(",", ":"),
+                                        default=str) + "\n")
+        return path
+
+    @contextmanager
+    def armed(self, path: str | Path, *,
+              signals: bool = True) -> Iterator["FlightRecorder"]:
+        """Dump to ``path`` if the block dies.
+
+        Covers two exits: an exception escaping the block (dumped, then
+        re-raised) and SIGTERM (dumped, then the previous disposition
+        runs -- by default the process dies, as the sender intended).
+        The signal handler is only installed on the main thread of the
+        process; elsewhere (worker threads) exception coverage still
+        applies.
+        """
+        previous = None
+        installed = False
+        if signals and threading.current_thread() is threading.main_thread():
+            def handler(signum, frame):
+                self.dump(path, reason=f"signal:{signum}")
+                signal.signal(signum, previous)
+                os.kill(os.getpid(), signum)
+
+            try:
+                previous = signal.signal(signal.SIGTERM, handler)
+                installed = True
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                installed = False
+        try:
+            yield self
+        except BaseException as error:
+            self.dump(path, reason=f"{type(error).__name__}: {error}")
+            raise
+        finally:
+            if installed:
+                signal.signal(signal.SIGTERM, previous)
+
+
+class NullFlightRecorder(FlightRecorder):
+    """Records nothing and never dumps -- the zero-cost default."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def record(self, payload: dict) -> None:
+        pass
+
+    def record_span(self, span: dict) -> None:
+        pass
+
+    def dump(self, path: str | Path, *, reason: str) -> Path:
+        return Path(path)
+
+    @contextmanager
+    def armed(self, path: str | Path, *,
+              signals: bool = True) -> Iterator["FlightRecorder"]:
+        yield self

@@ -1,0 +1,344 @@
+"""The live operations plane: streaming shard telemetry + HTTP surface.
+
+Three cooperating pieces turn a multi-hour ``repro run --workers N``
+from a black box into something watchable while it runs:
+
+* **Metrics bus.**  Each replay worker owns a private
+  :class:`~repro.obs.metrics.MetricsRegistry`; a :class:`ShardEmitter`
+  periodically snapshots it, computes the *delta* since its previous
+  emission (:func:`snapshot_delta`), and ships the delta over a
+  queue/pipe to the parent.  The parent's :class:`LiveBus` drains the
+  queue on a background thread and folds every delta into a
+  :class:`LiveAggregator` via :meth:`MetricsRegistry.merge` -- counters
+  and histogram deltas are additive, so the live aggregate converges
+  to exactly the end-of-run merged registry (gauges fold by ``max``,
+  the same order-independent rule ``merge`` uses).
+* **Exposition.**  :class:`LiveOpsServer` is an in-process HTTP
+  listener serving ``/metrics`` (Prometheus text, rendered from any
+  snapshot source) and ``/healthz`` (JSON from a health callable);
+  ``repro serve`` points it at the supervisor's per-honeypot listener
+  state, ``repro run --live-port`` at the live aggregate.
+* **Progress.**  Every bus message carries the shard's visit/event
+  progress, so the driver can print progress lines and write
+  incremental manifest snapshots instead of going dark for the whole
+  replay.
+
+Everything here is parent/worker plumbing around the existing
+registry; nothing touches visit replay, so live telemetry cannot
+change event streams (asserted by the sharded-equality tests).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.obs.exposition import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "LiveAggregator", "LiveBus", "LiveOpsServer", "ShardEmitter",
+    "counters_equal", "snapshot_delta",
+]
+
+
+# -- delta computation ------------------------------------------------------
+
+def _label_key(entry: dict) -> tuple:
+    return (entry["name"], tuple(sorted(entry["labels"].items())))
+
+
+def snapshot_delta(previous: dict | None, current: dict) -> dict:
+    """The registry change between two :meth:`MetricsRegistry.snapshot`
+    dumps of the *same* registry, in snapshot form.
+
+    Counters and histograms are monotonic, so their delta is a plain
+    difference (series with no change are dropped); merging every
+    successive delta therefore reconstructs the final snapshot exactly.
+    Gauges are state, not accumulation: the delta carries their current
+    values and the aggregate folds them with ``merge``'s max rule.
+    """
+    if previous is None:
+        return current
+    delta: dict = {"counters": [], "gauges": current.get("gauges", []),
+                   "histograms": []}
+    seen = {_label_key(entry): entry["value"]
+            for entry in previous.get("counters", [])}
+    for entry in current.get("counters", []):
+        change = entry["value"] - seen.get(_label_key(entry), 0)
+        if change:
+            delta["counters"].append({**entry, "value": change})
+
+    prior = {_label_key(entry): entry
+             for entry in previous.get("histograms", [])}
+    for entry in current.get("histograms", []):
+        before = prior.get(_label_key(entry))
+        if before is None:
+            delta["histograms"].append(entry)
+            continue
+        count = entry["count"] - before["count"]
+        if not count:
+            continue
+        old_buckets = {bucket["le"]: bucket["count"]
+                       for bucket in before.get("buckets", [])}
+        buckets = []
+        for bucket in entry.get("buckets", []):
+            change = bucket["count"] - old_buckets.get(bucket["le"], 0)
+            if change:
+                buckets.append({"le": bucket["le"], "count": change})
+        delta["histograms"].append({
+            "name": entry["name"], "labels": entry["labels"],
+            "count": count, "sum": entry["sum"] - before["sum"],
+            # min/max are current cumulative extrema; merge keeps
+            # min-of-mins / max-of-maxes, so folding them is exact.
+            "min": entry.get("min"), "max": entry.get("max"),
+            "buckets": buckets,
+        })
+    return delta
+
+
+def counters_equal(left: dict, right: dict) -> bool:
+    """Whether two snapshots agree on every counter and histogram.
+
+    The live-vs-merged invariant: gauges are excluded because a live
+    aggregate legitimately keeps the max *over time* while an
+    end-of-run merge keeps the max of *final* values.
+    """
+    def additive(snapshot: dict) -> tuple:
+        counters = sorted(
+            (entry["name"], tuple(sorted(entry["labels"].items())),
+             entry["value"])
+            for entry in snapshot.get("counters", []))
+        histograms = sorted(
+            (entry["name"], tuple(sorted(entry["labels"].items())),
+             entry["count"], round(entry["sum"], 9),
+             tuple(sorted((bucket["le"], bucket["count"])
+                          for bucket in entry.get("buckets", []))))
+            for entry in snapshot.get("histograms", []))
+        return (counters, histograms)
+
+    return additive(left) == additive(right)
+
+
+# -- worker side ------------------------------------------------------------
+
+class ShardEmitter:
+    """Worker-side half of the bus: periodic delta emissions.
+
+    ``send`` is the queue's ``put``; the emitter never blocks the visit
+    loop for longer than one snapshot + one pickle.  Call
+    :meth:`maybe_emit` once per visit (cheap clock check) and
+    :meth:`flush` when the shard finishes.
+    """
+
+    def __init__(self, shard: int, registry: MetricsRegistry,
+                 send: Callable[[dict], None], *,
+                 interval: float = 0.5,
+                 clock: Callable[[], float] | None = None):
+        self.shard = shard
+        self.registry = registry
+        self.interval = interval
+        self.emissions = 0
+        self._send = send
+        self._clock = clock if clock is not None else time.perf_counter
+        self._last = self._clock()
+        self._previous: dict | None = None
+        self.visits_done = 0
+        self.events_done = 0
+
+    def advance(self, events: int) -> None:
+        """Account one replayed visit, then emit if the interval passed."""
+        self.visits_done += 1
+        self.events_done += events
+        if self._clock() - self._last >= self.interval:
+            self.emit()
+
+    def emit(self, *, done: bool = False) -> None:
+        current = self.registry.snapshot()
+        delta = snapshot_delta(self._previous, current)
+        self._previous = current
+        self._last = self._clock()
+        self.emissions += 1
+        self._send({"shard": self.shard, "seq": self.emissions,
+                    "visits": self.visits_done,
+                    "events": self.events_done,
+                    "metrics": delta, "done": done})
+
+    def flush(self) -> None:
+        """Final emission; marks the shard done on the parent side."""
+        self.emit(done=True)
+
+
+# -- parent side ------------------------------------------------------------
+
+class LiveAggregator:
+    """Folds shard deltas into one live registry + progress table."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self._lock = threading.Lock()
+        self.shards: dict[int, dict] = {}
+        self.messages = 0
+
+    def fold(self, message: dict) -> None:
+        self.registry.merge(message.get("metrics") or {})
+        with self._lock:
+            self.messages += 1
+            self.shards[message["shard"]] = {
+                "visits": message.get("visits", 0),
+                "events": message.get("events", 0),
+                "emissions": message.get("seq", 0),
+                "done": bool(message.get("done")),
+            }
+
+    def progress(self) -> dict:
+        """Totals across every shard heard from so far."""
+        with self._lock:
+            shards = {shard: dict(state)
+                      for shard, state in self.shards.items()}
+        return {
+            "shards_reporting": len(shards),
+            "shards_done": sum(1 for s in shards.values() if s["done"]),
+            "visits": sum(s["visits"] for s in shards.values()),
+            "events": sum(s["events"] for s in shards.values()),
+            "emissions": sum(s["emissions"] for s in shards.values()),
+            "per_shard": shards,
+        }
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+
+#: End-of-stream sentinel on the bus queue.
+_CLOSE = None
+
+
+class LiveBus:
+    """Parent-side drainer: a queue plus the thread that folds it.
+
+    ``queue`` must support ``put``/``get`` and carry pickled dicts --
+    a ``queue.Queue`` for thread-pool workers, an
+    ``mp_context.SimpleQueue`` for fork-pool workers (the child
+    inherits the write end).  ``on_message`` (optional) runs on the
+    drainer thread after each fold -- progress printing and incremental
+    snapshot writes hang off it; its exceptions are contained and
+    counted so a display bug can never stall the bus.
+    """
+
+    def __init__(self, queue, *,
+                 aggregator: LiveAggregator | None = None,
+                 on_message: Callable[[LiveAggregator, dict], None]
+                 | None = None):
+        self.queue = queue
+        self.aggregator = (aggregator if aggregator is not None
+                           else LiveAggregator())
+        self.on_message = on_message
+        self.callback_errors = 0
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._drain, name="live-bus", daemon=True)
+            self._thread.start()
+
+    def _drain(self) -> None:
+        while True:
+            message = self.queue.get()
+            if message is _CLOSE:
+                return
+            self.aggregator.fold(message)
+            if self.on_message is not None:
+                try:
+                    self.on_message(self.aggregator, message)
+                except Exception:
+                    self.callback_errors += 1
+
+    def stop(self) -> None:
+        """Close the stream; every message put before this is folded."""
+        if self._thread is not None:
+            self.queue.put(_CLOSE)
+            self._thread.join()
+            self._thread = None
+
+
+# -- HTTP exposition --------------------------------------------------------
+
+class LiveOpsServer:
+    """In-process HTTP listener serving ``/metrics`` and ``/healthz``.
+
+    ``metrics_source`` returns a registry snapshot (rendered as
+    Prometheus text); ``health_source`` returns a JSON-serializable
+    dict whose top-level ``"status"`` of ``"ok"`` maps to HTTP 200 and
+    anything else to 503, so load balancers and uptime probes can use
+    the endpoint unmodified.  Runs on a daemon thread; request logging
+    is suppressed (the ops log is the record of note, not httpd noise).
+    """
+
+    def __init__(self, metrics_source: Callable[[], dict],
+                 health_source: Callable[[], dict], *,
+                 host: str = "127.0.0.1", port: int = 0):
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+                try:
+                    if self.path.split("?", 1)[0] == "/metrics":
+                        body = render_prometheus(
+                            outer.metrics_source()).encode("utf-8")
+                        content_type = ("text/plain; version=0.0.4; "
+                                        "charset=utf-8")
+                        status = 200
+                    elif self.path.split("?", 1)[0] == "/healthz":
+                        health = outer.health_source()
+                        body = (json.dumps(health, indent=2,
+                                           sort_keys=True, default=str)
+                                + "\n").encode("utf-8")
+                        content_type = "application/json"
+                        status = (200 if health.get("status") == "ok"
+                                  else 503)
+                    else:
+                        body = b"not found\n"
+                        content_type = "text/plain"
+                        status = 404
+                except Exception as error:  # surface, don't kill thread
+                    body = f"error: {error}\n".encode("utf-8")
+                    content_type = "text/plain"
+                    status = 500
+                outer.requests += 1
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args) -> None:
+                pass
+
+        self.metrics_source = metrics_source
+        self.health_source = health_source
+        self.requests = 0
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> int:
+        """Begin serving; returns the bound port."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="live-ops-http", daemon=True)
+            self._thread.start()
+        return self.port
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()

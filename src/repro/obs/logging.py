@@ -1,0 +1,156 @@
+"""Structured JSONL operational logging with correlation IDs.
+
+Every record is one JSON object per line: a timestamp, a level, an
+``event`` name (dotted, like metric names), the correlation fields
+bound on the current context (``run_id``, ``shard``, ``session_id``,
+...), and any event-specific fields.  Correlation context is carried
+in a :mod:`contextvars` variable, so it follows ``asyncio`` tasks and
+survives thread-pool hops started after the bind::
+
+    with logging.bind(run_id=run_id):
+        log = obs.current().logger
+        with logging.bind(session_id=f"{honeypot_id}-7"):
+            log.info("conn.open", src="203.0.113.9")
+            # {"ts": ..., "level": "info", "event": "conn.open",
+            #  "run_id": "...", "session_id": "...", "src": "..."}
+
+The logger fans each record out to its attached sinks: zero or more
+JSONL streams/files plus (typically) the run's
+:class:`~repro.obs.flight.FlightRecorder`, so the last N records are
+always available for a crash dump even when no log file is configured.
+:class:`NullOpsLogger` is the zero-cost default for uninstrumented
+runs.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator
+
+__all__ = ["OpsLogger", "NullOpsLogger", "bind", "context_fields"]
+
+#: Correlation fields bound on the current execution context, stored
+#: as an immutable tuple-of-pairs so nested binds never mutate shared
+#: state.
+_context: contextvars.ContextVar[tuple[tuple[str, object], ...]] = \
+    contextvars.ContextVar("repro_ops_log_context", default=())
+
+
+@contextmanager
+def bind(**fields: object) -> Iterator[None]:
+    """Add correlation fields to every record logged inside the block."""
+    token = _context.set(_context.get() + tuple(fields.items()))
+    try:
+        yield
+    finally:
+        _context.reset(token)
+
+
+def context_fields() -> dict[str, object]:
+    """The correlation fields currently bound (later binds win)."""
+    return dict(_context.get())
+
+
+class OpsLogger:
+    """Fans structured records out to JSONL sinks (thread-safe)."""
+
+    enabled = True
+
+    def __init__(self, *, clock: Callable[[], float] | None = None):
+        self._clock = clock if clock is not None else time.time
+        self._lock = threading.Lock()
+        self._streams: list = []
+        self._owned: list = []
+        self._recorders: list[Callable[[dict], None]] = []
+        #: Records emitted (whether or not any sink is attached).
+        self.records = 0
+
+    # -- sink management --------------------------------------------------
+
+    def attach_stream(self, stream) -> None:
+        """Write every subsequent record to ``stream`` as a JSON line."""
+        with self._lock:
+            self._streams.append(stream)
+
+    def attach_path(self, path: str | Path) -> Path:
+        """Open ``path`` (append) and write records there; owned, so
+        :meth:`close` closes it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(path, "a", encoding="utf-8")
+        with self._lock:
+            self._streams.append(handle)
+            self._owned.append(handle)
+        return path
+
+    def attach_recorder(self, record: Callable[[dict], None]) -> None:
+        """Also hand every record dict to ``record`` (flight recorder)."""
+        with self._lock:
+            self._recorders.append(record)
+
+    def close(self) -> None:
+        """Flush and close every sink this logger opened itself."""
+        with self._lock:
+            for handle in self._owned:
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+            self._streams = [stream for stream in self._streams
+                             if stream not in self._owned]
+            self._owned = []
+
+    # -- emission ---------------------------------------------------------
+
+    def log(self, event: str, level: str = "info",
+            **fields: object) -> None:
+        """Emit one structured record."""
+        record = {"ts": round(self._clock(), 6), "level": level,
+                  "event": event}
+        record.update(context_fields())
+        record.update(fields)
+        with self._lock:
+            self.records += 1
+            if self._streams:
+                line = json.dumps(record, separators=(",", ":"),
+                                  sort_keys=False, default=str) + "\n"
+                for stream in self._streams:
+                    try:
+                        stream.write(line)
+                    except (OSError, ValueError):
+                        pass
+            for recorder in self._recorders:
+                recorder(record)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log(event, "info", **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log(event, "warning", **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log(event, "error", **fields)
+
+
+class NullOpsLogger(OpsLogger):
+    """Drops every record -- the zero-cost default."""
+
+    enabled = False
+
+    def attach_stream(self, stream) -> None:
+        pass
+
+    def attach_path(self, path: str | Path) -> Path:
+        return Path(path)
+
+    def attach_recorder(self, record: Callable[[dict], None]) -> None:
+        pass
+
+    def log(self, event: str, level: str = "info",
+            **fields: object) -> None:
+        pass

@@ -101,6 +101,8 @@ def format_summary(manifest: dict) -> str:
         f"  output={config.get('output_dir')}")
     if config.get("workers", 1) != 1:
         header += f"  workers={config.get('workers')}"
+    if manifest.get("run_id"):
+        header += f"\n  run_id={manifest['run_id']}"
     sections.append(header)
 
     wall = manifest.get("wall_time_seconds")
@@ -196,6 +198,23 @@ def format_summary(manifest: dict) -> str:
         if len(rows) > len(shown):
             table += f"\n... and {len(rows) - len(shown)} more honeypots"
         sections.append("busiest honeypots\n" + table)
+
+    live = manifest.get("live")
+    if live:
+        rows = [
+            ["emissions", live.get("emissions", "?")],
+            ["delta-merge exact",
+             "OK" if live.get("equals_merged") else "DIVERGED"],
+            ["progress lines", live.get("progress_lines", "?")],
+            ["partial snapshots", live.get("partial_snapshots", "?")],
+        ]
+        if live.get("port"):
+            rows.append(["http port", live["port"]])
+            rows.append(["http requests", live.get("http_requests", "?")])
+        if live.get("callback_errors"):
+            rows.append(["callback errors", live["callback_errors"]])
+        sections.append("live telemetry\n" + _format_table(
+            ["metric", "value"], rows))
 
     trace = manifest.get("trace", {})
     if trace.get("spans"):

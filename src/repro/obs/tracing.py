@@ -62,17 +62,28 @@ class _SpanContext:
 
 
 class Tracer:
-    """Collects completed spans as dicts (see module docstring)."""
+    """Collects completed spans as dicts (see module docstring).
+
+    ``observer``, if given, is called with each completed span dict
+    (the flight recorder hooks in here to keep a ring of recent
+    spans).  Observer exceptions are contained: tracing must never
+    take the traced code down.
+    """
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], float] | None = None):
+    def __init__(self, clock: Callable[[], float] | None = None,
+                 observer: Callable[[dict], None] | None = None):
         self._clock = clock if clock is not None else time.perf_counter
+        self._observer = observer
         self._lock = threading.Lock()
         self._locals = threading.local()
         self._ids = itertools.count(1)
         self.epoch = self._clock()
         self.spans: list[dict] = []
+        #: ``pid`` -> display name for the Chrome export; populated by
+        #: :meth:`absorb` when shard spans are stitched in.
+        self.process_names: dict[int, str] = {}
 
     def span(self, name: str, **attrs: object) -> _SpanContext:
         """Open a span; use as ``with tracer.span("phase.step"): ...``."""
@@ -87,6 +98,35 @@ class Tracer:
     def _record(self, span: dict) -> None:
         with self._lock:
             self.spans.append(span)
+        if self._observer is not None:
+            try:
+                self._observer(span)
+            except Exception:
+                pass
+
+    def absorb(self, spans: list[dict], *, pid: int,
+               name: str | None = None) -> int:
+        """Stitch another tracer's completed spans into this timeline.
+
+        Used to merge per-shard replay traces into the driver's trace:
+        each batch gets its own Chrome ``pid`` lane (the driver's own
+        spans stay on pid 1) and fresh span ids, with parent links
+        remapped within the batch, so ids never collide across shards.
+        Returns the number of spans absorbed.
+        """
+        with self._lock:
+            remapped: dict[object, int] = {}
+            for span in spans:
+                remapped[span["id"]] = next(self._ids)
+            for span in spans:
+                copy = dict(span)
+                copy["id"] = remapped[copy["id"]]
+                copy["parent"] = remapped.get(copy.get("parent"))
+                copy["pid"] = pid
+                self.spans.append(copy)
+            if name is not None:
+                self.process_names[pid] = name
+        return len(spans)
 
     # -- export -----------------------------------------------------------
 
@@ -105,17 +145,31 @@ class Tracer:
     def export_chrome(self, path: str | Path) -> Path:
         """Write a ``chrome://tracing`` trace-event JSON file.
 
-        Thread idents are remapped to small ``tid`` integers in
-        first-seen order so traces are stable across runs.
+        Thread idents are remapped to small ``tid`` integers (per
+        ``pid``) in first-seen order so traces are stable across runs.
+        Spans absorbed from shard workers carry their own ``pid`` and
+        appear as separate process lanes, labelled via
+        ``process_name`` metadata events when :attr:`process_names`
+        has entries.
         """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         with self._lock:
             spans = list(self.spans)
-        tids: dict[int, int] = {}
+            process_names = dict(self.process_names)
+        tids: dict[tuple[int, int], int] = {}
         events = []
+        for pid, name in sorted(process_names.items()):
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            })
         for span in sorted(spans, key=lambda s: (s["start"], s["id"])):
-            tid = tids.setdefault(span["thread"], len(tids))
+            pid = span.get("pid", 1)
+            tid = tids.setdefault((pid, span["thread"]), len(tids))
             args = dict(span["attrs"])
             args["span_id"] = span["id"]
             if span["parent"] is not None:
@@ -126,7 +180,7 @@ class Tracer:
                 "ph": "X",
                 "ts": round(span["start"] * 1e6, 3),
                 "dur": round(span["dur"] * 1e6, 3),
-                "pid": 1,
+                "pid": pid,
                 "tid": tid,
                 "args": args,
             })
@@ -157,9 +211,14 @@ class NullTracer:
 
     def __init__(self) -> None:
         self.spans: list[dict] = []
+        self.process_names: dict[int, str] = {}
 
     def span(self, name: str, **attrs: object) -> _NullSpan:
         return _NULL_SPAN
+
+    def absorb(self, spans: list[dict], *, pid: int,
+               name: str | None = None) -> int:
+        return 0
 
     def export_jsonl(self, path: str | Path) -> Path:
         path = Path(path)

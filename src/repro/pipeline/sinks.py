@@ -26,12 +26,14 @@ replay engine is still producing events.
 
 from __future__ import annotations
 
+import contextvars
 import queue
 import threading
 from collections import Counter
 from pathlib import Path
 from typing import Iterator, Protocol, runtime_checkable
 
+from repro import obs
 from repro.pipeline.logstore import LogEvent
 
 __all__ = [
@@ -182,10 +184,17 @@ class SQLiteWriterSink:
 
     def __call__(self, event: LogEvent) -> None:
         if self._thread is None:
+            # Run the writer inside a copy of the caller's context so
+            # correlation fields (run_id, shard) bound at submission
+            # time follow the records the writer thread logs.
+            context = contextvars.copy_context()
             self._thread = threading.Thread(
-                target=self._run, name=f"sqlite-writer-{self.db_path.name}",
+                target=lambda: context.run(self._run),
+                name=f"sqlite-writer-{self.db_path.name}",
                 daemon=True)
             self._thread.start()
+            obs.current().logger.info("sink.writer_start",
+                                      db=self.db_path.name)
         self._queue.put(event)
 
     def _drain(self) -> Iterator[LogEvent]:
@@ -221,6 +230,11 @@ class SQLiteWriterSink:
         self._thread.join()
         self._thread = None
         if self._error is not None:
+            obs.current().logger.error(
+                "sink.writer_failed", db=self.db_path.name,
+                error=f"{type(self._error).__name__}: {self._error}")
             raise self._error
         assert self.path is not None
+        obs.current().logger.info("sink.writer_done",
+                                  db=self.db_path.name)
         return self.path

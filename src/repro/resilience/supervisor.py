@@ -69,6 +69,38 @@ class ServerSupervisor:
         """Restarts performed across all supervised servers."""
         return sum(self.restarts.values())
 
+    def health(self) -> dict:
+        """Per-listener state for the ``/healthz`` endpoint.
+
+        Top-level ``status`` is ``"ok"`` only when every supervised
+        listener is up and none has been abandoned -- the mapping
+        :class:`~repro.obs.live.LiveOpsServer` turns into HTTP
+        200 vs 503, so an external uptime probe sees a dead farm
+        without parsing the body.
+        """
+        listeners = []
+        for index, server in enumerate(self.servers):
+            info = server.honeypot.info
+            serving = server.is_serving
+            listeners.append({
+                "honeypot_id": info.honeypot_id,
+                "dbms": info.dbms,
+                "interaction": info.interaction,
+                "host": server.host,
+                "port": server.port,
+                "serving": serving,
+                "restarts": self.restarts.get(index, 0),
+                "abandoned": index in self.abandoned,
+            })
+        healthy = all(entry["serving"] and not entry["abandoned"]
+                      for entry in listeners)
+        return {
+            "status": "ok" if healthy else "degraded",
+            "listeners": listeners,
+            "restarts_total": self.restarts_total(),
+            "abandoned_total": len(self.abandoned),
+        }
+
     # -- internals --------------------------------------------------------
 
     async def _watch(self) -> None:
@@ -81,13 +113,18 @@ class ServerSupervisor:
 
     async def _restart(self, index: int,
                        server: "TcpHoneypotServer") -> None:
-        metrics = obs.current().metrics
+        telemetry = obs.current()
+        metrics = telemetry.metrics
+        logger = telemetry.logger
         dbms = server.honeypot.dbms
+        honeypot_id = server.honeypot.info.honeypot_id
         count = self.restarts.get(index, 0) + 1
         self.restarts[index] = count
         if count > self.policy.max_restarts:
             self.abandoned.add(index)
             metrics.inc("resilience.servers_abandoned", dbms=dbms)
+            logger.error("supervisor.abandoned", honeypot=honeypot_id,
+                         dbms=dbms, restarts=count - 1)
             return
         await asyncio.sleep(min(
             self.policy.base_backoff * 2 ** (count - 1),
@@ -95,9 +132,14 @@ class ServerSupervisor:
         try:
             await server.stop()  # release any half-dead listener first
             await server.start()
-        except OSError:
+        except OSError as error:
             # Port still unavailable; the next tick tries again (and
             # burns another unit of the restart budget).
             metrics.inc("resilience.server_restart_failures", dbms=dbms)
+            logger.warning("supervisor.restart_failed",
+                           honeypot=honeypot_id, dbms=dbms,
+                           attempt=count, error=str(error))
             return
         metrics.inc("resilience.server_restarts", dbms=dbms)
+        logger.warning("supervisor.restarted", honeypot=honeypot_id,
+                       dbms=dbms, restarts=count, port=server.port)

@@ -62,7 +62,10 @@ class RunContext:
         """Picklable snapshot of everything a worker must hand back."""
         metrics = (self.telemetry.metrics.snapshot()
                    if self.telemetry.enabled else None)
-        return {"metrics": metrics, "faults": self.fault_plan.snapshot()}
+        spans = (list(self.telemetry.tracer.spans)
+                 if self.telemetry.tracer.enabled else None)
+        return {"metrics": metrics, "spans": spans,
+                "faults": self.fault_plan.snapshot()}
 
     def absorb(self, report: Mapping) -> None:
         """Fold a worker's :meth:`report` into this context."""
@@ -75,16 +78,24 @@ class RunContext:
 
 
 def worker_context(telemetry_enabled: bool,
-                   fault_payload: Mapping | None) -> RunContext:
+                   fault_payload: Mapping | None, *,
+                   tracing: bool = False) -> RunContext:
     """Build the private context one replay worker runs under.
 
     ``fault_payload`` is :meth:`FaultPlan.payload` of the driver's plan
     (or ``None`` for a clean run); the clone starts with zeroed
     counters so the worker's :meth:`RunContext.report` is exactly its
-    own share of the accounting.
+    own share of the accounting.  With ``tracing`` the worker gets a
+    real tracer whose spans travel back in :meth:`RunContext.report`
+    for the driver to stitch into one timeline (shard-prefixed pids in
+    the Chrome export); without it, tracing is a no-op as before.
     """
     telemetry = obs.Telemetry(enabled=telemetry_enabled)
-    telemetry.tracer = obs.NullTracer()
+    if tracing and telemetry_enabled:
+        telemetry.tracer = obs.Tracer(
+            observer=telemetry.flight.record_span)
+    else:
+        telemetry.tracer = obs.NullTracer()
     plan = (faults.from_payload(fault_payload)
             if fault_payload is not None else faults.NULL_PLAN)
     return RunContext(telemetry=telemetry, fault_plan=plan)

@@ -65,6 +65,28 @@ class TestParser:
         assert args.idle_timeout == 10.0
         assert args.max_session_bytes == 4096
 
+    def test_run_live_options(self):
+        args = build_parser().parse_args(
+            ["run", "--telemetry", "--live-port", "9109",
+             "--live-interval", "0.25"])
+        assert args.live_port == 9109
+        assert args.live_interval == 0.25
+        defaults = build_parser().parse_args(["run"])
+        assert defaults.live_port is None
+        assert defaults.live_interval == 0.0
+
+    def test_serve_live_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["serve", "--live-port", "0", "--duration", "5",
+             "--report-out", str(tmp_path / "snap.json")])
+        assert args.live_port == 0
+        assert args.duration == 5.0
+        assert args.report_out == tmp_path / "snap.json"
+
+    def test_stats_json_flag(self):
+        assert build_parser().parse_args(["stats", "--json"]).json
+        assert not build_parser().parse_args(["stats"]).json
+
 
 class TestCommands:
     def test_run_then_report(self, tmp_path, capsys):
@@ -136,6 +158,44 @@ class TestCommands:
                      str(tmp_path / "t.json")])
         assert code == 2
         assert "--telemetry" in capsys.readouterr().err
+
+    def test_live_port_without_telemetry_is_bad_arguments(self, tmp_path,
+                                                          capsys):
+        code = main(["run", "--output", str(tmp_path),
+                     "--live-port", "0"])
+        assert code == 2
+        assert "--telemetry" in capsys.readouterr().err
+
+    def test_negative_live_interval_is_bad_arguments(self, tmp_path,
+                                                     capsys):
+        code = main(["run", "--output", str(tmp_path), "--telemetry",
+                     "--live-interval", "-1"])
+        assert code == 2
+        assert "--live-interval" in capsys.readouterr().err
+
+    def test_run_with_live_port_then_stats_json(self, tmp_path, capsys):
+        output = tmp_path / "exp"
+        code = main(["run", "--seed", "5", "--scale", "0.0001",
+                     "--output", str(output), "--telemetry",
+                     "--live-port", "0"])
+        assert code == 0
+        capsys.readouterr()
+
+        code = main(["stats", "--output", str(output), "--json"])
+        assert code == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["schema"].startswith("repro.run_report/")
+        assert len(manifest["run_id"]) == 12
+        assert manifest["config"]["live_port"] == 0
+        assert manifest["live"]["port"] > 0
+        assert manifest["ops_log"] == "ops.jsonl"
+        assert (output / "ops.jsonl").exists()
+
+    def test_stats_json_missing_manifest_still_exit_1(self, tmp_path,
+                                                      capsys):
+        code = main(["stats", "--output", str(tmp_path), "--json"])
+        assert code == 1
+        assert "not found" in capsys.readouterr().err
 
     def test_stats_missing_manifest_errors(self, tmp_path, capsys):
         code = main(["stats", "--output", str(tmp_path)])

@@ -210,3 +210,59 @@ class TestChaosEquality:
                 == table_digests(serial.low_db))
         assert (table_digests(sharded.midhigh_db)
                 == table_digests(serial.midhigh_db))
+
+
+class TestLiveShardedEquality:
+    """A live-telemetry run is still byte-identical to serial: the bus
+    only observes the worker registries, so streaming shard deltas,
+    progress lines, and partial snapshots must not perturb replay."""
+
+    @pytest.fixture(scope="class")
+    def live(self, tmp_path_factory):
+        output = tmp_path_factory.mktemp("live-sharded")
+        return run_experiment(ExperimentConfig(
+            seed=SEED, volume_scale=SCALE, output_dir=output,
+            telemetry=True, workers=4, live_interval=0.01))
+
+    def test_identical_databases_with_live_bus(self, serial, live):
+        assert live.events_total == serial.events_total
+        assert table_digests(live.low_db) == table_digests(serial.low_db)
+        assert (table_digests(live.midhigh_db)
+                == table_digests(serial.midhigh_db))
+
+    def test_delta_merge_invariant_holds(self, live):
+        stats = live.report["replay"]["live"]
+        assert stats["emissions"] >= 4  # at least one flush per shard
+        assert stats["callback_errors"] == 0
+        assert stats["equals_merged"] is True
+
+    def test_manifest_live_section(self, live):
+        section = live.report["live"]
+        assert section["emissions"] >= 4
+        assert section["progress_lines"] >= 1
+        assert section["partial_snapshots"] >= 1
+        assert live.report["config"]["live_interval"] == 0.01
+
+    def test_run_id_correlates_manifest_and_ops_log(self, live):
+        import json as json_module
+
+        run_id = live.report["run_id"]
+        assert len(run_id) == 12
+        ops_path = live.config.output_dir / "ops.jsonl"
+        records = [json_module.loads(line)
+                   for line in ops_path.read_text().splitlines()]
+        events = {record["event"] for record in records}
+        assert {"run.start", "run.done"} <= events
+        assert all(record["run_id"] == run_id for record in records
+                   if "run_id" in record)
+        # The driver-side records all carry the run correlation id.
+        assert all("run_id" in record for record in records
+                   if record["event"].startswith("run."))
+
+    def test_no_flight_dumps_on_clean_run(self, live):
+        dumps = list(live.config.output_dir.glob("flight*"))
+        assert dumps == []
+
+    def test_plain_sharded_run_has_no_live_section(self, sharded):
+        assert sharded.report["replay"]["live"] is None
+        assert sharded.report["live"] is None
