@@ -90,6 +90,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "every this many seconds (progress lines "
                               "+ incremental run_report.json snapshots; "
                               "0 disables unless --live-port is given)")
+    run_cmd.add_argument("--checkpoint-interval", type=float, default=0.0,
+                         help="write a durable run-journal checkpoint "
+                              "every this many seconds (fsync commit "
+                              "barrier across both databases, raw logs "
+                              "and the dead letter); 0 disables "
+                              "checkpointing entirely (default)")
+    run_cmd.add_argument("--resume", nargs="?", const="latest",
+                         default=None, metavar="latest|force",
+                         help="resume a crashed checkpointed run at "
+                              "--output from its run journal; 'latest' "
+                              "(the default) refuses on any damage "
+                              "beyond a torn journal tail, 'force' "
+                              "falls back to the newest checkpoint "
+                              "that validates (or restarts)")
 
     report_cmd = subcommands.add_parser(
         "report", help="print the key tables of an existing run")
@@ -167,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
                                 "--workers`, including 'auto'); "
                                 "conservation must hold under "
                                 "sharding too")
+    chaos_cmd.add_argument("--checkpoint-interval", type=float,
+                           default=0.0,
+                           help="checkpoint the chaos run every this "
+                                "many seconds; a run killed by the "
+                                "worker-kill plan then auto-resumes "
+                                "from its last durable checkpoint")
     return parser
 
 
@@ -181,17 +201,43 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"error: --live-interval must be >= 0, "
               f"got {args.live_interval}", file=sys.stderr)
         return 2
+    if args.checkpoint_interval < 0:
+        print(f"error: --checkpoint-interval must be >= 0, "
+              f"got {args.checkpoint_interval}", file=sys.stderr)
+        return 2
+    if args.resume is not None and args.resume not in ("latest",
+                                                       "force"):
+        print(f"error: --resume takes 'latest' or 'force', "
+              f"got {args.resume!r}", file=sys.stderr)
+        return 2
+    if args.dataset and (args.checkpoint_interval > 0 or args.resume):
+        print("error: --dataset buffers every event in memory and "
+              "cannot be combined with --checkpoint-interval or "
+              "--resume", file=sys.stderr)
+        return 2
     try:
         workers = resolve_workers(args.workers)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = run_experiment(ExperimentConfig(
-        seed=args.seed, volume_scale=args.scale,
-        output_dir=args.output, write_raw_logs=args.raw_logs,
-        export_dataset=args.dataset, telemetry=args.telemetry,
-        trace_out=args.trace_out, workers=workers,
-        live_interval=args.live_interval, live_port=args.live_port))
+    from repro.deployment.checkpoint import (ResumeError,
+                                             ResumeUnnecessary)
+
+    try:
+        result = run_experiment(ExperimentConfig(
+            seed=args.seed, volume_scale=args.scale,
+            output_dir=args.output, write_raw_logs=args.raw_logs,
+            export_dataset=args.dataset, telemetry=args.telemetry,
+            trace_out=args.trace_out, workers=workers,
+            live_interval=args.live_interval, live_port=args.live_port,
+            checkpoint_interval=args.checkpoint_interval,
+            resume=args.resume))
+    except ResumeUnnecessary as error:
+        print(f"nothing to do: {error}")
+        return 0
+    except ResumeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     if workers > 1:
         print(f"replay:   sharded across {workers} workers")
     print(f"visits:   {result.visits_total:,}")
@@ -202,6 +248,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"raw logs: {result.raw_log_dir}")
     if result.dataset_dir:
         print(f"dataset:  {result.dataset_dir}")
+    if result.journal_path:
+        print(f"journal:  {result.journal_path} "
+              f"({result.checkpoints_taken} checkpoints)")
+    if result.resumed:
+        print(f"resumed:  {result.fast_forwarded_visits:,} visits "
+              f"fast-forwarded")
     if result.report_path:
         print(f"report:   {result.report_path}")
     if result.trace_path:
@@ -451,14 +503,57 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    result = run_experiment(ExperimentConfig(
-        seed=args.seed, volume_scale=args.scale, output_dir=args.output,
-        telemetry=True, fault_plan=plan, workers=workers))
 
+    from repro.deployment.checkpoint import ResumeError
+    from repro.deployment.replay import WorkerLostError
+
+    # The worker-kill plan SIGKILLs one shard worker mid-replay.  A
+    # checkpointed run then resumes from its last durable checkpoint
+    # (the kill site is disarmed by the resume); an uncheckpointed one
+    # can only strip the site and start over.
+    resume = None
+    attempts = 0
+    while True:
+        try:
+            result = run_experiment(ExperimentConfig(
+                seed=args.seed, volume_scale=args.scale,
+                output_dir=args.output, telemetry=True,
+                fault_plan=plan, workers=workers,
+                checkpoint_interval=args.checkpoint_interval,
+                resume=resume))
+            break
+        except WorkerLostError as error:
+            attempts += 1
+            if attempts > 3:
+                print(f"error: shard worker died {attempts} times; "
+                      f"giving up", file=sys.stderr)
+                return 1
+            if args.checkpoint_interval > 0:
+                print(f"chaos: {error}; resuming from the last durable "
+                      f"checkpoint", file=sys.stderr)
+                resume = "latest"
+            else:
+                print(f"chaos: {error}; no checkpoints -- disarming "
+                      f"proc.kill and restarting from scratch",
+                      file=sys.stderr)
+                plan = plan.without_site("proc.kill")
+        except ResumeError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+
+    # A resume adopts (and disarms proc.kill from) the journal's plan,
+    # so the run-wide fire counts come from the manifest, not the
+    # possibly-stale `plan` object here.
+    fault_stats = (result.report or {}).get("resilience", {}).get(
+        "faults") or plan.snapshot()
     print(f"plan:        {plan.name} (seed {args.seed})")
     if workers > 1:
         print(f"replay:      sharded across {workers} workers")
-    for site, stats in sorted(plan.snapshot().items()):
+    if result.resumed:
+        print(f"resumed:     from checkpoint "
+              f"({result.fast_forwarded_visits:,} visits "
+              f"fast-forwarded, {attempts} worker loss(es))")
+    for site, stats in sorted(fault_stats.items()):
         print(f"  {site:18s} fired {stats['fires']:,} / "
               f"{stats['evaluations']:,} evaluations")
     print(f"generated:   {result.events_generated:,} events")

@@ -1,0 +1,425 @@
+"""Checkpoint/resume machinery for the experiment driver.
+
+Two halves:
+
+* :class:`Checkpointer` -- called by the driver's sink loop during a
+  checkpointed run.  Every ``interval`` seconds it runs the **sink
+  commit barrier** (SQLite writer ``commit()`` -- flush + WAL
+  checkpoint + fsync -- plus raw-log and dead-letter fsync), then
+  appends one checkpoint record to the run journal.  The ordering is
+  the whole invariant: the journal only ever *under*-claims, so every
+  row a checkpoint names is provably on disk.
+
+* :func:`prepare_resume` -- called before a ``repro run --resume``
+  builds its sinks.  It reads the journal, adopts the original run's
+  identity (seed, scale, fault plan -- minus ``proc.kill``, so a
+  worker-kill chaos run cannot re-kill itself at the same visit
+  forever), picks the restore checkpoint, proves the on-disk databases
+  match it (chained content digest of the committed prefix), and
+  idempotently truncates every output file to its committed length --
+  uncommitted SQLite tail rows, raw-log bytes, dead-letter records.
+
+The resume is then just a normal run with a *watermark*: the replay
+engines re-replay the committed prefix (honeypots are stateful, so
+their state must be rebuilt visit by visit -- with the same
+``{seed}:{ip}:{seq}`` RNG derivation and keyed fault decisions, the
+rebuild is exact) while stripping its events, and the sinks append
+from exactly where the crash left them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import obs
+from repro.obs import live as obs_live
+from repro.pipeline.convert import (DIGEST_SEED, prefix_digest,
+                                    truncate_events)
+from repro.resilience import faults
+from repro.runtime import journal as run_journal
+
+__all__ = [
+    "Checkpointer", "ResumeError", "ResumeState", "ResumeUnnecessary",
+    "prepare_resume",
+]
+
+#: The fault site a resume always disarms from an adopted plan.
+KILL_SITE = "proc.kill"
+
+
+class ResumeError(RuntimeError):
+    """A resume was requested but cannot proceed safely (exit 1)."""
+
+
+class ResumeUnnecessary(ResumeError):
+    """The journal records a completed run -- nothing to resume."""
+
+
+@dataclass
+class ResumeState:
+    """Everything :func:`prepare_resume` hands back to the driver."""
+
+    mode: str
+    run_id: str | None
+    #: Canonical ``(offset, ip, seq)`` of the last committed visit;
+    #: ``None`` means restart from scratch (no valid checkpoint).
+    watermark: tuple[float, str, int] | None
+    from_seq: int | None
+    #: Journal records (header + adopted checkpoints) to rewrite; empty
+    #: when the header itself was unreadable (force-scratch).
+    records: list[dict] = field(default_factory=list)
+    #: Driver-loop counters at the restore point.
+    counters: dict = field(default_factory=dict)
+    #: Sink resume arguments.
+    low: tuple[int, str] | None = None
+    midhigh: tuple[int, str] | None = None
+    raw: dict[str, int] | None = None
+    dead_letter: tuple[int, int] | None = None
+    counting: dict | None = None
+    #: Per-checkpoint metric snapshot deltas to fold back into the
+    #: driver registry (sink/driver-side metrics for the committed
+    #: prefix, which the fast-forward deliberately does not recount).
+    metrics: list[dict] = field(default_factory=list)
+    schedule_digest: str | None = None
+    visits_total: int | None = None
+    disarmed_sites: list[str] = field(default_factory=list)
+    torn_tail: bool = False
+    dropped_records: int = 0
+    truncated: dict = field(default_factory=dict)
+
+
+def _quarantine_path(output_dir: Path) -> Path:
+    from repro.deployment.experiment import QUARANTINE_FILENAME
+
+    return output_dir / QUARANTINE_FILENAME
+
+
+def _raw_dir(output_dir: Path) -> Path:
+    from repro.deployment.experiment import RAW_LOG_DIRNAME
+
+    return output_dir / RAW_LOG_DIRNAME
+
+
+def _checkpoint_valid(output_dir: Path, record: dict,
+                      header: dict) -> str | None:
+    """Why ``record`` cannot be the restore point, or ``None`` if it
+    can: both database prefixes re-digest to the recorded values and
+    every auxiliary file still holds at least its committed bytes."""
+    for tier in ("low", "midhigh"):
+        state = record.get(tier) or {}
+        rows = int(state.get("rows", 0))
+        recorded = state.get("digest") or DIGEST_SEED.hex()
+        actual = prefix_digest(output_dir / f"{tier}.sqlite", rows)
+        if actual is None:
+            return (f"{tier}.sqlite holds fewer than the {rows} rows "
+                    f"checkpoint {record.get('seq')} committed")
+        if actual != recorded:
+            return (f"{tier}.sqlite content digest mismatch at "
+                    f"checkpoint {record.get('seq')} (committed prefix "
+                    f"of {rows} rows was modified)")
+    if header.get("write_raw_logs"):
+        for name, size in (record.get("raw") or {}).items():
+            path = _raw_dir(output_dir) / name
+            if not path.exists() or path.stat().st_size < size:
+                return f"raw log {name} shorter than its committed size"
+    dead = record.get("dead_letter") or {}
+    if dead.get("bytes"):
+        path = _quarantine_path(output_dir)
+        if not path.exists() or path.stat().st_size < dead["bytes"]:
+            return "dead letter shorter than its committed size"
+    return None
+
+
+def _truncate_outputs(output_dir: Path, record: dict,
+                      header: dict) -> dict:
+    """Idempotently cut every output back to the checkpoint: delete
+    uncommitted SQLite tail rows, trim raw logs and the dead letter to
+    their committed byte lengths, drop unknown raw-log groups."""
+    import os
+
+    removed = {}
+    for tier in ("low", "midhigh"):
+        rows = int((record.get(tier) or {}).get("rows", 0))
+        removed[f"{tier}_rows"] = truncate_events(
+            output_dir / f"{tier}.sqlite", rows)
+    if header.get("write_raw_logs"):
+        committed = record.get("raw") or {}
+        raw_dir = _raw_dir(output_dir)
+        dropped = 0
+        trimmed = 0
+        if raw_dir.exists():
+            for path in raw_dir.glob("*.jsonl"):
+                size = committed.get(path.name)
+                if size is None:
+                    path.unlink()
+                    dropped += 1
+                elif path.stat().st_size > size:
+                    os.truncate(path, size)
+                    trimmed += 1
+        removed["raw_dropped"] = dropped
+        removed["raw_trimmed"] = trimmed
+    dead = record.get("dead_letter") or {}
+    quarantine = _quarantine_path(output_dir)
+    if quarantine.exists():
+        committed_bytes = int(dead.get("bytes", 0))
+        if committed_bytes == 0:
+            quarantine.unlink()
+        elif quarantine.stat().st_size > committed_bytes:
+            os.truncate(quarantine, committed_bytes)
+    return removed
+
+
+def _scratch_outputs(output_dir: Path, header: dict | None) -> None:
+    """Reset the output dir for a from-scratch restart: the sinks will
+    rebuild the databases, but stale raw logs and dead letters from the
+    crashed attempt must not leak into the new run."""
+    quarantine = _quarantine_path(output_dir)
+    if quarantine.exists():
+        quarantine.unlink()
+    raw_dir = _raw_dir(output_dir)
+    if raw_dir.exists():
+        for path in raw_dir.glob("*.jsonl"):
+            path.unlink()
+
+
+def _rotate_flight_dumps(output_dir: Path, attempt: int) -> int:
+    """Keep crash flight dumps from the crashed attempt out of the
+    resumed run's way (they are evidence, not state)."""
+    rotated = 0
+    for path in sorted(output_dir.glob("flight_*.jsonl")):
+        path.rename(path.with_name(f"{path.name}.resume{attempt}"))
+        rotated += 1
+    return rotated
+
+
+def _adopt_config(config, header: dict):
+    """A resumed run continues *the original run*: its seed, scale, and
+    fault plan come from the journal header, not the command line.
+    Execution-side knobs (workers, executor, telemetry, live) stay the
+    caller's -- resume determinism is independent of worker count."""
+    plan = None
+    disarmed: list[str] = []
+    fault = header.get("fault")
+    if fault:
+        plan = faults.plan_from_dict(fault.get("sites", {}),
+                                     seed=int(fault.get("seed", 0)),
+                                     name=fault.get("name", "resumed"))
+        if KILL_SITE in plan.sites:
+            plan = plan.without_site(KILL_SITE)
+            disarmed.append(KILL_SITE)
+    interval = (config.checkpoint_interval
+                if config.checkpoint_interval > 0
+                else float(header.get("checkpoint_interval", 0.0)) or 1.0)
+    config = dataclasses.replace(
+        config,
+        seed=int(header["seed"]),
+        volume_scale=float(header["volume_scale"]),
+        write_raw_logs=bool(header.get("write_raw_logs", False)),
+        export_dataset=False,
+        fault_plan=plan,
+        checkpoint_interval=interval)
+    return config, disarmed
+
+
+def prepare_resume(config):
+    """Validate the run journal and prepare the output dir for resume.
+
+    Returns ``(ResumeState, adopted_config)``.  Raises
+    :class:`ResumeUnnecessary` when the journal records a completed
+    run, and :class:`ResumeError` (strict mode) when the journal or the
+    databases fail validation; ``--resume=force`` falls back to the
+    newest checkpoint that *does* validate, or to a from-scratch
+    restart.
+    """
+    output_dir = Path(config.output_dir)
+    mode = config.resume or "latest"
+    force = mode == "force"
+    try:
+        view = run_journal.read_journal(output_dir, force=force)
+    except run_journal.JournalError as error:
+        raise ResumeError(str(error)) from error
+    if view.complete is not None:
+        raise ResumeUnnecessary(
+            f"run {view.header.get('run_id') if view.header else '?'} "
+            f"at {output_dir} already completed; nothing to resume")
+
+    if view.header is None:
+        # Force mode with an unreadable header: nothing can be adopted
+        # or trusted -- restart from scratch with the caller's config.
+        _scratch_outputs(output_dir, None)
+        _rotate_flight_dumps(output_dir, 1)
+        print(f"resume: journal at {view.path} unreadable; restarting "
+              f"from scratch (--resume=force)", file=sys.stderr)
+        return ResumeState(mode=mode, run_id=None, watermark=None,
+                           from_seq=None, dropped_records=view.dropped,
+                           torn_tail=view.torn_tail), config
+
+    header = view.header
+    config, disarmed = _adopt_config(config, header)
+
+    # Pick the restore point.  Strict mode trusts only the newest
+    # checkpoint -- the commit barrier guarantees its rows are durable,
+    # so a mismatch means the databases were modified and deserves a
+    # refusal, not a silent walk-back.  Force mode walks back to the
+    # newest checkpoint that still validates, then to scratch.
+    candidates = list(reversed(view.checkpoints))
+    if not force:
+        candidates = candidates[:1]
+    chosen = None
+    reason = "the journal holds no checkpoints"
+    for record in candidates:
+        reason = _checkpoint_valid(output_dir, record, header)
+        if reason is None:
+            chosen = record
+            break
+        if not force:
+            raise ResumeError(
+                f"cannot resume from {view.path}: {reason} "
+                f"(--resume=force falls back to an older checkpoint "
+                f"or a from-scratch restart)")
+        print(f"resume: skipping checkpoint "
+              f"{record.get('seq')}: {reason}", file=sys.stderr)
+
+    attempt = len(view.resumes) + 1
+    if chosen is None:
+        if not force and view.checkpoints:
+            raise ResumeError(
+                f"cannot resume from {view.path}: {reason}")
+        # Valid journal, but nothing durable yet (killed before the
+        # first checkpoint) or force walked all the way back: restart
+        # from scratch under the adopted identity.
+        _scratch_outputs(output_dir, header)
+        _rotate_flight_dumps(output_dir, attempt)
+        state = ResumeState(
+            mode=mode, run_id=header.get("run_id"), watermark=None,
+            from_seq=None, records=[header],
+            schedule_digest=header.get("schedule_digest"),
+            visits_total=header.get("visits_total"),
+            disarmed_sites=disarmed, torn_tail=view.torn_tail,
+            dropped_records=view.dropped)
+        print(f"resume: no durable checkpoint at {output_dir}; "
+              f"restarting run {header.get('run_id')} from scratch",
+              file=sys.stderr)
+        return state, config
+
+    seq = int(chosen["seq"])
+    kept = view.checkpoints[:seq + 1]
+    truncated = _truncate_outputs(output_dir, chosen, header)
+    _rotate_flight_dumps(output_dir, attempt)
+    state = ResumeState(
+        mode=mode, run_id=header.get("run_id"),
+        watermark=tuple(chosen["watermark"]),
+        from_seq=seq, records=[header, *kept],
+        counters=dict(chosen.get("counters") or {}),
+        low=(int(chosen["low"]["rows"]), chosen["low"]["digest"]),
+        midhigh=(int(chosen["midhigh"]["rows"]),
+                 chosen["midhigh"]["digest"]),
+        raw=(dict(chosen.get("raw") or {})
+             if header.get("write_raw_logs") else None),
+        dead_letter=((int(chosen["dead_letter"]["bytes"]),
+                      int(chosen["dead_letter"]["count"]))
+                     if chosen.get("dead_letter") else (0, 0)),
+        counting=chosen.get("counting"),
+        metrics=[record["metrics_delta"] for record in kept
+                 if record.get("metrics_delta")],
+        schedule_digest=header.get("schedule_digest"),
+        visits_total=header.get("visits_total"),
+        disarmed_sites=disarmed, torn_tail=view.torn_tail,
+        dropped_records=view.dropped, truncated=truncated)
+    print(f"resume: run {state.run_id} from checkpoint {seq} "
+          f"(visits {chosen.get('visits', '?')}, seed={config.seed}, "
+          f"scale={config.volume_scale})", file=sys.stderr)
+    return state, config
+
+
+class Checkpointer:
+    """Runs the commit barrier + journal append on a time cadence."""
+
+    def __init__(self, journal: "run_journal.RunJournal", tier, raw_sink,
+                 dead_letters, counting, telemetry, fault_plan, *,
+                 interval: float, clock=time.monotonic):
+        self.journal = journal
+        self.tier = tier
+        self.raw_sink = raw_sink
+        self.dead_letters = dead_letters
+        self.counting = counting
+        self.telemetry = telemetry
+        self.fault_plan = fault_plan
+        self.interval = interval
+        self.count = 0
+        self.barrier_seconds = 0.0
+        self._clock = clock
+        self._last = clock()
+        self._last_metrics = (telemetry.metrics.snapshot()
+                              if telemetry.enabled else None)
+
+    def maybe_checkpoint(self, *, watermark, visits_done: int,
+                         counters: dict, force: bool = False) -> bool:
+        """Checkpoint if the cadence (or ``force``) says so.
+
+        ``watermark`` is the key of the last outcome whose events have
+        been handed to the sinks; the barrier then proves everything up
+        to it durable before the journal says so.
+        """
+        now = self._clock()
+        if not force and now - self._last < self.interval:
+            return False
+        self._last = now
+        start = time.perf_counter()
+        low = self.tier.low.commit()
+        midhigh = self.tier.midhigh.commit()
+        raw = self.raw_sink.commit() if self.raw_sink is not None \
+            else None
+        dead = (self.dead_letters.commit()
+                if self.dead_letters is not None else None)
+        elapsed = time.perf_counter() - start
+        self.barrier_seconds += elapsed
+
+        delta = None
+        if self._last_metrics is not None:
+            snapshot = self.telemetry.metrics.snapshot()
+            delta = obs_live.snapshot_delta(self._last_metrics, snapshot)
+            self._last_metrics = snapshot
+        record = {
+            "watermark": list(watermark),
+            "visits": visits_done,
+            "counters": counters,
+            "low": low,
+            "midhigh": midhigh,
+            "raw": raw,
+            "dead_letter": dead,
+            "counting": (self.counting.snapshot()
+                         if self.counting is not None else None),
+            "faults": (self.fault_plan.snapshot()
+                       if self.fault_plan is not None else None),
+            "metrics_delta": delta,
+        }
+        seq = self.journal.checkpoint(record)
+        self.count += 1
+        metrics = self.telemetry.metrics
+        metrics.inc("checkpoint.count")
+        metrics.observe("checkpoint.seconds", elapsed)
+        obs.current().logger.info(
+            "checkpoint.taken", seq=seq, visits=visits_done,
+            rows_low=low["rows"], rows_midhigh=midhigh["rows"],
+            barrier_seconds=round(elapsed, 4))
+        return True
+
+    def complete(self, *, watermark, visits_done: int,
+                 counters: dict) -> None:
+        """Write the final journal record after the sinks closed."""
+        low = self.tier.low.committed_state or {}
+        midhigh = self.tier.midhigh.committed_state or {}
+        self.journal.complete({
+            "watermark": list(watermark) if watermark else None,
+            "visits": visits_done,
+            "counters": counters,
+            "low": low,
+            "midhigh": midhigh,
+            "faults": (self.fault_plan.snapshot()
+                       if self.fault_plan is not None else None),
+        })

@@ -31,6 +31,7 @@ it).  Disabled (the default), every hook is a no-op.
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 import uuid
@@ -39,9 +40,12 @@ from pathlib import Path
 
 from repro import obs
 from repro.agents.population import World, build_world
+from repro.deployment.checkpoint import (Checkpointer, ResumeError,
+                                         ResumeState, prepare_resume)
 from repro.deployment.plan import DeploymentPlan, build_plan
 from repro.deployment.replay import (OpsOptions, ReplayEngine,
-                                     build_engine, compile_visits)
+                                     build_engine, compile_visits,
+                                     schedule_digest)
 from repro.obs import live as obs_live
 from repro.obs import logging as obs_logging
 from repro.obs import report as obs_report
@@ -50,10 +54,14 @@ from repro.pipeline.sinks import (BufferSink, CountingSink, RawLogSink,
                                   SQLiteWriterSink, TeeSink, TierSplitSink)
 from repro.resilience import faults
 from repro.resilience.deadletter import DeadLetterWriter
+from repro.runtime.journal import RunJournal
 
 #: Dead-letter file for quarantined visits, written under the run's
 #: output directory (only when something was actually quarantined).
 QUARANTINE_FILENAME = "quarantine.jsonl"
+
+#: Consolidated raw-log directory under the output dir (Figure 1 ②).
+RAW_LOG_DIRNAME = "raw-logs"
 
 #: Structured operational log (JSONL, correlation-id fields), written
 #: under the output directory of every telemetry run.
@@ -100,6 +108,15 @@ class ExperimentConfig:
     #: duration of the run (requires telemetry; implies a default
     #: ``live_interval`` of 0.5s on sharded replays).
     live_port: int | None = None
+    #: Seconds between durable checkpoints.  0 (the default) disables
+    #: the run journal and every fsync barrier -- the hot path is
+    #: byte-for-byte the uncheckpointed one.
+    checkpoint_interval: float = 0.0
+    #: Resume a crashed checkpointed run at ``output_dir``: ``None``
+    #: (fresh run), ``"latest"`` (strict -- refuse on any journal or
+    #: database damage beyond a torn tail), or ``"force"`` (fall back
+    #: to the newest checkpoint that validates, or scratch).
+    resume: str | None = None
 
 
 @dataclass
@@ -125,6 +142,11 @@ class ExperimentResult:
     events_quarantined: int = 0
     quarantined_visits: int = 0
     quarantine_path: Path | None = None
+    #: Checkpoint/resume accounting (checkpointed runs only).
+    resumed: bool = False
+    checkpoints_taken: int = 0
+    fast_forwarded_visits: int = 0
+    journal_path: Path | None = None
 
     @property
     def conservation_ok(self) -> bool:
@@ -136,12 +158,25 @@ class ExperimentResult:
 def run_experiment(config: ExperimentConfig = ExperimentConfig()
                    ) -> ExperimentResult:
     """Run the full deployment window and produce the SQLite databases."""
+    if config.export_dataset and (config.checkpoint_interval > 0
+                                  or config.resume):
+        raise ValueError(
+            "dataset export buffers every event in memory and cannot "
+            "be checkpointed or resumed")
+    resume_state = None
+    if config.resume:
+        # Validate the journal, adopt the crashed run's identity, and
+        # truncate every output back to its last durable checkpoint
+        # before any sink opens a file.
+        resume_state, config = prepare_resume(config)
     telemetry = obs.Telemetry(enabled=config.telemetry)
     #: One correlation id per run, bound into every ops-log record the
     #: run emits (driver and workers alike) and stamped into the
     #: manifest.  Operational identity only -- nothing derived from it
-    #: touches the replayed event stream.
-    run_id = uuid.uuid4().hex[:12]
+    #: touches the replayed event stream.  A resume keeps the crashed
+    #: run's id: it is the same run, continued.
+    run_id = (resume_state.run_id if resume_state is not None
+              and resume_state.run_id else uuid.uuid4().hex[:12])
     output_dir = Path(config.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
     if telemetry.enabled:
@@ -150,13 +185,72 @@ def run_experiment(config: ExperimentConfig = ExperimentConfig()
         with obs.install(telemetry), faults.install(config.fault_plan), \
                 obs_logging.bind(run_id=run_id), \
                 telemetry.flight.armed(output_dir / FLIGHT_FILENAME):
-            return _run_instrumented(config, telemetry, run_id)
+            return _run_instrumented(config, telemetry, run_id,
+                                     resume_state)
     finally:
         telemetry.logger.close()
 
 
+def _journal_header(config: ExperimentConfig, run_id: str,
+                    visits_total: int, digest: str) -> dict:
+    """The run-identity record a resume adopts from the journal."""
+    fault = None
+    if config.fault_plan is not None:
+        fault = {"name": config.fault_plan.name,
+                 "seed": config.fault_plan.seed,
+                 "sites": config.fault_plan.site_options()}
+    return {
+        "run_id": run_id,
+        "seed": config.seed,
+        "volume_scale": config.volume_scale,
+        "write_raw_logs": config.write_raw_logs,
+        "export_dataset": config.export_dataset,
+        "fault": fault,
+        "checkpoint_interval": config.checkpoint_interval,
+        "visits_total": visits_total,
+        "schedule_digest": digest,
+        "created_at": obs_report.utc_now_iso(),
+    }
+
+
+def _open_journal(config: ExperimentConfig, run_id: str,
+                  visits_total: int, digest: str, output_dir: Path,
+                  resume_state: ResumeState | None) -> RunJournal | None:
+    """Create (fresh run) or rewrite + mark (resume) the run journal."""
+    if resume_state is None:
+        if config.checkpoint_interval <= 0:
+            return None
+        return RunJournal.create(
+            output_dir,
+            _journal_header(config, run_id, visits_total, digest))
+    if resume_state.records:
+        # Supersede the crashed journal with its adopted prefix
+        # (header + the checkpoints at or below the restore point),
+        # discarding torn tails and any stale later checkpoints whose
+        # rows the resume preparation just truncated away.
+        journal = RunJournal.rewrite(output_dir, resume_state.records)
+    else:
+        # Force-scratch with an unreadable header: start over.
+        journal = RunJournal.create(
+            output_dir,
+            _journal_header(config, run_id, visits_total, digest))
+    journal.resume_marker({
+        "mode": resume_state.mode,
+        "from_seq": resume_state.from_seq,
+        "watermark": (list(resume_state.watermark)
+                      if resume_state.watermark else None),
+        "disarmed": resume_state.disarmed_sites,
+        "torn_tail": resume_state.torn_tail,
+        "dropped": resume_state.dropped_records,
+        "at": obs_report.utc_now_iso(),
+    })
+    return journal
+
+
 def _run_instrumented(config: ExperimentConfig, telemetry: obs.Telemetry,
-                      run_id: str) -> ExperimentResult:
+                      run_id: str,
+                      resume_state: ResumeState | None = None
+                      ) -> ExperimentResult:
     wall_start = time.perf_counter()
     phases = telemetry.phases
     span = telemetry.tracer.span
@@ -178,6 +272,23 @@ def _run_instrumented(config: ExperimentConfig, telemetry: obs.Telemetry,
     engine = build_engine(config.workers, config.executor)
     visits_total = len(schedule)
 
+    # -- run journal (checkpointed and resumed runs only) --------------
+    journal = None
+    checkpointing = config.checkpoint_interval > 0 or \
+        resume_state is not None
+    if checkpointing:
+        digest = schedule_digest(schedule)
+        if resume_state is not None and resume_state.schedule_digest \
+                and resume_state.schedule_digest != digest:
+            raise ResumeError(
+                f"compiled visit schedule (digest {digest[:12]}...) "
+                f"does not match the journal's "
+                f"({resume_state.schedule_digest[:12]}...); the code "
+                f"or inputs changed since the run crashed -- the "
+                f"committed prefix cannot be fast-forwarded")
+        journal = _open_journal(config, run_id, visits_total, digest,
+                                output_dir, resume_state)
+
     # -- live operations plane -----------------------------------------
     # The bus interval: an explicit config wins; exposing a port
     # implies a default cadence so /metrics is never a whole-run
@@ -196,7 +307,14 @@ def _run_instrumented(config: ExperimentConfig, telemetry: obs.Telemetry,
         aggregator=aggregator, on_message=reporter,
         trace_shards=config.trace_out is not None,
         flight_dir=output_dir if telemetry.enabled else None,
-        run_id=run_id)
+        run_id=run_id,
+        # Checkpointing needs outcomes streamed as they complete (a
+        # barrier that waits for every shard would mean zero durable
+        # progress until the very end), and a resume needs every shard
+        # to fast-forward past the committed watermark.
+        stream_outcomes=journal is not None,
+        watermark=(resume_state.watermark
+                   if resume_state is not None else None))
     live_server = None
     if config.live_port is not None and telemetry.enabled:
         live_server = obs_live.LiveOpsServer(
@@ -209,36 +327,66 @@ def _run_instrumented(config: ExperimentConfig, telemetry: obs.Telemetry,
     try:
         return _run_replay(config, telemetry, run_id, plan, world,
                            schedule, engine, ops, output_dir,
-                           wall_start, live_server, reporter)
+                           wall_start, live_server, reporter,
+                           journal=journal, resume_state=resume_state)
     finally:
         if live_server is not None:
             live_server.close()
+        if journal is not None:
+            journal.close()
 
 
 def _run_replay(config: ExperimentConfig, telemetry: obs.Telemetry,
                 run_id: str, plan: DeploymentPlan, world: World,
                 schedule, engine: ReplayEngine, ops: OpsOptions,
                 output_dir: Path, wall_start: float,
-                live_server, reporter) -> ExperimentResult:
+                live_server, reporter, journal=None,
+                resume_state: ResumeState | None = None
+                ) -> ExperimentResult:
     phases = telemetry.phases
     span = telemetry.tracer.span
     logger = telemetry.logger
     visits_total = len(schedule)
+    durable = journal is not None
+    resuming = resume_state is not None and \
+        resume_state.watermark is not None
+
+    # A resumed run's committed prefix re-plays with its per-visit
+    # metrics muted (the sinks never see those events again); the
+    # driver-side metrics the crashed run durably recorded come back
+    # from the journal's per-checkpoint deltas instead.
+    if resuming and telemetry.enabled:
+        for delta in resume_state.metrics:
+            telemetry.metrics.merge(delta)
 
     # -- the sink pipeline: every stored event flows through once ------
     tier = TierSplitSink(
         SQLiteWriterSink(output_dir / "low.sqlite",
-                         world.geoip, world.scanners),
+                         world.geoip, world.scanners,
+                         durable=durable,
+                         resume=resume_state.low if resuming else None),
         SQLiteWriterSink(output_dir / "midhigh.sqlite",
-                         world.geoip, world.scanners))
+                         world.geoip, world.scanners,
+                         durable=durable,
+                         resume=(resume_state.midhigh if resuming
+                                 else None)))
+    if resuming:
+        # The committed rows never re-enter the split; seed its tallies
+        # so ``events_total`` still covers the whole run.
+        tier.low_count = resume_state.low[0]
+        tier.midhigh_count = resume_state.midhigh[0]
     sinks: list = [tier]
     counting = None
     if telemetry.enabled:
         counting = CountingSink()
+        if resuming and resume_state.counting:
+            counting.restore(resume_state.counting)
         sinks.append(counting)
     raw_sink = None
     if config.write_raw_logs:
-        raw_sink = RawLogSink(output_dir / "raw-logs")
+        raw_sink = RawLogSink(
+            output_dir / RAW_LOG_DIRNAME,
+            resume=resume_state.raw if resuming else None)
         sinks.append(raw_sink)
     dataset_buffer = None
     if config.export_dataset:
@@ -246,13 +394,24 @@ def _run_replay(config: ExperimentConfig, telemetry: obs.Telemetry,
         sinks.append(dataset_buffer)
     pipeline = TeeSink(*sinks)
 
-    dead_letters = DeadLetterWriter(output_dir / QUARANTINE_FILENAME)
+    dead_letters = DeadLetterWriter(
+        output_dir / QUARANTINE_FILENAME,
+        resume=resume_state.dead_letter if resuming else None)
     metrics = telemetry.metrics
     bytes_in = 0
     bytes_out = 0
     events_generated = 0
     events_quarantined = 0
     quarantined_visits = 0
+    visits_done = 0
+    fast_forwarded = 0
+
+    checkpointer = None
+    if durable:
+        checkpointer = Checkpointer(
+            journal, tier, raw_sink, dead_letters, counting, telemetry,
+            faults.current() if config.fault_plan is not None else None,
+            interval=config.checkpoint_interval)
 
     # The replay engine and the sink pipeline interleave on this
     # thread, so the loop splits its time manually: pulling the next
@@ -261,35 +420,71 @@ def _run_replay(config: ExperimentConfig, telemetry: obs.Telemetry,
     mark = time.perf_counter()
     stream = iter(engine.replay(schedule, plan, config.seed, telemetry,
                                 ops))
-    while True:
-        outcome = next(stream, _DONE)
-        now = time.perf_counter()
-        phases.add("replay", now - mark)
-        mark = now
-        if outcome is _DONE:
-            break
-        events_generated += len(outcome.events)
-        bytes_in += outcome.bytes_in
-        bytes_out += outcome.bytes_out
-        if outcome.failure is not None:
-            # Quarantine: the crashed visit's events travel to the
-            # dead letter, with the reason, instead of the pipeline.
-            dead_letters.quarantine(
-                "visit", outcome.failure, actor=outcome.actor_ip,
-                seq=outcome.sequence, target=outcome.target_key,
-                offset=outcome.offset, events=outcome.events)
-            metrics.inc("resilience.quarantined")
-            metrics.inc("resilience.events_quarantined",
-                        len(outcome.events))
-            quarantined_visits += 1
-            events_quarantined += len(outcome.events)
+    last_key = None
+    pending_live = False
+    try:
+        while True:
+            outcome = next(stream, _DONE)
+            now = time.perf_counter()
+            phases.add("replay", now - mark)
+            mark = now
+            if outcome is _DONE:
+                break
+            visits_done += 1
+            last_key = outcome.key
+            events_generated += outcome.event_total()
+            bytes_in += outcome.bytes_in
+            bytes_out += outcome.bytes_out
+            if outcome.committed:
+                # Fast-forwarded by a resume: events already durable
+                # (and, for a crashed visit, already dead-lettered).
+                fast_forwarded += 1
+                if outcome.failure is not None:
+                    quarantined_visits += 1
+                    events_quarantined += outcome.event_total()
+                mark = time.perf_counter()
+                continue
+            if outcome.failure is not None:
+                # Quarantine: the crashed visit's events travel to the
+                # dead letter, with the reason, instead of the pipeline.
+                dead_letters.quarantine(
+                    "visit", outcome.failure, actor=outcome.actor_ip,
+                    seq=outcome.sequence, target=outcome.target_key,
+                    offset=outcome.offset, events=outcome.events)
+                metrics.inc("resilience.quarantined")
+                metrics.inc("resilience.events_quarantined",
+                            len(outcome.events))
+                quarantined_visits += 1
+                events_quarantined += len(outcome.events)
+            else:
+                for event in outcome.events:
+                    pipeline(event)
+                now = time.perf_counter()
+                phases.add("split", now - mark)
+            pending_live = True
+            if checkpointer is not None:
+                if checkpointer.maybe_checkpoint(
+                        watermark=last_key, visits_done=visits_done,
+                        counters=_loop_counters(
+                            events_generated, events_quarantined,
+                            quarantined_visits, bytes_in, bytes_out)):
+                    pending_live = False
+                    _write_partial_report(
+                        config, output_dir, run_id, visits_total,
+                        visits_done, events_generated,
+                        events_quarantined, checkpointer, journal)
             mark = time.perf_counter()
-            continue
-        for event in outcome.events:
-            pipeline(event)
-        now = time.perf_counter()
-        phases.add("split", now - mark)
-        mark = now
+    except BaseException:
+        if durable:
+            # Leave only durably-committed state behind for a later
+            # ``--resume`` to validate; never mask the original error.
+            tier.low.abort()
+            tier.midhigh.abort()
+            try:
+                dead_letters.close()
+            except OSError:
+                pass
+        raise
     dead_letters.close()
 
     raw_log_dir = None
@@ -306,12 +501,22 @@ def _run_replay(config: ExperimentConfig, telemetry: obs.Telemetry,
             export_dataset(dataset_buffer, dataset_dir)
 
     # Both writer threads have been converting since their first event;
-    # "convert" is the time left waiting for them to finish.
+    # "convert" is the time left waiting for them to finish.  Durable
+    # writers run their final commit barrier inside close(), so the
+    # journal's ``complete`` record below only ever under-claims.
     with phases.phase("convert"):
         with span("convert", tier="low"):
             low_db = tier.low.close()
         with span("convert", tier="midhigh"):
             midhigh_db = tier.midhigh.close()
+
+    if checkpointer is not None:
+        checkpointer.complete(
+            watermark=last_key, visits_done=visits_done,
+            counters=_loop_counters(events_generated,
+                                    events_quarantined,
+                                    quarantined_visits, bytes_in,
+                                    bytes_out))
 
     events_total = tier.low_count + tier.midhigh_count
     result = ExperimentResult(
@@ -323,10 +528,16 @@ def _run_replay(config: ExperimentConfig, telemetry: obs.Telemetry,
         events_quarantined=events_quarantined,
         quarantined_visits=quarantined_visits,
         quarantine_path=(dead_letters.path if dead_letters.count
-                         else None))
+                         else None),
+        resumed=resume_state is not None,
+        checkpoints_taken=(checkpointer.count if checkpointer else 0),
+        fast_forwarded_visits=fast_forwarded,
+        journal_path=(journal.path if journal is not None else None))
     logger.info("run.done", visits=visits_total,
                 events_stored=events_total,
-                events_quarantined=events_quarantined)
+                events_quarantined=events_quarantined,
+                checkpoints=result.checkpoints_taken,
+                resumed=result.resumed)
     if telemetry.enabled:
         wall_time = time.perf_counter() - wall_start
         _finalize_report(config, telemetry, result, engine,
@@ -337,8 +548,50 @@ def _run_replay(config: ExperimentConfig, telemetry: obs.Telemetry,
                          bytes_io={"in": bytes_in, "out": bytes_out},
                          wall_time=wall_time, output_dir=output_dir,
                          run_id=run_id, live_server=live_server,
-                         reporter=reporter)
+                         reporter=reporter,
+                         checkpoint_info=_checkpoint_info(
+                             config, checkpointer, resume_state,
+                             fast_forwarded, result))
     return result
+
+
+def _loop_counters(events_generated: int, events_quarantined: int,
+                   quarantined_visits: int, bytes_in: int,
+                   bytes_out: int) -> dict:
+    """The driver-loop tallies recorded in every checkpoint."""
+    return {"events_generated": events_generated,
+            "events_quarantined": events_quarantined,
+            "quarantined_visits": quarantined_visits,
+            "bytes_in": bytes_in, "bytes_out": bytes_out}
+
+
+def _checkpoint_info(config: ExperimentConfig, checkpointer,
+                     resume_state: ResumeState | None,
+                     fast_forwarded: int,
+                     result: ExperimentResult) -> dict | None:
+    """The manifest's ``checkpoint`` section (checkpointed runs only)."""
+    if checkpointer is None:
+        return None
+    info = {
+        "interval_seconds": config.checkpoint_interval,
+        "count": checkpointer.count,
+        "barrier_seconds": checkpointer.barrier_seconds,
+        "journal": (str(result.journal_path)
+                    if result.journal_path else None),
+        "resume": None,
+    }
+    if resume_state is not None:
+        info["resume"] = {
+            "mode": resume_state.mode,
+            "from_checkpoint": resume_state.from_seq,
+            "watermark": (list(resume_state.watermark)
+                          if resume_state.watermark else None),
+            "fast_forwarded_visits": fast_forwarded,
+            "disarmed_sites": resume_state.disarmed_sites,
+            "torn_tail": resume_state.torn_tail,
+            "dropped_records": resume_state.dropped_records,
+        }
+    return info
 
 
 def _combined_snapshot(telemetry: obs.Telemetry, aggregator) -> dict:
@@ -416,13 +669,47 @@ class _LiveReporter:
             self.snapshots += 1
 
 
+def _write_partial_report(config: ExperimentConfig, output_dir: Path,
+                          run_id: str,
+                          visits_total: int, visits_done: int,
+                          events_generated: int, events_quarantined: int,
+                          checkpointer, journal) -> None:
+    """Refresh a ``"partial": true`` manifest at every checkpoint.
+
+    A killed checkpointed run then still answers ``repro stats`` with
+    how far it durably got; the final manifest overwrites this on
+    clean completion.  Written atomically -- a crash mid-write must
+    not leave a torn manifest behind.
+    """
+    manifest = {
+        "schema": obs_report.SCHEMA,
+        "partial": True,
+        "run_id": run_id,
+        "generated_at": obs_report.utc_now_iso(),
+        "config": {"seed": config.seed,
+                   "volume_scale": config.volume_scale,
+                   "output_dir": str(output_dir),
+                   "workers": config.workers},
+        "visits_total": visits_total,
+        "progress": {"visits": visits_done,
+                     "events_generated": events_generated,
+                     "events_quarantined": events_quarantined},
+        "checkpoint": {"count": checkpointer.count,
+                       "journal": str(journal.path)},
+    }
+    path = output_dir / obs_report.REPORT_FILENAME
+    tmp = path.with_name(path.name + ".tmp")
+    obs_report.write_report(manifest, tmp)
+    os.replace(tmp, path)
+
+
 def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
                      result: ExperimentResult, engine: ReplayEngine,
                      event_counts: dict | None,
                      split: dict[str, int], bytes_io: dict[str, int],
                      wall_time: float, output_dir: Path,
                      run_id: str | None = None, live_server=None,
-                     reporter=None) -> None:
+                     reporter=None, checkpoint_info=None) -> None:
     """Export the trace (if requested) and write ``run_report.json``."""
     trace_path = None
     if config.trace_out is not None:
@@ -445,6 +732,9 @@ def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
     manifest = {
         "schema": obs_report.SCHEMA,
         "generated_at": obs_report.utc_now_iso(),
+        # A final manifest always supersedes the incremental snapshots
+        # the live reporter wrote with ``"partial": true``.
+        "partial": False,
         "run_id": run_id,
         "config": {
             "seed": config.seed,
@@ -461,6 +751,8 @@ def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
             "executor": config.executor,
             "live_interval": config.live_interval,
             "live_port": config.live_port,
+            "checkpoint_interval": config.checkpoint_interval,
+            "resume": config.resume,
         },
         "wall_time_seconds": wall_time,
         "phases": telemetry.phases.as_dict(),
@@ -488,6 +780,7 @@ def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
                            if config.fault_plan else None),
             "faults": faults.current().snapshot(),
         },
+        "checkpoint": checkpoint_info,
         "live": live,
         "ops_log": OPS_LOG_FILENAME,
         "flight": {"capacity": telemetry.flight.capacity,

@@ -48,10 +48,13 @@ import multiprocessing
 import os
 import queue as queue_module
 import random
+import signal
 import sys
 import time
 import zlib
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from datetime import timedelta
 from pathlib import Path
@@ -72,9 +75,19 @@ from repro.runtime import worker_context
 
 __all__ = [
     "OpsOptions", "ScheduledVisit", "VisitOutcome", "ReplayEngine",
-    "SerialExecutor", "ShardedExecutor", "build_engine",
-    "compile_visits", "shard_of",
+    "SerialExecutor", "ShardedExecutor", "WorkerLostError",
+    "build_engine", "compile_visits", "schedule_digest", "shard_of",
 ]
+
+
+class WorkerLostError(RuntimeError):
+    """A shard worker process died mid-replay (e.g. SIGKILL).
+
+    Raised by the driver-side merge instead of the raw
+    ``BrokenProcessPool`` so callers (``repro chaos`` auto-recovery,
+    tests) can distinguish "a worker was killed -- resume" from a
+    programming error.
+    """
 
 #: One schedule entry: (time offset, actor IP, per-actor sequence, visit).
 ScheduledVisit = tuple[float, str, int, Visit]
@@ -89,6 +102,23 @@ def compile_visits(world: World, plan: DeploymentPlan,
             schedule.append((visit.time_offset, actor.ip, sequence, visit))
     schedule.sort(key=lambda item: (item[0], item[1], item[2]))
     return schedule
+
+
+def schedule_digest(schedule: Sequence[ScheduledVisit]) -> str:
+    """Content digest of a compiled schedule's identity columns.
+
+    Recorded in the run journal header and recomputed on resume: equal
+    digests prove the recompiled schedule is the one the checkpoints
+    were taken against (same seed, scale, and population code), which
+    is what licenses fast-forwarding past a watermark.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for offset, actor_ip, sequence, visit in schedule:
+        digest.update(f"{offset!r}:{actor_ip}:{sequence}:"
+                      f"{visit.target_key}\n".encode("utf-8"))
+    return digest.hexdigest()
 
 
 def shard_of(target_key: str, workers: int) -> int:
@@ -115,10 +145,23 @@ class VisitOutcome:
     #: ``"ExceptionType: message"`` when the visit crashed (its events
     #: then belong in the dead letter, not the pipeline).
     failure: str | None = None
+    #: True when a resume fast-forwarded this visit: its events are
+    #: already durable on disk, so ``events`` is stripped (saving the
+    #: cross-process copy) and only ``events_count`` survives for the
+    #: run-wide accounting.
+    committed: bool = False
+    #: Event count recorded before a committed outcome's events were
+    #: stripped; ``None`` for live outcomes.
+    events_count: int | None = None
 
     @property
     def key(self) -> tuple[float, str, int]:
         return (self.offset, self.actor_ip, self.sequence)
+
+    def event_total(self) -> int:
+        """Events this visit generated, whether or not still attached."""
+        return (self.events_count if self.events_count is not None
+                else len(self.events))
 
 
 @dataclass
@@ -223,6 +266,14 @@ class OpsOptions:
     flight_dir: Path | None = None
     #: Correlation id bound into every worker ops-log record.
     run_id: str | None = None
+    #: Stream outcomes to the driver as they replay (required for
+    #: mid-run checkpoints; the default eager mode delivers them only
+    #: after every shard finishes).
+    stream_outcomes: bool = False
+    #: Resume watermark ``(offset, ip, seq)``: visits at or below it
+    #: fast-forward (honeypot state + RNG/fault accounting rebuilt,
+    #: events stripped as already durable).
+    watermark: tuple[float, str, int] | None = None
 
 
 @dataclass
@@ -235,6 +286,12 @@ class _WorkerOps:
     emit_interval: float = 0.5
     flight_dir: str | None = None
     run_id: str | None = None
+    watermark: tuple[float, str, int] | None = None
+    #: ``proc.kill`` evaluates only in forked workers (a serial or
+    #: thread "worker" is the driver -- killing it is not a recoverable
+    #: chaos scenario); the seeded victim draw needs the worker count.
+    kill_armed: bool = False
+    workers: int = 1
 
 
 class ReplayEngine:
@@ -269,11 +326,42 @@ class SerialExecutor(ReplayEngine):
                telemetry: obs.Telemetry,
                ops: OpsOptions | None = None) -> Iterator[VisitOutcome]:
         self.stats = {"executor": self.name, "workers": 1}
+        watermark = ops.watermark if ops is not None else None
         clock = SimClock()
         span = telemetry.tracer.span
         for offset, actor_ip, sequence, visit in schedule:
-            yield _replay_visit(plan, clock, seed, offset, actor_ip,
-                                sequence, visit, span)
+            if watermark is not None and \
+                    (offset, actor_ip, sequence) <= watermark:
+                yield _fast_forward_visit(plan, clock, seed, offset,
+                                          actor_ip, sequence, visit)
+            else:
+                yield _replay_visit(plan, clock, seed, offset, actor_ip,
+                                    sequence, visit, span)
+
+
+def _fast_forward_visit(plan: DeploymentPlan, clock: SimClock, seed: int,
+                        offset: float, actor_ip: str, sequence: int,
+                        visit: Visit) -> VisitOutcome:
+    """Re-replay an already-committed visit during a resume.
+
+    Honeypots are stateful across sessions, so the only way to put the
+    fleet back into its pre-crash state is to replay the committed
+    prefix -- with the same per-visit RNG derivation and keyed fault
+    decisions, so the rebuilt state is bit-for-bit what the original
+    run produced.  Metrics and tracing are muted (the run journal
+    restores the driver-side snapshot instead, avoiding double
+    counting), fault-plan counters still advance (chaos accounting must
+    span the crash boundary), and the events are stripped: they are
+    already fsync-durable on disk, which is what the checkpoint proved.
+    """
+    with obs.install_local(obs.NULL_TELEMETRY):
+        outcome = _replay_visit(plan, clock, seed, offset, actor_ip,
+                                sequence, visit,
+                                obs.NULL_TELEMETRY.tracer.span)
+    outcome.events_count = len(outcome.events)
+    outcome.events = []
+    outcome.committed = True
+    return outcome
 
 
 @dataclass
@@ -285,6 +373,12 @@ class _ShardResult:
     wall_seconds: float
     #: :meth:`repro.runtime.RunContext.report` of the worker.
     report: dict
+    #: Shard totals, counted in the worker -- the streaming mode ships
+    #: outcomes over the queue instead of in ``outcomes``, so the stats
+    #: cannot be recomputed from the result object.
+    visits: int = 0
+    events: int = 0
+    quarantined: int = 0
 
 
 #: Copy-on-write state for fork-pool workers, set by the parent
@@ -297,8 +391,14 @@ def _replay_shard(plan: DeploymentPlan, shard: int,
                   telemetry_enabled: bool,
                   fault_payload: dict | None,
                   ops: _WorkerOps | None = None,
-                  bus_queue=None) -> _ShardResult:
-    """Replay one shard under its own thread-local runtime context."""
+                  bus_queue=None, outcome_queue=None) -> _ShardResult:
+    """Replay one shard under its own thread-local runtime context.
+
+    With ``outcome_queue`` (streaming mode) each outcome is shipped to
+    the driver as it replays -- ``("outcome", shard, outcome)`` tuples
+    followed by one ``("done", shard)`` marker -- instead of
+    accumulating in the result.
+    """
     if ops is None:
         ops = _WorkerOps()
     context = worker_context(telemetry_enabled, fault_payload,
@@ -315,33 +415,70 @@ def _replay_shard(plan: DeploymentPlan, shard: int,
     flight_path = (Path(ops.flight_dir) / f"flight_shard{shard}.jsonl"
                    if ops.flight_dir is not None and telemetry_enabled
                    else None)
+    watermark = (tuple(ops.watermark) if ops.watermark is not None
+                 else None)
     start = time.perf_counter()
     outcomes = []
+    visits = events_total = quarantined = 0
     with context.activate_local(), obs_logging.bind(**correlation):
+        shard_plan = faults.current()
+        kill_armed = ops.kill_armed and shard_plan is not faults.NULL_PLAN
+        if kill_armed:
+            # Every worker derives the same seeded victim; only the
+            # victim shard ever evaluates the site, so the kill point
+            # is reproducible and exactly one worker dies.
+            victim = random.Random(
+                f"{shard_plan.seed}:proc.kill:victim").randrange(
+                    max(1, ops.workers))
+            kill_armed = victim == shard
         logger = telemetry.logger
-        logger.info("shard.start", visits=len(schedule))
+        logger.info("shard.start", visits=len(schedule),
+                    resuming=watermark is not None)
         with (telemetry.flight.armed(flight_path) if flight_path
               else _NO_FLIGHT):
             span = telemetry.tracer.span
             clock = SimClock()
             for offset, actor_ip, sequence, visit in schedule:
-                outcome = _replay_visit(plan, clock, seed, offset,
-                                        actor_ip, sequence, visit, span)
-                outcomes.append(outcome)
+                committed = (watermark is not None and
+                             (offset, actor_ip, sequence) <= watermark)
+                if kill_armed and not committed and \
+                        shard_plan.should_fire("proc.kill"):
+                    logger.error("proc.kill", actor=actor_ip,
+                                 seq=sequence,
+                                 target=visit.target_key)
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if committed:
+                    outcome = _fast_forward_visit(plan, clock, seed,
+                                                  offset, actor_ip,
+                                                  sequence, visit)
+                else:
+                    outcome = _replay_visit(plan, clock, seed, offset,
+                                            actor_ip, sequence, visit,
+                                            span)
+                visits += 1
+                events_total += outcome.event_total()
                 if outcome.failure is not None:
-                    logger.warning("visit.quarantined",
-                                   actor=actor_ip, seq=sequence,
-                                   target=visit.target_key,
-                                   failure=outcome.failure)
+                    quarantined += 1
+                    if not committed:
+                        logger.warning("visit.quarantined",
+                                       actor=actor_ip, seq=sequence,
+                                       target=visit.target_key,
+                                       failure=outcome.failure)
                 if emitter is not None:
-                    emitter.advance(len(outcome.events))
+                    emitter.advance(outcome.event_total())
+                if outcome_queue is not None:
+                    outcome_queue.put(("outcome", shard, outcome))
+                else:
+                    outcomes.append(outcome)
+        if outcome_queue is not None:
+            outcome_queue.put(("done", shard))
         if emitter is not None:
             emitter.flush()
-        logger.info("shard.done", visits=len(outcomes),
-                    events=sum(len(o.events) for o in outcomes))
+        logger.info("shard.done", visits=visits, events=events_total)
     return _ShardResult(shard=shard, outcomes=outcomes,
                         wall_seconds=time.perf_counter() - start,
-                        report=context.report())
+                        report=context.report(), visits=visits,
+                        events=events_total, quarantined=quarantined)
 
 
 class _NoFlight:
@@ -357,13 +494,28 @@ class _NoFlight:
 _NO_FLIGHT = _NoFlight()
 
 
+def _check_futures(futures) -> None:
+    """Surface a dead worker while the streaming merge is idle.
+
+    SIGKILLing a pool worker breaks every pending future; without this
+    check the merge would poll its queue forever.
+    """
+    for future in futures:
+        if future.done() and future.exception() is not None:
+            error = future.exception()
+            if isinstance(error, BrokenProcessPool):
+                raise WorkerLostError(
+                    "shard worker process died mid-replay") from error
+            raise error
+
+
 def _replay_shard_forked(shard: int) -> _ShardResult:
     state = _FORK_STATE
     assert state is not None, "fork state not set before pool creation"
     return _replay_shard(state["plan"], shard, state["shards"][shard],
                          state["seed"], state["telemetry_enabled"],
                          state["fault_payload"], state["ops"],
-                         state["bus_queue"])
+                         state["bus_queue"], state.get("outcome_queue"))
 
 
 class ShardedExecutor(ReplayEngine):
@@ -416,8 +568,20 @@ class ShardedExecutor(ReplayEngine):
                 emit_interval=ops.emit_interval,
                 flight_dir=(str(ops.flight_dir)
                             if ops.flight_dir is not None else None),
-                run_id=ops.run_id)
+                run_id=ops.run_id,
+                watermark=ops.watermark,
+                kill_armed=(self.pool == "fork" and
+                            "proc.kill" in driver_plan.sites),
+                workers=self.workers)
+        elif self.pool == "fork" and "proc.kill" in driver_plan.sites:
+            worker_ops = _WorkerOps(kill_armed=True,
+                                    workers=self.workers)
         self.live_bus = bus
+
+        if ops is not None and ops.stream_outcomes:
+            return self._replay_streaming(plan, shards, seed, telemetry,
+                                          driver_plan, fault_payload,
+                                          worker_ops, bus)
 
         try:
             results = self._run_shards(plan, shards, seed,
@@ -430,10 +594,114 @@ class ShardedExecutor(ReplayEngine):
             if bus is not None:
                 bus.stop()
 
-        # Fold each worker's metrics and fault counters back into the
-        # driver's ambient runtime so run-wide accounting stays exact.
-        # (The live aggregate is display-side only; the end-of-run merge
-        # below stays the single source of truth for the manifest.)
+        live_stats, stitched_spans = self._absorb_results(
+            results, telemetry, driver_plan, worker_ops, bus)
+        merge_start = time.perf_counter()
+        merged = list(heapq.merge(*(result.outcomes for result in results),
+                                  key=lambda outcome: outcome.key))
+        merge_seconds = time.perf_counter() - merge_start
+        self.stats = self._build_stats(results, merge_seconds,
+                                       live_stats, stitched_spans)
+        return iter(merged)
+
+    def _replay_streaming(self, plan, shards, seed, telemetry,
+                          driver_plan, fault_payload, worker_ops,
+                          bus) -> Iterator[VisitOutcome]:
+        """Incremental k-way merge of live per-shard outcome streams.
+
+        Workers push each outcome over a dedicated queue as it replays;
+        the driver emits an outcome as soon as every unfinished shard
+        has something buffered (its key is then globally minimal, since
+        each shard's stream is canonically ordered).  This is what lets
+        the driver checkpoint mid-run -- the eager mode only yields
+        after every shard finishes.  A worker death surfaces as
+        :class:`WorkerLostError` instead of a hang.
+        """
+        global _FORK_STATE
+        if worker_ops is None:
+            worker_ops = _WorkerOps()
+        count = len(shards)
+        out_queue = self._make_outcome_queue()
+        buffers: list[deque] = [deque() for _ in range(count)]
+        done = [False] * count
+        results: list[_ShardResult] = []
+
+        def emit_ready() -> Iterator[VisitOutcome]:
+            while True:
+                ready = [i for i in range(count) if buffers[i]]
+                if not ready or not all(done[i] or buffers[i]
+                                        for i in range(count)):
+                    return
+                best = min(ready, key=lambda i: buffers[i][0].key)
+                yield buffers[best].popleft()
+
+        try:
+            if self.pool == "thread":
+                pool_factory = ThreadPoolExecutor(max_workers=self.workers)
+
+                def submit(pool):
+                    return [pool.submit(_replay_shard, plan, index,
+                                        shards[index], seed,
+                                        telemetry.enabled, fault_payload,
+                                        worker_ops,
+                                        bus.queue if bus else None,
+                                        out_queue)
+                            for index in range(count)]
+            else:
+                _FORK_STATE = {
+                    "plan": plan, "shards": shards, "seed": seed,
+                    "telemetry_enabled": telemetry.enabled,
+                    "fault_payload": fault_payload, "ops": worker_ops,
+                    "bus_queue": bus.queue if bus else None,
+                    "outcome_queue": out_queue}
+                pool_factory = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("fork"))
+
+                def submit(pool):
+                    return [pool.submit(_replay_shard_forked, index)
+                            for index in range(count)]
+
+            with pool_factory as pool:
+                futures = submit(pool)
+                pending = count
+                while pending:
+                    try:
+                        message = out_queue.get(timeout=0.25)
+                    except queue_module.Empty:
+                        _check_futures(futures)
+                        continue
+                    if message[0] == "done":
+                        done[message[1]] = True
+                        pending -= 1
+                    else:
+                        buffers[message[1]].append(message[2])
+                    yield from emit_ready()
+                for outcome in heapq.merge(*buffers,
+                                           key=lambda o: o.key):
+                    yield outcome
+                try:
+                    results = [future.result() for future in futures]
+                except BrokenProcessPool as error:
+                    raise WorkerLostError(
+                        "shard worker process died mid-replay") \
+                        from error
+        finally:
+            _FORK_STATE = None
+            if bus is not None:
+                bus.stop()
+
+        live_stats, stitched_spans = self._absorb_results(
+            results, telemetry, driver_plan, worker_ops, bus)
+        self.stats = self._build_stats(results, None, live_stats,
+                                       stitched_spans, streaming=True)
+
+    def _absorb_results(self, results, telemetry, driver_plan,
+                        worker_ops, bus):
+        """Fold each worker's metrics and fault counters back into the
+        driver's ambient runtime so run-wide accounting stays exact.
+        (The live aggregate is display-side only; this end-of-run merge
+        stays the single source of truth for the manifest.)"""
         merged_reports = obs.MetricsRegistry() if telemetry.enabled \
             else None
         for result in results:
@@ -471,29 +739,26 @@ class ShardedExecutor(ReplayEngine):
                     bus.aggregator.snapshot(),
                     merged_reports.snapshot()),
             }
+        return live_stats, stitched_spans
 
-        merge_start = time.perf_counter()
-        merged = list(heapq.merge(*(result.outcomes for result in results),
-                                  key=lambda outcome: outcome.key))
-        merge_seconds = time.perf_counter() - merge_start
-        self.stats = {
+    def _build_stats(self, results, merge_seconds, live_stats,
+                     stitched_spans, *, streaming=False) -> dict:
+        return {
             "executor": self.name,
             "workers": self.workers,
             "pool": self.pool,
             "merge_seconds": merge_seconds,
+            "streaming": streaming,
             "live": live_stats,
             "stitched_spans": stitched_spans,
             "shards": [{
                 "shard": result.shard,
-                "visits": len(result.outcomes),
-                "events": sum(len(outcome.events)
-                              for outcome in result.outcomes),
-                "quarantined_visits": sum(
-                    1 for outcome in result.outcomes if outcome.failure),
+                "visits": result.visits,
+                "events": result.events,
+                "quarantined_visits": result.quarantined,
                 "wall_seconds": result.wall_seconds,
             } for result in sorted(results, key=lambda r: r.shard)],
         }
-        return iter(merged)
 
     def _make_queue(self):
         """A bus queue workers of this pool flavor can reach: plain
@@ -501,6 +766,13 @@ class ShardedExecutor(ReplayEngine):
         if self.pool == "thread":
             return queue_module.Queue()
         return multiprocessing.get_context("fork").SimpleQueue()
+
+    def _make_outcome_queue(self):
+        """The streaming outcome queue needs ``get(timeout=...)`` (so
+        the driver can poll for dead workers), which SimpleQueue lacks."""
+        if self.pool == "thread":
+            return queue_module.Queue()
+        return multiprocessing.get_context("fork").Queue()
 
     def _run_shards(self, plan, shards, seed, telemetry_enabled,
                     fault_payload, worker_ops=None,
@@ -528,7 +800,12 @@ class ShardedExecutor(ReplayEngine):
                                      mp_context=context) as pool:
                 futures = [pool.submit(_replay_shard_forked, index)
                            for index in range(len(shards))]
-                return [future.result() for future in futures]
+                try:
+                    return [future.result() for future in futures]
+                except BrokenProcessPool as error:
+                    raise WorkerLostError(
+                        "shard worker process died mid-replay") \
+                        from error
         finally:
             _FORK_STATE = None
 

@@ -94,6 +94,13 @@ def _format_bytes(count: object) -> str:
 def format_summary(manifest: dict) -> str:
     """Render a manifest as the human-readable ``repro stats`` report."""
     sections: list[str] = []
+    if manifest.get("partial"):
+        # Incremental snapshot from the live reporter: the run is
+        # either still going or died before its final manifest.
+        sections.append(
+            "*** PARTIAL REPORT: run in progress or interrupted ***\n"
+            "    (a crashed checkpointed run can be continued with "
+            "`repro run --resume`)")
     config = manifest.get("config", {})
     header = (
         f"run report ({manifest.get('generated_at', 'unknown time')})\n"
@@ -198,6 +205,28 @@ def format_summary(manifest: dict) -> str:
         if len(rows) > len(shown):
             table += f"\n... and {len(rows) - len(shown)} more honeypots"
         sections.append("busiest honeypots\n" + table)
+
+    checkpoint = manifest.get("checkpoint")
+    if checkpoint:
+        rows = [
+            ["interval", f"{checkpoint.get('interval_seconds', '?')}s"],
+            ["checkpoints", checkpoint.get("count", "?")],
+            ["barrier time",
+             f"{checkpoint.get('barrier_seconds', 0.0):.3f}s"],
+            ["journal", checkpoint.get("journal", "?")],
+        ]
+        resume = checkpoint.get("resume")
+        if resume:
+            rows.append(["resumed",
+                         f"mode={resume.get('mode')} from checkpoint "
+                         f"{resume.get('from_checkpoint')}"])
+            rows.append(["fast-forwarded visits",
+                         resume.get("fast_forwarded_visits", "?")])
+            if resume.get("disarmed_sites"):
+                rows.append(["disarmed fault sites",
+                             ", ".join(resume["disarmed_sites"])])
+        sections.append("checkpointing\n" + _format_table(
+            ["metric", "value"], rows))
 
     live = manifest.get("live")
     if live:

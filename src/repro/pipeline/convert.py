@@ -15,16 +15,29 @@ transaction, and released, so memory stays bounded by the chunk size
 rather than the run size.  The database is opened with write-oriented
 pragmas (in-memory journal, ``synchronous=OFF``); the file is private
 and rebuilt from scratch, so durability mid-conversion buys nothing.
+
+Checkpointed runs instead use :func:`convert_durable`, which trades the
+throw-away pragmas for WAL mode + ``synchronous=NORMAL`` and honors
+:class:`CommitRequest` barriers: flush the pending batch, ``COMMIT``,
+``PRAGMA wal_checkpoint(TRUNCATE)``, and ``fsync`` the database file,
+then report ``(rows_written, chained row digest)`` back to the driver.
+The chained digest ``H_i = sha256(H_{i-1} || repr(row_i))`` is what
+``repro run --resume`` later recomputes over the on-disk prefix to
+prove the database really contains exactly the rows a checkpoint
+claims.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import os
 import random
 import sqlite3
+import threading
 import time
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro import obs
 from repro.netsim.geoip import GeoIPDatabase
@@ -40,6 +53,15 @@ CHUNK_ROWS = 4096
 _PRAGMAS = """
 PRAGMA journal_mode = MEMORY;
 PRAGMA synchronous = OFF;
+PRAGMA temp_store = MEMORY;
+"""
+
+#: Pragmas for checkpointed runs: WAL survives a crash, NORMAL syncs at
+#: every WAL checkpoint -- the commit barrier adds an explicit fsync on
+#: top, so a journal checkpoint never claims rows the disk lacks.
+_DURABLE_PRAGMAS = """
+PRAGMA journal_mode = WAL;
+PRAGMA synchronous = NORMAL;
 PRAGMA temp_store = MEMORY;
 """
 
@@ -82,13 +104,97 @@ CREATE INDEX IF NOT EXISTS idx_events_src_dbms
 ANALYZE;
 """
 
-_INSERT = """
-INSERT INTO events (timestamp, honeypot_id, honeypot_type, dbms,
-                    interaction, config, src_ip, src_port, event_type,
-                    action, username, password, raw, country, asn,
-                    as_name, as_type, institutional)
+#: Data columns in canonical insert order (``id`` assigned by SQLite;
+#: because the schema uses a plain ``INTEGER PRIMARY KEY``, inserts
+#: after a tail truncation continue the 1..N sequence contiguously).
+_ROW_COLUMNS = ("timestamp, honeypot_id, honeypot_type, dbms, "
+                "interaction, config, src_ip, src_port, event_type, "
+                "action, username, password, raw, country, asn, "
+                "as_name, as_type, institutional")
+
+_INSERT = f"""
+INSERT INTO events ({_ROW_COLUMNS})
 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
 """
+
+#: First link of the chained row digest.  The chain is resumable from
+#: any committed link, unlike a raw running ``sha256`` object.
+DIGEST_SEED = b"\x00" * 32
+
+
+def chain_digest(previous: bytes, row: tuple) -> bytes:
+    """One link of the row-digest chain: ``sha256(prev || repr(row))``.
+
+    ``repr`` of the insert tuple is stable across store/load because
+    every column's Python type round-trips exactly through SQLite
+    (floats as REAL, ints as INTEGER, str/None as TEXT/NULL).
+    """
+    return hashlib.sha256(previous + repr(row).encode("utf-8")).digest()
+
+
+def prefix_digest(db_path: str | Path, rows: int) -> str | None:
+    """Chained digest of the first ``rows`` events (id order), or
+    ``None`` if the database is missing or holds fewer rows."""
+    db_path = Path(db_path)
+    if rows == 0:
+        return DIGEST_SEED.hex()
+    if not db_path.exists():
+        return None
+    digest = DIGEST_SEED
+    seen = 0
+    connection = sqlite3.connect(f"file:{db_path}?mode=ro", uri=True)
+    try:
+        cursor = connection.execute(
+            f"SELECT {_ROW_COLUMNS} FROM events ORDER BY id LIMIT ?",
+            (rows,))
+        for row in cursor:
+            digest = chain_digest(digest, tuple(row))
+            seen += 1
+    except sqlite3.DatabaseError:
+        return None
+    finally:
+        connection.close()
+    return digest.hex() if seen == rows else None
+
+
+def truncate_events(db_path: str | Path, rows: int) -> int:
+    """Durably delete every events row beyond the first ``rows``.
+
+    The idempotent resume step that discards uncommitted tail rows a
+    crash may have left behind.  Returns the number of rows removed.
+    """
+    db_path = Path(db_path)
+    if not db_path.exists():
+        return 0
+    connection = sqlite3.connect(db_path)
+    try:
+        (removed,) = connection.execute(
+            "SELECT COUNT(*) FROM events WHERE id > ?", (rows,)).fetchone()
+        connection.execute("DELETE FROM events WHERE id > ?", (rows,))
+        connection.commit()
+        connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+    finally:
+        connection.close()
+    fd = os.open(db_path, os.O_RDWR)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return removed
+
+
+class CommitRequest:
+    """Barrier token a driver enqueues into a durable conversion.
+
+    The writer flushes everything received before the token, commits,
+    WAL-checkpoints, fsyncs, fills in ``rows``/``digest``, and sets
+    ``done``.
+    """
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.rows = 0
+        self.digest = ""
 
 
 def _chunks(iterable: Iterable, size: int) -> Iterator[list]:
@@ -165,6 +271,132 @@ def convert_to_sqlite(events: Iterable[LogEvent], db_path: str | Path,
     finally:
         connection.close()
     return db_path
+
+
+def convert_durable(get: Callable[[], object], db_path: str | Path,
+                    geoip: GeoIPDatabase,
+                    scanners: InstitutionalScannerList | None = None,
+                    *, sentinel: object,
+                    resume: tuple[int, str] | None = None,
+                    chunk_rows: int = CHUNK_ROWS) -> dict:
+    """Crash-consistent streaming conversion with commit barriers.
+
+    Pulls items from ``get()`` until ``sentinel``: :class:`LogEvent`
+    items are buffered and inserted in ``chunk_rows`` batches;
+    :class:`CommitRequest` items flush the partial batch and run the
+    durability barrier (COMMIT + ``wal_checkpoint(TRUNCATE)`` + fsync)
+    before acknowledging with the post-barrier row count and chain
+    digest.
+
+    ``resume=(rows, digest_hex)`` reopens an existing database whose
+    committed prefix the caller has already validated and truncated;
+    otherwise any existing database is replaced.  Returns the final
+    state: ``{"path", "rows", "digest"}``.
+    """
+    telemetry = obs.current()
+    db_path = Path(db_path)
+    db_path.parent.mkdir(parents=True, exist_ok=True)
+    if resume is None:
+        for stale in (db_path, db_path.with_name(db_path.name + "-wal"),
+                      db_path.with_name(db_path.name + "-shm")):
+            if stale.exists():
+                stale.unlink()
+        rows_written, digest = 0, DIGEST_SEED
+    else:
+        rows_written, digest = resume[0], bytes.fromhex(resume[1])
+    connection = sqlite3.connect(db_path)
+    enrich_seconds = 0.0
+    insert_seconds = 0.0
+    barrier_count = 0
+    resumed_at = rows_written
+    lookup_cache: dict = {}
+    retry_rng = random.Random(f"sqlite-retry:{db_path.name}")
+    buffer: list[LogEvent] = []
+
+    def flush() -> None:
+        nonlocal enrich_seconds, insert_seconds, rows_written, digest
+        if not buffer:
+            return
+        with telemetry.tracer.span("convert.enrich", db=db_path.name):
+            start = time.perf_counter()
+            rows = [_row(enriched) for enriched
+                    in enrich_iter(buffer, geoip, scanners,
+                                   cache=lookup_cache)]
+            enrich_seconds += time.perf_counter() - start
+        with telemetry.tracer.span("convert.insert", db=db_path.name):
+            start = time.perf_counter()
+
+            def insert() -> None:
+                faults.current().maybe_raise(
+                    "sqlite.locked",
+                    lambda: sqlite3.OperationalError(
+                        "database is locked"))
+                connection.executemany(_INSERT, rows)
+                # Commit per batch (cheap under WAL + synchronous=NORMAL
+                # -- no fsync until a checkpoint barrier) so a retry's
+                # rollback can only ever discard this batch, never one
+                # the digest chain already covers.
+                connection.commit()
+
+            sqlite_busy_retry(insert, reset=connection.rollback,
+                              rng=retry_rng, db=db_path.name)
+            insert_seconds += time.perf_counter() - start
+        for row in rows:
+            digest = chain_digest(digest, row)
+        rows_written += len(rows)
+        buffer.clear()
+
+    def barrier() -> None:
+        nonlocal barrier_count
+        start = time.perf_counter()
+        connection.commit()
+        connection.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        fd = os.open(db_path, os.O_RDWR)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        barrier_count += 1
+        telemetry.metrics.observe("checkpoint.barrier_seconds",
+                                  time.perf_counter() - start,
+                                  db=db_path.name)
+
+    try:
+        connection.executescript(_DURABLE_PRAGMAS + _SCHEMA)
+        connection.commit()
+        while True:
+            item = get()
+            if item is sentinel:
+                break
+            if isinstance(item, CommitRequest):
+                flush()
+                barrier()
+                item.rows = rows_written
+                item.digest = digest.hex()
+                item.done.set()
+                continue
+            buffer.append(item)
+            if len(buffer) >= chunk_rows:
+                flush()
+        flush()
+        with telemetry.tracer.span("convert.index", db=db_path.name):
+            start = time.perf_counter()
+            connection.executescript(_POST_INDEXES)
+            telemetry.metrics.observe("convert.index_seconds",
+                                      time.perf_counter() - start,
+                                      db=db_path.name)
+        barrier()
+        telemetry.metrics.observe("convert.enrich_seconds",
+                                  enrich_seconds, db=db_path.name)
+        telemetry.metrics.observe("convert.insert_seconds",
+                                  insert_seconds, db=db_path.name)
+        telemetry.metrics.inc("convert.rows_written",
+                              rows_written - resumed_at, db=db_path.name)
+        telemetry.metrics.inc("checkpoint.db_barriers", barrier_count,
+                              db=db_path.name)
+    finally:
+        connection.close()
+    return {"path": db_path, "rows": rows_written, "digest": digest.hex()}
 
 
 def _row(enriched: EnrichedEvent) -> tuple:

@@ -91,6 +91,17 @@ class LogEvent:
 #: Callable honeypots use to emit events.
 EventSink = Callable[[LogEvent], None]
 
+
+def consolidated_group_name(event: LogEvent) -> str:
+    """The consolidated raw-log file an event belongs to.
+
+    One definition shared by :meth:`LogStore.write_consolidated` and the
+    streaming ``RawLogSink``: checkpoint/resume records committed byte
+    offsets *per group file name*, so the grouping must be identical no
+    matter which writer produced the file.
+    """
+    return f"{event.interaction}-{event.dbms}-{event.config}.jsonl"
+
 #: Maximum stored length of the raw payload excerpt.
 MAX_RAW = 2048
 
@@ -173,8 +184,8 @@ class LogStore:
         directory.mkdir(parents=True, exist_ok=True)
         groups: dict[str, list[LogEvent]] = {}
         for event in self._events:
-            name = f"{event.interaction}-{event.dbms}-{event.config}.jsonl"
-            groups.setdefault(name, []).append(event)
+            groups.setdefault(consolidated_group_name(event),
+                              []).append(event)
         paths = []
         for name, events in sorted(groups.items()):
             path = directory / name

@@ -22,11 +22,20 @@ contract honeypot sessions already emit into), optionally with a
 thread running the chunked :func:`~repro.pipeline.convert.convert_to_sqlite`,
 so the low and medium/high conversions proceed concurrently while the
 replay engine is still producing events.
+
+Checkpointed runs construct the writer sinks with ``durable=True``:
+the writer thread runs :func:`~repro.pipeline.convert.convert_durable`
+instead, and the driver's :meth:`SQLiteWriterSink.commit` barrier
+blocks until every event handed to the sink so far is fsync-durable on
+disk, returning the committed ``(rows, digest)`` state recorded in the
+run journal.  ``resume=(rows, digest_hex)`` re-opens a validated
+database instead of replacing it.
 """
 
 from __future__ import annotations
 
 import contextvars
+import os
 import queue
 import threading
 from collections import Counter
@@ -34,7 +43,7 @@ from pathlib import Path
 from typing import Iterator, Protocol, runtime_checkable
 
 from repro import obs
-from repro.pipeline.logstore import LogEvent
+from repro.pipeline.logstore import LogEvent, consolidated_group_name
 
 __all__ = [
     "BufferSink", "CountingSink", "EventSinkProtocol", "RawLogSink",
@@ -89,8 +98,12 @@ class TierSplitSink:
             self.midhigh(event)
 
     def close(self) -> None:
-        close_sink(self.low)
-        close_sink(self.midhigh)
+        # Close both sides even when one fails, so a low-tier writer
+        # error cannot leave the midhigh writer thread dangling.
+        try:
+            close_sink(self.low)
+        finally:
+            close_sink(self.midhigh)
 
 
 class CountingSink:
@@ -109,6 +122,20 @@ class CountingSink:
         self.counts["dbms"][event.dbms] += 1
         self.counts["interaction"][event.interaction] += 1
         self.counts["honeypot_id"][event.honeypot_id] += 1
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state for a run-journal checkpoint."""
+        return {"total": self.total,
+                "counts": {category: dict(counter)
+                           for category, counter in self.counts.items()}}
+
+    def restore(self, state: dict) -> None:
+        """Restore counts recorded by :meth:`snapshot` (resume path)."""
+        self.total = int(state.get("total", 0))
+        for category, values in (state.get("counts") or {}).items():
+            if category in self.counts:
+                self.counts[category] = Counter(
+                    {key: int(count) for key, count in values.items()})
 
 
 class BufferSink:
@@ -134,26 +161,45 @@ class RawLogSink:
     as :meth:`LogStore.write_consolidated`, but incrementally: each
     group's file handle opens on the group's first event and every
     event is appended as it arrives.
+
+    For checkpointed runs, :meth:`commit` fsyncs every open group file
+    and reports committed byte offsets; ``resume={name: bytes}``
+    reopens the (already truncated) group files in append mode and
+    keeps their recorded offsets alive across later checkpoints even
+    if a group sees no further events.
     """
 
-    def __init__(self, directory: str | Path):
+    def __init__(self, directory: str | Path, *,
+                 resume: dict[str, int] | None = None):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._handles: dict[str, object] = {}
+        self._committed: dict[str, int] = dict(resume or {})
+        self._append = resume is not None
 
     def __call__(self, event: LogEvent) -> None:
-        name = f"{event.interaction}-{event.dbms}-{event.config}.jsonl"
+        name = consolidated_group_name(event)
         handle = self._handles.get(name)
         if handle is None:
             handle = self._handles[name] = open(
-                self.directory / name, "w", encoding="utf-8")
+                self.directory / name, "a" if self._append else "w",
+                encoding="utf-8")
         handle.write(event.to_json() + "\n")
+
+    def commit(self) -> dict[str, int]:
+        """Flush + fsync every group file; returns ``{name: bytes}``."""
+        for name, handle in self._handles.items():
+            handle.flush()
+            os.fsync(handle.fileno())
+            self._committed[name] = (self.directory / name).stat().st_size
+        return dict(self._committed)
 
     def close(self) -> list[Path]:
         """Close every group file; returns the paths written, sorted."""
         for handle in self._handles.values():
             handle.close()
-        paths = sorted(self.directory / name for name in self._handles)
+        names = set(self._handles) | set(self._committed)
+        paths = sorted(self.directory / name for name in names)
         self._handles = {}
         return paths
 
@@ -173,28 +219,47 @@ class SQLiteWriterSink:
 
     _SENTINEL = object()
 
-    def __init__(self, db_path: str | Path, geoip, scanners=None):
+    def __init__(self, db_path: str | Path, geoip, scanners=None, *,
+                 durable: bool = False,
+                 resume: tuple[int, str] | None = None):
+        if resume is not None and not durable:
+            raise ValueError("resume requires a durable writer sink")
         self.db_path = Path(db_path)
         self._geoip = geoip
         self._scanners = scanners
+        self._durable = durable
+        self._resume = resume
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._thread: threading.Thread | None = None
         self._error: BaseException | None = None
         self.path: Path | None = None
+        #: Final ``(rows, digest)`` state after a durable close.
+        self.committed_state: dict | None = None
+
+    def _ensure_thread(self) -> None:
+        if self._thread is not None:
+            return
+        # Run the writer inside a copy of the caller's context so
+        # correlation fields (run_id, shard) bound at submission
+        # time follow the records the writer thread logs.
+        context = contextvars.copy_context()
+        self._thread = threading.Thread(
+            target=lambda: context.run(self._run),
+            name=f"sqlite-writer-{self.db_path.name}",
+            daemon=True)
+        self._thread.start()
+        obs.current().logger.info("sink.writer_start",
+                                  db=self.db_path.name,
+                                  durable=self._durable)
 
     def __call__(self, event: LogEvent) -> None:
-        if self._thread is None:
-            # Run the writer inside a copy of the caller's context so
-            # correlation fields (run_id, shard) bound at submission
-            # time follow the records the writer thread logs.
-            context = contextvars.copy_context()
-            self._thread = threading.Thread(
-                target=lambda: context.run(self._run),
-                name=f"sqlite-writer-{self.db_path.name}",
-                daemon=True)
-            self._thread.start()
-            obs.current().logger.info("sink.writer_start",
-                                      db=self.db_path.name)
+        if self._error is not None:
+            # Fail fast: keeping the replay running while the writer is
+            # dead would silently drop every subsequent event.
+            raise RuntimeError(
+                f"sqlite writer for {self.db_path.name} already "
+                f"failed") from self._error
+        self._ensure_thread()
         self._queue.put(event)
 
     def _drain(self) -> Iterator[LogEvent]:
@@ -205,27 +270,88 @@ class SQLiteWriterSink:
             yield item
 
     def _run(self) -> None:
-        from repro.pipeline.convert import convert_to_sqlite
+        from repro.pipeline.convert import convert_durable, \
+            convert_to_sqlite
 
         try:
-            self.path = convert_to_sqlite(self._drain(), self.db_path,
-                                          self._geoip, self._scanners)
-        except BaseException as error:  # re-raised by close()
+            if self._durable:
+                state = convert_durable(
+                    self._queue.get, self.db_path, self._geoip,
+                    self._scanners, sentinel=self._SENTINEL,
+                    resume=self._resume)
+                self.committed_state = {"rows": state["rows"],
+                                        "digest": state["digest"]}
+                self.path = state["path"]
+            else:
+                self.path = convert_to_sqlite(
+                    self._drain(), self.db_path, self._geoip,
+                    self._scanners)
+        except BaseException as error:  # re-raised by close()/commit()
             self._error = error
 
+    def commit(self, timeout: float | None = None) -> dict:
+        """Durability barrier: block until every event handed to this
+        sink so far is committed, WAL-checkpointed, and fsynced.
+
+        Returns the committed ``{"rows": int, "digest": hex}`` state
+        for the run-journal checkpoint.  Only durable sinks support
+        commit; a sink that has seen no events reports its resume
+        state (or the empty state) without touching the disk.
+        """
+        from repro.pipeline.convert import CommitRequest, DIGEST_SEED
+
+        if not self._durable:
+            raise RuntimeError("commit() requires durable=True")
+        if self._error is not None:
+            raise RuntimeError(
+                f"sqlite writer for {self.db_path.name} already "
+                f"failed") from self._error
+        if self._thread is None:
+            rows, digest = self._resume or (0, DIGEST_SEED.hex())
+            return {"rows": rows, "digest": digest}
+        token = CommitRequest()
+        self._queue.put(token)
+        waited = 0.0
+        while not token.done.wait(0.1):
+            waited += 0.1
+            if self._error is not None or not self._thread.is_alive():
+                if self._error is not None:
+                    raise RuntimeError(
+                        f"sqlite writer for {self.db_path.name} failed "
+                        f"during commit") from self._error
+                raise RuntimeError(
+                    f"sqlite writer for {self.db_path.name} exited "
+                    f"before acknowledging commit")
+            if timeout is not None and waited >= timeout:
+                raise TimeoutError(
+                    f"commit barrier on {self.db_path.name} timed out "
+                    f"after {timeout:.1f}s")
+        return {"rows": token.rows, "digest": token.digest}
+
     def close(self) -> Path:
-        """Finish the conversion; returns the database path (idempotent)."""
+        """Finish the conversion; returns the database path (idempotent).
+
+        Any exception raised on the writer thread -- at any point, not
+        just during the final drain -- is re-raised here.
+        """
         if self._error is not None:
             raise self._error
         if self.path is not None and self._thread is None:
             return self.path
         if self._thread is None:
-            # No events ever arrived: still produce the (empty) database.
-            from repro.pipeline.convert import convert_to_sqlite
+            if self._durable:
+                # Resume bookkeeping (post-indexes, final barrier) must
+                # still run even when no new events arrived.
+                self._ensure_thread()
+            else:
+                # No events ever arrived: still produce the (empty)
+                # database.
+                from repro.pipeline.convert import convert_to_sqlite
 
-            self.path = convert_to_sqlite([], self.db_path, self._geoip,
-                                          self._scanners)
-            return self.path
+                self.path = convert_to_sqlite([], self.db_path,
+                                              self._geoip,
+                                              self._scanners)
+                return self.path
         self._queue.put(self._SENTINEL)
         self._thread.join()
         self._thread = None
@@ -238,3 +364,14 @@ class SQLiteWriterSink:
         obs.current().logger.info("sink.writer_done",
                                   db=self.db_path.name)
         return self.path
+
+    def abort(self) -> None:
+        """Best-effort shutdown after a driver-side failure: stop the
+        writer thread without raising, leaving whatever the database
+        has durably committed for a later ``--resume`` to validate."""
+        thread = self._thread
+        self._thread = None
+        if thread is None or not thread.is_alive():
+            return
+        self._queue.put(self._SENTINEL)
+        thread.join(timeout=30.0)

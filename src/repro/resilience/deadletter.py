@@ -10,6 +10,7 @@ and each record carries enough context to replay the failure.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import IO, Iterable
@@ -22,11 +23,19 @@ class DeadLetterWriter:
 
     The file is created lazily on the first quarantine, so clean runs
     leave no empty dead-letter file behind.
+
+    ``resume=(bytes, count)`` continues an existing file the resume
+    preparation already truncated to its committed length;
+    :meth:`commit` fsyncs and reports the committed state for a
+    run-journal checkpoint.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, *,
+                 resume: tuple[int, int] | None = None):
         self.path = Path(path)
-        self.count = 0
+        self.count = resume[1] if resume else 0
+        self._committed_bytes = resume[0] if resume else 0
+        self._append = resume is not None
         self._handle: IO[str] | None = None
 
     def quarantine(self, kind: str, reason: str, *,
@@ -42,13 +51,23 @@ class DeadLetterWriter:
         }
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "w", encoding="utf-8")
+            self._handle = open(self.path,
+                                "a" if self._append else "w",
+                                encoding="utf-8")
         self._handle.write(json.dumps(record, separators=(",", ":"),
                                       ensure_ascii=False) + "\n")
         self._handle.flush()
         self.count += 1
         obs.current().metrics.inc("resilience.dead_letters", kind=kind)
         return record
+
+    def commit(self) -> dict:
+        """Fsync the file; returns ``{"bytes": int, "count": int}``."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._committed_bytes = self.path.stat().st_size
+        return {"bytes": self._committed_bytes, "count": self.count}
 
     def close(self) -> None:
         """Flush and close the underlying file (idempotent)."""

@@ -26,7 +26,15 @@ Known injection sites
 ``visit.crash``    raise :class:`InjectedFault` inside a visit script
 ``sqlite.locked``  raise ``sqlite3.OperationalError: database is locked``
 ``enrich.lookup``  fail one GeoIP/ASN enrichment lookup
+``proc.kill``      SIGKILL one (seeded) shard worker process mid-shard
 =================  =========================================================
+
+``proc.kill`` is special: it is only evaluated inside forked shard
+workers (serial and thread-pool replays never arm it -- the "worker" is
+the driver itself there), the victim shard is chosen by a seeded draw
+so the kill is reproducible, and ``repro run --resume`` strips the site
+from the adopted plan so a resumed run cannot re-kill itself at the
+same visit forever.
 """
 
 from __future__ import annotations
@@ -191,6 +199,27 @@ class FaultPlan:
         """A fresh plan with the same specs/seed and zeroed counters."""
         return from_payload(self.payload())
 
+    def site_options(self) -> dict[str, dict]:
+        """JSON-serializable ``{site: {probability, ...}}`` mapping --
+        the :func:`plan_from_dict` inverse, recorded in the run journal
+        so a resume can rebuild the exact plan."""
+        options: dict[str, dict] = {}
+        for site, spec in self._specs.items():
+            entry: dict = {"probability": spec.probability}
+            if spec.max_fires is not None:
+                entry["max_fires"] = spec.max_fires
+            if spec.start_after:
+                entry["start_after"] = spec.start_after
+            options[site] = entry
+        return options
+
+    def without_site(self, site: str) -> "FaultPlan":
+        """A fresh plan (zeroed counters) with ``site`` removed -- how a
+        resume disarms ``proc.kill`` from an adopted chaos plan."""
+        specs = {name: spec for name, spec in self._specs.items()
+                 if name != site}
+        return FaultPlan(specs, seed=self.seed, name=self.name)
+
     def absorb(self, snapshot: Mapping[str, Mapping[str, int]]) -> None:
         """Fold a worker plan's :meth:`snapshot` counters into this
         plan, so one plan object accounts for the whole sharded run."""
@@ -302,10 +331,20 @@ BUILTIN_PLANS: dict[str, dict[str, dict]] = {
     "enrich-fail": {
         "enrich.lookup": {"probability": 0.05},
     },
+    "worker-kill": {
+        # SIGKILL one seeded shard worker, once, a little way into its
+        # shard -- the kill-resume chaos scenario.  Only armed inside
+        # forked workers; see the module docstring.
+        "proc.kill": {"probability": 1.0, "max_fires": 1,
+                      "start_after": 25},
+    },
 }
 BUILTIN_PLANS["all"] = {
     site: dict(spec)
-    for name, sites in BUILTIN_PLANS.items() if name != "none"
+    # worker-kill stays out of "all": it is a process-level fault that
+    # terminates the run rather than stressing a data path.
+    for name, sites in BUILTIN_PLANS.items()
+    if name not in ("none", "worker-kill")
     for site, spec in sites.items()
 }
 

@@ -1,0 +1,294 @@
+"""The write-ahead run journal: durable checkpoints for one run.
+
+A journal is a single append-only JSONL file under
+``<output>/run_journal/`` describing the durable progress of one
+experiment run.  Records, in order:
+
+* one ``header`` (run identity: seed, scale, fault-plan payload,
+  schedule digest) written before the first visit replays,
+* zero or more ``checkpoint`` records, each appended *only after* the
+  driver's sink commit barrier confirmed every event up to the
+  checkpoint's watermark is fsync-durable in the SQLite databases, the
+  raw logs, and the dead letter -- the journal invariant is
+  ``checkpoint => durable``, never the reverse,
+* zero or more ``resume`` markers (one per ``repro run --resume``),
+* at most one final ``complete`` record on clean completion.
+
+Every record carries a CRC32 over its canonical JSON payload, and every
+append is flushed + fsynced before the checkpoint is considered taken.
+A ``kill -9`` can therefore leave at most one *torn tail line* (the
+record being appended when the process died); :func:`read_journal`
+drops a torn tail silently -- it is the expected crash artifact, and the
+previous record was already durable.  Anything else that fails to parse
+(garbage bytes, a damaged record in the middle, a bad CRC on an inner
+line) is *corruption*: the strict reader refuses with
+:class:`JournalCorrupt`, and the lenient reader (``repro run
+--resume=force``) keeps the longest valid prefix instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO
+
+__all__ = [
+    "JOURNAL_DIRNAME", "JOURNAL_FILENAME", "JOURNAL_SCHEMA",
+    "JournalCorrupt", "JournalError", "JournalView", "RunJournal",
+    "journal_path", "read_journal",
+]
+
+#: Directory created next to the run's databases.
+JOURNAL_DIRNAME = "run_journal"
+
+#: The journal file inside :data:`JOURNAL_DIRNAME`.
+JOURNAL_FILENAME = "journal.jsonl"
+
+#: Journal schema identifier; bump the suffix on breaking changes.
+JOURNAL_SCHEMA = "repro.run_journal/1"
+
+
+class JournalError(RuntimeError):
+    """A journal could not be used (missing, wrong run, unusable)."""
+
+
+class JournalCorrupt(JournalError):
+    """A journal failed structural validation (bad CRC / garbage)."""
+
+
+def journal_path(output_dir: str | Path) -> Path:
+    """The journal file location for a run at ``output_dir``."""
+    return Path(output_dir) / JOURNAL_DIRNAME / JOURNAL_FILENAME
+
+
+def _canonical(record: dict) -> bytes:
+    """The byte string the CRC covers (sorted keys, tight separators)."""
+    return json.dumps(record, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _sealed(record: dict) -> str:
+    """Serialize ``record`` with its integrity CRC as one JSON line."""
+    body = dict(record)
+    body["crc"] = zlib.crc32(_canonical(record))
+    return json.dumps(body, separators=(",", ":")) + "\n"
+
+
+def _unseal(line: str) -> dict:
+    """Parse one journal line, verifying its CRC.
+
+    Raises ``ValueError`` on any structural problem.
+    """
+    body = json.loads(line)
+    if not isinstance(body, dict) or "crc" not in body:
+        raise ValueError("journal record without crc")
+    crc = body.pop("crc")
+    if zlib.crc32(_canonical(body)) != crc:
+        raise ValueError("journal record crc mismatch")
+    return body
+
+
+class RunJournal:
+    """Appender for one run's journal (create fresh, or reopen to
+    continue after a resume)."""
+
+    def __init__(self, path: Path, *, _handle: IO[str],
+                 checkpoints_taken: int = 0):
+        self.path = path
+        self._handle = _handle
+        #: ``seq`` of the next checkpoint record.
+        self.next_seq = checkpoints_taken
+
+    # -- creation ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, output_dir: str | Path, header: dict) -> "RunJournal":
+        """Start a fresh journal, replacing any previous one."""
+        path = journal_path(output_dir)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(path, "w", encoding="utf-8")
+        journal = cls(path, _handle=handle)
+        journal._append({"kind": "header", "schema": JOURNAL_SCHEMA,
+                         **header})
+        return journal
+
+    @classmethod
+    def reopen(cls, output_dir: str | Path, *,
+               checkpoints_taken: int) -> "RunJournal":
+        """Reopen an existing journal for appending (resume path)."""
+        path = journal_path(output_dir)
+        if not path.exists():
+            raise JournalError(f"no run journal at {path}")
+        handle = open(path, "a", encoding="utf-8")
+        return cls(path, _handle=handle,
+                   checkpoints_taken=checkpoints_taken)
+
+    @classmethod
+    def rewrite(cls, output_dir: str | Path,
+                records: list[dict]) -> "RunJournal":
+        """Atomically replace the journal with ``records`` and reopen
+        for appending.
+
+        The resume path uses this to supersede a crashed journal: the
+        kept prefix (header + the checkpoints at or below the adopted
+        restore point) is rewritten fresh, which discards torn tails
+        and any stale later checkpoints whose rows the resume just
+        truncated away.  The replace is write-temp + fsync +
+        ``os.replace``, so a crash mid-rewrite leaves the old journal
+        intact.
+        """
+        path = journal_path(output_dir)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_name(path.name + ".tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            for record in records:
+                body = {key: value for key, value in record.items()
+                        if key != "crc"}
+                handle.write(_sealed(body))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+        taken = sum(1 for record in records
+                    if record.get("kind") == "checkpoint")
+        handle = open(path, "a", encoding="utf-8")
+        return cls(path, _handle=handle, checkpoints_taken=taken)
+
+    # -- appends ----------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        """Durably append one record: write, flush, fsync."""
+        self._handle.write(_sealed(record))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def checkpoint(self, record: dict) -> int:
+        """Append one checkpoint record; returns its sequence number.
+
+        The caller must have completed the sink commit barrier first --
+        appending is what makes the checkpoint claim "everything up to
+        this watermark is durable".
+        """
+        seq = self.next_seq
+        self.next_seq += 1
+        self._append({"kind": "checkpoint", "seq": seq, **record})
+        return seq
+
+    def resume_marker(self, record: dict) -> None:
+        """Record that a resume adopted this journal."""
+        self._append({"kind": "resume", **record})
+
+    def complete(self, record: dict) -> None:
+        """Append the final record: the run finished cleanly."""
+        self._append({"kind": "complete", **record})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class JournalView:
+    """Parsed, validated view of a journal file."""
+
+    path: Path
+    header: dict | None
+    checkpoints: list[dict]
+    resumes: list[dict] = field(default_factory=list)
+    complete: dict | None = None
+    #: True when a torn tail line was dropped (the normal kill -9
+    #: artifact -- not corruption).
+    torn_tail: bool = False
+    #: Lines dropped because of real corruption (only in force mode).
+    dropped: int = 0
+
+
+def read_journal(output_dir: str | Path, *,
+                 force: bool = False) -> JournalView:
+    """Load and validate the journal of a run at ``output_dir``.
+
+    Strict mode (the default) raises :class:`JournalCorrupt` on any
+    damaged record other than a torn final line.  With ``force`` the
+    longest valid prefix is kept instead (``dropped`` counts what was
+    discarded); a journal whose very first line is unreadable yields a
+    view with ``header=None``.
+    """
+    path = journal_path(output_dir)
+    if not path.exists():
+        raise JournalError(
+            f"no run journal at {path} (start a checkpointed run with "
+            f"--checkpoint-interval first)")
+    raw = path.read_text(encoding="utf-8")
+    lines = raw.split("\n")
+    # A well-formed journal ends in a newline, leaving one empty string
+    # at the end of the split; anything after the last newline is a
+    # torn tail by construction.
+    torn_candidate = lines[-1] != ""
+    lines = [line for line in lines if line]
+
+    view = JournalView(path=path, header=None, checkpoints=[])
+    for index, line in enumerate(lines):
+        is_last = index == len(lines) - 1
+        try:
+            record = _unseal(line)
+        except ValueError as error:
+            if is_last and (torn_candidate or "crc mismatch" not in
+                            str(error)):
+                # Torn tail: the append in flight when the run died.
+                view.torn_tail = True
+                break
+            if not force:
+                raise JournalCorrupt(
+                    f"{path}: damaged record on line {index + 1} "
+                    f"({error}); re-run with --resume=force to fall "
+                    f"back to the last valid checkpoint") from error
+            view.dropped = len(lines) - index
+            break
+        if index == 0:
+            if record.get("kind") != "header" or \
+                    not str(record.get("schema", "")).startswith(
+                        "repro.run_journal/"):
+                if not force:
+                    raise JournalCorrupt(
+                        f"{path}: first record is not a run_journal "
+                        f"header")
+                view.dropped = len(lines)
+                break
+            view.header = record
+            continue
+        kind = record.get("kind")
+        if kind == "checkpoint":
+            view.checkpoints.append(record)
+        elif kind == "resume":
+            view.resumes.append(record)
+        elif kind == "complete":
+            view.complete = record
+        elif not force:
+            raise JournalCorrupt(
+                f"{path}: unknown record kind {kind!r} on line "
+                f"{index + 1}")
+    if view.header is None and not force:
+        raise JournalCorrupt(f"{path}: no journal header record")
+    # Checkpoints must be sequential -- a gap means a record vanished.
+    for expected, checkpoint in enumerate(view.checkpoints):
+        if checkpoint.get("seq") != expected:
+            if not force:
+                raise JournalCorrupt(
+                    f"{path}: checkpoint sequence gap (expected seq "
+                    f"{expected}, found {checkpoint.get('seq')!r})")
+            view.dropped += len(view.checkpoints) - expected
+            view.checkpoints = view.checkpoints[:expected]
+            break
+    return view

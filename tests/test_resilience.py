@@ -116,10 +116,16 @@ class TestAmbientPlan:
 
 class TestNamedPlans:
     def test_builtin_all_superset(self):
+        # "all" covers every recoverable site; proc.kill is process-fatal
+        # and only ships in the dedicated worker-kill plan.
         all_sites = set(BUILTIN_PLANS["all"])
         for name, sites in BUILTIN_PLANS.items():
             if name != "all":
-                assert set(sites) <= all_sites
+                assert set(sites) - {"proc.kill"} <= all_sites
+
+    def test_proc_kill_excluded_from_all(self):
+        assert "proc.kill" not in BUILTIN_PLANS["all"]
+        assert "proc.kill" in BUILTIN_PLANS["worker-kill"]
 
     def test_load_builtin_plan(self):
         plan = faults.load_plan("sqlite-lock", seed=9)
