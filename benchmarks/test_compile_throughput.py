@@ -1,0 +1,132 @@
+"""Schedule compilation and session hot-path throughput.
+
+Times the two sides the indexed deployment plan optimised:
+
+* ``compile_visits`` alone (best of 3, fresh plan each time so the
+  pool registry starts cold), with the plan's ``select_calls`` counter
+  -- the indexed plan resolves each ``(dbms, scope)`` target pool once
+  per plan, where the pre-refactor linear scan performed one
+  ``select()`` sweep per behavior compile (~33k at this scale);
+* one full serial ``run_experiment`` (best of 2), the end-to-end
+  number the per-session event fast lane moves.
+
+Results are snapshotted to ``BENCH_schedule.json`` next to the other
+bench artifacts.  The recorded baselines were measured on this same
+container immediately before the refactor (best of 3, scale 2e-4,
+seed 2024), so the speedup columns are honest for comparable hardware
+-- ``cpu_count``/``python``/``platform`` travel with the numbers so a
+reader can tell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from time import perf_counter
+
+from repro.agents.population import build_world
+from repro.core.reports import format_table
+from repro.deployment import ExperimentConfig, run_experiment
+from repro.deployment.plan import build_plan
+from repro.deployment.replay import compile_visits
+
+from .conftest import OUTPUT_DIR
+
+#: Pre-refactor walls, best of 3 at scale 2e-4 / seed 2024, measured
+#: from a checkout of the commit preceding this refactor on the same
+#: container minutes before the optimised numbers were recorded (so
+#: both sides saw the same machine conditions).  The pre-refactor code
+#: used a linear-scan ``select()`` per behavior compile, per-event
+#: ``asdict`` JSON, unbatched writer queues, and maintained every
+#: index during the bulk insert.
+BASELINE_COMPILE_SECONDS = 2.143
+BASELINE_END_TO_END_SECONDS = 12.089
+
+#: Ceiling on plan lookups per compile.  The indexed plan performs a
+#: couple of dozen; the pre-refactor compile performed one per behavior
+#: (~33k at this scale), so the budget fails loudly if pooled target
+#: selection ever regresses to per-behavior scans.
+SELECT_CALLS_BUDGET = 256
+
+
+def schedule_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCHEDULE_SCALE", "0.0002"))
+
+
+def test_compile_and_replay_throughput(emit, tmp_path):
+    seed = int(os.environ.get("REPRO_BENCH_SEED", "2024"))
+    scale = schedule_scale()
+
+    world = build_world(seed=seed, volume_scale=scale)
+    compile_walls = []
+    visits = select_calls = 0
+    for _ in range(3):
+        plan = build_plan(seed=seed)  # fresh plan: cold pool registry
+        started = perf_counter()
+        schedule = compile_visits(world, plan, seed)
+        compile_walls.append(perf_counter() - started)
+        visits = len(schedule)
+        select_calls = plan.select_calls
+    compile_wall = min(compile_walls)
+
+    e2e_walls = []
+    events_total = 0
+    for attempt in range(2):
+        started = perf_counter()
+        result = run_experiment(ExperimentConfig(
+            seed=seed, volume_scale=scale,
+            output_dir=tmp_path / f"run{attempt}"))
+        e2e_walls.append(perf_counter() - started)
+        events_total = result.events_total
+    e2e_wall = min(e2e_walls)
+
+    snapshot = {
+        "bench": {
+            "scale": scale,
+            "seed": seed,
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "compile": {
+            "wall_seconds": round(compile_wall, 3),
+            "walls": [round(wall, 3) for wall in compile_walls],
+            "visits": visits,
+            "visits_per_second": round(visits / compile_wall, 1),
+            "select_calls": select_calls,
+            "select_calls_budget": SELECT_CALLS_BUDGET,
+            "baseline_wall_seconds": BASELINE_COMPILE_SECONDS,
+            "speedup_vs_baseline": round(
+                BASELINE_COMPILE_SECONDS / compile_wall, 2),
+        },
+        "end_to_end": {
+            "wall_seconds": round(e2e_wall, 3),
+            "walls": [round(wall, 3) for wall in e2e_walls],
+            "events": events_total,
+            "events_per_second": round(events_total / e2e_wall, 1),
+            "baseline_wall_seconds": BASELINE_END_TO_END_SECONDS,
+            "speedup_vs_baseline": round(
+                BASELINE_END_TO_END_SECONDS / e2e_wall, 2),
+        },
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_schedule.json").write_text(
+        json.dumps(snapshot, indent=2) + "\n", encoding="utf-8")
+
+    emit("compile_throughput", format_table(
+        ["Stage", "Wall (s)", "Throughput", "Baseline (s)", "Speedup"],
+        [["compile_visits", f"{compile_wall:.3f}",
+          f"{visits / compile_wall:,.0f} visits/s",
+          f"{BASELINE_COMPILE_SECONDS:.3f}",
+          f"{BASELINE_COMPILE_SECONDS / compile_wall:.2f}x"],
+         ["run_experiment", f"{e2e_wall:.3f}",
+          f"{events_total / e2e_wall:,.0f} events/s",
+          f"{BASELINE_END_TO_END_SECONDS:.2f}",
+          f"{BASELINE_END_TO_END_SECONDS / e2e_wall:.2f}x"]]))
+
+    # The lookup budget is deterministic (unlike the walls): the pooled
+    # selection must never regress to per-behavior plan scans.
+    assert select_calls <= SELECT_CALLS_BUDGET
+    assert visits > 0 and events_total > 0
+    assert compile_wall > 0 and e2e_wall > 0

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from repro.agents.base import (Behavior, Visit, VisitContext, connect_probe,
                                day_time, pick_active_days)
 from repro.agents.credentials import CredentialSampler
+from repro.agents.pools import low_pool, low_scan_pool
 from repro.clients import (MSSQLClient, MySQLClient, PostgresClient,
                            WireError)
 from typing import TYPE_CHECKING
@@ -24,21 +25,14 @@ from repro.netsim.clock import EXPERIMENT_DAYS
 
 
 def _low_targets(plan: "DeploymentPlan", dbms: str,
-                 scope: str) -> list[str]:
+                 scope: str) -> tuple[str, ...]:
     """Keys of low-interaction targets for ``dbms`` within ``scope``.
 
-    ``scope`` is ``multi``, ``single``, or ``both``.
+    ``scope`` is ``multi``, ``single``, or ``both``.  Resolved through
+    the shared pool registry (:mod:`repro.agents.pools`), so repeated
+    calls return the same cached tuple.
     """
-    targets = []
-    if scope in ("multi", "both"):
-        targets += [t.key for t in plan.select(interaction="low",
-                                               dbms=dbms, config="multi")]
-    if scope in ("single", "both"):
-        targets += [t.key for t in plan.select(interaction="low",
-                                               dbms=dbms, config="single")]
-    if not targets:
-        raise ValueError(f"no low-interaction targets for {dbms}/{scope}")
-    return targets
+    return low_pool(plan, dbms, scope)
 
 
 @dataclass
@@ -64,18 +58,15 @@ class LowScanBehavior:
 
     def visits(self, plan: "DeploymentPlan",
                rng: random.Random) -> list[Visit]:
-        services = [self.dbms] if self.dbms else ["mysql", "postgresql",
-                                                  "redis", "mssql"]
-        pool = [key for service in services
-                for key in _low_targets(plan, service, self.scope)]
-        single_pool = []
+        services = ((self.dbms,) if self.dbms
+                    else ("mysql", "postgresql", "redis", "mssql"))
+        pool = low_scan_pool(plan, services, self.scope)
+        single_pool: tuple[str, ...] = ()
         if self.scope == "both":
             # Range scanners sweep whole prefixes, so a source probing
             # both host groups reliably touches the (much smaller)
             # single-service group too -- guarantee one hit per day.
-            single_pool = [key for service in services
-                           for key in _low_targets(plan, service,
-                                                   "single")]
+            single_pool = low_scan_pool(plan, services, "single")
         visits = []
         for day in pick_active_days(rng, EXPERIMENT_DAYS, self.active_days):
             count = min(self.probes_per_day, len(pool))

@@ -1,0 +1,77 @@
+"""Shared target-pool registry for the behavior compile hot path.
+
+Roughly 7k behavior ``compile()`` calls ask the plan for the same
+handful of ``(dbms, scope)`` target pools.  Before this registry each
+call rebuilt its pool from ``plan.select()`` scans; now every distinct
+pool is resolved exactly once per plan and handed out as a shared,
+immutable tuple.  Tuples are drop-in for the consumers -- ``rng.sample``,
+``rng.choice`` and membership tests depend only on sequence content and
+length, so the RNG draw streams (and therefore the compiled schedule)
+are byte-identical to the per-call list era.
+
+The cache lives on the plan itself (``plan._pool_cache``, created in
+``DeploymentPlan.__post_init__``) rather than in a module-global map:
+plans are mutable dataclasses (unhashable), and tying the cache to the
+plan's lifetime means tests that build many plans never cross-talk.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.deployment.plan import DeploymentPlan
+
+
+def low_pool(plan: "DeploymentPlan", dbms: str,
+             scope: str) -> tuple[str, ...]:
+    """Keys of low-interaction targets for ``dbms`` within ``scope``.
+
+    ``scope`` is ``multi``, ``single``, or ``both``; ``both``
+    concatenates multi then single, matching the historical ordering
+    that the compiled RNG draws depend on.
+    """
+    cache = plan._pool_cache
+    bucket = ("low", dbms, scope)
+    pool = cache.get(bucket)
+    if pool is None:
+        keys: tuple[str, ...] = ()
+        if scope in ("multi", "both"):
+            keys += plan.select_keys(interaction="low", dbms=dbms,
+                                     config="multi")
+        if scope in ("single", "both"):
+            keys += plan.select_keys(interaction="low", dbms=dbms,
+                                     config="single")
+        if not keys:
+            raise ValueError(
+                f"no low-interaction targets for {dbms}/{scope}")
+        pool = cache[bucket] = keys
+    return pool
+
+
+def low_scan_pool(plan: "DeploymentPlan", services: tuple[str, ...],
+                  scope: str) -> tuple[str, ...]:
+    """Concatenated :func:`low_pool` across ``services``, in order."""
+    cache = plan._pool_cache
+    bucket = ("low-scan", services, scope)
+    pool = cache.get(bucket)
+    if pool is None:
+        keys: tuple[str, ...] = ()
+        for service in services:
+            keys += low_pool(plan, service, scope)
+        pool = cache[bucket] = keys
+    return pool
+
+
+def midhigh_pool(plan: "DeploymentPlan", dbms: str,
+                 config: str | None = None) -> tuple[str, ...]:
+    """Keys of medium/high targets for one DBMS (MongoDB is the only
+    high-interaction deployment; everything else is medium)."""
+    cache = plan._pool_cache
+    bucket = ("midhigh", dbms, config)
+    pool = cache.get(bucket)
+    if pool is None:
+        interaction = "high" if dbms == "mongodb" else "medium"
+        pool = cache[bucket] = plan.select_keys(
+            interaction=interaction, dbms=dbms, config=config)
+    return pool

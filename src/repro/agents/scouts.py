@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.agents.base import (Behavior, Visit, VisitContext, connect_probe,
                                day_time, pick_active_days, run_quietly)
+from repro.agents.pools import midhigh_pool
 from repro.clients import (ElasticClient, MongoClient, PostgresClient,
                            RedisClient, WireError)
 from typing import TYPE_CHECKING
@@ -24,11 +25,10 @@ from repro.netsim.clock import EXPERIMENT_DAYS
 
 
 def midhigh_targets(plan: "DeploymentPlan", dbms: str,
-                    config: str | None = None) -> list[str]:
-    """Keys of medium/high targets for one DBMS."""
-    interaction = "high" if dbms == "mongodb" else "medium"
-    return [t.key for t in plan.select(interaction=interaction, dbms=dbms,
-                                       config=config)]
+                    config: str | None = None) -> tuple[str, ...]:
+    """Keys of medium/high targets for one DBMS, via the shared pool
+    registry (:mod:`repro.agents.pools`)."""
+    return midhigh_pool(plan, dbms, config)
 
 
 @dataclass

@@ -14,7 +14,9 @@ Subcommands:
   Appendix-B dataset,
 * ``chaos``          -- run the deployment under a deterministic
   fault-injection plan and verify the conservation invariant
-  ``events_generated == events_stored + events_quarantined``.
+  ``events_generated == events_stored + events_quarantined``,
+* ``profile``        -- run a small deployment under ``cProfile`` and
+  print the hot functions plus the compile/replay throughput numbers.
 
 Exit codes: 0 success, 1 missing input (e.g. no database / manifest at
 ``--output``), 2 bad arguments.
@@ -32,9 +34,11 @@ from repro.core.campaigns import campaign_summary
 from repro.core.reports import (classification_table, extrapolate,
                                 format_table)
 from repro.core.store import AnalysisStore
+from repro.agents.population import build_world
 from repro.core.temporal import hourly_series
 from repro.deployment import (ExperimentConfig, resolve_workers,
                               run_experiment)
+from repro.deployment.plan import build_plan
 
 
 def _package_version() -> str:
@@ -187,6 +191,27 @@ def build_parser() -> argparse.ArgumentParser:
                                 "many seconds; a run killed by the "
                                 "worker-kill plan then auto-resumes "
                                 "from its last durable checkpoint")
+
+    profile_cmd = subcommands.add_parser(
+        "profile", help="profile a small deployment run under cProfile "
+                        "and print the hot functions")
+    profile_cmd.add_argument("--seed", type=int, default=2024)
+    profile_cmd.add_argument("--scale", type=float, default=5e-05,
+                             help="login-volume scale factor (default is "
+                                  "a quick profiling scale)")
+    profile_cmd.add_argument("--top", type=int, default=20,
+                             help="rows of the hot-function table to "
+                                  "print")
+    profile_cmd.add_argument("--sort", default="cumulative",
+                             choices=["cumulative", "tottime", "calls"],
+                             help="pstats sort order for the table")
+    profile_cmd.add_argument("--output", type=Path, default=None,
+                             help="run output directory (default: a "
+                                  "temporary directory, removed "
+                                  "afterwards)")
+    profile_cmd.add_argument("--stats-out", type=Path, default=None,
+                             help="also dump the raw pstats file here "
+                                  "(loadable with pstats/snakeviz)")
     return parser
 
 
@@ -582,6 +607,56 @@ def cmd_export_dataset(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+    import shutil
+    import tempfile
+    import time
+
+    if args.top <= 0:
+        print("error: --top must be positive", file=sys.stderr)
+        return 2
+    keep = args.output is not None
+    output_dir = args.output if keep else \
+        Path(tempfile.mkdtemp(prefix="repro-profile-"))
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = run_experiment(ExperimentConfig(
+        seed=args.seed, volume_scale=args.scale, output_dir=output_dir))
+    profiler.disable()
+    wall = time.perf_counter() - start
+
+    # Compile-side numbers re-measured standalone (cheap at profiling
+    # scales), so the schedule-compilation cost and the indexed plan's
+    # lookup counter are visible without digging through the table.
+    from repro.deployment.replay import compile_visits
+
+    plan = build_plan(args.seed)
+    world = build_world(args.seed, args.scale)
+    compile_start = time.perf_counter()
+    schedule = compile_visits(world, plan, args.seed)
+    compile_wall = time.perf_counter() - compile_start
+
+    print(f"end-to-end: {wall:.3f}s "
+          f"({result.events_total} events, "
+          f"{result.events_total / wall:,.0f} events/s)")
+    print(f"compile_visits: {compile_wall:.3f}s "
+          f"({len(schedule)} visits, "
+          f"{len(schedule) / compile_wall:,.0f} visits/s)")
+    print(f"plan.select_calls: {plan.select_calls}")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    if args.stats_out is not None:
+        stats.dump_stats(args.stats_out)
+        print(f"pstats dump: {args.stats_out}")
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if not keep:
+        shutil.rmtree(output_dir, ignore_errors=True)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -592,6 +667,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": cmd_serve,
         "export-dataset": cmd_export_dataset,
         "chaos": cmd_chaos,
+        "profile": cmd_profile,
     }
     try:
         return handlers[args.command](args)

@@ -16,7 +16,9 @@
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.honeypots import (Elasticpot, Honeypot, LowInteractionMSSQL,
                              LowInteractionMySQL, LowInteractionPostgres,
@@ -52,54 +54,98 @@ class DeploymentTarget:
     honeypot: Honeypot
     location: str = "Netherlands"
 
-    @property
+    # Identity fields are stable for the honeypot's lifetime but cost a
+    # chain of attribute hops through ``honeypot.info``; cached_property
+    # stores the resolved value in the instance ``__dict__`` (allowed on
+    # frozen dataclasses -- it bypasses ``__setattr__``) so the hot
+    # compile path pays the chain once per target, not 9M times per run.
+
+    @cached_property
     def dbms(self) -> str:
         return self.honeypot.dbms
 
-    @property
+    @cached_property
     def interaction(self) -> str:
         return self.honeypot.interaction
 
-    @property
+    @cached_property
     def config(self) -> str:
         return self.honeypot.info.config
 
 
 @dataclass
 class DeploymentPlan:
-    """The full deployment, with lookup helpers for the actor layer."""
+    """The full deployment, with lookup helpers for the actor layer.
+
+    ``__post_init__`` precomputes immutable lookup tables so the
+    per-behavior ``select()`` / ``hosts()`` calls in the compile hot
+    path are dict lookups rather than linear scans over all targets.
+    ``select_calls`` counts lookups (an analysis-style counter surfaced
+    by ``repro profile`` and the compile-throughput benchmark) so CI can
+    fail if an O(agents x targets) scan is ever reintroduced.
+    """
 
     targets: list[DeploymentTarget] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self._by_key = {target.key: target for target in self.targets}
+        # (interaction|None, dbms|None, config|None) -> tuple of targets
+        # in plan order.  Each target lands in all 8 wildcard
+        # combinations of its identity triple, so any filter is O(1).
+        select_index: dict[tuple[str | None, str | None, str | None],
+                           list[DeploymentTarget]] = {}
+        hosts_index: dict[str, dict[str, None]] = {}
+        for target in self.targets:
+            identity = (target.interaction, target.dbms, target.config)
+            for mask in range(8):
+                bucket = (identity[0] if mask & 4 else None,
+                          identity[1] if mask & 2 else None,
+                          identity[2] if mask & 1 else None)
+                select_index.setdefault(bucket, []).append(target)
+            hosts_index.setdefault(target.config, {}).setdefault(
+                target.host, None)
+        self._select_index = {bucket: tuple(found)
+                              for bucket, found in select_index.items()}
+        self._keys_index = {
+            bucket: tuple(target.key for target in found)
+            for bucket, found in self._select_index.items()}
+        self._hosts_index = {config: tuple(seen)
+                             for config, seen in hosts_index.items()}
+        # Behavior-level target pools (see repro.agents.pools), resolved
+        # once per (kind, dbms, scope) for the plan's lifetime.
+        self._pool_cache: dict[tuple, tuple[str, ...]] = {}
+        self.select_calls = 0
 
     def by_key(self, key: str) -> DeploymentTarget:
         """Look up one target."""
-        return self._by_key[key]
+        try:
+            return self._by_key[key]
+        except KeyError:
+            close = difflib.get_close_matches(key, self._by_key, n=3)
+            hint = (f"; nearest matches: {', '.join(close)}" if close
+                    else "")
+            raise KeyError(
+                f"unknown deployment target {key!r}{hint}") from None
 
     def select(self, *, interaction: str | None = None,
                dbms: str | None = None, config: str | None = None,
                ) -> list[DeploymentTarget]:
         """Filter targets by interaction level / DBMS / configuration."""
-        found = []
-        for target in self.targets:
-            if interaction is not None and target.interaction != interaction:
-                continue
-            if dbms is not None and target.dbms != dbms:
-                continue
-            if config is not None and target.config != config:
-                continue
-            found.append(target)
-        return found
+        self.select_calls += 1
+        return list(self._select_index.get(
+            (interaction, dbms, config), ()))
+
+    def select_keys(self, *, interaction: str | None = None,
+                    dbms: str | None = None, config: str | None = None,
+                    ) -> tuple[str, ...]:
+        """Like :meth:`select`, but the precomputed key tuple (shared,
+        immutable -- the form behavior pools actually consume)."""
+        self.select_calls += 1
+        return self._keys_index.get((interaction, dbms, config), ())
 
     def hosts(self, *, config: str) -> list[str]:
         """Distinct host identifiers with the given low-int config."""
-        seen: dict[str, None] = {}
-        for target in self.targets:
-            if target.config == config:
-                seen.setdefault(target.host, None)
-        return list(seen)
+        return list(self._hosts_index.get(config, ()))
 
     def __len__(self) -> int:
         return len(self.targets)

@@ -131,7 +131,7 @@ def shard_of(target_key: str, workers: int) -> int:
     return zlib.crc32(target_key.encode("utf-8")) % workers
 
 
-@dataclass
+@dataclass(slots=True)
 class VisitOutcome:
     """Everything one replayed visit produced."""
 
@@ -164,12 +164,13 @@ class VisitOutcome:
                 else len(self.events))
 
 
-@dataclass
+@dataclass(slots=True)
 class _DriverWire:
     """A MemoryWire wrapper that surfaces server-side closes and the
     ``wire.disconnect`` injection site to the visiting script."""
 
     inner: MemoryWire
+    fault_plan: faults.FaultPlan
 
     def connect(self) -> bytes:
         return self.inner.connect()
@@ -177,9 +178,10 @@ class _DriverWire:
     def send(self, data: bytes) -> bytes:
         if self.inner.server_closed:
             raise WireError("connection closed by server")
-        faults.current().maybe_raise(
-            "wire.disconnect",
-            lambda: WireError("connection reset by peer (injected)"))
+        if not self.fault_plan.is_noop:
+            self.fault_plan.maybe_raise(
+                "wire.disconnect",
+                lambda: WireError("connection reset by peer (injected)"))
         return self.inner.send(data)
 
     def close(self) -> None:
@@ -188,35 +190,51 @@ class _DriverWire:
 
 def _replay_visit(plan: DeploymentPlan, clock: SimClock, seed: int,
                   offset: float, actor_ip: str, sequence: int,
-                  visit: Visit, span: Callable) -> VisitOutcome:
+                  visit: Visit, span: Callable,
+                  rng: random.Random | None = None) -> VisitOutcome:
     """Replay one visit into a private buffer; never raises.
 
     Crash containment: a session/script exception marks the outcome
     failed (its events travel with it, for the dead letter) and the
     replay continues -- one poisoned session must never abort the whole
     deployment window.
+
+    Ambient state (the fault plan, the telemetry bundle) is resolved
+    once here and threaded through the visit's wires, so the
+    per-message ``send()`` hot path never touches a thread-local.  The
+    visit key is formatted once and shared by the RNG seed and the
+    keyed ``visit.crash`` draw -- ``f"{seed}:{visit_key}"`` is
+    character-identical to the historical ``f"{seed}:{ip}:{seq}"``
+    derivation, and re-seeding a loop-reused ``rng`` is CPython's own
+    ``Random(str)`` construction path, so every random stream is
+    unchanged.
     """
     clock.seek(EXPERIMENT_START + timedelta(seconds=offset))
-    rng = random.Random(f"{seed}:{actor_ip}:{sequence}")
+    visit_key = f"{actor_ip}:{sequence}"
+    if rng is None:
+        rng = random.Random(f"{seed}:{visit_key}")
+    else:
+        rng.seed(f"{seed}:{visit_key}")
     events: list[LogEvent] = []
     open_wires: list[MemoryWire] = []
     metrics = obs.current().metrics
+    fault_plan = faults.current()
 
     def opener(target_key: str, *, _ip=actor_ip, _rng=rng) -> Wire:
         target = plan.by_key(target_key)
         context = SessionContext(
             src_ip=_ip, src_port=_rng.randint(1024, 65535),
             clock=clock, sink=events.append)
-        wire = MemoryWire(target.honeypot, context)
+        wire = MemoryWire(target.honeypot, context, fault_plan)
         open_wires.append(wire)
-        return _DriverWire(wire)
+        return _DriverWire(wire, fault_plan)
 
     failure: str | None = None
     try:
         with span("replay.visit", actor=actor_ip,
                   target=visit.target_key, seq=sequence):
-            faults.current().maybe_raise(
-                "visit.crash", key=f"{actor_ip}:{sequence}")
+            if not fault_plan.is_noop:
+                fault_plan.maybe_raise("visit.crash", key=visit_key)
             visit.script(VisitContext(opener=opener,
                                       target_key=visit.target_key,
                                       rng=rng))
@@ -329,19 +347,21 @@ class SerialExecutor(ReplayEngine):
         watermark = ops.watermark if ops is not None else None
         clock = SimClock()
         span = telemetry.tracer.span
+        rng = random.Random()  # reused: re-seeded per visit
         for offset, actor_ip, sequence, visit in schedule:
             if watermark is not None and \
                     (offset, actor_ip, sequence) <= watermark:
                 yield _fast_forward_visit(plan, clock, seed, offset,
-                                          actor_ip, sequence, visit)
+                                          actor_ip, sequence, visit, rng)
             else:
                 yield _replay_visit(plan, clock, seed, offset, actor_ip,
-                                    sequence, visit, span)
+                                    sequence, visit, span, rng)
 
 
 def _fast_forward_visit(plan: DeploymentPlan, clock: SimClock, seed: int,
                         offset: float, actor_ip: str, sequence: int,
-                        visit: Visit) -> VisitOutcome:
+                        visit: Visit,
+                        rng: random.Random | None = None) -> VisitOutcome:
     """Re-replay an already-committed visit during a resume.
 
     Honeypots are stateful across sessions, so the only way to put the
@@ -357,7 +377,7 @@ def _fast_forward_visit(plan: DeploymentPlan, clock: SimClock, seed: int,
     with obs.install_local(obs.NULL_TELEMETRY):
         outcome = _replay_visit(plan, clock, seed, offset, actor_ip,
                                 sequence, visit,
-                                obs.NULL_TELEMETRY.tracer.span)
+                                obs.NULL_TELEMETRY.tracer.span, rng)
     outcome.events_count = len(outcome.events)
     outcome.events = []
     outcome.committed = True
@@ -438,6 +458,7 @@ def _replay_shard(plan: DeploymentPlan, shard: int,
               else _NO_FLIGHT):
             span = telemetry.tracer.span
             clock = SimClock()
+            rng = random.Random()  # reused: re-seeded per visit
             for offset, actor_ip, sequence, visit in schedule:
                 committed = (watermark is not None and
                              (offset, actor_ip, sequence) <= watermark)
@@ -450,11 +471,11 @@ def _replay_shard(plan: DeploymentPlan, shard: int,
                 if committed:
                     outcome = _fast_forward_visit(plan, clock, seed,
                                                   offset, actor_ip,
-                                                  sequence, visit)
+                                                  sequence, visit, rng)
                 else:
                     outcome = _replay_visit(plan, clock, seed, offset,
                                             actor_ip, sequence, visit,
-                                            span)
+                                            span, rng)
                 visits += 1
                 events_total += outcome.event_total()
                 if outcome.failure is not None:

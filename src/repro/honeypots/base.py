@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.netsim.clock import SimClock
 from repro.pipeline.logstore import (EventSink, EventType, LogEvent,
@@ -22,7 +23,7 @@ from repro.pipeline.logstore import (EventSink, EventType, LogEvent,
 from repro.resilience import faults
 
 
-@dataclass
+@dataclass(slots=True)
 class SessionContext:
     """Everything a session needs to observe its peer and log events.
 
@@ -64,6 +65,18 @@ class HoneypotSession(abc.ABC):
         #: done; transports must stop reading once it is true.
         self.closed = False
         self._disconnect_logged = False
+        # Session-constant LogEvent fields, bound once: log() only has
+        # to supply the per-event fields (~160k events per run).
+        self._event = partial(
+            LogEvent,
+            honeypot_id=info.honeypot_id,
+            honeypot_type=info.honeypot_type,
+            dbms=info.dbms,
+            interaction=info.interaction,
+            config=info.config,
+            src_ip=context.src_ip,
+            src_port=context.src_port,
+        )
 
     # -- transport interface --------------------------------------------------
 
@@ -114,21 +127,15 @@ class HoneypotSession(abc.ABC):
             username: str | None = None, password: str | None = None,
             raw: bytes | str | None = None) -> None:
         """Emit one :class:`LogEvent` for this session."""
-        self.context.events += 1
-        self.context.sink(LogEvent(
-            timestamp=self.context.clock.timestamp(),
-            honeypot_id=self.info.honeypot_id,
-            honeypot_type=self.info.honeypot_type,
-            dbms=self.info.dbms,
-            interaction=self.info.interaction,
-            config=self.info.config,
-            src_ip=self.context.src_ip,
-            src_port=self.context.src_port,
+        context = self.context
+        context.events += 1
+        context.sink(self._event(
+            timestamp=context.clock.timestamp(),
             event_type=event_type.value,
             action=action,
             username=username,
             password=password,
-            raw=truncate_raw(raw),
+            raw=None if raw is None else truncate_raw(raw),
         ))
 
 
@@ -160,7 +167,7 @@ class Honeypot(abc.ABC):
         """Create a session for one incoming connection."""
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryWire:
     """In-process client side of a honeypot session.
 
@@ -171,6 +178,12 @@ class MemoryWire:
 
     honeypot: Honeypot
     context: SessionContext
+    #: Fault plan applied to payloads in flight.  ``None`` (the default)
+    #: resolves the ambient plan lazily on first :meth:`send`; the
+    #: replay driver passes the per-visit plan explicitly so the ~69k
+    #: sends per run skip the ambient lookup -- and skip ``mangle()``
+    #: entirely when the plan is the no-op singleton.
+    fault_plan: faults.FaultPlan | None = None
     _session: HoneypotSession | None = field(default=None, init=False)
     _greeting: bytes = field(default=b"", init=False)
 
@@ -186,13 +199,17 @@ class MemoryWire:
     def send(self, data: bytes) -> bytes:
         """Send bytes; returns whatever the server replies.
 
-        The ambient fault plan may corrupt or truncate the payload in
-        flight (``wire.corrupt`` / ``wire.truncate``) -- the in-memory
-        analogue of a hostile or lossy network path.
+        The fault plan may corrupt or truncate the payload in flight
+        (``wire.corrupt`` / ``wire.truncate``) -- the in-memory analogue
+        of a hostile or lossy network path.
         """
         if self._session is None:
             raise RuntimeError("wire not connected")
-        data = faults.current().mangle("wire", data)
+        plan = self.fault_plan
+        if plan is None:  # ambient semantics for tests / TCP transports
+            plan = faults.current()
+        if not plan.is_noop:
+            data = plan.mangle("wire", data)
         self.context.bytes_in += len(data)
         reply = self._session.receive(data)
         self.context.bytes_out += len(reply)

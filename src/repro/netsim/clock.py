@@ -42,6 +42,7 @@ class SimClock:
 
     start: datetime = EXPERIMENT_START
     _current: datetime = field(init=False)
+    _timestamp: float | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         if self.start.tzinfo is None:
@@ -53,8 +54,16 @@ class SimClock:
         return self._current
 
     def timestamp(self) -> float:
-        """Return the current simulated time as a POSIX timestamp."""
-        return self._current.timestamp()
+        """Return the current simulated time as a POSIX timestamp.
+
+        The conversion is cached until the clock next moves: replay
+        seeks once per visit but stamps every event, so this is called
+        ~160k times per run against a handful of distinct instants.
+        """
+        ts = self._timestamp
+        if ts is None:
+            ts = self._timestamp = self._current.timestamp()
+        return ts
 
     def advance(self, *, days: float = 0, hours: float = 0,
                 minutes: float = 0, seconds: float = 0) -> None:
@@ -70,6 +79,7 @@ class SimClock:
         if delta < timedelta(0):
             raise ValueError("cannot advance the clock backwards")
         self._current += delta
+        self._timestamp = None
 
     def seek(self, target: datetime) -> None:
         """Jump forward to ``target``.
@@ -83,6 +93,7 @@ class SimClock:
             raise ValueError(
                 f"cannot seek backwards: {target} < {self._current}")
         self._current = target
+        self._timestamp = None
 
     def elapsed(self) -> timedelta:
         """Return the time elapsed since the clock was created."""

@@ -41,7 +41,8 @@ from typing import Callable, Iterable, Iterator
 
 from repro import obs
 from repro.netsim.geoip import GeoIPDatabase
-from repro.pipeline.enrich import EnrichedEvent, enrich_events, enrich_iter
+from repro.pipeline.enrich import (_FALLBACK, EnrichedEvent, enrich_events,
+                                   enrich_iter)
 from repro.pipeline.institutional import InstitutionalScannerList
 from repro.pipeline.logstore import LogEvent
 from repro.resilience import faults
@@ -87,16 +88,20 @@ CREATE TABLE IF NOT EXISTS events (
     as_type TEXT NOT NULL,
     institutional INTEGER NOT NULL
 );
+"""
+
+#: Built *after* the bulk insert (a sorted bulk index build is far
+#: cheaper than maintaining every index on each ``executemany``): the
+#: single-column filter indexes, the composite indexes behind the
+#: analysis store's filter pushdown (interaction/dbms slices ordered
+#: by time, per-source lookups), plus ``ANALYZE`` so the query planner
+#: actually picks them.  Nothing reads these databases mid-conversion
+#: -- checkpoint validation scans by rowid -- so the indexes only have
+#: to exist once conversion finishes.
+_POST_INDEXES = """
 CREATE INDEX IF NOT EXISTS idx_events_src_ip ON events (src_ip);
 CREATE INDEX IF NOT EXISTS idx_events_type ON events (event_type);
 CREATE INDEX IF NOT EXISTS idx_events_dbms ON events (dbms, interaction);
-"""
-
-#: Built *after* the bulk insert (cheaper than maintaining them per
-#: chunk): the composite indexes behind the analysis store's filter
-#: pushdown (interaction/dbms slices ordered by time, per-source
-#: lookups), plus ``ANALYZE`` so the query planner actually picks them.
-_POST_INDEXES = """
 CREATE INDEX IF NOT EXISTS idx_events_pushdown
     ON events (interaction, dbms, timestamp);
 CREATE INDEX IF NOT EXISTS idx_events_src_dbms
@@ -226,15 +231,14 @@ def convert_to_sqlite(events: Iterable[LogEvent], db_path: str | Path,
     insert_seconds = 0.0
     rows_written = 0
     lookup_cache: dict = {}
+    scanners = scanners or InstitutionalScannerList()
     retry_rng = random.Random(f"sqlite-retry:{db_path.name}")
     try:
         connection.executescript(_PRAGMAS + _SCHEMA)
         for chunk in _chunks(events, chunk_rows):
             with telemetry.tracer.span("convert.enrich", db=db_path.name):
                 start = time.perf_counter()
-                rows = [_row(enriched) for enriched
-                        in enrich_iter(chunk, geoip, scanners,
-                                       cache=lookup_cache)]
+                rows = _rows(chunk, geoip, scanners, lookup_cache)
                 enrich_seconds += time.perf_counter() - start
             with telemetry.tracer.span("convert.insert", db=db_path.name):
                 start = time.perf_counter()
@@ -310,6 +314,7 @@ def convert_durable(get: Callable[[], object], db_path: str | Path,
     barrier_count = 0
     resumed_at = rows_written
     lookup_cache: dict = {}
+    scanners = scanners or InstitutionalScannerList()
     retry_rng = random.Random(f"sqlite-retry:{db_path.name}")
     buffer: list[LogEvent] = []
 
@@ -319,9 +324,7 @@ def convert_durable(get: Callable[[], object], db_path: str | Path,
             return
         with telemetry.tracer.span("convert.enrich", db=db_path.name):
             start = time.perf_counter()
-            rows = [_row(enriched) for enriched
-                    in enrich_iter(buffer, geoip, scanners,
-                                   cache=lookup_cache)]
+            rows = _rows(buffer, geoip, scanners, lookup_cache)
             enrich_seconds += time.perf_counter() - start
         with telemetry.tracer.span("convert.insert", db=db_path.name):
             start = time.perf_counter()
@@ -407,6 +410,43 @@ def _row(enriched: EnrichedEvent) -> tuple:
             event.password, event.raw, enriched.country, enriched.asn,
             enriched.as_name, enriched.as_type,
             int(enriched.institutional))
+
+
+def _rows(events: list[LogEvent], geoip: GeoIPDatabase,
+          scanners: InstitutionalScannerList, cache: dict) -> list[tuple]:
+    """Fused enrich + row build: ``[_row(e) for e in enrich_iter(...)]``
+    without the per-event :class:`EnrichedEvent` intermediate.
+
+    Must stay behaviorally identical to that composition: the keyed
+    ``enrich.lookup`` fault fires once per cache miss, only successful
+    lookups are cached, and failures fall back to :data:`_FALLBACK`
+    and count ``resilience.enrich_fallbacks``.
+    """
+    rows = []
+    append = rows.append
+    get = cache.get
+    for event in events:
+        metadata = get(event.src_ip)
+        if metadata is None:
+            try:
+                faults.current().maybe_raise("enrich.lookup",
+                                             key=event.src_ip)
+                record = geoip.lookup(event.src_ip)
+                metadata = (record.country, record.asn, record.as_name,
+                            record.as_type.value,
+                            scanners.is_institutional(event.src_ip,
+                                                      record.asn))
+                cache[event.src_ip] = metadata
+            except Exception:
+                obs.current().metrics.inc("resilience.enrich_fallbacks")
+                metadata = _FALLBACK
+        country, asn, as_name, as_type, institutional = metadata
+        append((event.timestamp, event.honeypot_id, event.honeypot_type,
+                event.dbms, event.interaction, event.config, event.src_ip,
+                event.src_port, event.event_type, event.action,
+                event.username, event.password, event.raw, country, asn,
+                as_name, as_type, int(institutional)))
+    return rows
 
 
 def open_database(db_path: str | Path) -> sqlite3.Connection:

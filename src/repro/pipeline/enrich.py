@@ -22,7 +22,7 @@ from repro.resilience import faults
 _FALLBACK = ("Unknown", None, "Unknown", ASType.UNKNOWN.value, False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EnrichedEvent:
     """A log event plus source metadata."""
 

@@ -85,6 +85,13 @@ class FaultSpec:
 class FaultPlan:
     """A named, seeded set of fault specs with deterministic decisions."""
 
+    #: True only on :class:`NullFaultPlan`.  Hot paths resolve
+    #: ``faults.current()`` once per visit and branch on this flag to
+    #: skip per-message ``mangle()``/``maybe_raise()`` calls entirely;
+    #: live plans (even empty ones) always get their calls so their
+    #: evaluation counters and RNG draw order stay exactly as configured.
+    is_noop = False
+
     def __init__(self, specs: Mapping[str, FaultSpec] | list[FaultSpec],
                  *, seed: int = 0, name: str = "custom"):
         if not isinstance(specs, Mapping):
@@ -237,6 +244,8 @@ class FaultPlan:
 
 class NullFaultPlan(FaultPlan):
     """The zero-cost default: nothing ever fires."""
+
+    is_noop = True
 
     def __init__(self) -> None:
         super().__init__({}, name="none")

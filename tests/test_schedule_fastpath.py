@@ -1,0 +1,203 @@
+"""Indexed deployment plan + session fast lane: equivalence pins.
+
+The tentpole refactor replaced ``DeploymentPlan.select()``'s linear
+scan with precomputed wildcard indexes, pooled the behavior-level
+target selections, and moved per-event work out of the session hot
+path.  These tests pin both halves:
+
+* property-style: every filter combination (including ``None``
+  wildcards and bogus values) returns exactly what a linear scan over
+  ``plan.targets`` returns, in plan order;
+* end-to-end: replaying with the optimised code produces byte-for-byte
+  the same databases, counts, and chaos accounting as the pre-refactor
+  code, whose outputs are frozen in
+  ``tests/data/schedule_reference.json`` (serial and 4-way sharded,
+  two scales, clean and under the ``all`` fault plan).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.agents.pools import low_pool, low_scan_pool, midhigh_pool
+from repro.deployment import ExperimentConfig, run_experiment
+from repro.deployment.plan import build_plan
+from repro.resilience import faults
+
+from .test_replay_sharded import table_digests
+
+REFERENCE = json.loads(
+    (Path(__file__).parent / "data" /
+     "schedule_reference.json").read_text())
+SEED = REFERENCE["seed"]
+
+INTERACTIONS = (None, "low", "medium", "high", "bogus")
+DBMSES = (None, "mysql", "postgresql", "redis", "mssql",
+          "elasticsearch", "mongodb", "bogus")
+CONFIGS = (None, "default", "fake_data", "login_disabled", "multi",
+           "single", "bogus")
+
+
+def linear_scan(plan, interaction, dbms, config):
+    """The pre-refactor reference semantics: scan every target, keep
+    those matching all non-``None`` filters, in plan order."""
+    found = []
+    for target in plan.targets:
+        if interaction is not None and \
+                target.honeypot.interaction != interaction:
+            continue
+        if dbms is not None and target.honeypot.dbms != dbms:
+            continue
+        if config is not None and target.honeypot.info.config != config:
+            continue
+        found.append(target)
+    return found
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_plan(seed=SEED)
+
+
+class TestIndexedSelect:
+    def test_select_matches_linear_scan_for_every_filter(self, plan):
+        for interaction, dbms, config in itertools.product(
+                INTERACTIONS, DBMSES, CONFIGS):
+            expected = linear_scan(plan, interaction, dbms, config)
+            got = plan.select(interaction=interaction, dbms=dbms,
+                              config=config)
+            assert got == expected, (interaction, dbms, config)
+            assert plan.select_keys(
+                interaction=interaction, dbms=dbms, config=config
+            ) == tuple(target.key for target in expected)
+
+    def test_select_returns_fresh_lists(self, plan):
+        first = plan.select(interaction="low")
+        first.append("sentinel")
+        assert plan.select(interaction="low") != first
+
+    def test_hosts_matches_first_seen_scan(self, plan):
+        for config in CONFIGS[1:]:
+            expected: list[str] = []
+            for target in plan.targets:
+                if target.honeypot.info.config == config and \
+                        target.host not in expected:
+                    expected.append(target.host)
+            assert plan.hosts(config=config) == expected
+
+    def test_cached_identity_fields(self, plan):
+        for target in plan.targets:
+            assert target.dbms == target.honeypot.dbms
+            assert target.interaction == target.honeypot.interaction
+            assert target.config == target.honeypot.info.config
+
+    def test_by_key_error_names_key_and_nearest_matches(self, plan):
+        with pytest.raises(KeyError) as excinfo:
+            plan.by_key("low/multi/00/mysq")
+        message = str(excinfo.value)
+        assert "unknown deployment target 'low/multi/00/mysq'" in message
+        assert "low/multi/00/mysql" in message
+        with pytest.raises(KeyError, match="unknown deployment target"):
+            plan.by_key("zzz/not/even/close")
+
+    def test_select_calls_counter(self, plan):
+        before = plan.select_calls
+        plan.select(dbms="redis")
+        plan.select_keys(dbms="redis")
+        assert plan.select_calls == before + 2
+
+
+class TestPoolRegistry:
+    def test_low_pool_matches_select_and_is_shared(self, plan):
+        for dbms in DBMSES[1:5]:
+            multi = plan.select_keys(interaction="low", dbms=dbms,
+                                     config="multi")
+            single = plan.select_keys(interaction="low", dbms=dbms,
+                                      config="single")
+            assert low_pool(plan, dbms, "both") == multi + single
+            assert low_pool(plan, dbms, "multi") == multi
+            # Resolved once per plan: identical object both times.
+            assert low_pool(plan, dbms, "both") is \
+                low_pool(plan, dbms, "both")
+
+    def test_low_pool_raises_on_empty(self, plan):
+        with pytest.raises(ValueError,
+                           match="no low-interaction targets"):
+            low_pool(plan, "mongodb", "both")
+
+    def test_low_scan_pool_concatenates_services(self, plan):
+        services = ("mysql", "redis")
+        pool = low_scan_pool(plan, services, "both")
+        assert pool == low_pool(plan, "mysql", "both") + \
+            low_pool(plan, "redis", "both")
+        assert pool is low_scan_pool(plan, services, "both")
+
+    def test_midhigh_pool_interaction_rule(self, plan):
+        assert midhigh_pool(plan, "mongodb") == plan.select_keys(
+            interaction="high", dbms="mongodb")
+        assert midhigh_pool(plan, "redis") == plan.select_keys(
+            interaction="medium", dbms="redis")
+        assert midhigh_pool(plan, "redis", "fake_data") == \
+            plan.select_keys(interaction="medium", dbms="redis",
+                             config="fake_data")
+        assert midhigh_pool(plan, "redis") is midhigh_pool(plan, "redis")
+
+    def test_pools_are_cached_per_plan(self, plan):
+        other = build_plan(seed=SEED)
+        assert low_pool(plan, "mysql", "both") is not \
+            low_pool(other, "mysql", "both")
+        assert low_pool(plan, "mysql", "both") == \
+            low_pool(other, "mysql", "both")
+
+
+def run(tmp_path, *, scale, workers=1, fault_plan=None):
+    return run_experiment(ExperimentConfig(
+        seed=SEED, volume_scale=scale, output_dir=tmp_path,
+        workers=workers, telemetry=fault_plan is not None,
+        fault_plan=fault_plan))
+
+
+def reference_run(key):
+    return REFERENCE["runs"][key]
+
+
+def assert_matches_reference(result, want):
+    assert result.events_total == want["events_total"]
+    assert result.visits_total == want["visits_total"]
+    assert table_digests(result.low_db) == want["low"]
+    assert table_digests(result.midhigh_db) == want["midhigh"]
+
+
+class TestEndToEndUnchanged:
+    """Byte-for-byte equality against the pre-refactor outputs."""
+
+    def test_serial_small_scale(self, tmp_path):
+        result = run(tmp_path, scale=5e-05)
+        assert_matches_reference(
+            result, reference_run("scale=5e-05:workers=1"))
+
+    def test_serial_large_scale(self, tmp_path):
+        result = run(tmp_path, scale=0.0002)
+        assert_matches_reference(
+            result, reference_run("scale=0.0002:workers=1"))
+
+    def test_sharded_small_scale(self, tmp_path):
+        result = run(tmp_path, scale=5e-05, workers=4)
+        assert_matches_reference(
+            result, reference_run("scale=5e-05:workers=4"))
+
+    def test_chaos_serial_small_scale(self, tmp_path):
+        plan = faults.load_plan("all", seed=SEED)
+        result = run(tmp_path, scale=5e-05, fault_plan=plan)
+        want = reference_run("chaos=all:scale=5e-05:workers=1")
+        assert_matches_reference(result, want)
+        assert result.events_generated == want["events_generated"]
+        assert result.events_quarantined == want["events_quarantined"]
+        assert result.quarantined_visits == want["quarantined_visits"]
+        assert {site: dict(stats)
+                for site, stats in plan.snapshot().items()} == \
+            want["faults"]
