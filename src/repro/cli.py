@@ -15,6 +15,10 @@ Subcommands:
 * ``chaos``          -- run the deployment under a deterministic
   fault-injection plan and verify the conservation invariant
   ``events_generated == events_stored + events_quarantined``,
+* ``verify``         -- audit a finished run's artifacts against every
+  cross-artifact invariant (coded findings, ``--json``), or
+  ``--differential``: replay one seed under an execution matrix and
+  diff every artifact, bisecting the visit schedule on divergence,
 * ``profile``        -- run a small deployment under ``cProfile`` and
   print the hot functions plus the compile/replay throughput numbers.
 
@@ -191,6 +195,40 @@ def build_parser() -> argparse.ArgumentParser:
                                 "many seconds; a run killed by the "
                                 "worker-kill plan then auto-resumes "
                                 "from its last durable checkpoint")
+
+    verify_cmd = subcommands.add_parser(
+        "verify", help="audit a run's artifacts against every "
+                       "cross-artifact invariant, or differentially "
+                       "replay one seed under an execution matrix")
+    verify_cmd.add_argument("--output", type=Path,
+                            default=Path("experiment-output"),
+                            help="directory of a previous `repro run "
+                                 "--telemetry` to audit (ignored with "
+                                 "--differential)")
+    verify_cmd.add_argument("--json", action="store_true",
+                            help="print the machine-readable findings "
+                                 "report instead of the human summary")
+    verify_cmd.add_argument("--differential", action="store_true",
+                            help="replay one seed under a "
+                                 "configuration matrix and diff every "
+                                 "artifact instead of auditing an "
+                                 "existing run")
+    verify_cmd.add_argument("--seed", type=int, default=2024)
+    verify_cmd.add_argument("--scale", type=float, default=0.0005,
+                            help="login-volume scale factor for the "
+                                 "differential runs")
+    verify_cmd.add_argument("--workers", type=int, default=4,
+                            help="worker count of the sharded matrix "
+                                 "configurations")
+    verify_cmd.add_argument("--matrix", default=None,
+                            help="comma-separated matrix "
+                                 "configurations (default: "
+                                 "serial,thread,fork,telemetry-off; "
+                                 "also: kill-resume, chaos)")
+    verify_cmd.add_argument("--workdir", type=Path, default=None,
+                            help="where the differential runs land "
+                                 "(default: a temporary directory, "
+                                 "removed afterwards)")
 
     profile_cmd = subcommands.add_parser(
         "profile", help="profile a small deployment run under cProfile "
@@ -657,6 +695,88 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    import json
+    import shutil
+    import tempfile
+
+    from repro.verify import (DEFAULT_MATRIX, MATRIX_CONFIGS,
+                              AuditError, audit_run, run_matrix)
+
+    if not args.differential:
+        for flag, value, default in (("--matrix", args.matrix, None),
+                                     ("--workdir", args.workdir, None)):
+            if value != default:
+                print(f"error: {flag} requires --differential",
+                      file=sys.stderr)
+                return 2
+        try:
+            result = audit_run(args.output)
+        except AuditError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(result.as_dict(), indent=2,
+                             sort_keys=True))
+        else:
+            for check in result.checks:
+                detail = f"  ({check['detail']})" if check["detail"] \
+                    else ""
+                print(f"{check['status']:>7s}  {check['name']}{detail}")
+            for finding in result.findings:
+                print(f"finding: [{finding.code}] {finding.message}",
+                      file=sys.stderr)
+            print(f"verify: {len(result.findings)} finding(s) in "
+                  f"{args.output}")
+        return 0 if result.ok else 1
+
+    if args.scale <= 0:
+        print(f"error: --scale must be positive, got {args.scale}",
+              file=sys.stderr)
+        return 2
+    if args.workers < 2:
+        print(f"error: --workers must be >= 2 to shard, "
+              f"got {args.workers}", file=sys.stderr)
+        return 2
+    configs = DEFAULT_MATRIX
+    if args.matrix is not None:
+        configs = tuple(name.strip()
+                        for name in args.matrix.split(",")
+                        if name.strip())
+        unknown = [name for name in configs
+                   if name not in MATRIX_CONFIGS]
+        if not configs or unknown:
+            print(f"error: --matrix takes a comma-separated subset of "
+                  f"{', '.join(MATRIX_CONFIGS)}", file=sys.stderr)
+            return 2
+    keep = args.workdir is not None
+    workdir = args.workdir if keep else \
+        Path(tempfile.mkdtemp(prefix="repro-verify-"))
+    try:
+        report = run_matrix(workdir, seed=args.seed, scale=args.scale,
+                            workers=args.workers, configs=configs)
+    finally:
+        if not keep:
+            shutil.rmtree(workdir, ignore_errors=True)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    for config in report.configs:
+        note = f"  ({config['note']})" if config["note"] else ""
+        print(f"{config['status']:>7s}  {config['name']}{note}")
+    for diff in report.diffs:
+        print(f"diff: {diff['config']}: {diff['artifact']} "
+              f"expected {diff['expected']!r}, "
+              f"got {diff['actual']!r}", file=sys.stderr)
+    for divergence in report.divergences:
+        print(f"first divergent visit of {divergence['config']}: "
+              f"{divergence['key']} (vs. {divergence['reference']})",
+              file=sys.stderr)
+    print(f"verify: {len(report.diffs)} difference(s) across "
+          f"{len(report.configs)} configuration(s), seed {report.seed}")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -667,6 +787,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": cmd_serve,
         "export-dataset": cmd_export_dataset,
         "chaos": cmd_chaos,
+        "verify": cmd_verify,
         "profile": cmd_profile,
     }
     try:

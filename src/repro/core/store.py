@@ -283,6 +283,10 @@ class AnalysisStore:
                     f"{self.db_path.name}.cache")
         self.cache_dir = Path(cache_dir)
         self._digest: str | None = None
+        #: ``(st_mtime_ns, st_size)`` of the file the current digest /
+        #: memo belong to; compared on every access so a long-lived
+        #: store notices the database changing underneath it.
+        self._digest_stat: tuple[int, int] | None = None
         self._memory: dict = {}
         self._connection = None
         #: Local mirror of the ``analysis.*`` metrics, for callers
@@ -342,9 +346,44 @@ class AnalysisStore:
 
         return self._artifact("query", key, build)
 
+    def _file_stat(self) -> tuple[int, int] | None:
+        """``(st_mtime_ns, st_size)`` of the database, if it exists."""
+        try:
+            st = os.stat(self.db_path)
+        except FileNotFoundError:
+            return None
+        return (st.st_mtime_ns, st.st_size)
+
+    def _refresh(self) -> None:
+        """Drop digest + memo when the database file changed on disk.
+
+        A long-lived store (report -> re-run -> report in one process)
+        must not serve artifacts keyed to a dead digest; the stat pair
+        is taken *before* any hashing so a concurrent rewrite at worst
+        causes one extra refresh, never a stale serve.
+        """
+        stat = self._file_stat()
+        if stat == self._digest_stat:
+            return
+        if self._digest_stat is not None:
+            self._memory.clear()
+            # The old connection may point at a dead inode (the usual
+            # rewrite is unlink + recreate); reopen lazily.
+            self.close()
+            self.stats["stale"] += 1
+            obs.current().metrics.inc("analysis.store_refreshed")
+        self._digest = None
+        self._digest_stat = stat
+
     @property
     def digest(self) -> str:
-        """SHA-256 content digest of the database file (cached)."""
+        """SHA-256 content digest of the database file.
+
+        Revalidated against ``(st_mtime_ns, st_size)`` on every access,
+        so the digest -- and everything keyed by it -- tracks the file
+        actually on disk.
+        """
+        self._refresh()
         if self._digest is None:
             digest = hashlib.sha256()
             with open(self.db_path, "rb") as handle:
@@ -373,6 +412,7 @@ class AnalysisStore:
 
     def _artifact(self, kind: str, params: tuple, build: Callable):
         """Memory -> disk -> build, recording hit/miss metrics."""
+        self._refresh()
         metrics = obs.current().metrics
         memo_key = (kind, params)
         if memo_key in self._memory:
@@ -451,6 +491,7 @@ class AnalysisStore:
         filters down into SQL instead (one indexed, filtered scan).
         """
         params = (interaction, dbms)
+        self._refresh()
         if params != (None, None):
             full = self._memory.get(("events", (None, None)))
             if full is not None:

@@ -104,7 +104,7 @@ def _raw_dir(output_dir: Path) -> Path:
     return output_dir / RAW_LOG_DIRNAME
 
 
-def _checkpoint_valid(output_dir: Path, record: dict,
+def checkpoint_valid(output_dir: Path, record: dict,
                       header: dict) -> str | None:
     """Why ``record`` cannot be the restore point, or ``None`` if it
     can: both database prefixes re-digest to the recorded values and
@@ -272,7 +272,7 @@ def prepare_resume(config):
     chosen = None
     reason = "the journal holds no checkpoints"
     for record in candidates:
-        reason = _checkpoint_valid(output_dir, record, header)
+        reason = checkpoint_valid(output_dir, record, header)
         if reason is None:
             chosen = record
             break

@@ -101,6 +101,10 @@ class ExperimentConfig:
     #: Replay engine: ``"auto"`` (serial for 1 worker, sharded
     #: otherwise), ``"serial"``, or ``"sharded"``.
     executor: str = "auto"
+    #: Sharded-replay worker flavor: ``"auto"`` (fork where available,
+    #: thread otherwise), ``"fork"``, or ``"thread"``.  Ignored by the
+    #: serial engine.
+    pool: str = "auto"
     #: Seconds between live shard-telemetry emissions (0 disables the
     #: metrics bus; requires telemetry and a sharded replay to matter).
     live_interval: float = 0.0
@@ -269,7 +273,7 @@ def _run_instrumented(config: ExperimentConfig, telemetry: obs.Telemetry,
     output_dir = Path(config.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
 
-    engine = build_engine(config.workers, config.executor)
+    engine = build_engine(config.workers, config.executor, config.pool)
     visits_total = len(schedule)
 
     # -- run journal (checkpointed and resumed runs only) --------------
@@ -762,6 +766,7 @@ def _finalize_report(config: ExperimentConfig, telemetry: obs.Telemetry,
                            if config.fault_plan else None),
             "workers": config.workers,
             "executor": config.executor,
+            "pool": config.pool,
             "live_interval": config.live_interval,
             "live_port": config.live_port,
             "checkpoint_interval": config.checkpoint_interval,

@@ -868,8 +868,10 @@ def resolve_workers(requested: "int | str", *,
     return workers
 
 
-def build_engine(workers: int, executor: str = "auto") -> ReplayEngine:
-    """Resolve ``ExperimentConfig.workers``/``executor`` into an engine."""
+def build_engine(workers: int, executor: str = "auto",
+                 pool: str = "auto") -> ReplayEngine:
+    """Resolve ``ExperimentConfig.workers``/``executor``/``pool``
+    into an engine."""
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if executor == "auto":
@@ -877,6 +879,6 @@ def build_engine(workers: int, executor: str = "auto") -> ReplayEngine:
     if executor == "serial":
         return SerialExecutor()
     if executor == "sharded":
-        return ShardedExecutor(workers)
+        return ShardedExecutor(workers, pool=pool)
     raise ValueError(f"unknown executor {executor!r} "
                      "(expected auto, serial, or sharded)")

@@ -475,3 +475,19 @@ def count_events(db_path: str | Path) -> int:
         return count
     finally:
         connection.close()
+
+
+def group_counts(db_path: str | Path) -> dict[str, int]:
+    """Row counts per ``(interaction, dbms, config)`` group, keyed by
+    the consolidated raw-log file name each group maps to (see
+    :func:`repro.pipeline.logstore.consolidated_group_name`), so the
+    audit can line database rows up against raw-log lines."""
+    connection = open_database(db_path)
+    try:
+        return {
+            f"{interaction}-{dbms}-{config}.jsonl": count
+            for interaction, dbms, config, count in connection.execute(
+                "SELECT interaction, dbms, config, COUNT(*) "
+                "FROM events GROUP BY interaction, dbms, config")}
+    finally:
+        connection.close()

@@ -127,19 +127,29 @@ MAX_RAW = 2048
 def truncate_raw(raw: bytes | str | None) -> str | None:
     """Clamp a raw payload for logging, decoding bytes leniently.
 
-    Actual clippings are counted in the installed telemetry registry
-    (``logstore.raw_truncated`` / ``logstore.raw_truncated_bytes``) so a
-    run manifest can show how much payload the capture dropped.
+    Actual clippings are counted in the installed telemetry registry:
+    ``logstore.raw_truncated`` is the number of clipped payloads and
+    ``logstore.raw_truncated_bytes`` the payload bytes the capture
+    dropped -- measured pre-decode (the wire size of a ``bytes``
+    payload; UTF-8 size of a ``str`` one), minus the UTF-8 size of the
+    excerpt that was kept.
     """
     if raw is None:
         return None
     if isinstance(raw, bytes):
+        raw_bytes = len(raw)
         raw = raw.decode("utf-8", "replace")
+    else:
+        raw_bytes = None
     if len(raw) > MAX_RAW:
+        kept = raw[:MAX_RAW]
+        if raw_bytes is None:
+            raw_bytes = len(raw.encode("utf-8"))
         metrics = obs.current().metrics
         metrics.inc("logstore.raw_truncated")
-        metrics.inc("logstore.raw_truncated_chars", len(raw) - MAX_RAW)
-        return raw[:MAX_RAW]
+        metrics.inc("logstore.raw_truncated_bytes",
+                    raw_bytes - len(kept.encode("utf-8")))
+        return kept
     return raw
 
 

@@ -11,13 +11,38 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from datetime import datetime, timezone
+from datetime import datetime, timedelta, timezone
 
 from repro.protocols.errors import ProtocolError
 
 _INT32_MIN, _INT32_MAX = -(1 << 31), (1 << 31) - 1
 _INT64_MIN, _INT64_MAX = -(1 << 63), (1 << 63) - 1
 _MAX_DOCUMENT = 16 * 1024 * 1024
+_EPOCH = datetime(1970, 1, 1, tzinfo=timezone.utc)
+
+
+def _datetime_to_millis(value: datetime) -> int:
+    """Milliseconds since the epoch, computed in exact integer math.
+
+    ``value.timestamp() * 1000`` goes through a float and can be off by
+    one millisecond for large epochs; timedelta arithmetic never loses
+    a microsecond.  Naive datetimes keep their historical local-time
+    interpretation (same as ``timestamp()``).
+    """
+    if value.tzinfo is None:
+        value = value.astimezone()
+    delta = value - _EPOCH
+    return (delta.days * 86_400_000 + delta.seconds * 1_000
+            + delta.microseconds // 1_000)
+
+
+def _millis_to_datetime(millis: int) -> datetime:
+    """Inverse of :func:`_datetime_to_millis`, also in integer math."""
+    try:
+        return _EPOCH + timedelta(milliseconds=millis)
+    except OverflowError as exc:
+        raise ProtocolError(
+            f"BSON datetime out of range: {millis}") from exc
 
 
 @dataclass(frozen=True)
@@ -77,7 +102,7 @@ def _encode_element(key: str, value: object) -> bytes:
     if isinstance(value, ObjectId):
         return b"\x07" + name + value.value
     if isinstance(value, datetime):
-        millis = int(value.timestamp() * 1000)
+        millis = _datetime_to_millis(value)
         return b"\x09" + name + struct.pack("<q", millis)
     if value is None:
         return b"\x0a" + name
@@ -150,8 +175,7 @@ def _decode_value(element_type: int, data: bytes, position: int,
     if element_type == 0x09:
         _check(position + 8 <= end, "datetime")
         (millis,) = struct.unpack_from("<q", data, position)
-        value = datetime.fromtimestamp(millis / 1000, tz=timezone.utc)
-        return value, position + 8
+        return _millis_to_datetime(millis), position + 8
     if element_type == 0x0A:
         return None, position
     if element_type == 0x10:

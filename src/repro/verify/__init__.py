@@ -1,0 +1,27 @@
+"""Run-artifact verification: invariant audit + differential replay.
+
+``repro verify`` is the standing correctness gate behind the repo's
+core claim -- same seed, same artifacts, no silent accounting drift:
+
+* :mod:`repro.verify.audit` re-derives every cross-artifact invariant
+  of one finished run (conservation, manifest consistency, raw-log /
+  database agreement, journal digest chains, truncation accounting),
+* :mod:`repro.verify.differential` replays one seed under a matrix of
+  execution configurations and diffs the artifacts, bisecting the
+  visit schedule on divergence,
+* :mod:`repro.verify.findings` is the stable finding-code vocabulary.
+"""
+
+from repro.verify.audit import AuditError, AuditResult, audit_run
+from repro.verify.differential import (DEFAULT_MATRIX, MATRIX_CONFIGS,
+                                       DifferentialReport,
+                                       artifact_summary,
+                                       locate_divergence, run_matrix)
+from repro.verify.findings import FINDING_CODES, Finding
+
+__all__ = [
+    "AuditError", "AuditResult", "audit_run",
+    "DEFAULT_MATRIX", "MATRIX_CONFIGS", "DifferentialReport",
+    "artifact_summary", "locate_divergence", "run_matrix",
+    "FINDING_CODES", "Finding",
+]

@@ -1,0 +1,65 @@
+"""Finding vocabulary of the run-artifact audit.
+
+Every invariant the audit checks maps to exactly one finding code, so a
+CI gate (or a mutation test) can assert not just *that* a corrupted run
+fails verification but *why*.  Codes are stable identifiers; the
+human-readable message carries the specifics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FINDING_CODES", "Finding"]
+
+#: Every code :mod:`repro.verify.audit` can emit, with the invariant it
+#: guards.  Keep in sync with README "Verification & differential
+#: testing".
+FINDING_CODES: dict[str, str] = {
+    "MANIFEST_SCHEMA": ("run_report.json is missing, structurally "
+                        "invalid, partial, or has the wrong schema"),
+    "MANIFEST_COUNTS": ("manifest event counters disagree with each "
+                        "other (events_total vs. the by-type/dbms/"
+                        "interaction breakdowns and the tier split)"),
+    "CONSERVATION": ("events_generated != events_stored + "
+                     "events_quarantined in the resilience section"),
+    "DB_ROWS": ("a database row count disagrees with the manifest's "
+                "db_rows / split accounting"),
+    "TIER_PURITY": ("a row sits in the wrong interaction tier "
+                    "(low.sqlite must hold only interaction='low')"),
+    "ID_CONTIGUITY": ("event ids are not the contiguous sequence "
+                      "1..N insertion produces"),
+    "RAW_COUNT": ("a raw-log group's line count disagrees with the "
+                  "database rows of its (interaction, dbms, config) "
+                  "group"),
+    "RAW_ORDER": ("raw-log lines and database rows of a group "
+                  "disagree in content or canonical order (or a raw "
+                  "line fails to parse)"),
+    "QUARANTINE": ("the dead-letter file disagrees with the "
+                   "quarantine accounting (record/event counts, "
+                   "canonical order, or parseability)"),
+    "JOURNAL": ("the run journal is corrupt, belongs to a different "
+                "run, or its digest chain does not match the on-disk "
+                "databases"),
+    "TRUNCATION": ("the logstore.raw_truncated counter claims more "
+                   "clipped payloads than rows at the truncation "
+                   "length exist"),
+}
+
+
+@dataclass
+class Finding:
+    """One violated invariant."""
+
+    code: str
+    message: str
+    #: Machine-readable specifics (paths, expected/actual values).
+    context: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in FINDING_CODES:
+            raise ValueError(f"unknown finding code {self.code!r}")
+
+    def as_dict(self) -> dict:
+        return {"code": self.code, "message": self.message,
+                "context": self.context}

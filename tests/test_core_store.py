@@ -145,26 +145,61 @@ class TestWarmCache:
 
 
 class TestInvalidation:
-    def test_changed_database_invalidates(self, db_path):
-        first = AnalysisStore(db_path)
-        before = first.profiles()
-        first.close()
-
+    @staticmethod
+    def _insert_event(db_path, ip="198.51.100.9"):
         with sqlite3.connect(db_path) as connection:
             connection.execute(
                 "INSERT INTO events (timestamp, honeypot_id, "
                 "honeypot_type, dbms, interaction, config, src_ip, "
                 "src_port, event_type, country, as_name, as_type, "
                 "institutional) VALUES (?, 'hp', 'test', 'redis', "
-                "'medium', 'multi', '198.51.100.9', 1, 'connect', "
-                "'US', 'ExampleNet', 'hosting', 0)", (BASE_TS + 9999,))
+                "'medium', 'multi', ?, 1, 'connect', "
+                "'US', 'ExampleNet', 'hosting', 0)",
+                (BASE_TS + 9999, ip))
+
+    def test_changed_database_invalidates(self, db_path):
+        first = AnalysisStore(db_path)
+        before = first.profiles()
+        digest_before = first.digest
+        first.close()
+
+        self._insert_event(db_path)
 
         second = AnalysisStore(db_path)
         after = second.profiles()
-        assert second.digest != first.digest
+        assert second.digest != digest_before
         assert second.stats["scans"] == 1  # cache did not satisfy it
         assert ("198.51.100.9", "redis") in after
         assert ("198.51.100.9", "redis") not in before
+
+    def test_long_lived_store_sees_rewritten_database(self, db_path):
+        # Regression: the digest used to be computed once per store
+        # lifetime, so a report -> re-run -> report sequence in one
+        # process served artifacts keyed to the dead digest.
+        store = AnalysisStore(db_path)
+        before = store.profiles()
+        digest_before = store.digest
+        assert ("198.51.100.9", "redis") not in before
+
+        self._insert_event(db_path)
+
+        after = store.profiles()
+        assert store.digest != digest_before
+        assert ("198.51.100.9", "redis") in after
+        # And the refreshed digest keys fresh disk artifacts: a second
+        # store opened now is warm against the *new* content.
+        warm = AnalysisStore(db_path)
+        assert warm.profiles() == after
+        assert warm.stats["scans"] == 0
+
+    def test_long_lived_uncached_store_drops_memo_on_rewrite(
+            self, db_path):
+        store = AnalysisStore(db_path, use_cache=False)
+        before = store.profiles()
+        self._insert_event(db_path, ip="203.0.113.77")
+        after = store.profiles()
+        assert after is not before
+        assert ("203.0.113.77", "redis") in after
 
     def test_stale_artifacts_ignored_not_crashed(self, db_path):
         cold = AnalysisStore(db_path)

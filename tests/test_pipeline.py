@@ -138,7 +138,35 @@ class TestLogStore:
         assert telemetry.metrics.counter_value(
             "logstore.raw_truncated") == 1
         assert telemetry.metrics.counter_value(
-            "logstore.raw_truncated_chars") == 7
+            "logstore.raw_truncated_bytes") == 7
+
+    def test_truncation_bytes_measured_pre_decode(self):
+        from repro import obs
+
+        # A bytes payload is measured on the wire: 2-byte UTF-8
+        # sequences double the dropped-byte count relative to chars.
+        payload = ("é" * (MAX_RAW + 5)).encode("utf-8")
+        telemetry = obs.Telemetry(enabled=True)
+        with obs.install(telemetry):
+            kept = truncate_raw(payload)
+        assert kept == "é" * MAX_RAW
+        assert telemetry.metrics.counter_value(
+            "logstore.raw_truncated") == 1
+        assert telemetry.metrics.counter_value(
+            "logstore.raw_truncated_bytes") == len(payload) - len(
+                kept.encode("utf-8"))
+
+    def test_truncation_str_input_counts_utf8_bytes(self):
+        from repro import obs
+
+        payload = "é" * (MAX_RAW + 3)
+        telemetry = obs.Telemetry(enabled=True)
+        with obs.install(telemetry):
+            kept = truncate_raw(payload)
+        assert kept == "é" * MAX_RAW
+        # str payloads fall back to their UTF-8 size: 2 bytes per "é".
+        assert telemetry.metrics.counter_value(
+            "logstore.raw_truncated_bytes") == 2 * 3
 
 
 class TestEnrichment:

@@ -51,6 +51,45 @@ class TestScalarTypes:
                         tzinfo=timezone.utc)
         assert roundtrip({"t": when}) == {"t": when}
 
+    def test_datetime_boundary_roundtrips_exact(self):
+        # Large epochs where float(timestamp) * 1000 loses the last
+        # millisecond: every whole-millisecond datetime must survive
+        # the encode -> decode round trip bit-exact.
+        boundaries = [
+            datetime(1970, 1, 1, tzinfo=timezone.utc),
+            datetime(1969, 12, 31, 23, 59, 59, 999000,
+                     tzinfo=timezone.utc),
+            datetime(2038, 1, 19, 3, 14, 7, 999000,
+                     tzinfo=timezone.utc),
+            datetime(2106, 2, 7, 6, 28, 15, 1000, tzinfo=timezone.utc),
+            datetime(9999, 12, 31, 23, 59, 59, 999000,
+                     tzinfo=timezone.utc),
+            datetime(1, 1, 1, tzinfo=timezone.utc),
+        ]
+        for when in boundaries:
+            assert roundtrip({"t": when}) == {"t": when}, when
+
+    def test_datetime_encoding_is_exact_integer_millis(self):
+        import struct
+
+        # Regression: int(timestamp() * 1000) drops a millisecond here
+        # (the float path yields ...502); the timedelta path is exact.
+        when = datetime(2526, 4, 6, 21, 50, 33, 503000,
+                        tzinfo=timezone.utc)
+        millis = 17553966633503
+        assert int(when.timestamp() * 1000) == millis - 1  # float loses
+        encoded = bson.encode_document({"t": when})
+        assert struct.pack("<q", millis) in encoded
+        assert roundtrip({"t": when}) == {"t": when}
+
+    def test_datetime_out_of_range_millis_raises(self):
+        import struct
+
+        payload = b"\x09t\x00" + struct.pack("<q", 1 << 62) + b"\x00"
+        encoded = struct.pack("<i", len(payload) + 4) + payload
+        with pytest.raises(ProtocolError):
+            bson.decode_document(encoded)
+
     def test_object_id(self):
         oid = bson.ObjectId.from_counter(12345)
         assert roundtrip({"_id": oid}) == {"_id": oid}
